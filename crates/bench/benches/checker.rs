@@ -1,0 +1,68 @@
+//! Experiment E5 (checker half) and Figures 1–2: the cost of deciding
+//! parametrized opacity — per figure outcome, and as history length
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jungle_core::builder::HistoryBuilder;
+use jungle_core::history::History;
+use jungle_core::ids::{ProcId, Var};
+use jungle_core::model::{Rmo, Sc};
+use jungle_core::opacity::check_opacity;
+use jungle_core::sgla::check_sgla;
+use jungle_litmus::figures::all_litmus;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A history with `k` committed transactions (2 ops each) and `k`
+/// non-transactional reads, alternating across two processes.
+fn chain_history(k: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    let (p1, p2) = (ProcId(1), ProcId(2));
+    for i in 0..k {
+        let x = Var((i % 4) as u32);
+        b.start(p1);
+        b.write(p1, x, (i + 1) as u64);
+        b.read(p1, x, (i + 1) as u64);
+        b.commit(p1);
+        b.read(p2, x, (i + 1) as u64);
+    }
+    b.build().unwrap()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F1_F2_figure_verdicts");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(20);
+    for litmus in all_litmus() {
+        g.bench_function(BenchmarkId::from_parameter(litmus.name), |b| {
+            b.iter(|| {
+                for o in &litmus.outcomes {
+                    black_box(check_opacity(&o.history, &Sc).is_opaque());
+                    black_box(check_opacity(&o.history, &Rmo).is_opaque());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_checker_scaling");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    for k in [1usize, 2, 4, 6] {
+        let h = chain_history(k);
+        g.bench_with_input(BenchmarkId::new("opacity", h.len()), &h, |b, h| {
+            b.iter(|| black_box(check_opacity(h, &Sc).is_opaque()))
+        });
+        g.bench_with_input(BenchmarkId::new("sgla", h.len()), &h, |b, h| {
+            b.iter(|| black_box(check_sgla(h, &Sc).is_sgla()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment E5 (model-checker half) and Figure 5: the cost of the
+//! theorem experiments — the violation searches of Lemma 1 / Theorems
+//! 1–2 and the exhaustive positive sweep of Theorem 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jungle_core::model::Sc;
+use jungle_mc::theorems::{lemma1, thm1_case1, thm2, thm3_litmus};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_violation_searches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F5_violation_search");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("lemma1"), |b| {
+        b.iter(|| {
+            let r = lemma1().run(5, 2_000);
+            assert!(r.passed);
+            black_box(r.passed)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("thm1_case1_sc"), |b| {
+        b.iter(|| {
+            let r = thm1_case1(&Sc).run(2_000, 6_000);
+            assert!(r.passed);
+            black_box(r.passed)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("thm2"), |b| {
+        b.iter(|| {
+            let r = thm2().run(2_000, 6_000);
+            assert!(r.passed);
+            black_box(r.passed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_positive_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("T3_exhaustive_sweep");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("thm3_litmus_exhaustive"), |b| {
+        b.iter(|| {
+            let r = thm3_litmus().run(0, 4_000);
+            assert!(r.passed);
+            black_box(r.passed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_violation_searches, bench_positive_sweep);
+criterion_main!(benches);

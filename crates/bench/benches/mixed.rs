@@ -1,0 +1,48 @@
+//! Experiment E4: end-to-end mixed workloads — sweeping the fraction of
+//! operations executed transactionally from 0% to 100%.
+//!
+//! This is where the §6.1 trade-off lands: at low transactional
+//! fractions the cost of *non-transactional* instrumentation dominates
+//! (strong pays on every access; versioned pays one packed store per
+//! write; global-lock pays nothing), while at high fractions commit
+//! cost dominates and the curves converge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jungle_bench::all_stms;
+use jungle_core::ids::ProcId;
+use jungle_litmus::workload::{execute, generate, WorkloadCfg};
+use jungle_stm::api::Ctx;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_mixed_txn_fraction");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    for txn_pct in [0u32, 25, 50, 75, 100] {
+        let cfg = WorkloadCfg {
+            n_vars: 256,
+            txn_pct,
+            read_pct: 80,
+            txn_len: 4,
+            ops: 2_000,
+        };
+        let items = generate(&cfg, 42);
+        g.throughput(Throughput::Elements(cfg.ops as u64));
+        for tm in all_stms(cfg.n_vars) {
+            g.bench_with_input(
+                BenchmarkId::new(tm.name(), format!("{txn_pct}pct")),
+                &items,
+                |b, items| {
+                    let mut cx = Ctx::new(ProcId(0), None);
+                    b.iter(|| black_box(execute(tm.as_ref(), &mut cx, items)))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

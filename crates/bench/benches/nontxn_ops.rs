@@ -1,0 +1,71 @@
+//! Experiments E1/E2/A1/A2: the per-operation cost of
+//! **non-transactional** reads and writes under each STM — the direct
+//! measurement of the paper's instrumentation results.
+//!
+//! The A1/A2 ablations read off the same data: A2 = strong vs
+//! strong-optimized in the read group, A1 = versioned vs write-txn in
+//! the write group. (A contended variant with a background mutator is
+//! deliberately omitted: on the single-core benchmark host a spinning
+//! lock holder and the measured thread share one CPU, so the numbers
+//! measure the OS scheduler, not the STM.)
+//!
+//! Expected shape (§5, §6.1):
+//! * reads: global-lock ≈ write-txn ≈ versioned ≈ strong-optimized ≈
+//!   tl2 (plain loads) ≪ strong (record check);
+//! * writes: global-lock ≈ tl2 (plain store) < versioned (packed store,
+//!   Theorem 5's constant-time bound) ≪ write-txn (lock round-trip,
+//!   Theorem 4) ≈ strong (ownership acquisition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jungle_bench::all_stms;
+use jungle_core::ids::ProcId;
+use jungle_stm::api::Ctx;
+use std::hint::black_box;
+use std::time::Duration;
+
+const VARS: usize = 1024;
+
+fn bench_nt_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1_nontxn_read");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(20);
+    for tm in all_stms(VARS) {
+        let mut cx = Ctx::new(ProcId(0), None);
+        // Touch the cells once.
+        for v in 0..VARS {
+            tm.nt_write(&mut cx, v, v as u64 % 100);
+        }
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(tm.name()), &(), |b, _| {
+            b.iter(|| {
+                i = (i + 7) & (VARS - 1);
+                black_box(tm.nt_read(&mut cx, i))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_nt_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2_nontxn_write");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(20);
+    for tm in all_stms(VARS) {
+        let mut cx = Ctx::new(ProcId(0), None);
+        let mut i = 0usize;
+        let mut v = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(tm.name()), &(), |b, _| {
+            b.iter(|| {
+                i = (i + 7) & (VARS - 1);
+                v = (v + 1) % 1_000_000;
+                tm.nt_write(&mut cx, i, black_box(v));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nt_reads, bench_nt_writes);
+criterion_main!(benches);

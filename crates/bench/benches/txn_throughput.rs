@@ -1,0 +1,95 @@
+//! Experiment E3: transactional throughput per STM, across transaction
+//! sizes and read/write mixes.
+//!
+//! Expected shape: TL2 and the strong STM scale with transaction size
+//! more gracefully than the global-lock family on contended runs (a
+//! global lock serializes *all* transactions), while per-commit cost
+//! grows with write-set size everywhere. On this single-core host the
+//! series mostly reflect per-operation instrumentation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jungle_bench::all_stms;
+use jungle_core::ids::ProcId;
+use jungle_stm::api::{Ctx, TmAlgo};
+use std::hint::black_box;
+use std::time::Duration;
+
+const VARS: usize = 1024;
+
+fn run_txn(tm: &dyn TmAlgo, cx: &mut Ctx, base: usize, len: usize, read_pct: usize) -> u64 {
+    loop {
+        tm.txn_start(cx);
+        let mut sum = 0u64;
+        let mut failed = false;
+        for k in 0..len {
+            let var = (base + k * 17) & (VARS - 1);
+            let res = if (k * 100 / len) < read_pct {
+                tm.txn_read(cx, var).map(|v| sum = sum.wrapping_add(v))
+            } else {
+                tm.txn_write(cx, var, (k + 1) as u64)
+            };
+            if res.is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed && tm.txn_commit(cx).is_ok() {
+            return sum;
+        }
+        if failed {
+            tm.txn_abort(cx);
+        }
+    }
+}
+
+fn bench_txn_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_txn_size");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(15);
+    for len in [1usize, 4, 16, 64] {
+        g.throughput(Throughput::Elements(len as u64));
+        for tm in all_stms(VARS) {
+            let mut cx = Ctx::new(ProcId(0), None);
+            let mut base = 0usize;
+            g.bench_with_input(
+                BenchmarkId::new(tm.name(), len),
+                &len,
+                |b, &len| {
+                    b.iter(|| {
+                        base = (base + 31) & (VARS - 1);
+                        black_box(run_txn(tm.as_ref(), &mut cx, base, len, 50))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_txn_mixes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_txn_mix");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(15);
+    for read_pct in [0usize, 50, 90, 100] {
+        for tm in all_stms(VARS) {
+            let mut cx = Ctx::new(ProcId(0), None);
+            let mut base = 0usize;
+            g.bench_with_input(
+                BenchmarkId::new(tm.name(), format!("{read_pct}r")),
+                &read_pct,
+                |b, &read_pct| {
+                    b.iter(|| {
+                        base = (base + 31) & (VARS - 1);
+                        black_box(run_txn(tm.as_ref(), &mut cx, base, 8, read_pct))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_txn_sizes, bench_txn_mixes);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! The reproduction report: regenerates every figure verdict and
+//! theorem experiment of the paper in one run and prints the tables
+//! that EXPERIMENTS.md records. Optionally dumps JSON with `--json`.
+//!
+//! Run with: `cargo run --release -p jungle-bench --bin report`
+
+use jungle_core::model::all_models;
+use jungle_litmus::figures::all_litmus;
+use jungle_mc::algos::{
+    GlobalLockTm, LazyTl2Tm, StrongTm, TmAlgo as McAlgo, VersionedTm, WriteTxnTm,
+};
+use jungle_mc::cost::measure;
+use jungle_mc::theorems::all_fixed_experiments;
+
+struct Row {
+    section: &'static str,
+    id: String,
+    expected: &'static str,
+    observed: String,
+    pass: bool,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ── Figures 1–2: litmus verdict tables ────────────────────────
+    if !json {
+        println!("════ Figures 1–2: litmus verdicts per memory model ════\n");
+    }
+    for litmus in all_litmus() {
+        if !json {
+            println!("{} — {}", litmus.name, litmus.question);
+            print!("  {:<14}", "outcome");
+            for m in all_models() {
+                print!("{:>9}", m.name());
+            }
+            println!();
+        }
+        for o in &litmus.outcomes {
+            if !json {
+                print!("  {:<14}", o.label);
+            }
+            for m in all_models() {
+                let ok = litmus.judge(&o.label, m).unwrap();
+                if !json {
+                    print!("{:>9}", if ok { "allowed" } else { "✗" });
+                }
+                rows.push(Row {
+                    section: "figures",
+                    id: format!("{}/{}/{}", litmus.name, o.label, m.name()),
+                    expected: "(see paper)",
+                    observed: if ok { "allowed".into() } else { "forbidden".into() },
+                    pass: true,
+                });
+            }
+            if !json {
+                println!();
+            }
+        }
+        if !json {
+            println!();
+        }
+    }
+
+    // ── Instrumentation taxonomy + measured instruction costs ─────
+    if !json {
+        println!("════ TM algorithms: instrumentation & measured instruction cost ════\n");
+        println!(
+            "  {:<18} {:<34} {:>8} {:>8} {:>8} {:>8}",
+            "algorithm", "class (§4)", "nt-rd", "nt-wr", "tx-rd", "commit"
+        );
+        let strong = StrongTm::new();
+        let strong_opt = StrongTm::optimized();
+        let algos: [(&dyn McAlgo, &str); 6] = [
+            (&GlobalLockTm, "Fig. 6 / Thm 3, 7"),
+            (&WriteTxnTm, "Thm 4"),
+            (&VersionedTm, "Thm 5"),
+            (&strong, "§6.1"),
+            (&strong_opt, "§6.1 optimized"),
+            (&LazyTl2Tm, "weak baseline"),
+        ];
+        for (algo, _ref) in algos {
+            let c = measure(algo);
+            println!(
+                "  {:<18} {:<34} {:>8} {:>8} {:>8} {:>8}",
+                algo.name(),
+                algo.instrumentation().to_string(),
+                c.nt_read.max_instrs,
+                c.nt_write.max_instrs,
+                c.txn_read.max_instrs,
+                c.commit.max_instrs,
+            );
+        }
+        println!("  (max memory instructions per operation, uncontended standard program)");
+        println!();
+    }
+
+    // ── Lemma 1 / Theorems 1–5, 7 on the simulator ────────────────
+    if !json {
+        println!("════ Lemma 1 & Theorems (simulator experiments) ════\n");
+    }
+    for e in all_fixed_experiments() {
+        let t0 = std::time::Instant::now();
+        let r = e.run(2_000, 8_000);
+        let dt = t0.elapsed();
+        if !json {
+            println!(
+                "  {:<22} {:<36} {:>6} ({:.0?})",
+                e.id,
+                e.paper_ref,
+                if r.passed { "PASS" } else { "FAIL" },
+                dt
+            );
+        }
+        rows.push(Row {
+            section: "theorems",
+            id: e.id.clone(),
+            expected: e.paper_ref,
+            observed: r.detail,
+            pass: r.passed,
+        });
+    }
+
+    let failed: Vec<&Row> = rows.iter().filter(|r| !r.pass).collect();
+    if json {
+        // Minimal hand-rolled JSON (fields are plain ASCII).
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        println!("[");
+        for (i, r) in rows.iter().enumerate() {
+            println!(
+                "  {{\"section\":\"{}\",\"id\":\"{}\",\"expected\":\"{}\",\"observed\":\"{}\",\"pass\":{}}}{}",
+                r.section,
+                esc(&r.id),
+                esc(r.expected),
+                esc(&r.observed),
+                r.pass,
+                if i + 1 == rows.len() { "" } else { "," }
+            );
+        }
+        println!("]");
+    } else {
+        println!();
+        if failed.is_empty() {
+            println!("All {} checks passed.", rows.len());
+        } else {
+            println!("{} FAILURES:", failed.len());
+            for f in failed {
+                println!("  {}: {}", f.id, f.observed);
+            }
+            std::process::exit(1);
+        }
+    }
+}

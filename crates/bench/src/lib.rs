@@ -1,0 +1,55 @@
+//! # jungle-bench — the benchmark and report harness
+//!
+//! The paper's "evaluation" consists of (a) the verdicts of its figures
+//! and theorems, which the `report` binary regenerates as one table,
+//! and (b) the practical claim of §6.1 — that parametrizing correctness
+//! by a weaker memory model lets a TM shed non-transactional
+//! instrumentation — which the Criterion benches quantify:
+//!
+//! | bench target | experiment (DESIGN.md) | measures |
+//! |---|---|---|
+//! | `nontxn_ops` | E1, E2, A1, A2 | per-operation cost of non-transactional reads/writes per STM |
+//! | `txn_throughput` | E3 | committed-transaction cost vs. size and mix per STM |
+//! | `mixed` | E4 | end-to-end workload cost vs. transactional fraction |
+//! | `checker` | E5, F1–F3 | parametrized-opacity checking cost vs. history size |
+//! | `mc` | F5, T3 | violation-search and exhaustive-sweep cost |
+//!
+//! Helpers shared by the benches live here.
+
+#![warn(missing_docs)]
+
+use jungle_stm::api::TmAlgo;
+use jungle_stm::{GlobalLockStm, StrongStm, Tl2Stm, VersionedStm, WriteTxnStm};
+
+/// Every STM under test, freshly constructed over `n_vars` variables,
+/// in presentation order.
+pub fn all_stms(n_vars: usize) -> Vec<Box<dyn TmAlgo + Send + Sync>> {
+    vec![
+        Box::new(GlobalLockStm::new(n_vars)),
+        Box::new(WriteTxnStm::new(n_vars)),
+        Box::new(VersionedStm::new(n_vars)),
+        Box::new(StrongStm::new(n_vars)),
+        Box::new(StrongStm::new_optimized(n_vars)),
+        Box::new(Tl2Stm::new(n_vars)),
+    ]
+}
+
+/// The STM display names, aligned with [`all_stms`].
+pub fn stm_names() -> Vec<&'static str> {
+    vec!["global-lock", "write-txn", "versioned", "strong", "strong-optimized", "tl2"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_align_with_instances() {
+        let stms = all_stms(4);
+        let names = stm_names();
+        assert_eq!(stms.len(), names.len());
+        for (tm, name) in stms.iter().zip(names) {
+            assert_eq!(tm.name(), name);
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! Histories, transactions, the real-time order `≺h`, and `visible(s)`
+//! (§2 *Preliminaries*).
+//!
+//! A [`History`] is a sequence of [`OpInstance`]s with unique operation
+//! identifiers. On construction it is checked for *well-formedness*
+//! (matching `start`/`commit`/`abort`, no nested transactions, dependency
+//! sets referring only to preceding operations of the same process) and
+//! its transactions are parsed once, so that queries such as
+//! [`History::is_transactional`] and [`History::precedes_rt`] (the
+//! paper's `≺h`) are cheap.
+
+use crate::ids::{OpId, ProcId, Var};
+use crate::op::{Command, Op};
+use std::collections::{HashMap, HashSet};
+
+/// An operation instance `(o, p, k)`: operation `o` issued by process `p`
+/// with history-unique identifier `k`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpInstance {
+    /// The operation.
+    pub op: Op,
+    /// The issuing process.
+    pub proc: ProcId,
+    /// The unique identifier of this instance.
+    pub id: OpId,
+}
+
+/// Completion status of a transaction in a history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnStatus {
+    /// Ends with a `commit` operation.
+    Committed,
+    /// Ends with an `abort` operation.
+    Aborted,
+    /// Still running: its last operation is the last operation of its
+    /// process in the history ("live" transaction).
+    Live,
+}
+
+impl TxnStatus {
+    /// A transaction is *completed* if it is committed or aborted.
+    pub fn is_completed(self) -> bool {
+        !matches!(self, TxnStatus::Live)
+    }
+}
+
+/// A parsed transaction: a maximal `start … (commit|abort)` subsequence of
+/// one process (or a trailing live transaction).
+#[derive(Clone, Debug)]
+pub struct Txn {
+    /// The process executing the transaction.
+    pub proc: ProcId,
+    /// Indices (into [`History::ops`]) of the transaction's operation
+    /// instances, in history order; the first is always the `start`.
+    pub op_indices: Vec<usize>,
+    /// Completion status.
+    pub status: TxnStatus,
+}
+
+impl Txn {
+    /// Index of the transaction's first operation instance in the history.
+    pub fn first(&self) -> usize {
+        self.op_indices[0]
+    }
+
+    /// Index of the transaction's last operation instance in the history.
+    pub fn last(&self) -> usize {
+        *self.op_indices.last().unwrap()
+    }
+}
+
+/// Errors detected when validating a history for well-formedness.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum HistoryError {
+    /// Two operation instances share an identifier.
+    DuplicateOpId(OpId),
+    /// A `start` was issued while the process already had a live
+    /// transaction (nested transactions are not allowed).
+    NestedStart { proc: ProcId, id: OpId },
+    /// A `commit` or `abort` without a matching `start`.
+    UnmatchedEnd { proc: ProcId, id: OpId },
+    /// A dependent command refers to an operation that does not precede
+    /// it in the history, is not by the same process, or does not exist.
+    BadDependency { id: OpId, dep: OpId },
+}
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryError::DuplicateOpId(id) => write!(f, "duplicate operation id {id}"),
+            HistoryError::NestedStart { proc, id } => {
+                write!(f, "nested start {id} by {proc}")
+            }
+            HistoryError::UnmatchedEnd { proc, id } => {
+                write!(f, "commit/abort {id} by {proc} without matching start")
+            }
+            HistoryError::BadDependency { id, dep } => {
+                write!(f, "operation {id} depends on {dep}, which does not precede it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// A well-formed history: a sequence of operation instances with parsed
+/// transaction structure.
+#[derive(Clone, Debug)]
+pub struct History {
+    ops: Vec<OpInstance>,
+    txns: Vec<Txn>,
+    /// For each operation index, the index of its transaction in `txns`
+    /// (or `None` for non-transactional operations).
+    txn_of: Vec<Option<usize>>,
+    /// Map from `OpId` to index in `ops`.
+    index_of: HashMap<OpId, usize>,
+}
+
+impl History {
+    /// Validate and construct a history from raw operation instances.
+    ///
+    /// Checks the paper's well-formedness conditions: unique identifiers,
+    /// every `commit`/`abort` matching a `start`, no nested transactions,
+    /// and dependency sets of `cdrd`/`ddrd`/`cdwr`/`ddwr` commands naming
+    /// only operations of the same process that precede them.
+    pub fn new(ops: Vec<OpInstance>) -> Result<Self, HistoryError> {
+        let mut index_of = HashMap::with_capacity(ops.len());
+        for (i, oi) in ops.iter().enumerate() {
+            if index_of.insert(oi.id, i).is_some() {
+                return Err(HistoryError::DuplicateOpId(oi.id));
+            }
+        }
+
+        // Parse transactions per process.
+        let mut txns: Vec<Txn> = Vec::new();
+        let mut txn_of: Vec<Option<usize>> = vec![None; ops.len()];
+        let mut open: HashMap<ProcId, usize> = HashMap::new(); // proc -> txn index
+        for (i, oi) in ops.iter().enumerate() {
+            match &oi.op {
+                Op::Start => {
+                    if open.contains_key(&oi.proc) {
+                        return Err(HistoryError::NestedStart { proc: oi.proc, id: oi.id });
+                    }
+                    let t = txns.len();
+                    txns.push(Txn {
+                        proc: oi.proc,
+                        op_indices: vec![i],
+                        status: TxnStatus::Live,
+                    });
+                    txn_of[i] = Some(t);
+                    open.insert(oi.proc, t);
+                }
+                Op::Commit | Op::Abort => {
+                    let Some(&t) = open.get(&oi.proc) else {
+                        return Err(HistoryError::UnmatchedEnd { proc: oi.proc, id: oi.id });
+                    };
+                    txns[t].op_indices.push(i);
+                    txns[t].status = if matches!(oi.op, Op::Commit) {
+                        TxnStatus::Committed
+                    } else {
+                        TxnStatus::Aborted
+                    };
+                    txn_of[i] = Some(t);
+                    open.remove(&oi.proc);
+                }
+                Op::Cmd(c) => {
+                    if let Some(&t) = open.get(&oi.proc) {
+                        txns[t].op_indices.push(i);
+                        txn_of[i] = Some(t);
+                    }
+                    // Dependency well-formedness: each dep must be an
+                    // earlier operation of the same process.
+                    if let Some((_, deps)) = c.deps() {
+                        for d in deps {
+                            match index_of.get(d) {
+                                Some(&j) if j < i && ops[j].proc == oi.proc => {}
+                                _ => {
+                                    return Err(HistoryError::BadDependency {
+                                        id: oi.id,
+                                        dep: *d,
+                                    })
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(History { ops, txns, txn_of, index_of })
+    }
+
+    /// The operation instances, in history order.
+    pub fn ops(&self) -> &[OpInstance] {
+        &self.ops
+    }
+
+    /// Number of operation instances.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The parsed transactions, in order of their `start` operations.
+    pub fn txns(&self) -> &[Txn] {
+        &self.txns
+    }
+
+    /// The transaction containing the operation at history index `i`, if
+    /// that operation is transactional.
+    pub fn txn_of(&self, i: usize) -> Option<usize> {
+        self.txn_of[i]
+    }
+
+    /// True iff the operation at history index `i` is part of a
+    /// transaction.
+    pub fn is_transactional(&self, i: usize) -> bool {
+        self.txn_of[i].is_some()
+    }
+
+    /// History index of the operation with identifier `id`.
+    pub fn index_of(&self, id: OpId) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// The set of processes appearing in the history, sorted.
+    pub fn procs(&self) -> Vec<ProcId> {
+        let mut set: Vec<ProcId> = self
+            .ops
+            .iter()
+            .map(|o| o.proc)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        set.sort();
+        set
+    }
+
+    /// The set of variables accessed in the history, sorted.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut set: Vec<Var> = self
+            .ops
+            .iter()
+            .filter_map(|o| o.op.command().map(Command::var))
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        set.sort();
+        set
+    }
+
+    /// The *generating* relation of the real-time partial order `≺h` on
+    /// history indices (§2): `i → j` iff
+    ///
+    /// 1. `i` and `j` belong to transactions `T` and `T'` where `T` is
+    ///    completed and the last operation of `T` precedes the first
+    ///    operation of `T'`, or
+    /// 2. `i` precedes `j` in the history, both are by the same process,
+    ///    and at least one of them is transactional.
+    ///
+    /// `≺h` itself is the transitive closure of this relation (it is a
+    /// partial order); see [`History::rt_closure`]. A sequence respects
+    /// `≺h` iff it respects the generating relation, so the checkers use
+    /// this cheaper form directly.
+    pub fn precedes_rt(&self, i: usize, j: usize) -> bool {
+        // Case 2: same-process program order, at least one transactional.
+        if i < j
+            && self.ops[i].proc == self.ops[j].proc
+            && (self.is_transactional(i) || self.is_transactional(j))
+        {
+            return true;
+        }
+        // Case 1: cross-transaction real-time order.
+        if let (Some(t1), Some(t2)) = (self.txn_of[i], self.txn_of[j]) {
+            if t1 != t2 {
+                let t1 = &self.txns[t1];
+                let t2 = &self.txns[t2];
+                if t1.status.is_completed() && t1.last() < t2.first() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The full real-time partial order `≺h` (transitive closure of
+    /// [`History::precedes_rt`]) as a boolean matrix indexed by history
+    /// position. Quadratic in space; intended for tests and diagnostics.
+    pub fn rt_closure(&self) -> Vec<Vec<bool>> {
+        let n = self.ops.len();
+        let mut m = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.precedes_rt(i, j) {
+                    m[i][j] = true;
+                }
+            }
+        }
+        // Floyd–Warshall transitive closure.
+        for k in 0..n {
+            for i in 0..n {
+                if m[i][k] {
+                    for j in 0..n {
+                        if m[k][j] {
+                            m[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// True iff the history is *sequential*: no transaction overlaps
+    /// another transaction or a non-transactional operation instance.
+    pub fn is_sequential(&self) -> bool {
+        self.txns.iter().all(|t| {
+            let (first, last) = (t.first(), t.last());
+            (first..=last).all(|i| self.txn_of[i] == self.txn_of[first])
+        })
+    }
+
+    /// True iff the history is *transactionally sequential* (§6.2, used
+    /// by SGLA): between the first and last operation of any transaction
+    /// only that transaction's operations and non-transactional
+    /// operations occur (transactions do not overlap each other, but
+    /// non-transactional operations may interleave).
+    pub fn is_transactionally_sequential(&self) -> bool {
+        self.txns.iter().all(|t| {
+            let (first, last) = (t.first(), t.last());
+            (first..=last)
+                .all(|i| self.txn_of[i].is_none() || self.txn_of[i] == self.txn_of[first])
+        })
+    }
+
+    /// The paper's `visible(s)`: the longest subsequence of `self` that
+    /// contains no operation instance of a non-committed transaction `T`,
+    /// *except* if `T` is not followed by any other transaction or
+    /// non-transactional operation instance (i.e. `T` is the trailing,
+    /// still-pending transaction).
+    pub fn visible(&self) -> History {
+        // Determine, for each transaction, whether it survives.
+        let mut keep_txn = vec![false; self.txns.len()];
+        for (ti, t) in self.txns.iter().enumerate() {
+            if t.status == TxnStatus::Committed {
+                keep_txn[ti] = true;
+            } else {
+                // Keep a non-committed T only if nothing follows it other
+                // than its own operations.
+                let last = t.last();
+                let followed = self.ops[last + 1..]
+                    .iter()
+                    .enumerate()
+                    .any(|(off, _)| self.txn_of[last + 1 + off] != Some(ti));
+                keep_txn[ti] = !followed;
+            }
+        }
+        let ops: Vec<OpInstance> = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| match self.txn_of[*i] {
+                Some(t) => keep_txn[t],
+                None => true,
+            })
+            .map(|(_, o)| o.clone())
+            .collect();
+        History::new(ops).expect("visible() preserves well-formedness")
+    }
+
+    /// The subsequence `s|x` of commands on variable `x` (boundary
+    /// operations are excluded, matching the paper's definition of `s|x`
+    /// as a sequence of *commands*).
+    pub fn project(&self, x: Var) -> Vec<Command> {
+        self.ops
+            .iter()
+            .filter_map(|o| o.op.command())
+            .filter(|c| c.var() == x)
+            .cloned()
+            .collect()
+    }
+
+    /// The prefix of the history ending with (and including) index `i`.
+    pub fn prefix(&self, i: usize) -> History {
+        History::new(self.ops[..=i].to_vec()).expect("prefix of well-formed is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::ids::{X, Y};
+
+    fn p(n: u32) -> ProcId {
+        ProcId(n)
+    }
+
+    /// Figure 3(a) of the paper: p1 writes `x` non-transactionally and
+    /// runs the transaction writing `y`; p2 reads `y` then `x`
+    /// non-transactionally (its read of `y` interleaves inside p1's
+    /// transaction region); p3 runs an empty transaction and reads `x`.
+    fn fig3a() -> History {
+        let mut b = HistoryBuilder::new();
+        b.write(p(1), X, 1); // id 1
+        b.start(p(1)); // id 2
+        b.read(p(2), Y, 1); // id 3
+        b.write(p(1), Y, 1); // id 4
+        b.commit(p(1)); // id 5
+        b.read(p(2), X, 7); // id 6 (value v arbitrary)
+        b.start(p(3)); // id 7
+        b.commit(p(3)); // id 8
+        b.read(p(3), X, 7); // id 9 (value v' arbitrary)
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parses_transactions() {
+        let h = fig3a();
+        assert_eq!(h.txns().len(), 2);
+        assert_eq!(h.txns()[0].proc, p(1));
+        assert_eq!(h.txns()[0].status, TxnStatus::Committed);
+        assert_eq!(h.txns()[1].proc, p(3));
+        // Non-transactional ops.
+        assert!(!h.is_transactional(0)); // (wr,x,1) by p1
+        assert!(h.is_transactional(1)); // start by p1
+        assert!(!h.is_transactional(2)); // (rd,y,1) by p2
+        assert!(!h.is_transactional(5)); // (rd,x,v) by p2
+    }
+
+    #[test]
+    fn realtime_order_matches_paper_example() {
+        // The paper: "≺h consists of elements (1,2), (5,7), and (1,9).
+        // On the other hand, (1,6) and (6,9) are not in ≺h."
+        // (≺h is a partial order, i.e. the transitive closure of the
+        // generating relation; the paper lists representative pairs.)
+        let h = fig3a();
+        let ix = |id: u32| h.index_of(OpId(id)).unwrap();
+        let m = h.rt_closure();
+        assert!(m[ix(1)][ix(2)]); // same process, start transactional
+        assert!(m[ix(5)][ix(7)]); // T(p1) completed before T(p3)
+        assert!(m[ix(1)][ix(9)]); // via 1 ≺ 2 ≺ 7 ≺ 9
+        assert!(!m[ix(1)][ix(6)]); // cross-process non-transactional
+        assert!(!m[ix(6)][ix(9)]); // cross-process non-transactional
+    }
+
+    #[test]
+    fn nested_start_rejected() {
+        let mut ops = Vec::new();
+        ops.push(OpInstance { op: Op::Start, proc: p(1), id: OpId(1) });
+        ops.push(OpInstance { op: Op::Start, proc: p(1), id: OpId(2) });
+        assert!(matches!(History::new(ops), Err(HistoryError::NestedStart { .. })));
+    }
+
+    #[test]
+    fn unmatched_commit_rejected() {
+        let ops = vec![OpInstance { op: Op::Commit, proc: p(1), id: OpId(1) }];
+        assert!(matches!(History::new(ops), Err(HistoryError::UnmatchedEnd { .. })));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let ops = vec![
+            OpInstance { op: Op::Start, proc: p(1), id: OpId(1) },
+            OpInstance { op: Op::Commit, proc: p(1), id: OpId(1) },
+        ];
+        assert!(matches!(History::new(ops), Err(HistoryError::DuplicateOpId(_))));
+    }
+
+    #[test]
+    fn bad_dependency_rejected() {
+        use crate::op::DepKind;
+        let ops = vec![OpInstance {
+            op: Op::Cmd(Command::DepRead {
+                var: X,
+                val: 0,
+                kind: DepKind::Data,
+                deps: vec![OpId(99)],
+            }),
+            proc: p(1),
+            id: OpId(1),
+        }];
+        assert!(matches!(History::new(ops), Err(HistoryError::BadDependency { .. })));
+    }
+
+    #[test]
+    fn sequential_detection() {
+        // Fig. 3(a) is not sequential: p2's read of y (id 3) interleaves
+        // inside p1's transaction region.
+        let h = fig3a();
+        assert!(!h.is_sequential());
+        assert!(h.is_transactionally_sequential());
+        // A properly sequentialized variant is sequential.
+        let mut b = HistoryBuilder::new();
+        b.write(p(1), X, 1);
+        b.start(p(2));
+        b.write(p(2), Y, 1);
+        b.commit(p(2));
+        b.read(p(1), X, 1);
+        let s = b.build().unwrap();
+        assert!(s.is_sequential());
+    }
+
+    #[test]
+    fn transactionally_sequential_allows_interleaved_nontxn() {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.write(p(1), X, 1);
+        b.read(p(2), Y, 0); // non-transactional op inside p1's txn region
+        b.commit(p(1));
+        let h = b.build().unwrap();
+        assert!(!h.is_sequential());
+        assert!(h.is_transactionally_sequential());
+    }
+
+    #[test]
+    fn overlapping_txns_not_transactionally_sequential() {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.start(p(2));
+        b.commit(p(1));
+        b.commit(p(2));
+        let h = b.build().unwrap();
+        assert!(!h.is_transactionally_sequential());
+    }
+
+    #[test]
+    fn visible_drops_aborted_followed() {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.write(p(1), X, 1);
+        b.abort(p(1));
+        b.read(p(2), X, 0);
+        let h = b.build().unwrap();
+        let v = h.visible();
+        assert_eq!(v.len(), 1); // only the non-transactional read remains
+        assert!(matches!(v.ops()[0].op, Op::Cmd(Command::Read { .. })));
+    }
+
+    #[test]
+    fn visible_keeps_trailing_live_txn() {
+        let mut b = HistoryBuilder::new();
+        b.read(p(2), X, 0);
+        b.start(p(1));
+        b.write(p(1), X, 1);
+        let h = b.build().unwrap();
+        let v = h.visible();
+        assert_eq!(v.len(), 3); // live trailing transaction is kept
+    }
+
+    #[test]
+    fn visible_keeps_committed() {
+        let h = fig3a();
+        let v = h.visible();
+        assert_eq!(v.len(), h.len()); // both txns committed/none trailing-dropped
+    }
+
+    #[test]
+    fn project_selects_var_commands() {
+        let h = fig3a();
+        let px = h.project(X);
+        assert_eq!(px.len(), 3); // wr x 1, rd x v (p1), rd x v (p3)
+        let py = h.project(Y);
+        assert_eq!(py.len(), 2);
+    }
+
+    #[test]
+    fn procs_and_vars() {
+        let h = fig3a();
+        assert_eq!(h.procs(), vec![p(1), p(2), p(3)]);
+        assert_eq!(h.vars(), vec![X, Y]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Identifiers for processes, shared objects, and operation instances.
+//!
+//! The paper ranges over a set `P` of processes, a set `Obj` of shared
+//! objects, and identifies operation *instances* by natural numbers that
+//! are unique within a history. All three are small newtype wrappers so
+//! that they cannot be confused with one another or with plain integers.
+
+use std::fmt;
+
+/// A value stored in a shared object.
+///
+/// The paper works with natural-number values; we use `u64`, which is also
+/// what the executable STMs in `jungle-stm` store in their atomic cells.
+pub type Val = u64;
+
+/// A process (thread) identifier — an element of the paper's set `P`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ProcId(pub u32);
+
+/// A shared object (variable) identifier — an element of the set `Obj`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+/// The unique identifier of an operation instance within a history.
+///
+/// The paper writes an operation instance as `(o, p, k)` where `k ∈ ℕ` is
+/// unique in the history; `OpId` is that `k`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render the first few variables with the paper's letters.
+        match self.0 {
+            0 => write!(f, "x"),
+            1 => write!(f, "y"),
+            2 => write!(f, "z"),
+            n => write!(f, "v{n}"),
+        }
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Conventional name for variable 0, used throughout tests and examples.
+pub const X: Var = Var(0);
+/// Conventional name for variable 1.
+pub const Y: Var = Var(1);
+/// Conventional name for variable 2.
+pub const Z: Var = Var(2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(3).to_string(), "p3");
+        assert_eq!(Var(0).to_string(), "x");
+        assert_eq!(Var(1).to_string(), "y");
+        assert_eq!(Var(2).to_string(), "z");
+        assert_eq!(Var(7).to_string(), "v7");
+        assert_eq!(OpId(12).to_string(), "#12");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(OpId(1) < OpId(2));
+        assert!(ProcId(0) < ProcId(1));
+        assert!(Var(5) > Var(4));
+    }
+}

@@ -1,0 +1,87 @@
+//! # jungle-core — the formal framework of *Transactions in the Jungle*
+//!
+//! This crate is an executable rendition of the formal machinery of
+//! Guerraoui, Henzinger, Kapalka and Singh, *"Transactions in the Jungle"*
+//! (SPAA 2010): shared-memory **histories** mixing transactional and
+//! non-transactional operations, **sequential specifications** of shared
+//! objects, **memory models** formalized as a transformation function `τ`
+//! plus a reordering function `R`, the classification of memory models by
+//! the reorderings they forbid (`Mrr`, `Mrw`, `Mwr`, `Mww`), and — the
+//! paper's central contribution — decision procedures for
+//! **parametrized opacity** (opacity parametrized by a memory model) and
+//! for **single global lock atomicity** (SGLA).
+//!
+//! The layering mirrors the paper:
+//!
+//! * [`ids`], [`op`], [`history`] — §2 *Preliminaries*: operations,
+//!   operation instances, histories, transactions, the real-time partial
+//!   order `≺h`, sequential histories, `visible(s)` and legality.
+//! * [`spec`] — §2 *Object semantics*: sequential specifications `[[x]]`.
+//! * [`model`] — §3.1/§3.2: memory models `M = (τ, R)` and the concrete
+//!   instances SC, TSO, PSO, RMO, Alpha, Junk-SC and the fully relaxed
+//!   idealized model.
+//! * [`classes`] — §3.2 *Classes of memory models*.
+//! * [`opacity`] — §3.3: the parametrized-opacity checker.
+//! * [`sgla`] — §6.2: the SGLA checker.
+//!
+//! All decision procedures are exact (backtracking explicit-state search)
+//! and are intended for the short histories that arise from litmus tests,
+//! model checking, and recorded STM executions. See the `jungle-mc` and
+//! `jungle-stm` crates for the systems that generate such histories.
+//!
+//! ## Quick example
+//!
+//! Figure 1 of the paper asks: a transaction writes `x := 1; y := 1`
+//! while another thread non-transactionally reads `y` then `x` — may it
+//! observe `y = 1` but `x = 0`? The answer depends on the memory model:
+//!
+//! ```
+//! use jungle_core::prelude::*;
+//!
+//! let mut b = HistoryBuilder::new();
+//! let (p1, p2) = (ProcId(0), ProcId(1));
+//! b.start(p1);
+//! b.write(p1, Var(0), 1); // x := 1
+//! b.write(p1, Var(1), 1); // y := 1
+//! b.commit(p1);
+//! b.read(p2, Var(1), 1);  // r1 := y  (reads 1)
+//! b.read(p2, Var(0), 0);  // r2 := x  (reads 0)
+//! let h = b.build().unwrap();
+//!
+//! // Forbidden under sequential consistency...
+//! assert!(!check_opacity(&h, &Sc).is_opaque());
+//! // ...but allowed under RMO, which may reorder independent reads.
+//! assert!(check_opacity(&h, &Rmo).is_opaque());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod classes;
+pub mod explain;
+pub mod history;
+pub mod ids;
+pub mod legal;
+pub mod model;
+pub mod op;
+pub mod opacity;
+pub mod pretty;
+pub mod sgla;
+pub mod spec;
+
+/// Convenient glob-import of the most frequently used items.
+pub mod prelude {
+    pub use crate::builder::HistoryBuilder;
+    pub use crate::classes::ClassSet;
+    pub use crate::history::{History, OpInstance, TxnStatus};
+    pub use crate::ids::{OpId, ProcId, Val, Var};
+    pub use crate::model::{
+        Alpha, JunkSc, MemoryModel, Pso, Relaxed, Rmo, Sc, Tso, TsoForwarding,
+    };
+    pub use crate::op::{Command, DepKind, Op};
+    pub use crate::opacity::{check_opacity, OpacityVerdict};
+    pub use crate::sgla::{check_sgla, SglaVerdict};
+    pub use crate::spec::{Spec, SpecRegistry};
+}
+
+pub use prelude::*;

@@ -1,0 +1,92 @@
+//! Paper-style rendering of histories.
+//!
+//! The paper draws histories as one column per process, read top to
+//! bottom (Figure 3). [`render_columns`] reproduces that layout for
+//! debugging and for the litmus-explorer example.
+
+use crate::history::History;
+use crate::ids::ProcId;
+
+/// Render a history as per-process columns, one operation per row, in
+/// history order (the layout of the paper's Figure 3).
+pub fn render_columns(h: &History) -> String {
+    let procs: Vec<ProcId> = h.procs();
+    if procs.is_empty() {
+        return String::from("(empty history)\n");
+    }
+    let col_of = |p: ProcId| procs.iter().position(|&q| q == p).unwrap();
+
+    // Compute cell text per op.
+    let cells: Vec<(usize, String)> = h
+        .ops()
+        .iter()
+        .map(|oi| (col_of(oi.proc), format!("({},{})", oi.op, oi.id)))
+        .collect();
+
+    let width = cells
+        .iter()
+        .map(|(_, s)| s.len())
+        .chain(procs.iter().map(|p| p.to_string().len()))
+        .max()
+        .unwrap_or(4)
+        + 2;
+
+    let mut out = String::new();
+    for p in &procs {
+        let s = p.to_string();
+        out.push_str(&format!("{s:^width$}"));
+    }
+    out.push('\n');
+    for (col, text) in &cells {
+        for c in 0..procs.len() {
+            if c == *col {
+                out.push_str(&format!("{text:^width$}"));
+            } else {
+                out.push_str(&" ".repeat(width));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a history as a single line, e.g. for test failure messages:
+/// `p1:start p1:(wr,x,1) p1:commit p2:(rd,x,1)`.
+pub fn render_line(h: &History) -> String {
+    h.ops()
+        .iter()
+        .map(|oi| format!("{}:{}", oi.proc, oi.op))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::ids::{ProcId, X};
+
+    #[test]
+    fn renders_columns_and_line() {
+        let mut b = HistoryBuilder::new();
+        b.start(ProcId(1));
+        b.write(ProcId(1), X, 1);
+        b.commit(ProcId(1));
+        b.read(ProcId(2), X, 1);
+        let h = b.build().unwrap();
+        let cols = render_columns(&h);
+        assert!(cols.contains("p1"));
+        assert!(cols.contains("p2"));
+        assert!(cols.contains("(wr,x,1)"));
+        assert_eq!(cols.lines().count(), 5); // header + 4 ops
+        let line = render_line(&h);
+        assert_eq!(line, "p1:start p1:(wr,x,1) p1:commit p2:(rd,x,1)");
+    }
+
+    #[test]
+    fn empty_history_renders() {
+        let h = HistoryBuilder::new().build().unwrap();
+        assert_eq!(render_columns(&h), "(empty history)\n");
+        assert_eq!(render_line(&h), "");
+    }
+}

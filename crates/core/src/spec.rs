@@ -1,0 +1,199 @@
+//! Sequential specifications of shared objects (§2 *Object semantics*).
+//!
+//! The semantics `[[x]]` of an object `x` is the set of command sequences
+//! a single process could generate on it. The paper's running example is
+//! the read/write register initialized to 0; the framework itself is
+//! defined for arbitrary objects ("richer than simple read-write
+//! variables"), which we exercise with a fetch-and-add counter.
+//!
+//! Specifications are given operationally: a state, an initial value, and
+//! a partial transition function [`Spec::apply`] that rejects illegal
+//! commands. Membership of a finite sequence in `[[x]]` is then just a
+//! replay ([`Spec::check_sequence`]).
+
+use crate::ids::{Val, Var};
+use crate::op::Command;
+use std::collections::HashMap;
+
+/// The sequential specification of one shared object.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Spec {
+    /// A read/write register with initial value 0 (the paper's `[[x]]`
+    /// for shared variables). Rejects [`Command::FetchAdd`].
+    #[default]
+    Register,
+    /// A register that additionally supports atomic fetch-and-add —
+    /// demonstrating that opacity and SGLA are checked against arbitrary
+    /// object semantics, not just reads and writes.
+    Counter,
+}
+
+/// Abstract state of an object while replaying a command sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpecState {
+    /// The object holds a definite value.
+    Val(Val),
+    /// The object's value is unconstrained: a `havoc` command was applied
+    /// and no write has overwritten it yet (Junk-SC, §3.2). Any read is
+    /// legal in this state.
+    Junk,
+}
+
+impl Spec {
+    /// The initial state (value 0 in the paper).
+    pub fn init(&self) -> SpecState {
+        SpecState::Val(0)
+    }
+
+    /// Apply one command to a state. Returns the successor state, or
+    /// `None` if the command is illegal in this state (e.g. a read
+    /// returning a value the object does not hold).
+    pub fn apply(&self, st: SpecState, cmd: &Command) -> Option<SpecState> {
+        match cmd {
+            Command::Read { val, .. } | Command::DepRead { val, .. } => match st {
+                SpecState::Val(v) if v == *val => Some(st),
+                SpecState::Val(_) => None,
+                SpecState::Junk => Some(st),
+            },
+            Command::Write { val, .. } | Command::DepWrite { val, .. } => {
+                Some(SpecState::Val(*val))
+            }
+            Command::Havoc { .. } => Some(SpecState::Junk),
+            Command::FetchAdd { add, ret, .. } => match (self, st) {
+                (Spec::Register, _) => None,
+                (Spec::Counter, SpecState::Val(v)) if v == *ret => {
+                    Some(SpecState::Val(v.wrapping_add(*add)))
+                }
+                (Spec::Counter, SpecState::Val(_)) => None,
+                // From junk, the returned value is unconstrained and the
+                // successor value remains unconstrained.
+                (Spec::Counter, SpecState::Junk) => Some(SpecState::Junk),
+            },
+        }
+    }
+
+    /// Membership test for `[[x]]`: replay a command sequence from the
+    /// initial state.
+    pub fn check_sequence<'a>(&self, cmds: impl IntoIterator<Item = &'a Command>) -> bool {
+        let mut st = self.init();
+        for c in cmds {
+            match self.apply(st, c) {
+                Some(next) => st = next,
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Assignment of sequential specifications to variables: a default spec
+/// with per-variable overrides.
+#[derive(Clone, Debug, Default)]
+pub struct SpecRegistry {
+    default: Spec,
+    overrides: HashMap<Var, Spec>,
+}
+
+impl SpecRegistry {
+    /// All variables are registers (the paper's default setting).
+    pub fn registers() -> Self {
+        SpecRegistry::default()
+    }
+
+    /// All variables use `spec` by default.
+    pub fn with_default(spec: Spec) -> Self {
+        SpecRegistry { default: spec, overrides: HashMap::new() }
+    }
+
+    /// Override the specification of one variable.
+    pub fn set(&mut self, var: Var, spec: Spec) -> &mut Self {
+        self.overrides.insert(var, spec);
+        self
+    }
+
+    /// The specification governing `var`.
+    pub fn spec_of(&self, var: Var) -> Spec {
+        self.overrides.get(&var).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{X, Y};
+
+    fn rd(val: Val) -> Command {
+        Command::Read { var: X, val }
+    }
+
+    fn wr(val: Val) -> Command {
+        Command::Write { var: X, val }
+    }
+
+    #[test]
+    fn register_reads_last_written() {
+        let s = Spec::Register;
+        assert!(s.check_sequence(&[rd(0), wr(5), rd(5), rd(5), wr(2), rd(2)]));
+        assert!(!s.check_sequence(&[wr(5), rd(4)]));
+        assert!(!s.check_sequence(&[rd(1)])); // initial value is 0
+    }
+
+    #[test]
+    fn register_rejects_fetch_add() {
+        let s = Spec::Register;
+        assert!(!s.check_sequence(&[Command::FetchAdd { var: X, add: 1, ret: 0 }]));
+    }
+
+    #[test]
+    fn counter_fetch_add() {
+        let s = Spec::Counter;
+        assert!(s.check_sequence(&[
+            Command::FetchAdd { var: X, add: 2, ret: 0 },
+            Command::FetchAdd { var: X, add: 3, ret: 2 },
+            rd(5),
+        ]));
+        assert!(!s.check_sequence(&[
+            Command::FetchAdd { var: X, add: 2, ret: 0 },
+            Command::FetchAdd { var: X, add: 3, ret: 0 },
+        ]));
+    }
+
+    #[test]
+    fn havoc_makes_any_read_legal() {
+        let s = Spec::Register;
+        assert!(s.check_sequence(&[Command::Havoc { var: X }, rd(123), rd(9)]));
+        // A write after havoc re-constrains the value.
+        assert!(!s.check_sequence(&[Command::Havoc { var: X }, wr(1), rd(2)]));
+    }
+
+    #[test]
+    fn junk_counter_fetch_add_unconstrained() {
+        let s = Spec::Counter;
+        assert!(s.check_sequence(&[
+            Command::Havoc { var: X },
+            Command::FetchAdd { var: X, add: 1, ret: 77 },
+            rd(1234),
+        ]));
+    }
+
+    #[test]
+    fn registry_overrides() {
+        let mut reg = SpecRegistry::registers();
+        reg.set(Y, Spec::Counter);
+        assert_eq!(reg.spec_of(X), Spec::Register);
+        assert_eq!(reg.spec_of(Y), Spec::Counter);
+        let all_counters = SpecRegistry::with_default(Spec::Counter);
+        assert_eq!(all_counters.spec_of(X), Spec::Counter);
+    }
+
+    #[test]
+    fn dependent_commands_behave_like_plain() {
+        use crate::ids::OpId;
+        use crate::op::DepKind;
+        let s = Spec::Register;
+        let dw = Command::DepWrite { var: X, val: 3, kind: DepKind::Data, deps: vec![OpId(1)] };
+        let dr = Command::DepRead { var: X, val: 3, kind: DepKind::Control, deps: vec![OpId(1)] };
+        assert!(s.check_sequence(&[dw.clone(), dr.clone()]));
+        assert!(!s.check_sequence(&[dr], ));
+    }
+}

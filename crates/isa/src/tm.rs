@@ -1,0 +1,103 @@
+//! Instrumentation taxonomy of TM implementations (§4, §5).
+//!
+//! The paper distinguishes TM implementations by how their
+//! *non-transactional* operations are implemented:
+//!
+//! * **uninstrumented** — `I_N(rd x) = {⟨load aₓ⟩}` and
+//!   `I_N(wr x v) = {⟨store aₓ, v⟩}` (plain memory accesses);
+//! * instrumented writes with **unbounded** sequences (Theorem 4: each
+//!   non-transactional write is a little transaction that spins on a
+//!   lock);
+//! * instrumented writes with **constant-time** instrumentation
+//!   (Theorem 5: a bounded number of instructions per write);
+//! * **fully instrumented** reads and writes (the strong-atomicity STM
+//!   of §6.1).
+
+use std::fmt;
+
+/// How a TM implementation instruments non-transactional operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instrumentation {
+    /// Plain loads and stores for non-transactional accesses.
+    Uninstrumented,
+    /// Reads are plain loads; writes execute a bounded extra instruction
+    /// sequence of length at most `bound` (Theorem 5's constant-time
+    /// write instrumentation).
+    ConstantTimeWrites {
+        /// Maximum number of instructions a non-transactional write may
+        /// execute.
+        bound: usize,
+    },
+    /// Reads are plain loads; writes may execute unboundedly many
+    /// instructions (e.g. lock acquisition loops — Theorem 4).
+    UnboundedWrites,
+    /// Both reads and writes are instrumented (strong-atomicity STMs).
+    Full,
+}
+
+impl Instrumentation {
+    /// Are non-transactional reads plain loads?
+    pub fn reads_uninstrumented(&self) -> bool {
+        !matches!(self, Instrumentation::Full)
+    }
+
+    /// Are non-transactional writes plain stores?
+    pub fn writes_uninstrumented(&self) -> bool {
+        matches!(self, Instrumentation::Uninstrumented)
+    }
+
+    /// Do non-transactional writes complete in a bounded number of
+    /// instructions?
+    pub fn writes_constant_time(&self) -> bool {
+        matches!(
+            self,
+            Instrumentation::Uninstrumented | Instrumentation::ConstantTimeWrites { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instrumentation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instrumentation::Uninstrumented => write!(f, "uninstrumented"),
+            Instrumentation::ConstantTimeWrites { bound } => {
+                write!(f, "constant-time writes (≤{bound} instrs)")
+            }
+            Instrumentation::UnboundedWrites => write!(f, "unbounded writes"),
+            Instrumentation::Full => write!(f, "fully instrumented"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_predicates() {
+        let u = Instrumentation::Uninstrumented;
+        assert!(u.reads_uninstrumented() && u.writes_uninstrumented() && u.writes_constant_time());
+
+        let c = Instrumentation::ConstantTimeWrites { bound: 3 };
+        assert!(c.reads_uninstrumented());
+        assert!(!c.writes_uninstrumented());
+        assert!(c.writes_constant_time());
+
+        let w = Instrumentation::UnboundedWrites;
+        assert!(w.reads_uninstrumented());
+        assert!(!w.writes_constant_time());
+
+        let f = Instrumentation::Full;
+        assert!(!f.reads_uninstrumented());
+        assert!(!f.writes_uninstrumented());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Instrumentation::Uninstrumented.to_string(), "uninstrumented");
+        assert_eq!(
+            Instrumentation::ConstantTimeWrites { bound: 2 }.to_string(),
+            "constant-time writes (≤2 instrs)"
+        );
+    }
+}

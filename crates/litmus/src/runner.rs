@@ -1,0 +1,225 @@
+//! Running `jungle-mc` programs on the *real* STMs with OS threads.
+//!
+//! [`run_once`] executes a [`Program`] once and returns each thread's
+//! read results; [`sample_outcomes`] repeats it to approximate the set
+//! of reachable outcomes (each iteration on a fresh STM instance);
+//! [`run_recorded`] additionally records the execution as a trace for
+//! the `jungle-core` checkers.
+
+use jungle_core::ids::ProcId;
+use jungle_isa::trace::Trace;
+use jungle_mc::program::{Program, Stmt, TxOp};
+use jungle_stm::api::{Ctx, TmAlgo};
+use jungle_stm::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Barrier};
+
+/// One thread's observable result: the values of its reads (inside
+/// committed transactions and non-transactional), in program order.
+pub type ThreadReads = Vec<u64>;
+
+/// Execute one thread's program against the STM. Committing
+/// transactions retry on abort; aborting transactions run their ops
+/// once and abort.
+fn run_thread(tm: &dyn TmAlgo, cx: &mut Ctx, prog: &[Stmt]) -> ThreadReads {
+    let mut reads = Vec::new();
+    for stmt in prog {
+        match stmt {
+            Stmt::NtRead(v) => reads.push(tm.nt_read(cx, v.0 as usize)),
+            Stmt::NtWrite(v, val) => tm.nt_write(cx, v.0 as usize, *val),
+            Stmt::TxnGuard { guard, expect, ops } => {
+                // Retry loop: read the guard; run the body only when it
+                // matches; commit either way.
+                loop {
+                    tm.txn_start(cx);
+                    let mut attempt_reads = Vec::new();
+                    let mut aborted = false;
+                    match tm.txn_read(cx, guard.0 as usize) {
+                        Err(_) => aborted = true,
+                        Ok(g) => {
+                            attempt_reads.push(g);
+                            if g == *expect {
+                                for op in ops {
+                                    let res = match op {
+                                        TxOp::Read(v) => match tm.txn_read(cx, v.0 as usize) {
+                                            Ok(val) => {
+                                                attempt_reads.push(val);
+                                                Ok(())
+                                            }
+                                            Err(e) => Err(e),
+                                        },
+                                        TxOp::Write(v, val) => {
+                                            tm.txn_write(cx, v.0 as usize, *val)
+                                        }
+                                    };
+                                    if res.is_err() {
+                                        aborted = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if aborted {
+                        tm.txn_abort(cx);
+                        continue;
+                    }
+                    if tm.txn_commit(cx).is_ok() {
+                        reads.extend(attempt_reads);
+                        break;
+                    }
+                }
+            }
+            Stmt::Txn { ops, abort } => {
+                if *abort {
+                    tm.txn_start(cx);
+                    let mut ok = true;
+                    for op in ops {
+                        let res = match op {
+                            TxOp::Read(v) => tm.txn_read(cx, v.0 as usize).map(|_| ()),
+                            TxOp::Write(v, val) => tm.txn_write(cx, v.0 as usize, *val),
+                        };
+                        if res.is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    let _ = ok;
+                    tm.txn_abort(cx);
+                } else {
+                    // Retry loop; only the successful attempt's reads
+                    // count.
+                    loop {
+                        tm.txn_start(cx);
+                        let mut attempt_reads = Vec::new();
+                        let mut aborted = false;
+                        for op in ops {
+                            match op {
+                                TxOp::Read(v) => match tm.txn_read(cx, v.0 as usize) {
+                                    Ok(val) => attempt_reads.push(val),
+                                    Err(_) => {
+                                        aborted = true;
+                                        break;
+                                    }
+                                },
+                                TxOp::Write(v, val) => {
+                                    if tm.txn_write(cx, v.0 as usize, *val).is_err() {
+                                        aborted = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if aborted {
+                            tm.txn_abort(cx);
+                            continue;
+                        }
+                        if tm.txn_commit(cx).is_ok() {
+                            reads.extend(attempt_reads);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    reads
+}
+
+/// Run the program once on `tm`, one OS thread per program thread,
+/// released simultaneously by a barrier.
+pub fn run_once<A: TmAlgo + Send + Sync + 'static>(
+    program: &Program,
+    tm: &Arc<A>,
+    rec: Option<Arc<Recorder>>,
+) -> Vec<ThreadReads> {
+    let n = program.n_threads();
+    let barrier = Arc::new(Barrier::new(n));
+    let mut joins = Vec::with_capacity(n);
+    for (i, t) in program.0.iter().enumerate() {
+        let tm = tm.clone();
+        let stmts = t.0.clone();
+        let barrier = barrier.clone();
+        let rec = rec.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut cx = Ctx::new(ProcId(i as u32), rec);
+            barrier.wait();
+            run_thread(tm.as_ref(), &mut cx, &stmts)
+        }));
+    }
+    joins.into_iter().map(|j| j.join().expect("program thread panicked")).collect()
+}
+
+/// Run the program `iters` times (fresh STM each time) and count the
+/// distinct outcomes.
+pub fn sample_outcomes<A: TmAlgo + Send + Sync + 'static>(
+    program: &Program,
+    mk_tm: impl Fn() -> A,
+    iters: usize,
+) -> BTreeMap<Vec<ThreadReads>, usize> {
+    let mut counts = BTreeMap::new();
+    for _ in 0..iters {
+        let tm = Arc::new(mk_tm());
+        let out = run_once(program, &tm, None);
+        *counts.entry(out).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Run the program once with history recording; returns the outcome and
+/// the recorded trace.
+pub fn run_recorded<A: TmAlgo + Send + Sync + 'static>(
+    program: &Program,
+    mk_tm: impl Fn() -> A,
+) -> (Vec<ThreadReads>, Trace) {
+    let tm = Arc::new(mk_tm());
+    let rec = Arc::new(Recorder::new());
+    let out = run_once(program, &tm, Some(rec.clone()));
+    let trace = Arc::try_unwrap(rec)
+        .expect("all threads joined")
+        .into_trace()
+        .expect("recorded trace is well-formed");
+    (out, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::fig1_program;
+    use jungle_stm::{GlobalLockStm, StrongStm};
+
+    #[test]
+    fn fig1_on_strong_stm_never_shows_anomaly() {
+        // The strong-atomicity STM forbids r1=1 ∧ r2=0 (it is opaque
+        // parametrized by SC).
+        let program = fig1_program();
+        let outcomes = sample_outcomes(&program, || StrongStm::new(2), 300);
+        for (out, _) in &outcomes {
+            let reads = &out[1]; // thread 2's [r1 (y), r2 (x)]
+            assert!(
+                !(reads[0] == 1 && reads[1] == 0),
+                "strong STM exhibited the Figure 1 anomaly"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_outcomes_are_subset_of_domain() {
+        let program = fig1_program();
+        let outcomes = sample_outcomes(&program, || GlobalLockStm::new(2), 100);
+        for (out, _) in &outcomes {
+            for v in &out[1] {
+                assert!(*v <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_run_produces_complete_trace() {
+        let program = fig1_program();
+        let (_, trace) = run_recorded(&program, || GlobalLockStm::new(2));
+        // 4 ops in the txn thread (start, 2 writes, commit) + 2 reads.
+        assert_eq!(trace.ops().len(), 6);
+        assert!(trace.ops().iter().all(|o| o.complete));
+    }
+}

@@ -1,0 +1,213 @@
+//! The TM algorithms of §5, as interpreters over simulated hardware.
+//!
+//! All five algorithms share one skeleton — the global-lock TM of
+//! Figure 6 — and differ only in how commits publish writes and how
+//! non-transactional writes are implemented, so they are expressed as
+//! [`AlgoSpec`] configurations of a single interpreter
+//! ([`interp::TmProcess`]):
+//!
+//! | algorithm | commit update | non-txn write | word layout |
+//! |---|---|---|---|
+//! | [`GlobalLockTm`] (Fig. 6, Thm 3/7) | `cas` | plain store | raw |
+//! | [`WriteTxnTm`] (Thm 4) | `cas` | lock-acquire + store (a one-write transaction) | raw |
+//! | [`VersionedTm`] (Thm 5) | `cas` | single store of `(value,pid,version)` | packed |
+//! | [`NaiveStoreTm`] (violates Thm 2's necessity) | plain `store` | plain store | raw |
+//! | [`SkipWriteTm`] (violates Lemma 1) | *none* | plain store | raw |
+//!
+//! Fidelity notes versus the paper's Figure 6 pseudocode: the published
+//! pseudocode (a) acquires the lock with `cas g, lg, p` where `lg` is a
+//! stale read — taken literally this would steal a held lock, so we spin
+//! on `cas g, 0, p` with a read back-off, and (b) returns the *readset*
+//! value for a read of a variable the transaction has already written —
+//! we return the pending write (read-own-writes), which is what opacity
+//! requires. Both are noted in DESIGN.md.
+
+mod interp;
+mod strong;
+mod tl2;
+
+use crate::program::ThreadProg;
+use interp::TmProcess;
+use jungle_core::ids::ProcId;
+use jungle_isa::tm::Instrumentation;
+use jungle_memsim::Process;
+
+pub use strong::StrongTm;
+pub use tl2::LazyTl2Tm;
+
+/// How a commit publishes each write-set entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommitUpdate {
+    /// `⟨cas aₓ, old, new⟩` keyed on the word read earlier (Figure 6).
+    Cas,
+    /// Plain `⟨store aₓ, new⟩` — deliberately wrong (Theorem 2 shows
+    /// CAS is necessary for read-write variables).
+    Store,
+    /// Publish nothing — deliberately wrong (Lemma 1 shows an update
+    /// instruction is necessary).
+    Skip,
+}
+
+/// How a non-transactional write is implemented.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NtWriteImpl {
+    /// Uninstrumented: one plain store.
+    Plain,
+    /// Theorem 4: acquire the global lock, store, release — a
+    /// single-operation transaction (unbounded: the acquisition spins).
+    Locked,
+    /// Theorem 5: one store of a `(value, pid, version)` packed word;
+    /// the process-local version counter costs no instructions.
+    VersionedPack,
+}
+
+/// Static description of a TM algorithm variant.
+#[derive(Clone, Copy, Debug)]
+pub struct AlgoSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Commit publication strategy.
+    pub commit: CommitUpdate,
+    /// Non-transactional write strategy.
+    pub nt_write: NtWriteImpl,
+    /// Whether data words use the packed `(value,pid,version)` layout.
+    pub packed: bool,
+}
+
+/// A TM algorithm: compiles thread programs into reactive processes.
+pub trait TmAlgo: Sync {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// The instrumentation class of the algorithm's non-transactional
+    /// operations (§4).
+    fn instrumentation(&self) -> Instrumentation;
+
+    /// Compile one thread of a program into a process for CPU `pid`.
+    fn make_process(&self, pid: ProcId, prog: ThreadProg) -> Box<dyn Process>;
+}
+
+macro_rules! algo {
+    ($(#[$doc:meta])* $name:ident, $spec:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $name;
+
+        impl $name {
+            /// The algorithm's static description.
+            pub fn spec(&self) -> AlgoSpec {
+                $spec
+            }
+        }
+
+        impl TmAlgo for $name {
+            fn name(&self) -> &'static str {
+                self.spec().name
+            }
+
+            fn instrumentation(&self) -> Instrumentation {
+                match self.spec().nt_write {
+                    NtWriteImpl::Plain => Instrumentation::Uninstrumented,
+                    NtWriteImpl::Locked => Instrumentation::UnboundedWrites,
+                    NtWriteImpl::VersionedPack => {
+                        Instrumentation::ConstantTimeWrites { bound: 1 }
+                    }
+                }
+            }
+
+            fn make_process(&self, pid: ProcId, prog: ThreadProg) -> Box<dyn Process> {
+                Box::new(TmProcess::new(self.spec(), pid, prog))
+            }
+        }
+    };
+}
+
+algo!(
+    /// The uninstrumented global-lock TM of Figure 6: parametrized
+    /// opacity for fully relaxed models (Theorem 3) and SGLA for every
+    /// model (Theorem 7).
+    GlobalLockTm,
+    AlgoSpec {
+        name: "global-lock",
+        commit: CommitUpdate::Cas,
+        nt_write: NtWriteImpl::Plain,
+        packed: false,
+    }
+);
+
+algo!(
+    /// Theorem 4's TM: non-transactional writes are one-write
+    /// transactions (lock acquire / store / release); reads stay plain
+    /// loads. Parametrized opacity for `M ∉ Mrr`.
+    WriteTxnTm,
+    AlgoSpec {
+        name: "write-txn",
+        commit: CommitUpdate::Cas,
+        nt_write: NtWriteImpl::Locked,
+        packed: false,
+    }
+);
+
+algo!(
+    /// Theorem 5's TM: constant-time write instrumentation. Every data
+    /// word carries `(value, pid, version)`; a non-transactional write
+    /// is a single store of a fresh packed word, and commit-time CAS
+    /// detects intervening writes by word inequality. Parametrized
+    /// opacity for `M ∉ Mrr ∪ Mwr` (e.g. Alpha).
+    VersionedTm,
+    AlgoSpec {
+        name: "versioned",
+        commit: CommitUpdate::Cas,
+        nt_write: NtWriteImpl::VersionedPack,
+        packed: true,
+    }
+);
+
+algo!(
+    /// Deliberately incorrect: commits publish with plain stores.
+    /// Theorem 2 proves a CAS is necessary for variables both read and
+    /// written; the model checker finds the violating trace.
+    NaiveStoreTm,
+    AlgoSpec {
+        name: "naive-store",
+        commit: CommitUpdate::Store,
+        nt_write: NtWriteImpl::Plain,
+        packed: false,
+    }
+);
+
+algo!(
+    /// Deliberately incorrect: commits never publish writes at all.
+    /// Lemma 1 proves an update instruction is necessary.
+    SkipWriteTm,
+    AlgoSpec {
+        name: "skip-write",
+        commit: CommitUpdate::Skip,
+        nt_write: NtWriteImpl::Plain,
+        packed: false,
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumentation_classes() {
+        assert_eq!(GlobalLockTm.instrumentation(), Instrumentation::Uninstrumented);
+        assert_eq!(WriteTxnTm.instrumentation(), Instrumentation::UnboundedWrites);
+        assert_eq!(
+            VersionedTm.instrumentation(),
+            Instrumentation::ConstantTimeWrites { bound: 1 }
+        );
+        assert!(GlobalLockTm.instrumentation().writes_uninstrumented());
+        assert!(VersionedTm.instrumentation().reads_uninstrumented());
+        assert!(!WriteTxnTm.instrumentation().writes_constant_time());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(GlobalLockTm.name(), "global-lock");
+        assert_eq!(SkipWriteTm.name(), "skip-write");
+    }
+}

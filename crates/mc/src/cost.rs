@@ -1,0 +1,105 @@
+//! Static instrumentation-cost measurement (§4/§5, quantified).
+//!
+//! Runs a standard mixed workload program through each TM algorithm on
+//! the simulator and reports the *instruction* cost of every operation
+//! class from the recorded trace — the deterministic counterpart of the
+//! wall-clock benches in `jungle-bench`. The theorems pin several cells
+//! of this table exactly:
+//!
+//! * uninstrumented non-transactional reads and writes are **1**
+//!   instruction (global-lock, versioned reads, lazy-TL2);
+//! * Theorem 5's write instrumentation is **exactly 1** store;
+//! * Theorem 4's write instrumentation is ≥ 3 (CAS + store + unlock)
+//!   and unbounded under contention;
+//! * the strong TM's non-transactional accesses cost ≥ 2 (record check
+//!   + data access), its writes ≥ 4 (acquire, store, release).
+
+use crate::algos::TmAlgo;
+use crate::program::{Program, Stmt, ThreadProg, TxOp};
+use jungle_core::ids::{ProcId, Var};
+use jungle_isa::trace::CostStats;
+use jungle_memsim::{HwModel, Machine, RandomScheduler};
+
+/// A standard single-threaded workload touching every operation class.
+pub fn standard_program() -> ThreadProg {
+    let x = Var(0);
+    let y = Var(1);
+    ThreadProg(vec![
+        Stmt::NtWrite(x, 1),
+        Stmt::NtRead(x),
+        Stmt::txn(vec![TxOp::Read(x), TxOp::Write(y, 2), TxOp::Read(y)]),
+        Stmt::NtRead(y),
+        Stmt::NtWrite(y, 3),
+        Stmt::aborting_txn(vec![TxOp::Write(x, 9)]),
+        Stmt::NtRead(x),
+    ])
+}
+
+/// Execute the standard program single-threaded (no contention: the
+/// measured costs are the algorithms' *base* instrumentation) and
+/// return the per-class instruction costs.
+pub fn measure(algo: &dyn TmAlgo) -> CostStats {
+    let program = Program(vec![standard_program()]);
+    let m = Machine::new(
+        HwModel::Sc,
+        vec![algo.make_process(ProcId(0), program.0[0].clone())],
+    );
+    let mut sched = RandomScheduler::new(7);
+    let r = m.run(&mut sched, 100_000);
+    assert!(r.completed, "{}: standard program did not complete", algo.name());
+    r.trace.cost_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::{GlobalLockTm, LazyTl2Tm, StrongTm, VersionedTm, WriteTxnTm};
+
+    #[test]
+    fn uninstrumented_ops_cost_exactly_one() {
+        for algo in [&GlobalLockTm as &dyn TmAlgo, &LazyTl2Tm] {
+            let c = measure(algo);
+            assert_eq!(c.nt_read.max_instrs, 1, "{} read", algo.name());
+            assert_eq!(c.nt_write.max_instrs, 1, "{} write", algo.name());
+        }
+    }
+
+    #[test]
+    fn theorem5_write_is_exactly_one_store() {
+        let c = measure(&VersionedTm);
+        assert_eq!(c.nt_read.max_instrs, 1);
+        assert_eq!(c.nt_write.max_instrs, 1); // the theorem's headline
+        assert!(c.nt_write.count >= 2);
+    }
+
+    #[test]
+    fn theorem4_write_is_a_lock_round_trip() {
+        let c = measure(&WriteTxnTm);
+        assert_eq!(c.nt_read.max_instrs, 1); // reads stay plain
+        assert!(
+            c.nt_write.max_instrs >= 3,
+            "lock write should cost ≥3 instructions, got {}",
+            c.nt_write.max_instrs
+        );
+    }
+
+    #[test]
+    fn strong_instruments_both_sides() {
+        let c = measure(&StrongTm::new());
+        assert!(c.nt_read.max_instrs >= 2, "record check + load");
+        assert!(c.nt_write.max_instrs >= 4, "acquire + store + release");
+        // The optimized variant de-instruments exactly the reads.
+        let o = measure(&StrongTm::optimized());
+        assert_eq!(o.nt_read.max_instrs, 1);
+        assert!(o.nt_write.max_instrs >= 4);
+    }
+
+    #[test]
+    fn transactional_costs_observed() {
+        let c = measure(&GlobalLockTm);
+        // Fig. 6: start = lock CAS; commit = per-write CAS + unlock.
+        assert!(c.start.max_instrs >= 1);
+        assert!(c.commit.max_instrs >= 2);
+        assert!(c.txn_read.count >= 2 && c.txn_write.count >= 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # jungle-mc — model checking TM algorithms on simulated hardware
+//!
+//! This crate closes the loop between the paper's formal results (§5)
+//! and executable code: it implements the TM algorithms the paper
+//! constructs — as *interpreters* compiled to reactive
+//! [`Process`](jungle_memsim::Process)es on the `jungle-memsim`
+//! multiprocessor — runs them under exhaustive or randomized schedules,
+//! extracts the recorded traces, and decides with the `jungle-core`
+//! checkers whether **some corresponding history** satisfies
+//! parametrized opacity (or SGLA) — exactly the paper's definition of a
+//! TM implementation guaranteeing the property.
+//!
+//! The bundled algorithms:
+//!
+//! * [`algos::GlobalLockTm`] — Figure 6: the uninstrumented global-lock
+//!   TM (Theorem 3: parametrized opacity for fully relaxed models;
+//!   Theorem 7: SGLA for *every* model).
+//! * [`algos::WriteTxnTm`] — Theorem 4: non-transactional writes become
+//!   single-operation transactions; reads stay uninstrumented.
+//! * [`algos::VersionedTm`] — Theorem 5: constant-time write
+//!   instrumentation via per-process version numbers packed into the
+//!   data word; reads stay plain loads.
+//! * [`algos::NaiveStoreTm`] — a deliberately *wrong* uninstrumented TM
+//!   that updates with plain stores, violating the necessity argument of
+//!   Theorem 2.
+//! * [`algos::SkipWriteTm`] — a deliberately wrong TM that never
+//!   publishes transactional writes, violating Lemma 1.
+//!
+//! The [`theorems`] module packages each of the paper's results as a
+//! checkable experiment; `tests/theorems.rs` at the workspace root runs
+//! them all.
+
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod cost;
+pub mod layout;
+pub mod program;
+pub mod theorems;
+pub mod verify;
+
+pub use algos::{GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm};
+pub use program::{Program, Stmt, ThreadProg, TxOp};
+pub use verify::{check_all_traces, find_violation, trace_satisfies, CheckKind, Verdict};

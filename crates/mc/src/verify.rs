@@ -1,0 +1,221 @@
+//! Verification driver: programs × algorithms × schedules → verdicts.
+//!
+//! The paper defines: a TM implementation `I` *guarantees opacity
+//! parametrized by `M`* iff for every trace `r ∈ L(I)` **there exists**
+//! a corresponding history that ensures opacity parametrized by `M`
+//! (and analogously for SGLA). [`trace_satisfies`] decides the inner
+//! existential (trying the cheap canonical correspondence first);
+//! [`check_all_traces`] discharges the outer universal by exhaustive
+//! schedule exploration (small programs), and [`check_random`] /
+//! [`find_violation`] sample it with seeded-random schedules.
+
+use crate::algos::TmAlgo;
+use crate::program::Program;
+use jungle_core::model::MemoryModel;
+use jungle_core::opacity::check_opacity;
+use jungle_core::sgla::check_sgla;
+use jungle_core::ids::ProcId;
+use jungle_isa::trace::Trace;
+use jungle_memsim::{explore, BurstyScheduler, HwModel, Machine, RandomScheduler, Scheduler};
+
+/// Which correctness property to check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// Parametrized opacity (§3.3).
+    Opacity,
+    /// Single global lock atomicity (§6.2).
+    Sgla,
+}
+
+/// Outcome of a multi-trace verification.
+#[derive(Debug)]
+pub struct Verdict {
+    /// True if every checked trace had a satisfying corresponding
+    /// history.
+    pub ok: bool,
+    /// A violating trace, if one was found.
+    pub violation: Option<Trace>,
+    /// Number of runs examined.
+    pub runs: usize,
+    /// Runs that hit the step bound before completing (skipped unless
+    /// `check_incomplete` was requested).
+    pub truncated: usize,
+}
+
+/// Does some history corresponding to `trace` satisfy the property
+/// under `model`?
+pub fn trace_satisfies(trace: &Trace, model: &dyn MemoryModel, kind: CheckKind) -> bool {
+    let pass = |h: &jungle_core::history::History| match kind {
+        CheckKind::Opacity => check_opacity(h, model).is_opaque(),
+        CheckKind::Sgla => check_sgla(h, model).is_sgla(),
+    };
+    // Fast path: the canonical linearize-at-response history.
+    if let Ok(h) = trace.canonical_history() {
+        if pass(&h) {
+            return true;
+        }
+    }
+    trace.exists_corresponding(|h| pass(h)).is_some()
+}
+
+fn build_machine(program: &Program, algo: &dyn TmAlgo, hw: HwModel) -> Machine {
+    let procs = program
+        .0
+        .iter()
+        .enumerate()
+        .map(|(i, t)| algo.make_process(ProcId(i as u32), t.clone()))
+        .collect();
+    Machine::new(hw, procs)
+}
+
+/// Exhaustively explore every schedule of `program` under `algo` and
+/// `hw`, checking each completed trace. Use only for litmus-sized
+/// programs (the schedule count is exponential).
+pub fn check_all_traces(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    hw: HwModel,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    max_steps: usize,
+) -> Verdict {
+    let mut verdict = Verdict { ok: true, violation: None, runs: 0, truncated: 0 };
+    let out = explore(
+        || build_machine(program, algo, hw),
+        max_steps,
+        |r| {
+            if !r.completed {
+                return false; // counted by explore; skip checking prefixes
+            }
+            if !trace_satisfies(&r.trace, model, kind) {
+                verdict.ok = false;
+                verdict.violation = Some(r.trace.clone());
+                return true;
+            }
+            false
+        },
+    );
+    verdict.runs = out.runs;
+    verdict.truncated = out.truncated;
+    verdict
+}
+
+/// Sample `seeds` random schedules of `program`, checking each completed
+/// trace.
+pub fn check_random(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    hw: HwModel,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    seeds: std::ops::Range<u64>,
+    max_steps: usize,
+) -> Verdict {
+    let mut verdict = Verdict { ok: true, violation: None, runs: 0, truncated: 0 };
+    for seed in seeds {
+        // Alternate uniform and bursty schedules: uniform explores
+        // diffuse interleavings, bursts hit the tight windows of the
+        // Figure 5 constructions.
+        let mut sched: Box<dyn Scheduler> = if seed % 2 == 0 {
+            Box::new(RandomScheduler::new(seed))
+        } else {
+            Box::new(BurstyScheduler::new(seed))
+        };
+        let r = build_machine(program, algo, hw).run(sched.as_mut(), max_steps);
+        verdict.runs += 1;
+        if !r.completed {
+            verdict.truncated += 1;
+            continue;
+        }
+        if !trace_satisfies(&r.trace, model, kind) {
+            verdict.ok = false;
+            verdict.violation = Some(r.trace);
+            return verdict;
+        }
+    }
+    verdict
+}
+
+/// Search random schedules for a trace with **no** satisfying
+/// corresponding history (a violation witness). Returns the first one
+/// found.
+pub fn find_violation(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    hw: HwModel,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    seeds: std::ops::Range<u64>,
+    max_steps: usize,
+) -> Option<Trace> {
+    check_random(program, algo, hw, model, kind, seeds, max_steps).violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::{GlobalLockTm, SkipWriteTm};
+    use crate::program::{Stmt, ThreadProg, TxOp};
+    use jungle_core::ids::X;
+    use jungle_core::model::{Relaxed, Sc};
+
+    #[test]
+    fn single_thread_global_lock_always_opaque() {
+        let p = Program(vec![ThreadProg(vec![
+            Stmt::txn(vec![TxOp::Write(X, 1), TxOp::Read(X)]),
+            Stmt::NtRead(X),
+        ])]);
+        let v = check_all_traces(&p, &GlobalLockTm, HwModel::Sc, &Sc, CheckKind::Opacity, 1_000);
+        assert!(v.ok, "violation: {:?}", v.violation);
+        assert_eq!(v.runs, 1); // single thread → single schedule
+    }
+
+    #[test]
+    fn skip_write_violates_even_single_threaded() {
+        // Lemma 1's scenario: a committed transactional write followed
+        // by an uninstrumented read of the same variable.
+        let p = Program(vec![ThreadProg(vec![
+            Stmt::txn(vec![TxOp::Write(X, 5)]),
+            Stmt::NtRead(X),
+        ])]);
+        let v = check_all_traces(
+            &p,
+            &SkipWriteTm,
+            HwModel::Sc,
+            &Relaxed,
+            CheckKind::Opacity,
+            1_000,
+        );
+        assert!(!v.ok);
+        assert!(v.violation.is_some());
+    }
+
+    #[test]
+    fn random_sampling_agrees_on_simple_case() {
+        let p = Program(vec![ThreadProg(vec![
+            Stmt::txn(vec![TxOp::Write(X, 5)]),
+            Stmt::NtRead(X),
+        ])]);
+        let good = check_random(
+            &p,
+            &GlobalLockTm,
+            HwModel::Sc,
+            &Sc,
+            CheckKind::Opacity,
+            0..5,
+            1_000,
+        );
+        assert!(good.ok);
+        assert_eq!(good.runs, 5);
+        let bad = find_violation(
+            &p,
+            &SkipWriteTm,
+            HwModel::Sc,
+            &Sc,
+            CheckKind::Opacity,
+            0..5,
+            1_000,
+        );
+        assert!(bad.is_some());
+    }
+}

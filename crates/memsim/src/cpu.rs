@@ -1,0 +1,195 @@
+//! Simulated CPUs: store buffers and hardware memory models.
+//!
+//! Each CPU owns a store buffer whose discipline depends on the
+//! [`HwModel`]:
+//!
+//! * **SC** — no buffering; stores apply to global memory immediately.
+//! * **TSO** — one FIFO buffer; loads forward from the youngest buffered
+//!   store to the same address; a CAS drains the buffer first and then
+//!   executes atomically.
+//! * **PSO** — the buffer keeps FIFO order only per address; stores to
+//!   *different* addresses may drain in any order (chosen by the
+//!   scheduler), which is what makes write→write reordering observable.
+
+use jungle_core::ids::Val;
+use jungle_isa::instr::Addr;
+use std::collections::HashMap;
+
+/// The hardware memory model the simulated machine executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HwModel {
+    /// Linearizable memory (the paper's baseline hardware assumption).
+    Sc,
+    /// Total store order: FIFO store buffer + forwarding.
+    Tso,
+    /// Partial store order: per-address store queues.
+    Pso,
+}
+
+/// A buffered (not yet globally visible) store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PendingStore {
+    /// Target address.
+    pub addr: Addr,
+    /// Value to be written.
+    pub val: Val,
+}
+
+/// One simulated CPU's private state.
+#[derive(Clone, Debug, Default)]
+pub struct StoreBuffer {
+    entries: Vec<PendingStore>,
+}
+
+impl StoreBuffer {
+    /// Enqueue a store.
+    pub fn push(&mut self, addr: Addr, val: Val) {
+        self.entries.push(PendingStore { addr, val });
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The youngest buffered value for `addr`, if any (store-to-load
+    /// forwarding).
+    pub fn forward(&self, addr: Addr) -> Option<Val> {
+        self.entries.iter().rev().find(|e| e.addr == addr).map(|e| e.val)
+    }
+
+    /// The indices of entries that may drain next under `hw`:
+    /// TSO — only the oldest entry; PSO — the oldest entry *per
+    /// address*; SC — the buffer is never populated.
+    pub fn drainable(&self, hw: HwModel) -> Vec<usize> {
+        match hw {
+            HwModel::Sc => Vec::new(),
+            HwModel::Tso => {
+                if self.entries.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0]
+                }
+            }
+            HwModel::Pso => {
+                let mut seen: HashMap<Addr, ()> = HashMap::new();
+                let mut out = Vec::new();
+                for (i, e) in self.entries.iter().enumerate() {
+                    if seen.insert(e.addr, ()).is_none() {
+                        out.push(i);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Remove and return the entry at `idx`.
+    pub fn take(&mut self, idx: usize) -> PendingStore {
+        self.entries.remove(idx)
+    }
+
+    /// Drain every entry in order, returning them (used by CAS and at
+    /// termination).
+    pub fn drain_all(&mut self) -> Vec<PendingStore> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// Flat global memory (zero-initialized, sparse).
+#[derive(Clone, Debug, Default)]
+pub struct GlobalMem {
+    cells: HashMap<Addr, Val>,
+}
+
+impl GlobalMem {
+    /// Read an address (0 if never written).
+    pub fn load(&self, addr: Addr) -> Val {
+        self.cells.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Write an address.
+    pub fn store(&mut self, addr: Addr, val: Val) {
+        self.cells.insert(addr, val);
+    }
+
+    /// Snapshot of all written cells, sorted by address.
+    pub fn snapshot(&self) -> Vec<(Addr, Val)> {
+        let mut v: Vec<(Addr, Val)> = self.cells.iter().map(|(a, x)| (*a, *x)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Atomic compare-and-swap; returns whether it succeeded.
+    pub fn cas(&mut self, addr: Addr, expect: Val, new: Val) -> bool {
+        if self.load(addr) == expect {
+            self.store(addr, new);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_returns_youngest() {
+        let mut b = StoreBuffer::default();
+        b.push(0, 1);
+        b.push(1, 9);
+        b.push(0, 2);
+        assert_eq!(b.forward(0), Some(2));
+        assert_eq!(b.forward(1), Some(9));
+        assert_eq!(b.forward(7), None);
+    }
+
+    #[test]
+    fn tso_drains_fifo_only() {
+        let mut b = StoreBuffer::default();
+        b.push(0, 1);
+        b.push(1, 2);
+        assert_eq!(b.drainable(HwModel::Tso), vec![0]);
+        let e = b.take(0);
+        assert_eq!(e, PendingStore { addr: 0, val: 1 });
+        assert_eq!(b.drainable(HwModel::Tso), vec![0]);
+    }
+
+    #[test]
+    fn pso_drains_per_address() {
+        let mut b = StoreBuffer::default();
+        b.push(0, 1);
+        b.push(0, 2);
+        b.push(1, 9);
+        // Oldest per address: index 0 (addr 0) and index 2 (addr 1).
+        assert_eq!(b.drainable(HwModel::Pso), vec![0, 2]);
+        // Same-address order is preserved: 0→2 cannot drain before 0→1.
+        let e = b.take(2);
+        assert_eq!(e.addr, 1);
+        assert_eq!(b.drainable(HwModel::Pso), vec![0]);
+    }
+
+    #[test]
+    fn sc_never_buffers() {
+        let b = StoreBuffer::default();
+        assert_eq!(b.drainable(HwModel::Sc), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn memory_cas() {
+        let mut m = GlobalMem::default();
+        assert_eq!(m.load(3), 0);
+        assert!(m.cas(3, 0, 7));
+        assert!(!m.cas(3, 0, 9));
+        assert_eq!(m.load(3), 7);
+        m.store(3, 1);
+        assert_eq!(m.load(3), 1);
+    }
+}

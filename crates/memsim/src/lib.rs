@@ -1,0 +1,42 @@
+//! # jungle-memsim — a relaxed-memory multiprocessor simulator
+//!
+//! The paper's results concern TM implementations running on shared
+//! memory multiprocessors. We do not have SPARC/Alpha hardware to run
+//! the constructions on, so this crate provides the substitute: a small,
+//! deterministic multiprocessor simulator that executes the instruction
+//! alphabet of `jungle-isa` (`load`/`store`/`cas` plus operation
+//! markers) under a pluggable **hardware** memory model:
+//!
+//! * [`HwModel::Sc`] — linearizable memory, the paper's baseline
+//!   assumption ("we assume that the underlying hardware guarantees a
+//!   strong memory model equivalent to linearizability");
+//! * [`HwModel::Tso`] — per-CPU FIFO store buffers with store-to-load
+//!   forwarding; CAS drains the buffer (x86-style `lock` semantics);
+//! * [`HwModel::Pso`] — per-address store queues (write→write
+//!   reordering in addition to write→read).
+//!
+//! Programs are *reactive* ([`Process`]): the simulator feeds each
+//! completed instruction's result back to the process, which decides its
+//! next step — this is what lets the TM algorithms of `jungle-mc` spin
+//! on CAS failures and branch on loaded values.
+//!
+//! Nondeterminism (which CPU steps; which buffered store drains) is
+//! resolved by a [`Scheduler`]: scripted ([`DirectedScheduler`]) for the
+//! paper's Figure 5 constructions, seeded-random ([`RandomScheduler`])
+//! for fuzzing, and exhaustive enumeration ([`explore`]) for the
+//! model-checking sweeps.
+//!
+//! Every run records a [`Trace`](jungle_isa::Trace) whose corresponding
+//! histories are checked by `jungle-core`.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod machine;
+pub mod process;
+pub mod sched;
+
+pub use cpu::HwModel;
+pub use machine::{explore, ExploreOutcome, Machine, RunResult};
+pub use process::{PInstr, Process, Step};
+pub use sched::{BurstyScheduler, DirectedScheduler, ExhaustiveCursor, RandomScheduler, Scheduler};

@@ -1,0 +1,520 @@
+//! The simulated multiprocessor.
+//!
+//! A [`Machine`] owns one [`Process`] per CPU, per-CPU store buffers,
+//! global memory, and a trace recorder. [`Machine::run`] drives it to
+//! completion (or a step bound) under a [`Scheduler`]; [`explore`]
+//! enumerates every schedule exhaustively with an [`ExhaustiveCursor`].
+
+use crate::cpu::{GlobalMem, HwModel, StoreBuffer};
+use crate::process::{PInstr, Process, Resume, Step};
+use crate::sched::{Action, ExhaustiveCursor, Scheduler};
+use jungle_core::ids::{OpId, ProcId, Val};
+use jungle_isa::instr::{Instr, InstrInstance};
+use jungle_isa::trace::Trace;
+
+/// The outcome of one simulated run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The recorded trace (always well-formed; possibly ending in
+    /// incomplete operations if the run hit the step bound).
+    pub trace: Trace,
+    /// True if every process finished and all store buffers drained.
+    pub completed: bool,
+    /// Number of scheduler steps taken.
+    pub steps: usize,
+    /// Final global memory (written cells only, sorted by address).
+    /// Buffered stores of truncated runs are *not* included.
+    pub final_mem: Vec<(jungle_isa::instr::Addr, Val)>,
+}
+
+struct CpuState {
+    proc: Box<dyn Process>,
+    buffer: StoreBuffer,
+    resume: Resume,
+    done: bool,
+    /// Currently open operation id and the trace index of its
+    /// invocation marker (for backpatching).
+    current_op: Option<(OpId, usize)>,
+}
+
+/// The simulated multiprocessor machine.
+pub struct Machine {
+    hw: HwModel,
+    mem: GlobalMem,
+    cpus: Vec<CpuState>,
+    instrs: Vec<InstrInstance>,
+    next_op: u32,
+}
+
+impl Machine {
+    /// Create a machine with one CPU per process in `procs`, executing
+    /// under hardware model `hw`. CPU `i` runs as `ProcId(i)`.
+    pub fn new(hw: HwModel, procs: Vec<Box<dyn Process>>) -> Self {
+        let cpus = procs
+            .into_iter()
+            .map(|proc| CpuState {
+                proc,
+                buffer: StoreBuffer::default(),
+                resume: None,
+                done: false,
+                current_op: None,
+            })
+            .collect();
+        Machine { hw, mem: GlobalMem::default(), cpus, instrs: Vec::new(), next_op: 1 }
+    }
+
+    /// Pre-initialize a memory address (all addresses default to 0).
+    pub fn poke(&mut self, addr: jungle_isa::instr::Addr, val: Val) {
+        self.mem.store(addr, val);
+    }
+
+    /// Read a memory address after (or during) a run — buffered stores
+    /// are not visible here.
+    pub fn peek(&self, addr: jungle_isa::instr::Addr) -> Val {
+        self.mem.load(addr)
+    }
+
+    fn enabled(&self) -> Vec<Action> {
+        let mut out = Vec::new();
+        for (i, c) in self.cpus.iter().enumerate() {
+            if !c.done {
+                out.push(Action::Exec { cpu: i });
+            }
+            for idx in c.buffer.drainable(self.hw) {
+                out.push(Action::Drain { cpu: i, idx });
+            }
+        }
+        out
+    }
+
+    fn record(&mut self, cpu: usize, instr: Instr) -> usize {
+        let op = self.cpus[cpu]
+            .current_op
+            .map(|(id, _)| id)
+            .expect("instruction issued outside an operation");
+        self.instrs.push(InstrInstance { instr, proc: ProcId(cpu as u32), op });
+        self.instrs.len() - 1
+    }
+
+    fn exec(&mut self, cpu: usize) {
+        let resume = self.cpus[cpu].resume.take();
+        let step = self.cpus[cpu].proc.next(resume);
+        match step {
+            Step::Done => {
+                self.cpus[cpu].done = true;
+            }
+            Step::Inv(op) => {
+                assert!(
+                    self.cpus[cpu].current_op.is_none(),
+                    "nested operation invocation on cpu {cpu}"
+                );
+                let id = OpId(self.next_op);
+                self.next_op += 1;
+                self.instrs.push(InstrInstance {
+                    instr: Instr::Inv(op),
+                    proc: ProcId(cpu as u32),
+                    op: id,
+                });
+                self.cpus[cpu].current_op = Some((id, self.instrs.len() - 1));
+            }
+            Step::Resp(op) => {
+                let (id, inv_idx) = self.cpus[cpu]
+                    .current_op
+                    .take()
+                    .expect("response without open operation");
+                // Backpatch the invocation with the final operation
+                // (whose read values are now known).
+                self.instrs[inv_idx].instr = Instr::Inv(op.clone());
+                self.instrs.push(InstrInstance {
+                    instr: Instr::Resp(op),
+                    proc: ProcId(cpu as u32),
+                    op: id,
+                });
+            }
+            Step::Instr(pi) => match pi {
+                PInstr::Load(addr) => {
+                    let val = match self.hw {
+                        HwModel::Sc => self.mem.load(addr),
+                        _ => self.cpus[cpu]
+                            .buffer
+                            .forward(addr)
+                            .unwrap_or_else(|| self.mem.load(addr)),
+                    };
+                    self.record(cpu, Instr::Load { addr, val });
+                    self.cpus[cpu].resume = Some(val);
+                }
+                PInstr::Store(addr, val) => {
+                    match self.hw {
+                        HwModel::Sc => self.mem.store(addr, val),
+                        _ => self.cpus[cpu].buffer.push(addr, val),
+                    }
+                    self.record(cpu, Instr::Store { addr, val });
+                    self.cpus[cpu].resume = Some(0);
+                }
+                PInstr::Cas(addr, expect, new) => {
+                    // A CAS acts like a fence: drain the CPU's own
+                    // buffer before executing atomically.
+                    for e in self.cpus[cpu].buffer.drain_all() {
+                        self.mem.store(e.addr, e.val);
+                    }
+                    let ok = self.mem.cas(addr, expect, new);
+                    self.record(cpu, Instr::Cas { addr, expect, new, ok });
+                    self.cpus[cpu].resume = Some(ok as Val);
+                }
+            },
+        }
+    }
+
+    /// Run under `sched` until completion or `max_steps`.
+    pub fn run(mut self, sched: &mut dyn Scheduler, max_steps: usize) -> RunResult {
+        let mut steps = 0;
+        loop {
+            let actions = self.enabled();
+            if actions.is_empty() {
+                break;
+            }
+            if steps >= max_steps {
+                let final_mem = self.mem.snapshot();
+                return RunResult {
+                    trace: Trace::new(self.instrs).expect("recorded trace is well-formed"),
+                    completed: false,
+                    steps,
+                    final_mem,
+                };
+            }
+            let choice = sched.choose(&actions);
+            match actions[choice] {
+                Action::Exec { cpu } => self.exec(cpu),
+                Action::Drain { cpu, idx } => {
+                    let e = self.cpus[cpu].buffer.take(idx);
+                    self.mem.store(e.addr, e.val);
+                }
+            }
+            steps += 1;
+        }
+        let final_mem = self.mem.snapshot();
+        RunResult {
+            trace: Trace::new(self.instrs).expect("recorded trace is well-formed"),
+            completed: true,
+            steps,
+            final_mem,
+        }
+    }
+}
+
+/// Statistics of an exhaustive exploration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreOutcome {
+    /// Number of complete schedules visited.
+    pub runs: usize,
+    /// Runs truncated by the step bound.
+    pub truncated: usize,
+    /// True if `visit` requested an early stop.
+    pub stopped_early: bool,
+}
+
+/// Exhaustively explore every schedule of the machine built by
+/// `factory`, invoking `visit` on each run's result. `visit` returning
+/// `true` stops the exploration (e.g. a violation was found).
+///
+/// The number of schedules is exponential in trace length — keep
+/// programs litmus-sized (see the crate docs). Runs that exceed
+/// `max_steps` are reported with `completed == false` and still
+/// visited (their traces are valid prefixes).
+pub fn explore(
+    mut factory: impl FnMut() -> Machine,
+    max_steps: usize,
+    mut visit: impl FnMut(&RunResult) -> bool,
+) -> ExploreOutcome {
+    let mut cursor = ExhaustiveCursor::default();
+    let mut out = ExploreOutcome::default();
+    loop {
+        cursor.rewind();
+        let result = factory().run(&mut cursor, max_steps);
+        out.runs += 1;
+        if !result.completed {
+            out.truncated += 1;
+        }
+        if visit(&result) {
+            out.stopped_early = true;
+            return out;
+        }
+        if !cursor.advance() {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ScriptProcess;
+    use crate::sched::{DirectedScheduler, RandomScheduler};
+    use jungle_core::ids::{Var, X, Y};
+    use jungle_core::op::{Command, Op};
+
+    fn rd_op(var: Var, val: Val) -> Op {
+        Op::Cmd(Command::Read { var, val })
+    }
+
+    fn wr_op(var: Var, val: Val) -> Op {
+        Op::Cmd(Command::Write { var, val })
+    }
+
+    /// A process that writes `addr := val` as one non-transactional
+    /// operation.
+    fn writer(var: Var, addr: u32, val: Val) -> Box<dyn Process> {
+        Box::new(ScriptProcess::new(vec![
+            Step::Inv(wr_op(var, val)),
+            Step::Instr(PInstr::Store(addr, val)),
+            Step::Resp(wr_op(var, val)),
+        ]))
+    }
+
+    /// A reader of two addresses as two operations; records observed
+    /// values into the trace via backpatched responses.
+    fn two_reads(v1: Var, a1: u32, v2: Var, a2: u32) -> Box<dyn Process> {
+        use crate::process::FnProcess;
+        let mut state = 0;
+        let mut seen = 0;
+        Box::new(FnProcess::new(move |last| {
+            state += 1;
+            match state {
+                1 => Step::Inv(rd_op(v1, 0)),
+                2 => Step::Instr(PInstr::Load(a1)),
+                3 => {
+                    seen = last.unwrap();
+                    Step::Resp(rd_op(v1, seen))
+                }
+                4 => Step::Inv(rd_op(v2, 0)),
+                5 => Step::Instr(PInstr::Load(a2)),
+                6 => Step::Resp(rd_op(v2, last.unwrap())),
+                _ => Step::Done,
+            }
+        }))
+    }
+
+    #[test]
+    fn sequential_run_on_sc() {
+        let m = Machine::new(HwModel::Sc, vec![writer(X, 0, 5)]);
+        let mut s = DirectedScheduler::default();
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+        assert_eq!(r.trace.ops().len(), 1);
+    }
+
+    #[test]
+    fn store_buffering_invisible_on_sc() {
+        // SB litmus: p0: x:=1; read y. p1: y:=1; read x.
+        // Under SC at least one read sees 1.
+        let factory = || {
+            use crate::process::FnProcess;
+            let mk = |wa: u32, ra: u32, wv: Var, rv: Var| {
+                let mut st = 0;
+                Box::new(FnProcess::new(move |last| {
+                    st += 1;
+                    match st {
+                        1 => Step::Inv(wr_op(wv, 1)),
+                        2 => Step::Instr(PInstr::Store(wa, 1)),
+                        3 => Step::Resp(wr_op(wv, 1)),
+                        4 => Step::Inv(rd_op(rv, 0)),
+                        5 => Step::Instr(PInstr::Load(ra)),
+                        6 => Step::Resp(rd_op(rv, last.unwrap())),
+                        _ => Step::Done,
+                    }
+                })) as Box<dyn Process>
+            };
+            Machine::new(HwModel::Sc, vec![mk(0, 1, X, Y), mk(1, 0, Y, X)])
+        };
+        let mut both_zero = false;
+        explore(factory, 64, |r| {
+            let reads: Vec<Val> = r
+                .trace
+                .instrs()
+                .iter()
+                .filter_map(|i| match i.instr {
+                    Instr::Load { val, .. } => Some(val),
+                    _ => None,
+                })
+                .collect();
+            if reads == vec![0, 0] {
+                both_zero = true;
+            }
+            false
+        });
+        assert!(!both_zero, "SC must not exhibit store-buffering");
+    }
+
+    #[test]
+    fn store_buffering_visible_on_tso() {
+        // Same SB litmus on TSO: schedule both stores into the buffers,
+        // run both loads, then drain. Directed schedule: exec p0 store
+        // path, exec p1 store path, loads, drains.
+        use crate::process::FnProcess;
+        let mk = |wa: u32, ra: u32, wv: Var, rv: Var| {
+            let mut st = 0;
+            Box::new(FnProcess::new(move |last| {
+                st += 1;
+                match st {
+                    1 => Step::Inv(wr_op(wv, 1)),
+                    2 => Step::Instr(PInstr::Store(wa, 1)),
+                    3 => Step::Resp(wr_op(wv, 1)),
+                    4 => Step::Inv(rd_op(rv, 0)),
+                    5 => Step::Instr(PInstr::Load(ra)),
+                    6 => Step::Resp(rd_op(rv, last.unwrap())),
+                    _ => Step::Done,
+                }
+            })) as Box<dyn Process>
+        };
+        let factory =
+            || Machine::new(HwModel::Tso, vec![mk(0, 1, X, Y), mk(1, 0, Y, X)]);
+        let mut both_zero = false;
+        explore(factory, 64, |r| {
+            let reads: Vec<Val> = r
+                .trace
+                .instrs()
+                .iter()
+                .filter_map(|i| match i.instr {
+                    Instr::Load { val, .. } => Some(val),
+                    _ => None,
+                })
+                .collect();
+            if reads.len() == 2 && reads == vec![0, 0] {
+                both_zero = true;
+                return true;
+            }
+            false
+        });
+        assert!(both_zero, "TSO must exhibit store-buffering");
+    }
+
+    #[test]
+    fn message_passing_reorders_on_pso_not_tso() {
+        // MP litmus: p0: x:=1; y:=1. p1: read y; read x.
+        // (y=1, x=0) requires write-write reordering: PSO yes, TSO no.
+        let run_all = |hw: HwModel| {
+            let factory = move || {
+                Machine::new(hw, vec![
+                    Box::new(ScriptProcess::new(vec![
+                        Step::Inv(wr_op(X, 1)),
+                        Step::Instr(PInstr::Store(0, 1)),
+                        Step::Resp(wr_op(X, 1)),
+                        Step::Inv(wr_op(Y, 1)),
+                        Step::Instr(PInstr::Store(1, 1)),
+                        Step::Resp(wr_op(Y, 1)),
+                    ])) as Box<dyn Process>,
+                    two_reads(Y, 1, X, 0),
+                ])
+            };
+            let mut fresh_y_stale_x = false;
+            explore(factory, 96, |r| {
+                let reads: Vec<Val> = r
+                    .trace
+                    .instrs()
+                    .iter()
+                    .filter_map(|i| match i.instr {
+                        Instr::Load { val, .. } => Some(val),
+                        _ => None,
+                    })
+                    .collect();
+                if reads == vec![1, 0] {
+                    fresh_y_stale_x = true;
+                    return true;
+                }
+                false
+            });
+            fresh_y_stale_x
+        };
+        assert!(!run_all(HwModel::Sc));
+        assert!(!run_all(HwModel::Tso));
+        assert!(run_all(HwModel::Pso));
+    }
+
+    #[test]
+    fn store_forwarding_on_tso() {
+        use crate::process::FnProcess;
+        let mut st = 0;
+        let p = Box::new(FnProcess::new(move |last| {
+            st += 1;
+            match st {
+                1 => Step::Inv(wr_op(X, 7)),
+                2 => Step::Instr(PInstr::Store(0, 7)),
+                3 => Step::Resp(wr_op(X, 7)),
+                4 => Step::Inv(rd_op(X, 0)),
+                5 => Step::Instr(PInstr::Load(0)),
+                6 => {
+                    assert_eq!(last, Some(7), "must forward from own buffer");
+                    Step::Resp(rd_op(X, 7))
+                }
+                _ => Step::Done,
+            }
+        })) as Box<dyn Process>;
+        // Schedule only Exec actions for cpu 0 (never drain first).
+        let m = Machine::new(HwModel::Tso, vec![p]);
+        let mut s = DirectedScheduler::new(vec![0; 32]);
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn cas_drains_buffer_and_is_atomic() {
+        use crate::process::FnProcess;
+        let mut st = 0;
+        let p = Box::new(FnProcess::new(move |last| {
+            st += 1;
+            match st {
+                1 => Step::Inv(wr_op(X, 1)),
+                2 => Step::Instr(PInstr::Store(0, 1)),
+                3 => Step::Resp(wr_op(X, 1)),
+                4 => Step::Inv(wr_op(Y, 2)),
+                5 => Step::Instr(PInstr::Cas(1, 0, 2)),
+                6 => {
+                    assert_eq!(last, Some(1), "CAS should succeed");
+                    Step::Resp(wr_op(Y, 2))
+                }
+                _ => Step::Done,
+            }
+        })) as Box<dyn Process>;
+        let mut m = Machine::new(HwModel::Tso, vec![p]);
+        m.poke(1, 0);
+        let mut s = DirectedScheduler::new(vec![0; 32]);
+        // After the run, both the buffered store and the CAS value must
+        // be in memory.
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn run_bound_reports_incomplete() {
+        use crate::process::FnProcess;
+        // A process that spins forever on a CAS that can never succeed.
+        let mut st = 0;
+        let p = Box::new(FnProcess::new(move |_| {
+            st += 1;
+            if st == 1 {
+                Step::Inv(wr_op(X, 1))
+            } else {
+                Step::Instr(PInstr::Cas(0, 99, 1))
+            }
+        })) as Box<dyn Process>;
+        let m = Machine::new(HwModel::Sc, vec![p]);
+        let mut s = RandomScheduler::new(1);
+        let r = m.run(&mut s, 50);
+        assert!(!r.completed);
+        assert_eq!(r.steps, 50);
+        assert_eq!(r.trace.ops().len(), 1);
+        assert!(!r.trace.ops()[0].complete);
+    }
+
+    #[test]
+    fn explore_counts_runs() {
+        // Two single-instruction processes → a handful of interleavings.
+        let factory = || {
+            Machine::new(HwModel::Sc, vec![writer(X, 0, 1), writer(Y, 1, 2)])
+        };
+        let out = explore(factory, 64, |_| false);
+        assert!(out.runs >= 2, "expected ≥2 interleavings, got {}", out.runs);
+        assert_eq!(out.truncated, 0);
+        assert!(!out.stopped_early);
+    }
+}

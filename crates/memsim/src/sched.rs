@@ -1,0 +1,209 @@
+//! Schedulers: resolution of the machine's nondeterminism.
+//!
+//! At every global step the machine computes the deterministic list of
+//! enabled [`Action`]s (execute a CPU's next program step, or drain one
+//! of its buffered stores) and asks the scheduler to pick one.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One schedulable action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Execute the next program step of CPU `cpu`.
+    Exec {
+        /// CPU index.
+        cpu: usize,
+    },
+    /// Drain the buffered store at buffer index `idx` of CPU `cpu` to
+    /// global memory.
+    Drain {
+        /// CPU index.
+        cpu: usize,
+        /// Index into the CPU's store buffer.
+        idx: usize,
+    },
+}
+
+/// Chooses among enabled actions.
+pub trait Scheduler {
+    /// Pick an index into `actions` (guaranteed non-empty).
+    fn choose(&mut self, actions: &[Action]) -> usize;
+}
+
+/// Plays a scripted sequence of choice indices, then always picks 0.
+///
+/// Used to reproduce the paper's hand-constructed interleavings
+/// (Figure 5). Out-of-range entries are clamped.
+#[derive(Clone, Debug, Default)]
+pub struct DirectedScheduler {
+    script: Vec<usize>,
+    pos: usize,
+}
+
+impl DirectedScheduler {
+    /// A scheduler that plays `script` then defaults to choice 0.
+    pub fn new(script: Vec<usize>) -> Self {
+        DirectedScheduler { script, pos: 0 }
+    }
+}
+
+impl Scheduler for DirectedScheduler {
+    fn choose(&mut self, actions: &[Action]) -> usize {
+        let c = self.script.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        c.min(actions.len() - 1)
+    }
+}
+
+/// Uniform random choices from a seeded generator (reproducible
+/// fuzzing).
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// A scheduler seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose(&mut self, actions: &[Action]) -> usize {
+        self.rng.gen_range(0..actions.len())
+    }
+}
+
+/// Random scheduler with *bursts*: it repeatedly picks a CPU and a
+/// burst length and then prefers that CPU's actions for the duration of
+/// the burst. Bursts make the narrow windows of the paper's Figure 5
+/// constructions (several consecutive steps of one process between two
+/// consecutive steps of another) exponentially more likely than under
+/// uniform choice, while still producing only legal schedules.
+#[derive(Clone, Debug)]
+pub struct BurstyScheduler {
+    rng: StdRng,
+    target: usize,
+    remaining: usize,
+}
+
+impl BurstyScheduler {
+    /// A bursty scheduler seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        BurstyScheduler { rng: StdRng::seed_from_u64(seed), target: 0, remaining: 0 }
+    }
+}
+
+impl Scheduler for BurstyScheduler {
+    fn choose(&mut self, actions: &[Action]) -> usize {
+        if self.remaining == 0 {
+            self.target = self.rng.gen_range(0..8);
+            self.remaining = self.rng.gen_range(1..=8);
+        }
+        self.remaining -= 1;
+        let preferred: Vec<usize> = actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                matches!(a, Action::Exec { cpu } | Action::Drain { cpu, .. } if *cpu == self.target)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if preferred.is_empty() {
+            self.rng.gen_range(0..actions.len())
+        } else {
+            preferred[self.rng.gen_range(0..preferred.len())]
+        }
+    }
+}
+
+/// Replay cursor for exhaustive (DFS) exploration: replays a recorded
+/// prefix of choices, then takes the first option at every new choice
+/// point while recording how many options existed.
+#[derive(Clone, Debug, Default)]
+pub struct ExhaustiveCursor {
+    /// `(chosen, n_options)` per choice point.
+    pub stack: Vec<(usize, usize)>,
+    pos: usize,
+}
+
+impl ExhaustiveCursor {
+    /// Reset the replay position for the next run.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Advance to the lexicographically next choice string. Returns
+    /// `false` when the space is exhausted.
+    pub fn advance(&mut self) -> bool {
+        while let Some((chosen, n)) = self.stack.pop() {
+            if chosen + 1 < n {
+                self.stack.push((chosen + 1, n));
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Scheduler for ExhaustiveCursor {
+    fn choose(&mut self, actions: &[Action]) -> usize {
+        if self.pos < self.stack.len() {
+            let c = self.stack[self.pos].0;
+            self.pos += 1;
+            c.min(actions.len() - 1)
+        } else {
+            self.stack.push((0, actions.len()));
+            self.pos += 1;
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acts(n: usize) -> Vec<Action> {
+        (0..n).map(|cpu| Action::Exec { cpu }).collect()
+    }
+
+    #[test]
+    fn directed_plays_script_then_zero() {
+        let mut s = DirectedScheduler::new(vec![1, 0, 5]);
+        assert_eq!(s.choose(&acts(3)), 1);
+        assert_eq!(s.choose(&acts(3)), 0);
+        assert_eq!(s.choose(&acts(3)), 2); // clamped
+        assert_eq!(s.choose(&acts(3)), 0); // exhausted
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let mut a = RandomScheduler::new(42);
+        let mut b = RandomScheduler::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.choose(&acts(4)), b.choose(&acts(4)));
+        }
+    }
+
+    #[test]
+    fn exhaustive_cursor_enumerates_all_strings() {
+        // Simulate a machine with two choice points of 2 and 3 options.
+        let mut cursor = ExhaustiveCursor::default();
+        let mut seen = Vec::new();
+        loop {
+            cursor.rewind();
+            let a = cursor.choose(&acts(2));
+            let b = cursor.choose(&acts(3));
+            seen.push((a, b));
+            if !cursor.advance() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], (0, 0));
+        assert!(seen.contains(&(1, 2)));
+    }
+}

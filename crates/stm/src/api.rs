@@ -1,0 +1,240 @@
+//! The common STM interface: thread contexts, the object-safe
+//! [`TmAlgo`] trait, and the [`atomically`] retry combinator.
+//!
+//! Transactional operations may fail with [`Aborted`] (conflict detected
+//! by the pessimistic [`StrongStm`](crate::strong::StrongStm) or
+//! validation failure in [`Tl2Stm`](crate::tl2::Tl2Stm)); `atomically`
+//! rolls the transaction back and retries with randomized backoff. The
+//! global-lock family never aborts spontaneously.
+
+use crate::recorder::Recorder;
+use jungle_core::ids::ProcId;
+use std::sync::Arc;
+
+/// Marker error: the current transaction has been aborted and rolled
+/// back; retry it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Aborted;
+
+/// Per-thread context: identity, read/write sets, and per-algorithm
+/// scratch state. One `Ctx` per thread, reused across transactions.
+#[derive(Debug)]
+pub struct Ctx {
+    /// This thread's process id (also its CPU/slot id).
+    pub pid: ProcId,
+    /// Read set: `(var, word-as-loaded)`.
+    pub readset: Vec<(usize, u64)>,
+    /// Write set: `(var, value-to-write)`, insertion ordered.
+    pub writeset: Vec<(usize, u64)>,
+    /// Per-process version counter (versioned STM).
+    pub version: u32,
+    /// TL2 read version (snapshot of the global clock).
+    pub rv: u64,
+    /// Metadata slots this transaction holds exclusively (strong STM).
+    pub locks: Vec<usize>,
+    /// Metadata slots this transaction holds in shared mode (strong
+    /// STM).
+    pub shared: Vec<usize>,
+    /// Optional history recorder.
+    pub rec: Option<Arc<Recorder>>,
+    /// Scratch RNG state for backoff (xorshift).
+    pub rng: u64,
+    /// Committed transactions on this thread (via [`atomically`]).
+    pub commits: u64,
+    /// Aborted attempts on this thread (via [`atomically`]).
+    pub aborts: u64,
+}
+
+impl Ctx {
+    /// A context for thread `pid`, optionally recording its history.
+    pub fn new(pid: ProcId, rec: Option<Arc<Recorder>>) -> Self {
+        Ctx {
+            pid,
+            readset: Vec::new(),
+            writeset: Vec::new(),
+            version: 0,
+            rv: 0,
+            locks: Vec::new(),
+            shared: Vec::new(),
+            rec,
+            rng: 0x9E37_79B9_7F4A_7C15 ^ (u64::from(pid.0) << 17 | 1),
+            commits: 0,
+            aborts: 0,
+        }
+    }
+
+    /// Borrow the recorder, if recording is enabled.
+    pub fn rec(&self) -> Option<&Recorder> {
+        self.rec.as_deref()
+    }
+
+    /// Clear per-transaction state (sets and held locks lists).
+    pub fn reset_txn(&mut self) {
+        self.readset.clear();
+        self.writeset.clear();
+        self.locks.clear();
+        self.shared.clear();
+    }
+
+    /// Look up the write set.
+    pub fn ws_get(&self, var: usize) -> Option<u64> {
+        self.writeset.iter().rev().find(|(v, _)| *v == var).map(|(_, w)| *w)
+    }
+
+    /// Look up the read set.
+    pub fn rs_get(&self, var: usize) -> Option<u64> {
+        self.readset.iter().find(|(v, _)| *v == var).map(|(_, w)| *w)
+    }
+
+    /// Insert or update a write-set entry.
+    pub fn ws_put(&mut self, var: usize, val: u64) {
+        match self.writeset.iter_mut().find(|(v, _)| *v == var) {
+            Some(e) => e.1 = val,
+            None => self.writeset.push((var, val)),
+        }
+    }
+
+    /// Next pseudo-random number (xorshift64*), for backoff jitter.
+    pub fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// An executable STM algorithm (object-safe).
+///
+/// Transactional calls must occur between a successful
+/// [`TmAlgo::txn_start`] and a [`TmAlgo::txn_commit`] /
+/// [`TmAlgo::txn_abort`]; non-transactional calls must occur outside.
+/// On [`Aborted`], the algorithm has already rolled back and released
+/// everything — the caller just retries.
+pub trait TmAlgo: Sync {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// The instrumentation class of the non-transactional operations.
+    fn instrumentation(&self) -> jungle_isa::tm::Instrumentation;
+
+    /// Begin a transaction.
+    fn txn_start(&self, cx: &mut Ctx);
+
+    /// Transactional read.
+    fn txn_read(&self, cx: &mut Ctx, var: usize) -> Result<u64, Aborted>;
+
+    /// Transactional write (buffered until commit).
+    fn txn_write(&self, cx: &mut Ctx, var: usize, val: u64) -> Result<(), Aborted>;
+
+    /// Attempt to commit. On `Err(Aborted)` the transaction has been
+    /// rolled back.
+    fn txn_commit(&self, cx: &mut Ctx) -> Result<(), Aborted>;
+
+    /// Abort and roll back the running transaction.
+    fn txn_abort(&self, cx: &mut Ctx);
+
+    /// Non-transactional read.
+    fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64;
+
+    /// Non-transactional write.
+    fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64);
+}
+
+/// Transaction handle passed to the [`atomically`] closure.
+pub struct Tx<'a> {
+    tm: &'a dyn TmAlgo,
+    cx: &'a mut Ctx,
+}
+
+impl<'a> Tx<'a> {
+    /// Read variable `var`.
+    pub fn read(&mut self, var: usize) -> Result<u64, Aborted> {
+        self.tm.txn_read(self.cx, var)
+    }
+
+    /// Write `val` to variable `var`.
+    pub fn write(&mut self, var: usize, val: u64) -> Result<(), Aborted> {
+        self.tm.txn_write(self.cx, var, val)
+    }
+
+    /// This thread's process id.
+    pub fn pid(&self) -> ProcId {
+        self.cx.pid
+    }
+}
+
+/// Run `body` as a transaction, retrying on abort with randomized
+/// exponential backoff. Returns the closure's result after a successful
+/// commit.
+pub fn atomically<R>(
+    tm: &dyn TmAlgo,
+    cx: &mut Ctx,
+    mut body: impl FnMut(&mut Tx<'_>) -> Result<R, Aborted>,
+) -> R {
+    let mut attempt = 0u32;
+    loop {
+        tm.txn_start(cx);
+        let out = {
+            let mut tx = Tx { tm, cx };
+            body(&mut tx)
+        };
+        match out {
+            Ok(r) => {
+                if tm.txn_commit(cx).is_ok() {
+                    cx.commits += 1;
+                    return r;
+                }
+            }
+            Err(Aborted) => {
+                // The algorithm rolled back when it raised the abort;
+                // make sure boundary bookkeeping is closed too.
+                tm.txn_abort(cx);
+            }
+        }
+        cx.aborts += 1;
+        attempt = attempt.saturating_add(1);
+        backoff(cx, attempt);
+    }
+}
+
+fn backoff(cx: &mut Ctx, attempt: u32) {
+    let spins = 1u64 << attempt.min(10);
+    let jitter = cx.next_rand() % spins.max(1);
+    for _ in 0..(spins + jitter) {
+        std::hint::spin_loop();
+    }
+    if attempt > 10 {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_sets() {
+        let mut cx = Ctx::new(ProcId(0), None);
+        assert_eq!(cx.ws_get(3), None);
+        cx.ws_put(3, 7);
+        cx.ws_put(3, 9);
+        assert_eq!(cx.ws_get(3), Some(9));
+        assert_eq!(cx.writeset.len(), 1);
+        cx.readset.push((1, 5));
+        assert_eq!(cx.rs_get(1), Some(5));
+        cx.reset_txn();
+        assert!(cx.readset.is_empty() && cx.writeset.is_empty());
+    }
+
+    #[test]
+    fn rng_varies_by_pid_and_advances() {
+        let mut a = Ctx::new(ProcId(0), None);
+        let mut b = Ctx::new(ProcId(1), None);
+        assert_ne!(a.next_rand(), b.next_rand());
+        let x = a.next_rand();
+        let y = a.next_rand();
+        assert_ne!(x, y);
+    }
+}

@@ -1,0 +1,311 @@
+//! The uninstrumented global-lock STM of Figure 6 (Theorems 3 and 7),
+//! plus the shared machinery ([`Fig6Core`]) reused by the Theorem 4 and
+//! Theorem 5 variants.
+//!
+//! Transactions serialize on one global lock; reads are latched into a
+//! read set on first access; writes are buffered and published at commit
+//! with one CAS per variable, keyed on the word latched by the earlier
+//! transactional read (Figure 6). Non-transactional operations are plain
+//! atomic loads and stores — uninstrumented — so this STM guarantees
+//! opacity only parametrized by fully relaxed models (Theorem 3), and
+//! SGLA for every model (Theorem 7).
+
+use crate::api::{Aborted, Ctx, TmAlgo};
+use crate::cell::Heap;
+use crate::recorder::{rd_op, wr_op};
+use jungle_core::ids::{ProcId, Var};
+use jungle_core::op::Op;
+use jungle_isa::tm::Instrumentation;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Value/word codec: how program values map to heap words. The plain
+/// STMs store values directly; the versioned STM packs metadata in.
+pub(crate) trait Codec: Sync {
+    /// Decode a heap word into a program value.
+    fn decode(&self, word: u64) -> u64;
+    /// Encode a program value into a fresh heap word (may consume a
+    /// per-thread version number).
+    fn encode(&self, cx: &mut Ctx, val: u64) -> u64;
+}
+
+/// Identity codec for the raw-word STMs.
+pub(crate) struct RawCodec;
+
+impl Codec for RawCodec {
+    fn decode(&self, word: u64) -> u64 {
+        word
+    }
+    fn encode(&self, _cx: &mut Ctx, val: u64) -> u64 {
+        val
+    }
+}
+
+/// Shared implementation of the Figure 6 transactional protocol.
+pub(crate) struct Fig6Core<C: Codec> {
+    pub heap: Heap,
+    lock: AtomicU64,
+    pub codec: C,
+}
+
+fn lock_word(p: ProcId) -> u64 {
+    u64::from(p.0) + 1
+}
+
+impl<C: Codec> Fig6Core<C> {
+    pub fn new(n_vars: usize, codec: C) -> Self {
+        Fig6Core { heap: Heap::new(n_vars), lock: AtomicU64::new(0), codec }
+    }
+
+    pub fn acquire(&self, p: ProcId) {
+        loop {
+            if self
+                .lock
+                .compare_exchange(0, lock_word(p), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+            let mut spins = 0u32;
+            while self.lock.load(Ordering::Relaxed) != 0 {
+                std::hint::spin_loop();
+                spins += 1;
+                if spins > 64 {
+                    // Uniprocessor-friendly: the holder cannot release
+                    // while we burn its timeslice.
+                    std::thread::yield_now();
+                    spins = 0;
+                }
+            }
+        }
+    }
+
+    pub fn release(&self) {
+        self.lock.store(0, Ordering::SeqCst);
+    }
+
+    pub fn txn_start(&self, cx: &mut Ctx) {
+        let tok = cx.rec().map(|r| r.begin());
+        self.acquire(cx.pid);
+        cx.reset_txn();
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, Op::Start);
+        }
+    }
+
+    pub fn txn_read(&self, cx: &mut Ctx, var: usize) -> u64 {
+        let tok = cx.rec().map(|r| r.begin());
+        let val = if let Some(v) = cx.ws_get(var) {
+            v
+        } else if let Some(w) = cx.rs_get(var) {
+            self.codec.decode(w)
+        } else {
+            let w = self.heap.load(var);
+            cx.readset.push((var, w));
+            self.codec.decode(w)
+        };
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, rd_op(Var(var as u32), val));
+        }
+        val
+    }
+
+    pub fn txn_write(&self, cx: &mut Ctx, var: usize, val: u64) {
+        let tok = cx.rec().map(|r| r.begin());
+        // Figure 6: a transactional write first latches the current
+        // word (a transactional read) for the commit-time CAS.
+        if cx.rs_get(var).is_none() && cx.ws_get(var).is_none() {
+            let w = self.heap.load(var);
+            cx.readset.push((var, w));
+        }
+        cx.ws_put(var, val);
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, wr_op(Var(var as u32), val));
+        }
+    }
+
+    pub fn txn_commit(&self, cx: &mut Ctx) {
+        let tok = cx.rec().map(|r| r.begin());
+        for i in 0..cx.writeset.len() {
+            let (var, val) = cx.writeset[i];
+            let expected = cx
+                .rs_get(var)
+                .expect("Figure 6: every written variable was read first");
+            let new = self.codec.encode(cx, val);
+            // The CAS result is deliberately ignored (Figure 6): a
+            // failure means a non-transactional write intervened and
+            // serializes after this transaction.
+            let _ = self.heap.cas(var, expected, new);
+        }
+        self.release();
+        cx.reset_txn();
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, Op::Commit);
+        }
+    }
+
+    pub fn txn_abort(&self, cx: &mut Ctx) {
+        let tok = cx.rec().map(|r| r.begin());
+        self.release();
+        cx.reset_txn();
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, Op::Abort);
+        }
+    }
+
+    pub fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
+        let tok = cx.rec().map(|r| r.begin());
+        let val = self.codec.decode(self.heap.load(var));
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, rd_op(Var(var as u32), val));
+        }
+        val
+    }
+
+    /// Uninstrumented (or codec-packed) non-transactional write: a
+    /// single store.
+    pub fn nt_write_plain(&self, cx: &mut Ctx, var: usize, val: u64) {
+        let tok = cx.rec().map(|r| r.begin());
+        let w = self.codec.encode(cx, val);
+        self.heap.store(var, w);
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, wr_op(Var(var as u32), val));
+        }
+    }
+}
+
+/// The Figure 6 STM: uninstrumented non-transactional operations.
+pub struct GlobalLockStm {
+    core: Fig6Core<RawCodec>,
+}
+
+impl GlobalLockStm {
+    /// An STM over `n_vars` word variables.
+    pub fn new(n_vars: usize) -> Self {
+        GlobalLockStm { core: Fig6Core::new(n_vars, RawCodec) }
+    }
+}
+
+impl TmAlgo for GlobalLockStm {
+    fn name(&self) -> &'static str {
+        "global-lock"
+    }
+
+    fn instrumentation(&self) -> Instrumentation {
+        Instrumentation::Uninstrumented
+    }
+
+    fn txn_start(&self, cx: &mut Ctx) {
+        self.core.txn_start(cx);
+    }
+
+    fn txn_read(&self, cx: &mut Ctx, var: usize) -> Result<u64, Aborted> {
+        Ok(self.core.txn_read(cx, var))
+    }
+
+    fn txn_write(&self, cx: &mut Ctx, var: usize, val: u64) -> Result<(), Aborted> {
+        self.core.txn_write(cx, var, val);
+        Ok(())
+    }
+
+    fn txn_commit(&self, cx: &mut Ctx) -> Result<(), Aborted> {
+        self.core.txn_commit(cx);
+        Ok(())
+    }
+
+    fn txn_abort(&self, cx: &mut Ctx) {
+        self.core.txn_abort(cx);
+    }
+
+    fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
+        self.core.nt_read(cx, var)
+    }
+
+    fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64) {
+        self.core.nt_write_plain(cx, var, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::atomically;
+
+    #[test]
+    fn single_thread_txn_semantics() {
+        let tm = GlobalLockStm::new(4);
+        let mut cx = Ctx::new(ProcId(0), None);
+        let out = atomically(&tm, &mut cx, |tx| {
+            tx.write(0, 7)?;
+            let v = tx.read(0)?; // read-own-write
+            tx.write(1, v + 1)?;
+            tx.read(2) // initial value
+        });
+        assert_eq!(out, 0);
+        assert_eq!(tm.nt_read(&mut cx, 0), 7);
+        assert_eq!(tm.nt_read(&mut cx, 1), 8);
+    }
+
+    #[test]
+    fn explicit_abort_discards() {
+        let tm = GlobalLockStm::new(2);
+        let mut cx = Ctx::new(ProcId(0), None);
+        tm.txn_start(&mut cx);
+        tm.txn_write(&mut cx, 0, 99).unwrap();
+        tm.txn_abort(&mut cx);
+        assert_eq!(tm.nt_read(&mut cx, 0), 0);
+    }
+
+    #[test]
+    fn nt_ops_are_plain() {
+        let tm = GlobalLockStm::new(2);
+        let mut cx = Ctx::new(ProcId(0), None);
+        tm.nt_write(&mut cx, 1, 42);
+        assert_eq!(tm.nt_read(&mut cx, 1), 42);
+        assert_eq!(tm.instrumentation(), Instrumentation::Uninstrumented);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_all_applied() {
+        use std::sync::Arc;
+        let tm = Arc::new(GlobalLockStm::new(1));
+        let threads = 4;
+        let per = 200;
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let tm = tm.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut cx = Ctx::new(ProcId(t), None);
+                for _ in 0..per {
+                    atomically(tm.as_ref(), &mut cx, |tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1)
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut cx = Ctx::new(ProcId(9), None);
+        assert_eq!(tm.nt_read(&mut cx, 0), u64::from(threads) * per);
+    }
+
+    #[test]
+    fn recorded_history_shape() {
+        use crate::recorder::Recorder;
+        let rec = std::sync::Arc::new(Recorder::new());
+        let tm = GlobalLockStm::new(2);
+        let mut cx = Ctx::new(ProcId(0), Some(rec.clone()));
+        atomically(&tm, &mut cx, |tx| {
+            tx.write(0, 5)?;
+            tx.read(1)
+        });
+        tm.nt_read(&mut cx, 0);
+        drop(cx);
+        let trace = std::sync::Arc::try_unwrap(rec).unwrap().into_trace().unwrap();
+        // start, write, read, commit, nt-read = 5 operations.
+        assert_eq!(trace.ops().len(), 5);
+        let h = trace.canonical_history().unwrap();
+        assert_eq!(h.txns().len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # jungle-stm — executable software transactional memories
+//!
+//! Where `jungle-mc` interprets the paper's TM algorithms on a simulated
+//! multiprocessor, this crate runs them *for real*: five STM
+//! implementations over a shared heap of `AtomicU64` cells, exercised by
+//! actual threads, with an optional [`recorder::Recorder`] that captures
+//! the execution as a `jungle-core` history for online opacity/SGLA
+//! checking. The implementations reproduce the paper's design points:
+//!
+//! | STM | paper artifact | non-txn reads | non-txn writes |
+//! |---|---|---|---|
+//! | [`GlobalLockStm`] | Fig. 6 / Thm 3, 7 | plain load | plain store |
+//! | [`WriteTxnStm`] | Thm 4 | plain load | lock + store + unlock |
+//! | [`VersionedStm`] | Thm 5 | plain load | single packed store |
+//! | [`StrongStm`] | §6.1 (Shpeisman et al.) | record check (or plain when `optimized_reads`) | ownership acquisition |
+//! | [`Tl2Stm`] | baseline weak-atomicity STM | plain load (**unsafe mix**) | plain store (**unsafe mix**) |
+//!
+//! All five implement the object-safe [`TmAlgo`] trait; user code goes
+//! through [`atomically`] (retry-on-abort) or the typed
+//! [`tvar::TVarSpace`] facade.
+//!
+//! Memory-ordering note: the implementations use `SeqCst` throughout.
+//! The paper's subject is the *programmer-visible* model of
+//! non-transactional operations relative to transactions, which these
+//! STMs establish with their instrumentation protocols; relaxing the
+//! internal orderings is an optimization orthogonal to the reproduction
+//! and is deliberately not attempted.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cell;
+pub mod collections;
+pub mod global_lock;
+pub mod recorder;
+pub mod strong;
+pub mod tl2;
+pub mod tvar;
+pub mod versioned;
+pub mod word;
+pub mod write_txn;
+
+pub use api::{atomically, Aborted, Ctx, TmAlgo, Tx};
+pub use cell::Heap;
+pub use collections::{QueueState, TArray, TCounter, TQueue};
+pub use global_lock::GlobalLockStm;
+pub use recorder::Recorder;
+pub use strong::StrongStm;
+pub use tl2::Tl2Stm;
+pub use tvar::{TVar, TVarSpace};
+pub use versioned::VersionedStm;
+pub use word::Word;
+pub use write_txn::WriteTxnStm;

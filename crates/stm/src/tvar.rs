@@ -1,0 +1,270 @@
+//! Typed transactional variables over any [`TmAlgo`].
+//!
+//! [`TVarSpace`] owns an STM instance and hands out typed [`TVar`]
+//! handles; [`TVarThread::atomically`] runs a closure transactionally
+//! with typed reads and writes. This is the downstream-facing API the
+//! workspace examples use.
+//!
+//! ```
+//! use jungle_stm::{GlobalLockStm, TVarSpace};
+//!
+//! let space = TVarSpace::new(GlobalLockStm::new(16));
+//! let balance = space.tvar::<u64>(0);
+//! let flag = space.tvar::<bool>(1);
+//!
+//! let mut th = space.thread(0);
+//! th.atomically(|tx| {
+//!     tx.write(&balance, 100u64)?;
+//!     tx.write(&flag, true)
+//! });
+//! assert_eq!(th.read_now(&balance), 100);
+//! assert!(th.read_now(&flag));
+//! ```
+
+use crate::api::{Aborted, Ctx, TmAlgo};
+use crate::recorder::Recorder;
+use crate::word::Word;
+use jungle_core::ids::ProcId;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A typed handle to one shared variable (slot) of a [`TVarSpace`].
+#[derive(Debug)]
+pub struct TVar<W: Word> {
+    slot: usize,
+    _ty: PhantomData<fn() -> W>,
+}
+
+impl<W: Word> Clone for TVar<W> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<W: Word> Copy for TVar<W> {}
+
+impl<W: Word> TVar<W> {
+    /// The underlying heap slot.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+/// A shared space of typed transactional variables backed by an STM
+/// algorithm. Cheap to clone (shares the STM and recorder).
+pub struct TVarSpace<A: TmAlgo> {
+    tm: Arc<A>,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl<A: TmAlgo> Clone for TVarSpace<A> {
+    fn clone(&self) -> Self {
+        TVarSpace { tm: self.tm.clone(), recorder: self.recorder.clone() }
+    }
+}
+
+impl<A: TmAlgo> TVarSpace<A> {
+    /// Wrap an STM instance.
+    pub fn new(tm: A) -> Self {
+        TVarSpace { tm: Arc::new(tm), recorder: None }
+    }
+
+    /// Wrap an STM instance with history recording enabled. The
+    /// returned recorder handle yields the execution's trace once all
+    /// threads are done (`Arc::try_unwrap(rec)?.into_trace()`).
+    pub fn recorded(tm: A) -> (Self, Arc<Recorder>) {
+        let rec = Arc::new(Recorder::new());
+        (TVarSpace { tm: Arc::new(tm), recorder: Some(rec.clone()) }, rec)
+    }
+
+    /// A typed variable at heap slot `slot`.
+    pub fn tvar<W: Word>(&self, slot: usize) -> TVar<W> {
+        TVar { slot, _ty: PhantomData }
+    }
+
+    /// The underlying algorithm.
+    pub fn algo(&self) -> &A {
+        &self.tm
+    }
+
+    /// Create the handle for thread `pid`. Each OS thread gets its own
+    /// (the handle owns the thread's STM context).
+    pub fn thread(&self, pid: u32) -> TVarThread<A> {
+        TVarThread {
+            tm: self.tm.clone(),
+            cx: Ctx::new(ProcId(pid), self.recorder.clone()),
+        }
+    }
+}
+
+/// A per-thread handle owning the thread's [`Ctx`].
+pub struct TVarThread<A: TmAlgo> {
+    tm: Arc<A>,
+    cx: Ctx,
+}
+
+/// Typed transaction handle.
+pub struct TypedTx<'a> {
+    tm: &'a dyn TmAlgo,
+    cx: &'a mut Ctx,
+}
+
+impl<'a> TypedTx<'a> {
+    /// Transactionally read a variable.
+    pub fn read<W: Word>(&mut self, var: &TVar<W>) -> Result<W, Aborted> {
+        self.tm.txn_read(self.cx, var.slot).map(W::from_word)
+    }
+
+    /// Transactionally write a variable.
+    pub fn write<W: Word>(&mut self, var: &TVar<W>, val: W) -> Result<(), Aborted> {
+        self.tm.txn_write(self.cx, var.slot, val.to_word())
+    }
+
+    /// Read-modify-write helper; returns the new value.
+    pub fn modify<W: Word>(
+        &mut self,
+        var: &TVar<W>,
+        f: impl FnOnce(W) -> W,
+    ) -> Result<W, Aborted> {
+        let v = f(self.read(var)?);
+        self.write(var, v)?;
+        Ok(v)
+    }
+}
+
+impl<A: TmAlgo> TVarThread<A> {
+    /// Run `body` transactionally, retrying on conflict, and return its
+    /// result after a successful commit.
+    pub fn atomically<R>(
+        &mut self,
+        mut body: impl FnMut(&mut TypedTx<'_>) -> Result<R, Aborted>,
+    ) -> R {
+        let tm: &A = &self.tm;
+        let mut attempt = 0u32;
+        loop {
+            tm.txn_start(&mut self.cx);
+            let out = {
+                let mut tx = TypedTx { tm, cx: &mut self.cx };
+                body(&mut tx)
+            };
+            match out {
+                Ok(r) => {
+                    if tm.txn_commit(&mut self.cx).is_ok() {
+                        return r;
+                    }
+                }
+                Err(Aborted) => tm.txn_abort(&mut self.cx),
+            }
+            attempt = attempt.saturating_add(1);
+            let spins = 1u64 << attempt.min(10);
+            let jitter = self.cx.next_rand() % spins.max(1);
+            for _ in 0..(spins + jitter) {
+                std::hint::spin_loop();
+            }
+            if attempt > 10 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// This thread's process id.
+    pub fn pid(&self) -> ProcId {
+        self.cx.pid
+    }
+
+    /// Non-transactionally read a variable ("read now").
+    pub fn read_now<W: Word>(&mut self, var: &TVar<W>) -> W {
+        W::from_word(self.tm.nt_read(&mut self.cx, var.slot))
+    }
+
+    /// Non-transactionally write a variable ("write now").
+    pub fn write_now<W: Word>(&mut self, var: &TVar<W>, val: W) {
+        self.tm.nt_write(&mut self.cx, var.slot, val.to_word());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_lock::GlobalLockStm;
+    use crate::strong::StrongStm;
+    use crate::tl2::Tl2Stm;
+    use crate::versioned::VersionedStm;
+
+    #[test]
+    fn typed_roundtrip_all_types() {
+        let space = TVarSpace::new(GlobalLockStm::new(8));
+        let a = space.tvar::<i64>(0);
+        let b = space.tvar::<bool>(1);
+        let c = space.tvar::<f64>(2);
+        let d = space.tvar::<char>(3);
+        let mut th = space.thread(0);
+        th.atomically(|tx| {
+            tx.write(&a, -42i64)?;
+            tx.write(&b, true)?;
+            tx.write(&c, 2.5f64)?;
+            tx.write(&d, '🦀')
+        });
+        assert_eq!(th.read_now(&a), -42);
+        assert!(th.read_now(&b));
+        assert_eq!(th.read_now(&c), 2.5);
+        assert_eq!(th.read_now(&d), '🦀');
+    }
+
+    #[test]
+    fn modify_helper() {
+        let space = TVarSpace::new(Tl2Stm::new(2));
+        let ctr = space.tvar::<u64>(0);
+        let mut th = space.thread(0);
+        let v = th.atomically(|tx| tx.modify(&ctr, |v| v + 10));
+        assert_eq!(v, 10);
+        assert_eq!(th.read_now(&ctr), 10);
+    }
+
+    #[test]
+    fn threads_share_space() {
+        let space = TVarSpace::new(StrongStm::new(1));
+        let ctr = space.tvar::<u64>(0);
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let space = space.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut th = space.thread(t);
+                for _ in 0..100 {
+                    th.atomically(|tx| tx.modify(&ctr, |v| v + 1));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut th = space.thread(9);
+        assert_eq!(th.read_now(&ctr), 400);
+    }
+
+    #[test]
+    fn versioned_space_persists_thread_version() {
+        // The thread handle owns its Ctx, so the versioned STM's local
+        // version counter advances monotonically across operations.
+        let space = TVarSpace::new(VersionedStm::new(1));
+        let x = space.tvar::<u32>(0);
+        let mut th = space.thread(0);
+        for i in 0..10u32 {
+            th.write_now(&x, i);
+        }
+        assert_eq!(th.read_now(&x), 9);
+    }
+
+    #[test]
+    fn recorded_space_produces_trace() {
+        let (space, rec) = TVarSpace::recorded(GlobalLockStm::new(2));
+        let x = space.tvar::<u64>(0);
+        let mut th = space.thread(0);
+        th.atomically(|tx| tx.write(&x, 5));
+        th.read_now(&x);
+        drop(th);
+        drop(space);
+        let trace = Arc::try_unwrap(rec).unwrap().into_trace().unwrap();
+        assert_eq!(trace.ops().len(), 4); // start, write, commit, nt-read
+    }
+}

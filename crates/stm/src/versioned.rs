@@ -1,0 +1,262 @@
+//! Theorem 5's STM: constant-time write instrumentation.
+//!
+//! Every heap cell holds a packed word `value:32 | pid:8 | version:24`.
+//! A non-transactional write increments the thread's *local* version
+//! counter and issues **one store** of a fresh packed word — the
+//! constant-time instrumentation of the theorem. A non-transactional
+//! read is a plain load (the decode is register arithmetic, not an
+//! instruction the memory model can reorder). Transactions run under
+//! the Figure 6 global lock and publish with CAS keyed on the *whole
+//! packed word* latched at first read, so any intervening
+//! non-transactional write — which necessarily changes `(pid, version)`
+//! even when it stores the same value — makes the CAS fail and
+//! serializes after the transaction. This is what defeats the ABA
+//! window that Theorem 2 exploits against plain stores.
+//!
+//! Guarantees opacity parametrized by any `M ∉ Mrr ∪ Mwr` (e.g. Alpha).
+
+use crate::api::{Aborted, Ctx, TmAlgo};
+use crate::global_lock::{Codec, Fig6Core};
+use jungle_isa::tm::Instrumentation;
+
+/// Packed word layout `value:32 | pid:8 | version:24`.
+pub mod packing {
+    use jungle_core::ids::ProcId;
+
+    /// Maximum storable value.
+    pub const MAX_VALUE: u64 = u32::MAX as u64;
+
+    /// Pack a value with writer identity and version.
+    pub fn pack(value: u64, pid: ProcId, version: u32) -> u64 {
+        debug_assert!(value <= MAX_VALUE, "versioned STM stores 32-bit values");
+        (value << 32) | (u64::from(pid.0 & 0xFF) << 24) | u64::from(version & 0x00FF_FFFF)
+    }
+
+    /// Extract the value.
+    pub fn value(word: u64) -> u64 {
+        word >> 32
+    }
+
+    /// Extract the writer process.
+    pub fn pid(word: u64) -> ProcId {
+        ProcId(((word >> 24) & 0xFF) as u32)
+    }
+
+    /// Extract the writer-local version.
+    pub fn version(word: u64) -> u32 {
+        (word & 0x00FF_FFFF) as u32
+    }
+}
+
+struct PackedCodec;
+
+impl Codec for PackedCodec {
+    fn decode(&self, word: u64) -> u64 {
+        packing::value(word)
+    }
+    fn encode(&self, cx: &mut Ctx, val: u64) -> u64 {
+        cx.version = cx.version.wrapping_add(1);
+        packing::pack(val, cx.pid, cx.version)
+    }
+}
+
+/// The Theorem 5 STM.
+pub struct VersionedStm {
+    core: Fig6Core<PackedCodec>,
+}
+
+impl VersionedStm {
+    /// An STM over `n_vars` packed-word variables (values ≤ `u32::MAX`).
+    pub fn new(n_vars: usize) -> Self {
+        VersionedStm { core: Fig6Core::new(n_vars, PackedCodec) }
+    }
+}
+
+impl VersionedStm {
+    /// Footnote 4 of the paper: on models that forbid reordering
+    /// *data-dependent* reads (`M ∈ M^d_rr` — RMO, Java), plain loads
+    /// suffice for independent reads but a data-dependent
+    /// non-transactional read needs "special synchronization … for
+    /// example, a volatile access may be considered as a single
+    /// operation transaction". This is that access path: a
+    /// single-operation transaction under the global lock. Use it for
+    /// reads whose address was computed from a prior non-transactional
+    /// read; use plain [`TmAlgo::nt_read`] everywhere else.
+    pub fn nt_read_volatile(&self, cx: &mut Ctx, var: usize) -> u64 {
+        self.core.acquire(cx.pid);
+        let tok = cx.rec().map(|r| r.begin());
+        let val = packing::value(self.core.heap.load(var));
+        if let (Some(r), Some(t)) = (cx.rec(), tok) {
+            r.finish(cx.pid, t, crate::recorder::rd_op(jungle_core::ids::Var(var as u32), val));
+        }
+        self.core.release();
+        val
+    }
+}
+
+impl TmAlgo for VersionedStm {
+    fn name(&self) -> &'static str {
+        "versioned"
+    }
+
+    fn instrumentation(&self) -> Instrumentation {
+        Instrumentation::ConstantTimeWrites { bound: 1 }
+    }
+
+    fn txn_start(&self, cx: &mut Ctx) {
+        self.core.txn_start(cx);
+    }
+
+    fn txn_read(&self, cx: &mut Ctx, var: usize) -> Result<u64, Aborted> {
+        Ok(self.core.txn_read(cx, var))
+    }
+
+    fn txn_write(&self, cx: &mut Ctx, var: usize, val: u64) -> Result<(), Aborted> {
+        debug_assert!(val <= packing::MAX_VALUE);
+        self.core.txn_write(cx, var, val);
+        Ok(())
+    }
+
+    fn txn_commit(&self, cx: &mut Ctx) -> Result<(), Aborted> {
+        self.core.txn_commit(cx);
+        Ok(())
+    }
+
+    fn txn_abort(&self, cx: &mut Ctx) {
+        self.core.txn_abort(cx);
+    }
+
+    fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
+        self.core.nt_read(cx, var)
+    }
+
+    fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64) {
+        debug_assert!(val <= packing::MAX_VALUE);
+        self.core.nt_write_plain(cx, var, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::atomically;
+    use jungle_core::ids::ProcId;
+
+    #[test]
+    fn packing_roundtrip_and_freshness() {
+        let a = packing::pack(5, ProcId(1), 1);
+        let b = packing::pack(5, ProcId(2), 1);
+        let c = packing::pack(5, ProcId(1), 2);
+        assert_eq!(packing::value(a), 5);
+        assert_eq!(packing::pid(a), ProcId(1));
+        assert_eq!(packing::version(c), 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_roundtrip_through_txn_and_nt() {
+        let tm = VersionedStm::new(3);
+        let mut cx = Ctx::new(ProcId(0), None);
+        tm.nt_write(&mut cx, 0, 41);
+        assert_eq!(tm.nt_read(&mut cx, 0), 41);
+        let v = atomically(&tm, &mut cx, |tx| {
+            let v = tx.read(0)?;
+            tx.write(1, v + 1)?;
+            tx.read(1)
+        });
+        assert_eq!(v, 42);
+        assert_eq!(tm.nt_read(&mut cx, 1), 42);
+    }
+
+    #[test]
+    fn same_value_nt_write_defeats_aba() {
+        // Theorem 2's scenario: a transaction reads x (latching word w),
+        // another thread writes the *same value* non-transactionally,
+        // then the transaction commits. With raw words the CAS would
+        // succeed (ABA); with packed words it must fail, so the
+        // non-transactional write survives.
+        let tm = VersionedStm::new(1);
+        let mut cx0 = Ctx::new(ProcId(0), None);
+        let mut cx1 = Ctx::new(ProcId(1), None);
+
+        tm.txn_start(&mut cx0);
+        let v = tm.txn_read(&mut cx0, 0).unwrap();
+        assert_eq!(v, 0);
+        tm.txn_write(&mut cx0, 0, 7).unwrap();
+        // Concurrent non-transactional write of the same value (0) that
+        // the transaction read.
+        tm.nt_write(&mut cx1, 0, 0);
+        tm.txn_commit(&mut cx0).unwrap();
+        // The commit CAS failed (word changed), so the cell holds the
+        // non-transactional write's 0, not the transactional 7.
+        assert_eq!(tm.nt_read(&mut cx1, 0), 0);
+    }
+
+    #[test]
+    fn volatile_read_is_serialized_with_transactions() {
+        // A volatile (single-op-transaction) read can never land between
+        // a transaction's commit CASes: it waits for the global lock.
+        use std::sync::Arc;
+        let tm = Arc::new(VersionedStm::new(2));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let w = {
+            let tm = tm.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut cx = Ctx::new(ProcId(0), None);
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    i += 1;
+                    atomically(tm.as_ref(), &mut cx, |tx| {
+                        tx.write(0, i % 1000)?;
+                        tx.write(1, i % 1000)
+                    });
+                }
+            })
+        };
+        let mut cx = Ctx::new(ProcId(1), None);
+        for _ in 0..2000 {
+            // Volatile reads of x then y: must never see y fresher
+            // than x (the writer stores x first, all under the lock).
+            let x = tm.nt_read_volatile(&mut cx, 0);
+            let y = tm.nt_read_volatile(&mut cx, 1);
+            // Between the two volatile reads a whole commit may land,
+            // so y ≥ x is the invariant (modulo the wrap at 1000).
+            if x > 0 && y > 0 && x < 900 && y < 900 {
+                assert!(y >= x, "volatile reads observed reordered commits: x={x} y={y}");
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        w.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_values_stay_in_domain() {
+        use std::sync::Arc;
+        let tm = Arc::new(VersionedStm::new(4));
+        let mut joins = Vec::new();
+        for t in 0..4u32 {
+            let tm = tm.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut cx = Ctx::new(ProcId(t), None);
+                for i in 0..300u64 {
+                    if t % 2 == 0 {
+                        atomically(tm.as_ref(), &mut cx, |tx| {
+                            let v = tx.read((i % 4) as usize)?;
+                            assert!(v <= 1000, "decoded value out of domain: {v}");
+                            tx.write(((i + 1) % 4) as usize, i % 1000)
+                        });
+                    } else {
+                        tm.nt_write(&mut cx, (i % 4) as usize, i % 1000);
+                        let v = tm.nt_read(&mut cx, ((i + 2) % 4) as usize);
+                        assert!(v <= 1000, "decoded value out of domain: {v}");
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

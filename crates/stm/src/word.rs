@@ -1,0 +1,139 @@
+//! Encoding of typed values into the 64-bit cells of the shared heap.
+//!
+//! The paper (and the STMs here) operate on word-sized shared
+//! variables; [`Word`] is the bridge that lets the typed
+//! [`TVar`](crate::tvar::TVar) facade store any value with a faithful
+//! 64-bit encoding.
+//!
+//! Note: [`VersionedStm`](crate::versioned::VersionedStm) steals the
+//! upper 32 bits of every cell for `(pid, version)` metadata, so it can
+//! only store values whose encodings fit 32 bits — the typed facade
+//! checks this at runtime.
+
+/// A value with a faithful encoding into a `u64` word.
+pub trait Word: Copy {
+    /// Encode into a word.
+    fn to_word(self) -> u64;
+    /// Decode from a word produced by [`Word::to_word`].
+    fn from_word(w: u64) -> Self;
+    /// Number of significant bits of the encoding (used to reject
+    /// types too wide for the versioned STM's packed cells).
+    const BITS: u32;
+}
+
+macro_rules! uint_word {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+            const BITS: u32 = <$t>::BITS;
+        }
+    )*};
+}
+
+uint_word!(u8, u16, u32, u64, usize);
+
+macro_rules! int_word {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Word for $t {
+            fn to_word(self) -> u64 {
+                <$u>::from_ne_bytes(self.to_ne_bytes()) as u64
+            }
+            fn from_word(w: u64) -> Self {
+                <$t>::from_ne_bytes((w as $u).to_ne_bytes())
+            }
+            const BITS: u32 = <$t>::BITS;
+        }
+    )*};
+}
+
+int_word!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+impl Word for bool {
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+    const BITS: u32 = 1;
+}
+
+impl Word for f32 {
+    fn to_word(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    fn from_word(w: u64) -> Self {
+        f32::from_bits(w as u32)
+    }
+    const BITS: u32 = 32;
+}
+
+impl Word for f64 {
+    fn to_word(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_word(w: u64) -> Self {
+        f64::from_bits(w)
+    }
+    const BITS: u32 = 64;
+}
+
+impl Word for char {
+    fn to_word(self) -> u64 {
+        u64::from(u32::from(self))
+    }
+    fn from_word(w: u64) -> Self {
+        char::from_u32(w as u32).unwrap_or('\u{FFFD}')
+    }
+    const BITS: u32 = 32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<W: Word + PartialEq + std::fmt::Debug>(vals: &[W]) {
+        for &v in vals {
+            assert_eq!(W::from_word(v.to_word()), v);
+        }
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        roundtrip(&[0u8, 1, u8::MAX]);
+        roundtrip(&[0u16, u16::MAX]);
+        roundtrip(&[0u32, u32::MAX]);
+        roundtrip(&[0u64, u64::MAX, 0xDEAD_BEEF]);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        roundtrip(&[0i8, -1, i8::MIN, i8::MAX]);
+        roundtrip(&[0i32, -123456, i32::MIN, i32::MAX]);
+        roundtrip(&[0i64, -1, i64::MIN, i64::MAX]);
+    }
+
+    #[test]
+    fn float_bool_char_roundtrip() {
+        roundtrip(&[0.0f32, -1.5, f32::INFINITY]);
+        roundtrip(&[0.0f64, -2.25, f64::MAX]);
+        roundtrip(&[true, false]);
+        roundtrip(&['a', '🦀', '\0']);
+        // NaN needs a bit-level check (NaN != NaN).
+        assert!(f64::from_word(f64::NAN.to_word()).is_nan());
+    }
+
+    #[test]
+    fn declared_bit_widths() {
+        assert_eq!(<u8 as Word>::BITS, 8);
+        assert_eq!(<bool as Word>::BITS, 1);
+        assert_eq!(<f32 as Word>::BITS, 32);
+        assert_eq!(<i64 as Word>::BITS, 64);
+        assert_eq!(<char as Word>::BITS, 32);
+    }
+}

@@ -1,0 +1,39 @@
+//! # jungle — *Transactions in the Jungle*, reproduced in Rust
+//!
+//! Umbrella crate over the workspace reproducing Guerraoui, Henzinger,
+//! Kapalka & Singh, *"Transactions in the Jungle"* (SPAA 2010): the
+//! formal theory of **parametrized opacity** — transactional-memory
+//! correctness parametrized by the memory model governing
+//! non-transactional accesses — together with every system needed to
+//! exercise it end to end.
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `jungle-core` | histories, memory models (SC/TSO/PSO/RMO/Alpha/Junk-SC/…), the `Mrr`/`Mrw`/`Mwr`/`Mww` classification, and exact checkers for parametrized opacity (§3.3) and SGLA (§6.2) |
+//! | [`isa`] | `jungle-isa` | `load`/`store`/`cas` instructions, traces, trace↔history correspondence, instrumentation taxonomy (§4) |
+//! | [`memsim`] | `jungle-memsim` | the simulated multiprocessor (SC/TSO/PSO hardware) with directed, random, bursty and exhaustive schedulers |
+//! | [`mc`] | `jungle-mc` | the paper's TM algorithms as interpreters + every lemma/theorem as a checkable experiment (§5) |
+//! | [`stm`] | `jungle-stm` | five executable STMs over real atomics with typed `TVar`s and online trace recording |
+//! | [`litmus`] | `jungle-litmus` | the figures as litmus tests, workload generators, real-STM program runner |
+//!
+//! ## Entry points
+//!
+//! * Check a history:
+//!   [`core::opacity::check_opacity`](jungle_core::opacity::check_opacity) /
+//!   [`core::sgla::check_sgla`](jungle_core::sgla::check_sgla).
+//! * Run a theorem experiment:
+//!   [`mc::theorems`](jungle_mc::theorems).
+//! * Use an STM from application code:
+//!   [`stm::TVarSpace`](jungle_stm::tvar::TVarSpace).
+//! * Regenerate the paper: `cargo run --release -p jungle-bench --bin
+//!   report`, and the examples (`quickstart`, `litmus_explorer`,
+//!   `privatization`, `check_history`, `model_checker`).
+
+#![warn(missing_docs)]
+
+pub use jungle_core as core;
+pub use jungle_isa as isa;
+pub use jungle_litmus as litmus;
+pub use jungle_mc as mc;
+pub use jungle_memsim as memsim;
+pub use jungle_stm as stm;

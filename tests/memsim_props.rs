@@ -1,0 +1,148 @@
+//! Property-based tests on the simulator substrate: hardware-model
+//! guarantees that every schedule must respect.
+
+use jungle::core::ids::{ProcId, Val, Var};
+use jungle::core::op::{Command, Op};
+use jungle::isa::instr::Instr;
+use jungle::memsim::process::{FnProcess, PInstr, Process, Step};
+use jungle::memsim::{explore, HwModel, Machine, RandomScheduler};
+use proptest::prelude::*;
+
+fn wr_op(var: Var, val: Val) -> Op {
+    Op::Cmd(Command::Write { var, val })
+}
+
+fn rd_op(var: Var, val: Val) -> Op {
+    Op::Cmd(Command::Read { var, val })
+}
+
+/// A process executing a fixed list of accesses on one address space,
+/// each as its own operation.
+fn straightline(ops: Vec<(bool, u32, Val)>) -> Box<dyn Process> {
+    let mut queue = ops.into_iter();
+    let mut pending: Option<(bool, u32, Val)> = None;
+    let mut phase = 0u8;
+    Box::new(FnProcess::new(move |last| {
+        loop {
+            match phase {
+                0 => match queue.next() {
+                    None => return Step::Done,
+                    Some(op) => {
+                        pending = Some(op);
+                        phase = 1;
+                        let (is_read, a, v) = op;
+                        return Step::Inv(if is_read {
+                            rd_op(Var(a), 0)
+                        } else {
+                            wr_op(Var(a), v)
+                        });
+                    }
+                },
+                1 => {
+                    let (is_read, a, v) = pending.unwrap();
+                    phase = 2;
+                    return Step::Instr(if is_read {
+                        PInstr::Load(a)
+                    } else {
+                        PInstr::Store(a, v)
+                    });
+                }
+                2 => {
+                    let (is_read, a, v) = pending.unwrap();
+                    phase = 0;
+                    return Step::Resp(if is_read {
+                        rd_op(Var(a), last.unwrap())
+                    } else {
+                        wr_op(Var(a), v)
+                    });
+                }
+                _ => unreachable!(),
+            }
+        }
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single-threaded programs are sequentially faithful on every
+    /// hardware model: each read returns the latest program-order write
+    /// to the same address (0 initially).
+    #[test]
+    fn single_thread_reads_latest_write(
+        ops in prop::collection::vec((any::<bool>(), 0..3u32, 1..9u64), 1..12),
+        hw in prop_oneof![Just(HwModel::Sc), Just(HwModel::Tso), Just(HwModel::Pso)],
+        seed in 0..50u64,
+    ) {
+        let m = Machine::new(hw, vec![straightline(ops.clone())]);
+        let mut sched = RandomScheduler::new(seed);
+        let r = m.run(&mut sched, 10_000);
+        prop_assert!(r.completed);
+        // Replay expectations.
+        let mut mem = std::collections::HashMap::new();
+        let mut idx = 0;
+        for instr in r.trace.instrs() {
+            match &instr.instr {
+                Instr::Load { addr, val } => {
+                    let expect = mem.get(addr).copied().unwrap_or(0);
+                    prop_assert_eq!(*val, expect, "op {} read stale value", idx);
+                    idx += 1;
+                }
+                Instr::Store { addr, val } => {
+                    mem.insert(*addr, *val);
+                    idx += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+}
+
+/// Coherence: two writes to the SAME address by one process are never
+/// observed out of order by another process, on any hardware model
+/// (TSO and PSO both keep per-address FIFO order). Exhaustive over all
+/// schedules — a plain test, since the input space is just the three
+/// hardware models.
+#[test]
+fn same_address_writes_stay_ordered() {
+    for hw in [HwModel::Sc, HwModel::Tso, HwModel::Pso] {
+        let factory = move || {
+            Machine::new(hw, vec![straightline(vec![(false, 0, 1), (false, 0, 2)]),
+                                  straightline(vec![(true, 0, 0), (true, 0, 0)])])
+        };
+        let mut violated = false;
+        explore(factory, 128, |r| {
+            let reads: Vec<Val> = r
+                .trace
+                .instrs()
+                .iter()
+                .filter(|i| i.proc == ProcId(1))
+                .filter_map(|i| match i.instr {
+                    Instr::Load { val, .. } => Some(val),
+                    _ => None,
+                })
+                .collect();
+            if reads.len() == 2 && reads[0] == 2 && reads[1] == 1 {
+                violated = true;
+                return true;
+            }
+            false
+        });
+        assert!(!violated, "coherence violated on {hw:?}");
+    }
+}
+
+#[test]
+fn buffers_fully_drain_at_termination() {
+    // After a completed run, every buffered store must be globally
+    // visible in the final memory snapshot.
+    for hw in [HwModel::Sc, HwModel::Tso, HwModel::Pso] {
+        let mut m = Machine::new(hw, vec![straightline(vec![(false, 0, 7), (false, 1, 8)])]);
+        m.poke(2, 99);
+        let mut sched = RandomScheduler::new(3);
+        let r = m.run(&mut sched, 1_000);
+        assert!(r.completed);
+        assert_eq!(r.final_mem, vec![(0, 7), (1, 8), (2, 99)], "on {hw:?}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-validation of the optimized parametrized-opacity checker
+//! against a brute-force oracle.
+//!
+//! The oracle enumerates **every permutation** of the (transformed)
+//! history's operations and tests the definition of §3.3 directly:
+//! sequentiality, respect for `≺h` and the model's required view pairs,
+//! and per-prefix legality via the replay-based reference
+//! implementation. No unit grouping, no serialization-order factoring,
+//! no incremental pruning — maximally dumb, maximally trustworthy.
+//!
+//! For the bundled (viewer-uniform) models, a single witness serves all
+//! processes, so oracle and checker must agree exactly.
+
+use jungle::core::builder::HistoryBuilder;
+use jungle::core::history::{History, OpInstance};
+use jungle::core::ids::{ProcId, Val, Var};
+use jungle::core::legal::every_op_legal;
+use jungle::core::model::{all_models, MemoryModel};
+use jungle::core::opacity::check_opacity;
+use jungle::core::spec::SpecRegistry;
+use proptest::prelude::*;
+
+/// Does permutation `perm` of `th`'s operations satisfy all conditions
+/// of parametrized opacity (as one shared witness)?
+fn perm_is_witness(th: &History, perm: &[usize], model: &dyn MemoryModel) -> bool {
+    // Respect ≺h (generating relation suffices) and the required view
+    // pairs.
+    let pos_of = {
+        let mut v = vec![0usize; th.len()];
+        for (pos, &i) in perm.iter().enumerate() {
+            v[i] = pos;
+        }
+        v
+    };
+    for i in 0..th.len() {
+        for j in 0..th.len() {
+            if i == j {
+                continue;
+            }
+            if th.precedes_rt(i, j) && pos_of[i] > pos_of[j] {
+                return false;
+            }
+            let ops = th.ops();
+            if i < j
+                && !th.is_transactional(i)
+                && !th.is_transactional(j)
+                && ops[i].op.command().is_some()
+                && ops[j].op.command().is_some()
+                && ops[i].proc == ops[j].proc
+                && model.required(th, i, j)
+                && pos_of[i] > pos_of[j]
+            {
+                return false;
+            }
+        }
+    }
+    // Build the permuted history; it must be well-formed, sequential,
+    // and have every operation legal.
+    let ops: Vec<OpInstance> = perm.iter().map(|&i| th.ops()[i].clone()).collect();
+    let Ok(s) = History::new(ops) else {
+        return false;
+    };
+    if !s.is_sequential() {
+        return false;
+    }
+    every_op_legal(&s, &SpecRegistry::registers())
+}
+
+/// Brute-force decision of parametrized opacity.
+fn oracle_opaque(h: &History, model: &dyn MemoryModel) -> bool {
+    let th = model.transform(h);
+    let n = th.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    if perm_is_witness(&th, &perm, model) {
+        return true;
+    }
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            if perm_is_witness(&th, &perm, model) {
+                return true;
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    false
+}
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Read(u8, u8, u8),
+    Write(u8, u8, u8),
+    Start(u8),
+    Commit(u8),
+    Abort(u8),
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0..2u8, 0..2u8, 0..3u8).prop_map(|(p, v, x)| Ev::Read(p, v, x)),
+        (0..2u8, 0..2u8, 1..3u8).prop_map(|(p, v, x)| Ev::Write(p, v, x)),
+        (0..2u8).prop_map(Ev::Start),
+        (0..2u8).prop_map(Ev::Commit),
+        (0..2u8).prop_map(Ev::Abort),
+    ]
+}
+
+fn build_history(evs: &[Ev]) -> History {
+    let mut b = HistoryBuilder::new();
+    let mut open = [false; 2];
+    for ev in evs {
+        match *ev {
+            Ev::Read(p, v, x) => {
+                b.read(ProcId(p.into()), Var(v.into()), Val::from(x));
+            }
+            Ev::Write(p, v, x) => {
+                b.write(ProcId(p.into()), Var(v.into()), Val::from(x));
+            }
+            Ev::Start(p) if !open[p as usize] => {
+                open[p as usize] = true;
+                b.start(ProcId(p.into()));
+            }
+            Ev::Commit(p) if open[p as usize] => {
+                open[p as usize] = false;
+                b.commit(ProcId(p.into()));
+            }
+            Ev::Abort(p) if open[p as usize] => {
+                open[p as usize] = false;
+                b.abort(ProcId(p.into()));
+            }
+            _ => {}
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimized checker agrees with the brute-force oracle on
+    /// random small histories, for every bundled memory model.
+    #[test]
+    fn checker_matches_bruteforce_oracle(
+        evs in prop::collection::vec(ev_strategy(), 0..6)
+    ) {
+        let h = build_history(&evs);
+        prop_assume!(h.len() <= 6); // 6! = 720 permutations per model
+        for m in all_models() {
+            let fast = check_opacity(&h, m).is_opaque();
+            let slow = oracle_opaque(&h, m);
+            prop_assert_eq!(
+                fast,
+                slow,
+                "checker={} oracle={} under {} for {:?}",
+                fast,
+                slow,
+                m.name(),
+                h
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_agrees_on_fig1() {
+    use jungle::core::model::{Rmo, Sc};
+    let mk = |ry: u64, rx: u64| {
+        let mut b = HistoryBuilder::new();
+        b.start(ProcId(1));
+        b.write(ProcId(1), Var(0), 1);
+        b.write(ProcId(1), Var(1), 1);
+        b.commit(ProcId(1));
+        b.read(ProcId(2), Var(1), ry);
+        b.read(ProcId(2), Var(0), rx);
+        b.build().unwrap()
+    };
+    let h = mk(1, 0);
+    assert!(!oracle_opaque(&h, &Sc));
+    assert!(oracle_opaque(&h, &Rmo));
+    assert_eq!(oracle_opaque(&h, &Sc), check_opacity(&h, &Sc).is_opaque());
+    assert_eq!(oracle_opaque(&h, &Rmo), check_opacity(&h, &Rmo).is_opaque());
+}

@@ -1,0 +1,153 @@
+//! Property: on single-threaded programs, every STM implements the same
+//! sequential semantics — a simple reference interpreter. (Concurrency
+//! differentiates them; sequential behaviour must not.)
+
+use jungle::mc::program::{Stmt, ThreadProg, TxOp};
+use jungle::stm::api::{Ctx, TmAlgo};
+use jungle::stm::{GlobalLockStm, StrongStm, Tl2Stm, VersionedStm, WriteTxnStm};
+use jungle_core::ids::{ProcId, Val, Var};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const VARS: u32 = 4;
+
+#[derive(Clone, Debug)]
+enum Act {
+    NtRead(u8),
+    NtWrite(u8, u8),
+    Txn(Vec<(bool, u8, u8)>, bool), // ops (is_read, var, val), abort?
+}
+
+fn act_strategy() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        (0..VARS as u8).prop_map(Act::NtRead),
+        (0..VARS as u8, 1..50u8).prop_map(|(v, x)| Act::NtWrite(v, x)),
+        (
+            prop::collection::vec((any::<bool>(), 0..VARS as u8, 1..50u8), 1..4),
+            prop::bool::weighted(0.25)
+        )
+            .prop_map(|(ops, abort)| Act::Txn(ops, abort)),
+    ]
+}
+
+/// Reference semantics: a flat map, transactions are just grouped ops
+/// (aborting transactions discard their writes), reads are recorded.
+fn reference(acts: &[Act]) -> Vec<Val> {
+    let mut mem: HashMap<u8, Val> = HashMap::new();
+    let mut reads = Vec::new();
+    for a in acts {
+        match a {
+            Act::NtRead(v) => reads.push(mem.get(v).copied().unwrap_or(0)),
+            Act::NtWrite(v, x) => {
+                mem.insert(*v, Val::from(*x));
+            }
+            Act::Txn(ops, abort) => {
+                let mut local = mem.clone();
+                let mut txn_reads = Vec::new();
+                for (is_read, v, x) in ops {
+                    if *is_read {
+                        txn_reads.push(local.get(v).copied().unwrap_or(0));
+                    } else {
+                        local.insert(*v, Val::from(*x));
+                    }
+                }
+                if !*abort {
+                    mem = local;
+                    reads.extend(txn_reads);
+                }
+            }
+        }
+    }
+    reads
+}
+
+/// Convert to the mc DSL and run on a real STM, collecting committed
+/// reads (the runner's convention).
+fn run_on(tm: &dyn TmAlgo, acts: &[Act]) -> Vec<Val> {
+    let stmts: Vec<Stmt> = acts
+        .iter()
+        .map(|a| match a {
+            Act::NtRead(v) => Stmt::NtRead(Var(u32::from(*v))),
+            Act::NtWrite(v, x) => Stmt::NtWrite(Var(u32::from(*v)), Val::from(*x)),
+            Act::Txn(ops, abort) => {
+                let ops = ops
+                    .iter()
+                    .map(|(is_read, v, x)| {
+                        if *is_read {
+                            TxOp::Read(Var(u32::from(*v)))
+                        } else {
+                            TxOp::Write(Var(u32::from(*v)), Val::from(*x))
+                        }
+                    })
+                    .collect();
+                if *abort {
+                    Stmt::aborting_txn(ops)
+                } else {
+                    Stmt::txn(ops)
+                }
+            }
+        })
+        .collect();
+    let prog = ThreadProg(stmts);
+
+    // Single-threaded direct execution (no scheduler involved).
+    let mut cx = Ctx::new(ProcId(0), None);
+    let mut reads = Vec::new();
+    for stmt in &prog.0 {
+        match stmt {
+            Stmt::NtRead(v) => reads.push(tm.nt_read(&mut cx, v.0 as usize)),
+            Stmt::NtWrite(v, val) => tm.nt_write(&mut cx, v.0 as usize, *val),
+            Stmt::Txn { ops, abort } => {
+                tm.txn_start(&mut cx);
+                let mut txn_reads = Vec::new();
+                for op in ops {
+                    match op {
+                        TxOp::Read(v) => {
+                            txn_reads.push(tm.txn_read(&mut cx, v.0 as usize).unwrap())
+                        }
+                        TxOp::Write(v, val) => {
+                            tm.txn_write(&mut cx, v.0 as usize, *val).unwrap()
+                        }
+                    }
+                }
+                if *abort {
+                    tm.txn_abort(&mut cx);
+                } else {
+                    tm.txn_commit(&mut cx).unwrap();
+                    reads.extend(txn_reads);
+                }
+            }
+            Stmt::TxnGuard { .. } => unreachable!(),
+        }
+    }
+    reads
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_stms_agree_with_reference_single_threaded(
+        acts in prop::collection::vec(act_strategy(), 0..12)
+    ) {
+        let expected = reference(&acts);
+        let stms: Vec<Box<dyn TmAlgo>> = vec![
+            Box::new(GlobalLockStm::new(VARS as usize)),
+            Box::new(WriteTxnStm::new(VARS as usize)),
+            Box::new(VersionedStm::new(VARS as usize)),
+            Box::new(StrongStm::new(VARS as usize)),
+            Box::new(StrongStm::new_optimized(VARS as usize)),
+            Box::new(Tl2Stm::new(VARS as usize)),
+        ];
+        for tm in &stms {
+            let got = run_on(tm.as_ref(), &acts);
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "{} diverged from reference on {:?}",
+                tm.name(),
+                acts
+            );
+        }
+    }
+}

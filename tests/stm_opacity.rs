@@ -1,0 +1,139 @@
+//! Integration: the *real* STMs, checked online.
+//!
+//! Each test runs a small concurrent program on an executable STM with
+//! interval recording, then asks the paper's question of the recorded
+//! trace: does **some corresponding history** satisfy the property the
+//! STM claims? (This is exactly the definition of a TM implementation
+//! guaranteeing opacity/SGLA parametrized by a model.)
+
+use jungle::core::model::{Alpha, MemoryModel, Relaxed, Sc};
+use jungle::core::opacity::check_opacity;
+use jungle::core::sgla::check_sgla;
+use jungle::isa::trace::Trace;
+use jungle::litmus::programs::fig1_program;
+use jungle::litmus::runner::run_recorded;
+use jungle::mc::program::{Program, Stmt, ThreadProg, TxOp};
+use jungle::stm::{GlobalLockStm, StrongStm, Tl2Stm, VersionedStm, WriteTxnStm};
+use jungle_core::ids::{X, Y, Z};
+
+fn satisfies_opacity(trace: &Trace, model: &dyn MemoryModel) -> bool {
+    if let Ok(h) = trace.canonical_history() {
+        if check_opacity(&h, model).is_opaque() {
+            return true;
+        }
+    }
+    trace.exists_corresponding(|h| check_opacity(h, model).is_opaque()).is_some()
+}
+
+fn satisfies_sgla(trace: &Trace, model: &dyn MemoryModel) -> bool {
+    if let Ok(h) = trace.canonical_history() {
+        if check_sgla(&h, model).is_sgla() {
+            return true;
+        }
+    }
+    trace.exists_corresponding(|h| check_sgla(h, model).is_sgla()).is_some()
+}
+
+fn mixed_program() -> Program {
+    Program(vec![
+        ThreadProg(vec![
+            Stmt::txn(vec![TxOp::Write(X, 1), TxOp::Write(Y, 2)]),
+            Stmt::NtRead(Z),
+        ]),
+        ThreadProg(vec![Stmt::NtWrite(Z, 5), Stmt::NtRead(Y), Stmt::NtRead(X)]),
+    ])
+}
+
+#[test]
+fn strong_stm_executions_opaque_under_sc() {
+    // The §6.1 strong-atomicity STM: opacity parametrized by SC — the
+    // strongest claim in the workspace, checked on live runs.
+    for i in 0..40 {
+        let (_, trace) = run_recorded(&fig1_program(), || StrongStm::new(4));
+        assert!(
+            satisfies_opacity(&trace, &Sc),
+            "run {i}: strong STM trace not SC-opaque"
+        );
+    }
+    for i in 0..40 {
+        let (_, trace) = run_recorded(&mixed_program(), || StrongStm::new(4));
+        assert!(
+            satisfies_opacity(&trace, &Sc),
+            "run {i}: strong STM mixed trace not SC-opaque"
+        );
+    }
+}
+
+#[test]
+fn global_lock_stm_executions_opaque_under_relaxed_and_sgla_under_sc() {
+    // Theorem 3 + Theorem 7 on the real Figure 6 STM.
+    for i in 0..40 {
+        let (_, trace) = run_recorded(&mixed_program(), || GlobalLockStm::new(4));
+        assert!(
+            satisfies_opacity(&trace, &Relaxed),
+            "run {i}: global-lock trace not Relaxed-opaque"
+        );
+        assert!(
+            satisfies_sgla(&trace, &Sc),
+            "run {i}: global-lock trace not SC-SGLA"
+        );
+    }
+}
+
+#[test]
+fn versioned_stm_executions_opaque_under_alpha() {
+    // Theorem 5 on the real constant-time-write STM.
+    for i in 0..40 {
+        let (_, trace) = run_recorded(&mixed_program(), || VersionedStm::new(4));
+        assert!(
+            satisfies_opacity(&trace, &Alpha),
+            "run {i}: versioned trace not Alpha-opaque"
+        );
+    }
+}
+
+#[test]
+fn write_txn_stm_executions_opaque_under_alpha() {
+    // Theorem 4 on the real writes-as-transactions STM.
+    for i in 0..40 {
+        let (_, trace) = run_recorded(&mixed_program(), || WriteTxnStm::new(4));
+        assert!(
+            satisfies_opacity(&trace, &Alpha),
+            "run {i}: write-txn trace not Alpha-opaque"
+        );
+    }
+}
+
+#[test]
+fn tl2_transaction_only_executions_opaque() {
+    // TL2 guarantees opacity for purely transactional programs (its
+    // weakness is only in mixing).
+    let program = Program(vec![
+        ThreadProg(vec![
+            Stmt::txn(vec![TxOp::Write(X, 1), TxOp::Write(Y, 2)]),
+            Stmt::txn(vec![TxOp::Read(X), TxOp::Read(Y)]),
+        ]),
+        ThreadProg(vec![Stmt::txn(vec![TxOp::Read(Y), TxOp::Write(Z, 3)])]),
+    ]);
+    for i in 0..40 {
+        let (_, trace) = run_recorded(&program, || Tl2Stm::new(4));
+        assert!(
+            satisfies_opacity(&trace, &Sc),
+            "run {i}: TL2 transactional trace not opaque"
+        );
+    }
+}
+
+#[test]
+fn aborting_transactions_recorded_and_consistent() {
+    let program = Program(vec![
+        ThreadProg(vec![Stmt::aborting_txn(vec![TxOp::Write(X, 9)]), Stmt::NtRead(X)]),
+        ThreadProg(vec![Stmt::txn(vec![TxOp::Read(X)])]),
+    ]);
+    for i in 0..30 {
+        let (out, trace) = run_recorded(&program, || GlobalLockStm::new(2));
+        // The aborted write is never visible.
+        assert_eq!(out[0], vec![0], "aborted write leaked on run {i}");
+        assert!(satisfies_opacity(&trace, &Relaxed), "run {i} not opaque");
+    }
+}
