@@ -7,9 +7,10 @@ use jungle_core::builder::HistoryBuilder;
 use jungle_core::history::History;
 use jungle_core::ids::{ProcId, Var};
 use jungle_core::model::{Rmo, Sc};
-use jungle_core::opacity::check_opacity;
+use jungle_core::opacity::{check_opacity, check_opacity_traced};
 use jungle_core::sgla::check_sgla;
 use jungle_litmus::figures::all_litmus;
+use jungle_obs::{MetricsSnapshot, ToJson};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -45,6 +46,18 @@ fn bench_figures(c: &mut Criterion) {
         });
     }
     g.finish();
+    // One traced pass per figure (untimed) so the JSON output carries
+    // the checker's search statistics.
+    let mut snap = MetricsSnapshot::new();
+    for litmus in all_litmus() {
+        for o in &litmus.outcomes {
+            let (_, stats) = check_opacity_traced(&o.history, &Sc);
+            snap.record_checker(litmus.name, &stats);
+            let (_, stats) = check_opacity_traced(&o.history, &Rmo);
+            snap.record_checker(litmus.name, &stats);
+        }
+    }
+    criterion::report_metrics("F1_F2_checker", snap.to_json().to_string());
 }
 
 fn bench_scaling(c: &mut Criterion) {

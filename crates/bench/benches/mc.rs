@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jungle_core::model::Sc;
 use jungle_mc::theorems::{lemma1, thm1_case1, thm2, thm3_litmus};
+use jungle_obs::{MetricsSnapshot, ToJson};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -50,6 +51,20 @@ fn bench_positive_sweep(c: &mut Criterion) {
         })
     });
     g.finish();
+    // One untimed run of each experiment so the JSON output carries the
+    // exploration totals and interpreter-level TM counters.
+    let mut snap = MetricsSnapshot::new();
+    for (e, runs) in [
+        (lemma1(), 5),
+        (thm1_case1(&Sc), 500),
+        (thm2(), 500),
+        (thm3_litmus(), 0),
+    ] {
+        let r = e.run(runs, 4_000);
+        snap.record_stm(e.algo.name(), &r.tm);
+        snap.record_mc(&r.stats);
+    }
+    criterion::report_metrics("E5_mc", snap.to_json().to_string());
 }
 
 criterion_group!(benches, bench_violation_searches, bench_positive_sweep);

@@ -11,8 +11,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use jungle_bench::all_stms;
 use jungle_core::ids::ProcId;
 use jungle_litmus::workload::{execute, generate, WorkloadCfg};
+use jungle_obs::{MetricsSnapshot, TmMetrics, ToJson};
 use jungle_stm::api::Ctx;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_mixed(c: &mut Criterion) {
@@ -42,6 +44,24 @@ fn bench_mixed(c: &mut Criterion) {
         }
     }
     g.finish();
+    // Counted replay (metrics attached, untimed) of the 50% mix for the
+    // JSON output.
+    let cfg = WorkloadCfg {
+        n_vars: 256,
+        txn_pct: 50,
+        read_pct: 80,
+        txn_len: 4,
+        ops: 2_000,
+    };
+    let items = generate(&cfg, 42);
+    let mut snap = MetricsSnapshot::new();
+    for tm in all_stms(cfg.n_vars) {
+        let metrics = Arc::new(TmMetrics::new());
+        let mut cx = Ctx::new(ProcId(0), None).with_metrics(metrics.clone());
+        black_box(execute(tm.as_ref(), &mut cx, &items));
+        snap.record_stm(tm.name(), &metrics.snapshot());
+    }
+    criterion::report_metrics("E4_mixed", snap.to_json().to_string());
 }
 
 criterion_group!(benches, bench_mixed);

@@ -19,11 +19,35 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jungle_bench::all_stms;
 use jungle_core::ids::ProcId;
+use jungle_obs::{MetricsSnapshot, TmMetrics, ToJson};
 use jungle_stm::api::Ctx;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 const VARS: usize = 1024;
+
+/// Replay a short counted run (metrics attached, outside the measured
+/// loop) so the JSON output carries the per-STM counters without
+/// perturbing the timings above.
+fn counted_pass(reads: bool) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    for tm in all_stms(VARS) {
+        let metrics = Arc::new(TmMetrics::new());
+        let mut cx = Ctx::new(ProcId(0), None).with_metrics(metrics.clone());
+        let mut i = 0usize;
+        for v in 0..1_000u64 {
+            i = (i + 7) & (VARS - 1);
+            if reads {
+                black_box(tm.nt_read(&mut cx, i));
+            } else {
+                tm.nt_write(&mut cx, i, v % 100);
+            }
+        }
+        snap.record_stm(tm.name(), &metrics.snapshot());
+    }
+    snap
+}
 
 fn bench_nt_reads(c: &mut Criterion) {
     let mut g = c.benchmark_group("E1_nontxn_read");
@@ -45,6 +69,7 @@ fn bench_nt_reads(c: &mut Criterion) {
         });
     }
     g.finish();
+    criterion::report_metrics("E1_nontxn_read", counted_pass(true).to_json().to_string());
 }
 
 fn bench_nt_writes(c: &mut Criterion) {
@@ -65,6 +90,7 @@ fn bench_nt_writes(c: &mut Criterion) {
         });
     }
     g.finish();
+    criterion::report_metrics("E2_nontxn_write", counted_pass(false).to_json().to_string());
 }
 
 criterion_group!(benches, bench_nt_reads, bench_nt_writes);

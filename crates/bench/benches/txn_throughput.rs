@@ -10,8 +10,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jungle_bench::all_stms;
 use jungle_core::ids::ProcId;
+use jungle_obs::{MetricsSnapshot, TmMetrics, ToJson};
 use jungle_stm::api::{Ctx, TmAlgo};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 const VARS: usize = 1024;
@@ -52,16 +54,12 @@ fn bench_txn_sizes(c: &mut Criterion) {
         for tm in all_stms(VARS) {
             let mut cx = Ctx::new(ProcId(0), None);
             let mut base = 0usize;
-            g.bench_with_input(
-                BenchmarkId::new(tm.name(), len),
-                &len,
-                |b, &len| {
-                    b.iter(|| {
-                        base = (base + 31) & (VARS - 1);
-                        black_box(run_txn(tm.as_ref(), &mut cx, base, len, 50))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(tm.name(), len), &len, |b, &len| {
+                b.iter(|| {
+                    base = (base + 31) & (VARS - 1);
+                    black_box(run_txn(tm.as_ref(), &mut cx, base, len, 50))
+                })
+            });
         }
     }
     g.finish();
@@ -89,6 +87,19 @@ fn bench_txn_mixes(c: &mut Criterion) {
         }
     }
     g.finish();
+    // Counted replay (metrics attached, untimed) for the JSON output.
+    let mut snap = MetricsSnapshot::new();
+    for tm in all_stms(VARS) {
+        let metrics = Arc::new(TmMetrics::new());
+        let mut cx = Ctx::new(ProcId(0), None).with_metrics(metrics.clone());
+        let mut base = 0usize;
+        for _ in 0..500 {
+            base = (base + 31) & (VARS - 1);
+            black_box(run_txn(tm.as_ref(), &mut cx, base, 8, 50));
+        }
+        snap.record_stm(tm.name(), &metrics.snapshot());
+    }
+    criterion::report_metrics("E3_txn_throughput", snap.to_json().to_string());
 }
 
 criterion_group!(benches, bench_txn_sizes, bench_txn_mixes);

@@ -1,16 +1,25 @@
 //! The reproduction report: regenerates every figure verdict and
 //! theorem experiment of the paper in one run and prints the tables
-//! that EXPERIMENTS.md records. Optionally dumps JSON with `--json`.
+//! that EXPERIMENTS.md records.
+//!
+//! With `--json`, stdout carries **exactly one JSON object**
+//! (`{"rows": [...], "metrics": {...}}`) and nothing else; the human
+//! tables are suppressed. The `metrics` section aggregates the
+//! observability counters: opacity-checker search statistics per litmus
+//! figure, per-STM runtime counters from the theorem sweeps, and the
+//! model-checker exploration totals.
 //!
 //! Run with: `cargo run --release -p jungle-bench --bin report`
 
 use jungle_core::model::all_models;
+use jungle_core::opacity::check_opacity_traced;
 use jungle_litmus::figures::all_litmus;
 use jungle_mc::algos::{
     GlobalLockTm, LazyTl2Tm, StrongTm, TmAlgo as McAlgo, VersionedTm, WriteTxnTm,
 };
 use jungle_mc::cost::measure;
 use jungle_mc::theorems::all_fixed_experiments;
+use jungle_obs::{Json, MetricsSnapshot, ToJson};
 
 struct Row {
     section: &'static str,
@@ -20,9 +29,22 @@ struct Row {
     pass: bool,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("section", self.section.into())
+            .push("id", self.id.as_str().into())
+            .push("expected", self.expected.into())
+            .push("observed", self.observed.as_str().into())
+            .push("pass", self.pass.into());
+        j
+    }
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let mut rows: Vec<Row> = Vec::new();
+    let mut metrics = MetricsSnapshot::new();
 
     // ── Figures 1–2: litmus verdict tables ────────────────────────
     if !json {
@@ -42,7 +64,9 @@ fn main() {
                 print!("  {:<14}", o.label);
             }
             for m in all_models() {
-                let ok = litmus.judge(&o.label, m).unwrap();
+                let (verdict, stats) = check_opacity_traced(&o.history, m);
+                metrics.record_checker(litmus.name, &stats);
+                let ok = verdict.is_opaque();
                 if !json {
                     print!("{:>9}", if ok { "allowed" } else { "✗" });
                 }
@@ -50,7 +74,11 @@ fn main() {
                     section: "figures",
                     id: format!("{}/{}/{}", litmus.name, o.label, m.name()),
                     expected: "(see paper)",
-                    observed: if ok { "allowed".into() } else { "forbidden".into() },
+                    observed: if ok {
+                        "allowed".into()
+                    } else {
+                        "forbidden".into()
+                    },
                     pass: true,
                 });
             }
@@ -104,6 +132,8 @@ fn main() {
         let t0 = std::time::Instant::now();
         let r = e.run(2_000, 8_000);
         let dt = t0.elapsed();
+        metrics.record_stm(e.algo.name(), &r.tm);
+        metrics.record_mc(&r.stats);
         if !json {
             println!(
                 "  {:<22} {:<36} {:>6} ({:.0?})",
@@ -124,21 +154,17 @@ fn main() {
 
     let failed: Vec<&Row> = rows.iter().filter(|r| !r.pass).collect();
     if json {
-        // Minimal hand-rolled JSON (fields are plain ASCII).
-        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-        println!("[");
-        for (i, r) in rows.iter().enumerate() {
-            println!(
-                "  {{\"section\":\"{}\",\"id\":\"{}\",\"expected\":\"{}\",\"observed\":\"{}\",\"pass\":{}}}{}",
-                r.section,
-                esc(&r.id),
-                esc(r.expected),
-                esc(&r.observed),
-                r.pass,
-                if i + 1 == rows.len() { "" } else { "," }
-            );
+        let mut out = Json::obj();
+        out.push(
+            "rows",
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        )
+        .push("metrics", metrics.to_json());
+        println!("{out}");
+        if !failed.is_empty() {
+            eprintln!("{} report checks failed", failed.len());
+            std::process::exit(1);
         }
-        println!("]");
     } else {
         println!();
         if failed.is_empty() {

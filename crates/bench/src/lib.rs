@@ -36,7 +36,14 @@ pub fn all_stms(n_vars: usize) -> Vec<Box<dyn TmAlgo + Send + Sync>> {
 
 /// The STM display names, aligned with [`all_stms`].
 pub fn stm_names() -> Vec<&'static str> {
-    vec!["global-lock", "write-txn", "versioned", "strong", "strong-optimized", "tl2"]
+    vec![
+        "global-lock",
+        "write-txn",
+        "versioned",
+        "strong",
+        "strong-optimized",
+        "tl2",
+    ]
 }
 
 #[cfg(test)]

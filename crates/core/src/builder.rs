@@ -33,7 +33,10 @@ pub struct HistoryBuilder {
 impl HistoryBuilder {
     /// New empty builder; the first operation gets identifier 1.
     pub fn new() -> Self {
-        HistoryBuilder { ops: Vec::new(), next_id: 1 }
+        HistoryBuilder {
+            ops: Vec::new(),
+            next_id: 1,
+        }
     }
 
     fn push(&mut self, proc: ProcId, op: Op) -> OpId {
@@ -82,7 +85,15 @@ impl HistoryBuilder {
         kind: DepKind,
         deps: Vec<OpId>,
     ) -> OpId {
-        self.push(proc, Op::Cmd(Command::DepRead { var, val, kind, deps }))
+        self.push(
+            proc,
+            Op::Cmd(Command::DepRead {
+                var,
+                val,
+                kind,
+                deps,
+            }),
+        )
     }
 
     /// Append a control/data-dependent write.
@@ -94,7 +105,15 @@ impl HistoryBuilder {
         kind: DepKind,
         deps: Vec<OpId>,
     ) -> OpId {
-        self.push(proc, Op::Cmd(Command::DepWrite { var, val, kind, deps }))
+        self.push(
+            proc,
+            Op::Cmd(Command::DepWrite {
+                var,
+                val,
+                kind,
+                deps,
+            }),
+        )
     }
 
     /// Append a `havoc` pseudo-operation.

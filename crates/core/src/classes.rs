@@ -254,9 +254,15 @@ mod tests {
 
     #[test]
     fn union_class_helpers() {
-        let c = ClassSet { rr_d: true, ..ClassSet::default() };
+        let c = ClassSet {
+            rr_d: true,
+            ..ClassSet::default()
+        };
         assert!(c.in_mrr() && !c.in_mrw() && c.in_any());
-        let c = ClassSet { wr: true, ..ClassSet::default() };
+        let c = ClassSet {
+            wr: true,
+            ..ClassSet::default()
+        };
         assert!(c.in_mwr() && c.in_any());
         assert!(!ClassSet::default().in_any());
     }
@@ -270,10 +276,18 @@ mod tests {
         for m in all_models() {
             let c = m.classes();
             if c.rr_i {
-                assert!(c.rr_c && c.rr_d, "{} violates M^i_rr ⊆ M^c_rr ∩ M^d_rr", m.name());
+                assert!(
+                    c.rr_c && c.rr_d,
+                    "{} violates M^i_rr ⊆ M^c_rr ∩ M^d_rr",
+                    m.name()
+                );
             }
             if c.rw_i {
-                assert!(c.rw_c && c.rw_d, "{} violates M^i_rw ⊆ M^c_rw ∩ M^d_rw", m.name());
+                assert!(
+                    c.rw_c && c.rw_d,
+                    "{} violates M^i_rw ⊆ M^c_rw ∩ M^d_rw",
+                    m.name()
+                );
             }
         }
     }

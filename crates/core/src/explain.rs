@@ -59,17 +59,20 @@ impl Diagnosis {
         if !self.best_prefix.is_empty() {
             out.push_str("  prefix: ");
             out.push_str(
-                &self.best_prefix.iter().map(|id| op_str(id)).collect::<Vec<_>>().join(" → "),
+                &self
+                    .best_prefix
+                    .iter()
+                    .map(op_str)
+                    .collect::<Vec<_>>()
+                    .join(" → "),
             );
             out.push('\n');
         }
         for (id, b) in &self.stuck {
             match b {
-                Blocker::OrderedAfter(dep) => out.push_str(&format!(
-                    "  {} must wait for {}\n",
-                    op_str(id),
-                    op_str(dep)
-                )),
+                Blocker::OrderedAfter(dep) => {
+                    out.push_str(&format!("  {} must wait for {}\n", op_str(id), op_str(dep)))
+                }
                 Blocker::Illegal => out.push_str(&format!(
                     "  {} cannot be made legal at any remaining position\n",
                     op_str(id)
@@ -99,7 +102,11 @@ pub fn explain_opacity_with(
     specs: &SpecRegistry,
 ) -> Diagnosis {
     if check_opacity_with(h, model, specs).is_opaque() {
-        return Diagnosis { opaque: true, best_prefix: Vec::new(), stuck: Vec::new() };
+        return Diagnosis {
+            opaque: true,
+            best_prefix: Vec::new(),
+            stuck: Vec::new(),
+        };
     }
     let th = model.transform(h);
 
@@ -119,9 +126,9 @@ pub fn explain_opacity_with(
             unit_of[i] = ti;
         }
     }
-    for i in 0..th.len() {
+    for (i, u) in unit_of.iter_mut().enumerate() {
         if th.txn_of(i).is_none() {
-            unit_of[i] = units.len();
+            *u = units.len();
             units.push(Unit::Nt(i));
         }
     }
@@ -140,9 +147,7 @@ pub fn explain_opacity_with(
             continue;
         }
         for j in (i + 1)..th.len() {
-            if th.is_transactional(j)
-                || ops[j].op.command().is_none()
-                || ops[i].proc != ops[j].proc
+            if th.is_transactional(j) || ops[j].op.command().is_none() || ops[i].proc != ops[j].proc
             {
                 continue;
             }
@@ -222,7 +227,10 @@ pub fn explain_opacity_with(
             Unit::Nt(i) => th.ops()[*i].id,
             Unit::Txn(ti) => th.ops()[txns[*ti].first()].id,
         };
-        let waiting = edges.iter().find(|&&(a, b)| b == u && !placed[a]).map(|&(a, _)| a);
+        let waiting = edges
+            .iter()
+            .find(|&&(a, b)| b == u && !placed[a])
+            .map(|&(a, _)| a);
         match waiting {
             Some(a) => {
                 let dep = match &units[a] {
@@ -235,7 +243,11 @@ pub fn explain_opacity_with(
         }
     }
 
-    Diagnosis { opaque: false, best_prefix: prefix, stuck }
+    Diagnosis {
+        opaque: false,
+        best_prefix: prefix,
+        stuck,
+    }
 }
 
 #[cfg(test)]

@@ -96,7 +96,10 @@ impl std::fmt::Display for HistoryError {
                 write!(f, "commit/abort {id} by {proc} without matching start")
             }
             HistoryError::BadDependency { id, dep } => {
-                write!(f, "operation {id} depends on {dep}, which does not precede it")
+                write!(
+                    f,
+                    "operation {id} depends on {dep}, which does not precede it"
+                )
             }
         }
     }
@@ -140,7 +143,10 @@ impl History {
             match &oi.op {
                 Op::Start => {
                     if open.contains_key(&oi.proc) {
-                        return Err(HistoryError::NestedStart { proc: oi.proc, id: oi.id });
+                        return Err(HistoryError::NestedStart {
+                            proc: oi.proc,
+                            id: oi.id,
+                        });
                     }
                     let t = txns.len();
                     txns.push(Txn {
@@ -153,7 +159,10 @@ impl History {
                 }
                 Op::Commit | Op::Abort => {
                     let Some(&t) = open.get(&oi.proc) else {
-                        return Err(HistoryError::UnmatchedEnd { proc: oi.proc, id: oi.id });
+                        return Err(HistoryError::UnmatchedEnd {
+                            proc: oi.proc,
+                            id: oi.id,
+                        });
                     };
                     txns[t].op_indices.push(i);
                     txns[t].status = if matches!(oi.op, Op::Commit) {
@@ -176,10 +185,7 @@ impl History {
                             match index_of.get(d) {
                                 Some(&j) if j < i && ops[j].proc == oi.proc => {}
                                 _ => {
-                                    return Err(HistoryError::BadDependency {
-                                        id: oi.id,
-                                        dep: *d,
-                                    })
+                                    return Err(HistoryError::BadDependency { id: oi.id, dep: *d })
                                 }
                             }
                         }
@@ -188,7 +194,12 @@ impl History {
             }
         }
 
-        Ok(History { ops, txns, txn_of, index_of })
+        Ok(History {
+            ops,
+            txns,
+            txn_of,
+            index_of,
+        })
     }
 
     /// The operation instances, in history order.
@@ -291,6 +302,7 @@ impl History {
     /// The full real-time partial order `≺h` (transitive closure of
     /// [`History::precedes_rt`]) as a boolean matrix indexed by history
     /// position. Quadratic in space; intended for tests and diagnostics.
+    #[allow(clippy::needless_range_loop)] // index-matrix code reads clearer with i/j/k
     pub fn rt_closure(&self) -> Vec<Vec<bool>> {
         let n = self.ops.len();
         let mut m = vec![vec![false; n]; n];
@@ -333,8 +345,7 @@ impl History {
     pub fn is_transactionally_sequential(&self) -> bool {
         self.txns.iter().all(|t| {
             let (first, last) = (t.first(), t.last());
-            (first..=last)
-                .all(|i| self.txn_of[i].is_none() || self.txn_of[i] == self.txn_of[first])
+            (first..=last).all(|i| self.txn_of[i].is_none() || self.txn_of[i] == self.txn_of[first])
         })
     }
 
@@ -452,24 +463,53 @@ mod tests {
     #[test]
     fn nested_start_rejected() {
         let mut ops = Vec::new();
-        ops.push(OpInstance { op: Op::Start, proc: p(1), id: OpId(1) });
-        ops.push(OpInstance { op: Op::Start, proc: p(1), id: OpId(2) });
-        assert!(matches!(History::new(ops), Err(HistoryError::NestedStart { .. })));
+        ops.push(OpInstance {
+            op: Op::Start,
+            proc: p(1),
+            id: OpId(1),
+        });
+        ops.push(OpInstance {
+            op: Op::Start,
+            proc: p(1),
+            id: OpId(2),
+        });
+        assert!(matches!(
+            History::new(ops),
+            Err(HistoryError::NestedStart { .. })
+        ));
     }
 
     #[test]
     fn unmatched_commit_rejected() {
-        let ops = vec![OpInstance { op: Op::Commit, proc: p(1), id: OpId(1) }];
-        assert!(matches!(History::new(ops), Err(HistoryError::UnmatchedEnd { .. })));
+        let ops = vec![OpInstance {
+            op: Op::Commit,
+            proc: p(1),
+            id: OpId(1),
+        }];
+        assert!(matches!(
+            History::new(ops),
+            Err(HistoryError::UnmatchedEnd { .. })
+        ));
     }
 
     #[test]
     fn duplicate_ids_rejected() {
         let ops = vec![
-            OpInstance { op: Op::Start, proc: p(1), id: OpId(1) },
-            OpInstance { op: Op::Commit, proc: p(1), id: OpId(1) },
+            OpInstance {
+                op: Op::Start,
+                proc: p(1),
+                id: OpId(1),
+            },
+            OpInstance {
+                op: Op::Commit,
+                proc: p(1),
+                id: OpId(1),
+            },
         ];
-        assert!(matches!(History::new(ops), Err(HistoryError::DuplicateOpId(_))));
+        assert!(matches!(
+            History::new(ops),
+            Err(HistoryError::DuplicateOpId(_))
+        ));
     }
 
     #[test]
@@ -485,7 +525,10 @@ mod tests {
             proc: p(1),
             id: OpId(1),
         }];
-        assert!(matches!(History::new(ops), Err(HistoryError::BadDependency { .. })));
+        assert!(matches!(
+            History::new(ops),
+            Err(HistoryError::BadDependency { .. })
+        ));
     }
 
     #[test]

@@ -228,11 +228,19 @@ pub struct CsChecker<'a> {
 impl<'a> CsChecker<'a> {
     /// New checker with all variables in their initial state.
     pub fn new(specs: &'a SpecRegistry) -> Self {
-        CsChecker { specs, state: HashMap::new(), undo: Vec::new(), in_txn: false }
+        CsChecker {
+            specs,
+            state: HashMap::new(),
+            undo: Vec::new(),
+            in_txn: false,
+        }
     }
 
     fn get(&self, var: Var) -> SpecState {
-        self.state.get(&var).copied().unwrap_or_else(|| self.specs.spec_of(var).init())
+        self.state
+            .get(&var)
+            .copied()
+            .unwrap_or_else(|| self.specs.spec_of(var).init())
     }
 
     /// True while a transaction is open.

@@ -75,13 +75,12 @@ pub mod prelude {
     pub use crate::classes::ClassSet;
     pub use crate::history::{History, OpInstance, TxnStatus};
     pub use crate::ids::{OpId, ProcId, Val, Var};
-    pub use crate::model::{
-        Alpha, JunkSc, MemoryModel, Pso, Relaxed, Rmo, Sc, Tso, TsoForwarding,
-    };
+    pub use crate::model::{Alpha, JunkSc, MemoryModel, Pso, Relaxed, Rmo, Sc, Tso, TsoForwarding};
     pub use crate::op::{Command, DepKind, Op};
-    pub use crate::opacity::{check_opacity, OpacityVerdict};
-    pub use crate::sgla::{check_sgla, SglaVerdict};
+    pub use crate::opacity::{check_opacity, check_opacity_traced, OpacityVerdict};
+    pub use crate::sgla::{check_sgla, check_sgla_traced, SglaVerdict};
     pub use crate::spec::{Spec, SpecRegistry};
+    pub use jungle_obs::SearchStats;
 }
 
 pub use prelude::*;

@@ -119,7 +119,16 @@ impl MemoryModel for Sc {
     }
 
     fn classes(&self) -> ClassSet {
-        ClassSet { rr_i: true, rr_c: true, rr_d: true, rw_i: true, rw_c: true, rw_d: true, wr: true, ww: true }
+        ClassSet {
+            rr_i: true,
+            rr_c: true,
+            rr_d: true,
+            rw_i: true,
+            rw_c: true,
+            rw_d: true,
+            wr: true,
+            ww: true,
+        }
     }
 }
 
@@ -148,7 +157,16 @@ impl MemoryModel for Tso {
     }
 
     fn classes(&self) -> ClassSet {
-        ClassSet { rr_i: true, rr_c: true, rr_d: true, rw_i: true, rw_c: true, rw_d: true, wr: false, ww: true }
+        ClassSet {
+            rr_i: true,
+            rr_c: true,
+            rr_d: true,
+            rw_i: true,
+            rw_c: true,
+            rw_d: true,
+            wr: false,
+            ww: true,
+        }
     }
 }
 
@@ -174,7 +192,10 @@ impl TsoForwarding {
             .rev()
             .find(|o| {
                 o.proc == proc
-                    && o.op.command().map(|c| c.is_write() && c.var() == var).unwrap_or(false)
+                    && o.op
+                        .command()
+                        .map(|c| c.is_write() && c.var() == var)
+                        .unwrap_or(false)
             })
             .and_then(|o| o.op.command().and_then(Command::written_val));
         match last_write {
@@ -206,7 +227,16 @@ impl MemoryModel for TsoForwarding {
     fn classes(&self) -> ClassSet {
         // Not read-read restrictive in general (forwarded reads may
         // reorder), hence outside M^i_rr unlike plain `Tso`.
-        ClassSet { rr_i: false, rr_c: false, rr_d: false, rw_i: true, rw_c: true, rw_d: true, wr: false, ww: true }
+        ClassSet {
+            rr_i: false,
+            rr_c: false,
+            rr_d: false,
+            rw_i: true,
+            rw_c: true,
+            rw_d: true,
+            wr: false,
+            ww: true,
+        }
     }
 }
 
@@ -226,7 +256,16 @@ impl MemoryModel for Pso {
     }
 
     fn classes(&self) -> ClassSet {
-        ClassSet { rr_i: true, rr_c: true, rr_d: true, rw_i: true, rw_c: true, rw_d: true, wr: false, ww: false }
+        ClassSet {
+            rr_i: true,
+            rr_c: true,
+            rr_d: true,
+            rw_i: true,
+            rw_c: true,
+            rw_d: true,
+            wr: false,
+            ww: false,
+        }
     }
 }
 
@@ -255,13 +294,25 @@ impl MemoryModel for Rmo {
             // read they depend on.
             Command::DepWrite { .. } => depends_on(h, i, j),
             // Dependent reads: only *data*-dependent reads are ordered.
-            Command::DepRead { kind: crate::op::DepKind::Data, .. } => depends_on(h, i, j),
+            Command::DepRead {
+                kind: crate::op::DepKind::Data,
+                ..
+            } => depends_on(h, i, j),
             _ => false,
         }
     }
 
     fn classes(&self) -> ClassSet {
-        ClassSet { rr_i: false, rr_c: false, rr_d: true, rw_i: false, rw_c: true, rw_d: true, wr: false, ww: false }
+        ClassSet {
+            rr_i: false,
+            rr_c: false,
+            rr_d: true,
+            rw_i: false,
+            rw_c: true,
+            rw_d: true,
+            wr: false,
+            ww: false,
+        }
     }
 }
 
@@ -285,7 +336,16 @@ impl MemoryModel for Alpha {
     }
 
     fn classes(&self) -> ClassSet {
-        ClassSet { rr_i: false, rr_c: false, rr_d: false, rw_i: false, rw_c: true, rw_d: true, wr: false, ww: false }
+        ClassSet {
+            rr_i: false,
+            rr_c: false,
+            rr_d: false,
+            rw_i: false,
+            rw_c: true,
+            rw_d: true,
+            wr: false,
+            ww: false,
+        }
     }
 }
 
@@ -344,14 +404,32 @@ impl MemoryModel for JunkSc {
     }
 
     fn classes(&self) -> ClassSet {
-        ClassSet { rr_i: true, rr_c: true, rr_d: true, rw_i: true, rw_c: true, rw_d: true, wr: true, ww: true }
+        ClassSet {
+            rr_i: true,
+            rr_c: true,
+            rr_d: true,
+            rw_i: true,
+            rw_c: true,
+            rw_d: true,
+            wr: true,
+            ww: true,
+        }
     }
 }
 
 /// All concrete models in this module, for sweeping tests and litmus
 /// harnesses.
 pub fn all_models() -> Vec<&'static dyn MemoryModel> {
-    vec![&Sc, &Tso, &TsoForwarding, &Pso, &Rmo, &Alpha, &Relaxed, &JunkSc]
+    vec![
+        &Sc,
+        &Tso,
+        &TsoForwarding,
+        &Pso,
+        &Rmo,
+        &Alpha,
+        &Relaxed,
+        &JunkSc,
+    ]
 }
 
 #[cfg(test)]
@@ -399,7 +477,11 @@ mod tests {
     fn tso_relaxes_only_write_read() {
         let h = pair(wr(X, 1), rd(Y, 0));
         assert!(!Tso.required(&h, 0, 1));
-        for (a, b) in [(rd(X, 0), rd(Y, 0)), (rd(X, 0), wr(Y, 1)), (wr(X, 1), wr(Y, 1))] {
+        for (a, b) in [
+            (rd(X, 0), rd(Y, 0)),
+            (rd(X, 0), wr(Y, 1)),
+            (wr(X, 1), wr(Y, 1)),
+        ] {
             let h = pair(a, b);
             assert!(Tso.required(&h, 0, 1));
         }

@@ -185,8 +185,17 @@ impl fmt::Display for Command {
         match self {
             Command::Read { var, val } => write!(f, "(rd,{var},{val})"),
             Command::Write { var, val } => write!(f, "(wr,{var},{val})"),
-            Command::DepRead { var, val, kind, deps } => {
-                let k = if *kind == DepKind::Control { "cdrd" } else { "ddrd" };
+            Command::DepRead {
+                var,
+                val,
+                kind,
+                deps,
+            } => {
+                let k = if *kind == DepKind::Control {
+                    "cdrd"
+                } else {
+                    "ddrd"
+                };
                 write!(f, "({k},{var},{val},{{")?;
                 for (i, d) in deps.iter().enumerate() {
                     if i > 0 {
@@ -196,8 +205,17 @@ impl fmt::Display for Command {
                 }
                 write!(f, "}})")
             }
-            Command::DepWrite { var, val, kind, deps } => {
-                let k = if *kind == DepKind::Control { "cdwr" } else { "ddwr" };
+            Command::DepWrite {
+                var,
+                val,
+                kind,
+                deps,
+            } => {
+                let k = if *kind == DepKind::Control {
+                    "cdwr"
+                } else {
+                    "ddwr"
+                };
                 write!(f, "({k},{var},{val},{{")?;
                 for (i, d) in deps.iter().enumerate() {
                     if i > 0 {
@@ -233,8 +251,18 @@ mod tests {
     fn read_write_predicates() {
         let r = Command::Read { var: X, val: 1 };
         let w = Command::Write { var: Y, val: 2 };
-        let dr = Command::DepRead { var: X, val: 0, kind: DepKind::Data, deps: vec![OpId(1)] };
-        let dw = Command::DepWrite { var: Y, val: 3, kind: DepKind::Control, deps: vec![OpId(2)] };
+        let dr = Command::DepRead {
+            var: X,
+            val: 0,
+            kind: DepKind::Data,
+            deps: vec![OpId(1)],
+        };
+        let dw = Command::DepWrite {
+            var: Y,
+            val: 3,
+            kind: DepKind::Control,
+            deps: vec![OpId(2)],
+        };
         assert!(r.is_read() && r.is_plain_read() && !r.is_write());
         assert!(w.is_write() && w.is_plain_write() && !w.is_read());
         assert!(dr.is_read() && !dr.is_plain_read());
@@ -248,7 +276,15 @@ mod tests {
     #[test]
     fn vars_extracted() {
         assert_eq!(Command::Havoc { var: X }.var(), X);
-        assert_eq!(Command::FetchAdd { var: Y, add: 1, ret: 0 }.var(), Y);
+        assert_eq!(
+            Command::FetchAdd {
+                var: Y,
+                add: 1,
+                ret: 0
+            }
+            .var(),
+            Y
+        );
     }
 
     #[test]
@@ -257,7 +293,9 @@ mod tests {
         assert!(Op::Commit.is_boundary());
         assert!(Op::Abort.is_boundary());
         assert!(!Op::Cmd(Command::Read { var: X, val: 0 }).is_boundary());
-        assert!(Op::Cmd(Command::Read { var: X, val: 0 }).command().is_some());
+        assert!(Op::Cmd(Command::Read { var: X, val: 0 })
+            .command()
+            .is_some());
         assert!(Op::Start.command().is_none());
     }
 
@@ -266,7 +304,12 @@ mod tests {
         assert_eq!(Command::Read { var: X, val: 1 }.to_string(), "(rd,x,1)");
         assert_eq!(Command::Write { var: Y, val: 2 }.to_string(), "(wr,y,2)");
         assert_eq!(Op::Start.to_string(), "start");
-        let d = Command::DepRead { var: X, val: 0, kind: DepKind::Data, deps: vec![OpId(3)] };
+        let d = Command::DepRead {
+            var: X,
+            val: 0,
+            kind: DepKind::Data,
+            deps: vec![OpId(3)],
+        };
         assert_eq!(d.to_string(), "(ddrd,x,0,{#3})");
     }
 
@@ -274,7 +317,11 @@ mod tests {
     fn fetch_add_is_neither_read_nor_write_class() {
         // FetchAdd is a richer-object command: the memory-model classes
         // quantify over read/write operations only.
-        let f = Command::FetchAdd { var: X, add: 1, ret: 0 };
+        let f = Command::FetchAdd {
+            var: X,
+            add: 1,
+            ret: 0,
+        };
         assert!(!f.is_read() && !f.is_write());
         assert_eq!(f.read_val(), Some(0));
     }

@@ -35,6 +35,11 @@ use crate::ids::{OpId, ProcId};
 use crate::legal::PrefixChecker;
 use crate::model::MemoryModel;
 use crate::spec::SpecRegistry;
+use jungle_obs::{SearchStats, Span};
+
+/// A found serialization order plus per-viewer witness sequences, or
+/// `None` while the search is still running.
+type WitnessResult = Option<(Vec<usize>, Vec<(ProcId, Vec<OpId>)>)>;
 
 /// One schedulable unit of the witness search.
 #[derive(Clone, Debug)]
@@ -82,6 +87,13 @@ pub fn check_opacity(h: &History, model: &dyn MemoryModel) -> OpacityVerdict {
     check_opacity_with(h, model, &SpecRegistry::registers())
 }
 
+/// Like [`check_opacity`], additionally returning counters describing
+/// the search (including wall time, which the untraced entry points
+/// never measure).
+pub fn check_opacity_traced(h: &History, model: &dyn MemoryModel) -> (OpacityVerdict, SearchStats) {
+    check_opacity_with_traced(h, model, &SpecRegistry::registers())
+}
+
 /// Check opacity parametrized by `model` under explicit sequential
 /// specifications.
 pub fn check_opacity_with(
@@ -89,8 +101,29 @@ pub fn check_opacity_with(
     model: &dyn MemoryModel,
     specs: &SpecRegistry,
 ) -> OpacityVerdict {
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
     let th = model.transform(h);
-    Search::new(&th, model, specs).run()
+    Search::new(&th, model, specs).run(&mut stats)
+}
+
+/// Like [`check_opacity_with`], additionally returning search stats.
+pub fn check_opacity_with_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+) -> (OpacityVerdict, SearchStats) {
+    let span = Span::start();
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
+    let th = model.transform(h);
+    let verdict = Search::new(&th, model, specs).run(&mut stats);
+    stats.wall_ns = span.elapsed_ns();
+    (verdict, stats)
 }
 
 struct Search<'a> {
@@ -116,11 +149,11 @@ impl<'a> Search<'a> {
             txn_units[ti] = units.len();
             units.push(Unit::Txn(ti));
         }
-        for i in 0..h.len() {
+        for (i, u) in unit_of.iter_mut().enumerate() {
             match h.txn_of(i) {
-                Some(ti) => unit_of[i] = txn_units[ti],
+                Some(ti) => *u = txn_units[ti],
                 None => {
-                    unit_of[i] = units.len();
+                    *u = units.len();
                     units.push(Unit::NonTxn(i));
                 }
             }
@@ -138,12 +171,25 @@ impl<'a> Search<'a> {
         base_edges.sort_unstable();
         base_edges.dedup();
 
-        Search { h, model, specs, units, unit_of, base_edges, txn_units }
+        Search {
+            h,
+            model,
+            specs,
+            units,
+            unit_of,
+            base_edges,
+            txn_units,
+        }
     }
 
-    fn run(&self) -> OpacityVerdict {
+    fn run(&self, stats: &mut SearchStats) -> OpacityVerdict {
+        stats.units += self.units.len() as u64;
         let procs = self.h.procs();
-        let viewers: Vec<ProcId> = if procs.is_empty() { vec![ProcId(0)] } else { procs };
+        let viewers: Vec<ProcId> = if procs.is_empty() {
+            vec![ProcId(0)]
+        } else {
+            procs
+        };
 
         // Per-viewer view edges (minimal view of R(τ(h))).
         let mut view_edges: Vec<Vec<(usize, usize)>> = Vec::with_capacity(viewers.len());
@@ -185,18 +231,35 @@ impl<'a> Search<'a> {
         let n_txn = txns.len();
         let mut order: Vec<usize> = Vec::with_capacity(n_txn);
         let mut used = vec![false; n_txn];
-        let mut result: Option<(Vec<usize>, Vec<(ProcId, Vec<OpId>)>)> = None;
-        self.enum_txn_orders(&mut order, &mut used, &viewers, &distinct, &view_edges, &mut result);
+        let mut result: WitnessResult = None;
+        self.enum_txn_orders(
+            &mut order,
+            &mut used,
+            &viewers,
+            &distinct,
+            &view_edges,
+            &mut result,
+            stats,
+        );
 
         match result {
-            Some((txn_order, witnesses)) => OpacityVerdict { opaque: true, witnesses, txn_order },
-            None => OpacityVerdict { opaque: false, witnesses: Vec::new(), txn_order: Vec::new() },
+            Some((txn_order, witnesses)) => OpacityVerdict {
+                opaque: true,
+                witnesses,
+                txn_order,
+            },
+            None => OpacityVerdict {
+                opaque: false,
+                witnesses: Vec::new(),
+                txn_order: Vec::new(),
+            },
         }
     }
 
     /// Enumerate serialization orders of transactions consistent with
     /// the real-time order, attempting the per-viewer witness search for
     /// each complete order.
+    #[allow(clippy::too_many_arguments)]
     fn enum_txn_orders(
         &self,
         order: &mut Vec<usize>,
@@ -204,13 +267,15 @@ impl<'a> Search<'a> {
         viewers: &[ProcId],
         distinct: &[usize],
         view_edges: &[Vec<(usize, usize)>],
-        result: &mut Option<(Vec<usize>, Vec<(ProcId, Vec<OpId>)>)>,
+        result: &mut WitnessResult,
+        stats: &mut SearchStats,
     ) {
         if result.is_some() {
             return;
         }
         let txns = self.h.txns();
         if order.len() == txns.len() {
+            stats.txn_orders += 1;
             // Attempt witnesses for every distinct viewer constraint set.
             let mut found: Vec<(usize, Vec<OpId>)> = Vec::new();
             for &d in distinct {
@@ -221,7 +286,7 @@ impl<'a> Search<'a> {
                 }
                 edges.sort_unstable();
                 edges.dedup();
-                match self.find_witness(&edges) {
+                match self.find_witness(&edges, stats) {
                     Some(seq) => found.push((d, seq)),
                     None => return, // this txn order fails for some viewer
                 }
@@ -258,7 +323,7 @@ impl<'a> Search<'a> {
             }
             used[t] = true;
             order.push(t);
-            self.enum_txn_orders(order, used, viewers, distinct, view_edges, result);
+            self.enum_txn_orders(order, used, viewers, distinct, view_edges, result, stats);
             order.pop();
             used[t] = false;
         }
@@ -266,7 +331,7 @@ impl<'a> Search<'a> {
 
     /// Backtracking topological search for a prefix-legal sequence of
     /// units respecting `edges`. Returns the witness as operation ids.
-    fn find_witness(&self, edges: &[(usize, usize)]) -> Option<Vec<OpId>> {
+    fn find_witness(&self, edges: &[(usize, usize)], stats: &mut SearchStats) -> Option<Vec<OpId>> {
         let n = self.units.len();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
@@ -276,7 +341,7 @@ impl<'a> Search<'a> {
         }
         let mut seq: Vec<usize> = Vec::with_capacity(n);
         let checker = PrefixChecker::new(self.specs);
-        if self.dfs(&succs, &mut indeg, &mut seq, &checker) {
+        if self.dfs(&succs, &mut indeg, &mut seq, &checker, stats) {
             let mut out = Vec::new();
             for &u in &seq {
                 match &self.units[u] {
@@ -300,6 +365,7 @@ impl<'a> Search<'a> {
         indeg: &mut Vec<usize>,
         seq: &mut Vec<usize>,
         checker: &PrefixChecker<'_>,
+        stats: &mut SearchStats,
     ) -> bool {
         let n = self.units.len();
         if seq.len() == n {
@@ -317,6 +383,7 @@ impl<'a> Search<'a> {
                 continue;
             }
             // Apply unit `u` to a snapshot of the checker.
+            stats.nodes += 1;
             let mut c = checker.clone();
             let ok = match &self.units[u] {
                 Unit::NonTxn(i) => c.step(&self.h.ops()[*i].op, false),
@@ -336,16 +403,19 @@ impl<'a> Search<'a> {
                 }
             };
             if !ok {
+                stats.prune_hits += 1;
                 continue;
             }
             for &s in &succs[u] {
                 indeg[s] -= 1;
             }
             seq.push(u);
-            if self.dfs(succs, indeg, seq, &c) {
+            stats.note_depth(seq.len());
+            if self.dfs(succs, indeg, seq, &c, stats) {
                 return true;
             }
             seq.pop();
+            stats.backtracks += 1;
             for &s in &succs[u] {
                 indeg[s] += 1;
             }

@@ -52,6 +52,7 @@ use crate::ids::{OpId, ProcId};
 use crate::legal::CsChecker;
 use crate::model::MemoryModel;
 use crate::spec::SpecRegistry;
+use jungle_obs::{SearchStats, Span};
 
 /// The verdict of an SGLA check.
 #[derive(Clone, Debug)]
@@ -84,15 +85,49 @@ pub fn check_sgla(h: &History, model: &dyn MemoryModel) -> SglaVerdict {
     check_sgla_with(h, model, &SpecRegistry::registers())
 }
 
+/// Like [`check_sgla`], additionally returning counters describing the
+/// search (including wall time, which the untraced entry points never
+/// measure).
+pub fn check_sgla_traced(h: &History, model: &dyn MemoryModel) -> (SglaVerdict, SearchStats) {
+    check_sgla_with_traced(h, model, &SpecRegistry::registers())
+}
+
 /// Check SGLA parametrized by `model` under explicit sequential
 /// specifications.
-pub fn check_sgla_with(
+pub fn check_sgla_with(h: &History, model: &dyn MemoryModel, specs: &SpecRegistry) -> SglaVerdict {
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
+    let th = model.transform(h);
+    SglaSearch {
+        h: &th,
+        model,
+        specs,
+    }
+    .run(&mut stats)
+}
+
+/// Like [`check_sgla_with`], additionally returning search stats.
+pub fn check_sgla_with_traced(
     h: &History,
     model: &dyn MemoryModel,
     specs: &SpecRegistry,
-) -> SglaVerdict {
+) -> (SglaVerdict, SearchStats) {
+    let span = Span::start();
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
     let th = model.transform(h);
-    SglaSearch { h: &th, model, specs }.run()
+    let verdict = SglaSearch {
+        h: &th,
+        model,
+        specs,
+    }
+    .run(&mut stats);
+    stats.wall_ns = span.elapsed_ns();
+    (verdict, stats)
 }
 
 struct SglaSearch<'a> {
@@ -113,7 +148,9 @@ struct Node {
 }
 
 impl<'a> SglaSearch<'a> {
-    fn run(&self) -> SglaVerdict {
+    fn run(&self, stats: &mut SearchStats) -> SglaVerdict {
+        // SGLA schedules at operation granularity: every op is a unit.
+        stats.units += self.h.len() as u64;
         let txns = self.h.txns();
         let n_txn = txns.len();
 
@@ -122,15 +159,27 @@ impl<'a> SglaSearch<'a> {
         let mut order = Vec::with_capacity(n_txn);
         let mut used = vec![false; n_txn];
         let mut result: Option<(Vec<usize>, Vec<OpId>)> = None;
-        self.enum_orders(&mut order, &mut used, &mut result);
+        self.enum_orders(&mut order, &mut used, &mut result, stats);
 
         match result {
             Some((txn_order, seq)) => {
-                let witnesses =
-                    self.h.procs().into_iter().map(|p| (p, seq.clone())).collect();
-                SglaVerdict { ok: true, witnesses, txn_order }
+                let witnesses = self
+                    .h
+                    .procs()
+                    .into_iter()
+                    .map(|p| (p, seq.clone()))
+                    .collect();
+                SglaVerdict {
+                    ok: true,
+                    witnesses,
+                    txn_order,
+                }
             }
-            None => SglaVerdict { ok: false, witnesses: Vec::new(), txn_order: Vec::new() },
+            None => SglaVerdict {
+                ok: false,
+                witnesses: Vec::new(),
+                txn_order: Vec::new(),
+            },
         }
     }
 
@@ -147,13 +196,15 @@ impl<'a> SglaSearch<'a> {
         order: &mut Vec<usize>,
         used: &mut Vec<bool>,
         result: &mut Option<(Vec<usize>, Vec<OpId>)>,
+        stats: &mut SearchStats,
     ) {
         if result.is_some() {
             return;
         }
         let n_txn = self.h.txns().len();
         if order.len() == n_txn {
-            if let Some(seq) = self.find_witness(order) {
+            stats.txn_orders += 1;
+            if let Some(seq) = self.find_witness(order, stats) {
                 *result = Some((order.clone(), seq));
             }
             return;
@@ -168,7 +219,7 @@ impl<'a> SglaSearch<'a> {
             }
             used[t] = true;
             order.push(t);
-            self.enum_orders(order, used, result);
+            self.enum_orders(order, used, result, stats);
             order.pop();
             used[t] = false;
         }
@@ -178,7 +229,7 @@ impl<'a> SglaSearch<'a> {
     /// topological/legality search. The constraints are
     /// viewer-independent for all bundled models, so a single search
     /// covers every process's view.
-    fn find_witness(&self, txn_order: &[usize]) -> Option<Vec<OpId>> {
+    fn find_witness(&self, txn_order: &[usize], stats: &mut SearchStats) -> Option<Vec<OpId>> {
         let h = self.h;
         let n = h.len();
         let txns = h.txns();
@@ -189,7 +240,11 @@ impl<'a> SglaSearch<'a> {
                 let last_of_live = txn
                     .map(|t| txns[t].status == TxnStatus::Live && txns[t].last() == i)
                     .unwrap_or(false);
-                Node { idx: i, txn, last_of_live }
+                Node {
+                    idx: i,
+                    txn,
+                    last_of_live,
+                }
             })
             .collect();
 
@@ -211,7 +266,7 @@ impl<'a> SglaSearch<'a> {
             if h.is_transactional(i) {
                 continue;
             }
-            for (_ti, t) in txns.iter().enumerate() {
+            for t in txns {
                 if t.proc != h.ops()[i].proc {
                     continue;
                 }
@@ -254,13 +309,14 @@ impl<'a> SglaSearch<'a> {
 
         let mut seq = Vec::with_capacity(n);
         let checker = CsChecker::new(self.specs);
-        if self.dfs(&nodes, &succs, &mut indeg, &mut seq, &checker) {
+        if self.dfs(&nodes, &succs, &mut indeg, &mut seq, &checker, stats) {
             Some(seq.into_iter().map(|i| h.ops()[i].id).collect())
         } else {
             None
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         &self,
         nodes: &[Node],
@@ -268,6 +324,7 @@ impl<'a> SglaSearch<'a> {
         indeg: &mut Vec<usize>,
         seq: &mut Vec<usize>,
         checker: &CsChecker<'_>,
+        stats: &mut SearchStats,
     ) -> bool {
         let n = nodes.len();
         if seq.len() == n {
@@ -281,9 +338,11 @@ impl<'a> SglaSearch<'a> {
             if placed[u] || indeg[u] != 0 {
                 continue;
             }
+            stats.nodes += 1;
             let mut c = checker.clone();
             let node = &nodes[u];
             if !c.step(&self.h.ops()[node.idx].op, node.txn.is_some()) {
+                stats.prune_hits += 1;
                 continue;
             }
             if node.last_of_live {
@@ -293,10 +352,12 @@ impl<'a> SglaSearch<'a> {
                 indeg[s] -= 1;
             }
             seq.push(u);
-            if self.dfs(nodes, succs, indeg, seq, &c) {
+            stats.note_depth(seq.len());
+            if self.dfs(nodes, succs, indeg, seq, &c, stats) {
                 return true;
             }
             seq.pop();
+            stats.backtracks += 1;
             for &s in &succs[u] {
                 indeg[s] += 1;
             }

@@ -102,7 +102,10 @@ impl SpecRegistry {
 
     /// All variables use `spec` by default.
     pub fn with_default(spec: Spec) -> Self {
-        SpecRegistry { default: spec, overrides: HashMap::new() }
+        SpecRegistry {
+            default: spec,
+            overrides: HashMap::new(),
+        }
     }
 
     /// Override the specification of one variable.
@@ -141,20 +144,40 @@ mod tests {
     #[test]
     fn register_rejects_fetch_add() {
         let s = Spec::Register;
-        assert!(!s.check_sequence(&[Command::FetchAdd { var: X, add: 1, ret: 0 }]));
+        assert!(!s.check_sequence(&[Command::FetchAdd {
+            var: X,
+            add: 1,
+            ret: 0
+        }]));
     }
 
     #[test]
     fn counter_fetch_add() {
         let s = Spec::Counter;
         assert!(s.check_sequence(&[
-            Command::FetchAdd { var: X, add: 2, ret: 0 },
-            Command::FetchAdd { var: X, add: 3, ret: 2 },
+            Command::FetchAdd {
+                var: X,
+                add: 2,
+                ret: 0
+            },
+            Command::FetchAdd {
+                var: X,
+                add: 3,
+                ret: 2
+            },
             rd(5),
         ]));
         assert!(!s.check_sequence(&[
-            Command::FetchAdd { var: X, add: 2, ret: 0 },
-            Command::FetchAdd { var: X, add: 3, ret: 0 },
+            Command::FetchAdd {
+                var: X,
+                add: 2,
+                ret: 0
+            },
+            Command::FetchAdd {
+                var: X,
+                add: 3,
+                ret: 0
+            },
         ]));
     }
 
@@ -171,7 +194,11 @@ mod tests {
         let s = Spec::Counter;
         assert!(s.check_sequence(&[
             Command::Havoc { var: X },
-            Command::FetchAdd { var: X, add: 1, ret: 77 },
+            Command::FetchAdd {
+                var: X,
+                add: 1,
+                ret: 77
+            },
             rd(1234),
         ]));
     }
@@ -191,9 +218,19 @@ mod tests {
         use crate::ids::OpId;
         use crate::op::DepKind;
         let s = Spec::Register;
-        let dw = Command::DepWrite { var: X, val: 3, kind: DepKind::Data, deps: vec![OpId(1)] };
-        let dr = Command::DepRead { var: X, val: 3, kind: DepKind::Control, deps: vec![OpId(1)] };
+        let dw = Command::DepWrite {
+            var: X,
+            val: 3,
+            kind: DepKind::Data,
+            deps: vec![OpId(1)],
+        };
+        let dr = Command::DepRead {
+            var: X,
+            val: 3,
+            kind: DepKind::Control,
+            deps: vec![OpId(1)],
+        };
         assert!(s.check_sequence(&[dw.clone(), dr.clone()]));
-        assert!(!s.check_sequence(&[dr], ));
+        assert!(!s.check_sequence(&[dr],));
     }
 }

@@ -52,7 +52,11 @@ fn three_txn_serialization_cycle_rejected() {
     b.commit(p(3));
     let h = b.build().unwrap();
     for m in all_models() {
-        assert!(!check_opacity(&h, m).is_opaque(), "cycle allowed under {}", m.name());
+        assert!(
+            !check_opacity(&h, m).is_opaque(),
+            "cycle allowed under {}",
+            m.name()
+        );
     }
 }
 

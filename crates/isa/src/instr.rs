@@ -87,8 +87,17 @@ impl fmt::Display for Instr {
         match self {
             Instr::Load { addr, val } => write!(f, "⟨load a{addr},{val}⟩"),
             Instr::Store { addr, val } => write!(f, "⟨store a{addr},{val}⟩"),
-            Instr::Cas { addr, expect, new, ok } => {
-                write!(f, "⟨cas a{addr},{expect},{new}⟩{}", if *ok { "✓" } else { "✗" })
+            Instr::Cas {
+                addr,
+                expect,
+                new,
+                ok,
+            } => {
+                write!(
+                    f,
+                    "⟨cas a{addr},{expect},{new}⟩{}",
+                    if *ok { "✓" } else { "✗" }
+                )
             }
             Instr::Inv(op) => write!(f, "(.,{op})"),
             Instr::Resp(op) => write!(f, "(/,{op})"),
@@ -109,8 +118,20 @@ mod tests {
     #[test]
     fn update_instructions() {
         assert!(Instr::Store { addr: 0, val: 1 }.is_update());
-        assert!(Instr::Cas { addr: 0, expect: 0, new: 1, ok: true }.is_update());
-        assert!(!Instr::Cas { addr: 0, expect: 0, new: 1, ok: false }.is_update());
+        assert!(Instr::Cas {
+            addr: 0,
+            expect: 0,
+            new: 1,
+            ok: true
+        }
+        .is_update());
+        assert!(!Instr::Cas {
+            addr: 0,
+            expect: 0,
+            new: 1,
+            ok: false
+        }
+        .is_update());
         assert!(!Instr::Load { addr: 0, val: 1 }.is_update());
         assert!(!Instr::Inv(Op::Start).is_update());
     }
@@ -118,7 +139,16 @@ mod tests {
     #[test]
     fn addr_extraction_and_markers() {
         assert_eq!(Instr::Load { addr: 7, val: 0 }.addr(), Some(7));
-        assert_eq!(Instr::Cas { addr: 3, expect: 0, new: 1, ok: true }.addr(), Some(3));
+        assert_eq!(
+            Instr::Cas {
+                addr: 3,
+                expect: 0,
+                new: 1,
+                ok: true
+            }
+            .addr(),
+            Some(3)
+        );
         assert_eq!(Instr::Inv(Op::Commit).addr(), None);
         assert!(Instr::Inv(Op::Start).is_marker());
         assert!(Instr::Resp(Op::Abort).is_marker());
@@ -129,7 +159,13 @@ mod tests {
     fn display() {
         assert_eq!(Instr::Load { addr: 2, val: 5 }.to_string(), "⟨load a2,5⟩");
         assert_eq!(
-            Instr::Cas { addr: 0, expect: 0, new: 1, ok: true }.to_string(),
+            Instr::Cas {
+                addr: 0,
+                expect: 0,
+                new: 1,
+                ok: true
+            }
+            .to_string(),
             "⟨cas a0,0,1⟩✓"
         );
     }

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Instrumentation::Uninstrumented.to_string(), "uninstrumented");
+        assert_eq!(
+            Instrumentation::Uninstrumented.to_string(),
+            "uninstrumented"
+        );
         assert_eq!(
             Instrumentation::ConstantTimeWrites { bound: 2 }.to_string(),
             "constant-time writes (≤2 instrs)"

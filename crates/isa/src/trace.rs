@@ -83,7 +83,10 @@ impl Trace {
                         });
                     }
                     if seen.insert((ii.proc, ii.op), ()).is_some() {
-                        return Err(TraceError::DuplicateOperation { proc: ii.proc, op: ii.op });
+                        return Err(TraceError::DuplicateOperation {
+                            proc: ii.proc,
+                            op: ii.op,
+                        });
                     }
                     open.insert(ii.proc, ops.len());
                     ops.push(TraceOp {
@@ -97,10 +100,16 @@ impl Trace {
                 }
                 Instr::Resp(_) => {
                     let Some(oi) = open.remove(&ii.proc) else {
-                        return Err(TraceError::UnmatchedResponse { proc: ii.proc, op: ii.op });
+                        return Err(TraceError::UnmatchedResponse {
+                            proc: ii.proc,
+                            op: ii.op,
+                        });
                     };
                     if ops[oi].id != ii.op {
-                        return Err(TraceError::UnmatchedResponse { proc: ii.proc, op: ii.op });
+                        return Err(TraceError::UnmatchedResponse {
+                            proc: ii.proc,
+                            op: ii.op,
+                        });
                     }
                     ops[oi].last = i;
                     ops[oi].complete = true;
@@ -354,18 +363,33 @@ pub struct TraceBuilder {
 impl TraceBuilder {
     /// New empty builder; operation ids are assigned `1, 2, …`.
     pub fn new() -> Self {
-        TraceBuilder { instrs: Vec::new(), next_op: 1 }
+        TraceBuilder {
+            instrs: Vec::new(),
+            next_op: 1,
+        }
     }
 
     /// Append a complete operation trace: invocation, `body`, response.
     pub fn complete_op(&mut self, proc: ProcId, op: Op, body: Vec<Instr>) -> OpId {
         let id = OpId(self.next_op);
         self.next_op += 1;
-        self.instrs.push(InstrInstance { instr: Instr::Inv(op.clone()), proc, op: id });
+        self.instrs.push(InstrInstance {
+            instr: Instr::Inv(op.clone()),
+            proc,
+            op: id,
+        });
         for instr in body {
-            self.instrs.push(InstrInstance { instr, proc, op: id });
+            self.instrs.push(InstrInstance {
+                instr,
+                proc,
+                op: id,
+            });
         }
-        self.instrs.push(InstrInstance { instr: Instr::Resp(op), proc, op: id });
+        self.instrs.push(InstrInstance {
+            instr: Instr::Resp(op),
+            proc,
+            op: id,
+        });
         id
     }
 
@@ -399,11 +423,17 @@ mod tests {
     }
 
     fn rd(var: u32, val: Val) -> Op {
-        Op::Cmd(Command::Read { var: jungle_core::ids::Var(var), val })
+        Op::Cmd(Command::Read {
+            var: jungle_core::ids::Var(var),
+            val,
+        })
     }
 
     fn wr(var: u32, val: Val) -> Op {
-        Op::Cmd(Command::Write { var: jungle_core::ids::Var(var), val })
+        Op::Cmd(Command::Write {
+            var: jungle_core::ids::Var(var),
+            val,
+        })
     }
 
     /// Figure 4(a): p1 runs a transaction (start acquires a lock with a
@@ -414,11 +444,24 @@ mod tests {
         let ax = 0;
         let mut instrs = Vec::new();
         let mut push = |instr: Instr, proc: ProcId, op: u32| {
-            instrs.push(InstrInstance { instr, proc, op: OpId(op) });
+            instrs.push(InstrInstance {
+                instr,
+                proc,
+                op: OpId(op),
+            });
         };
         // Interleaving from the figure.
         push(Instr::Inv(Op::Start), p(1), 1);
-        push(Instr::Cas { addr: g, expect: 0, new: 1, ok: true }, p(1), 1);
+        push(
+            Instr::Cas {
+                addr: g,
+                expect: 0,
+                new: 1,
+                ok: true,
+            },
+            p(1),
+            1,
+        );
         push(Instr::Inv(rd(0, 1)), p(2), 2);
         push(Instr::Resp(Op::Start), p(1), 1);
         push(Instr::Load { addr: ax, val: 1 }, p(2), 2);
@@ -460,11 +503,21 @@ mod tests {
         let render: Vec<String> = hs
             .iter()
             .map(|h| {
-                h.ops().iter().map(|o| o.id.0.to_string()).collect::<Vec<_>>().join(",")
+                h.ops()
+                    .iter()
+                    .map(|o| o.id.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             })
             .collect();
-        assert!(render.contains(&"1,2,3,4".to_string()), "h1 missing from {render:?}");
-        assert!(render.contains(&"2,1,3,4".to_string()), "h2 missing from {render:?}");
+        assert!(
+            render.contains(&"1,2,3,4".to_string()),
+            "h1 missing from {render:?}"
+        );
+        assert!(
+            render.contains(&"2,1,3,4".to_string()),
+            "h2 missing from {render:?}"
+        );
         // p2's read interval ends before the commit begins: it can
         // never be ordered after operation 4.
         assert!(!render.contains(&"1,3,4,2".to_string()));
@@ -483,7 +536,11 @@ mod tests {
     #[test]
     fn incomplete_operation_allowed_at_end() {
         let mut instrs = Vec::new();
-        instrs.push(InstrInstance { instr: Instr::Inv(rd(0, 0)), proc: p(1), op: OpId(1) });
+        instrs.push(InstrInstance {
+            instr: Instr::Inv(rd(0, 0)),
+            proc: p(1),
+            op: OpId(1),
+        });
         instrs.push(InstrInstance {
             instr: Instr::Load { addr: 0, val: 0 },
             proc: p(1),
@@ -497,8 +554,16 @@ mod tests {
     #[test]
     fn interleaved_ops_of_same_process_rejected() {
         let mut instrs = Vec::new();
-        instrs.push(InstrInstance { instr: Instr::Inv(rd(0, 0)), proc: p(1), op: OpId(1) });
-        instrs.push(InstrInstance { instr: Instr::Inv(rd(1, 0)), proc: p(1), op: OpId(2) });
+        instrs.push(InstrInstance {
+            instr: Instr::Inv(rd(0, 0)),
+            proc: p(1),
+            op: OpId(1),
+        });
+        instrs.push(InstrInstance {
+            instr: Instr::Inv(rd(1, 0)),
+            proc: p(1),
+            op: OpId(2),
+        });
         assert!(matches!(
             Trace::new(instrs),
             Err(TraceError::InterleavedOperations { .. })
@@ -512,22 +577,49 @@ mod tests {
             proc: p(1),
             op: OpId(1),
         }];
-        assert!(matches!(Trace::new(instrs), Err(TraceError::InstrOutsideOperation { .. })));
+        assert!(matches!(
+            Trace::new(instrs),
+            Err(TraceError::InstrOutsideOperation { .. })
+        ));
     }
 
     #[test]
     fn duplicate_op_id_rejected() {
         let mut instrs = Vec::new();
-        instrs.push(InstrInstance { instr: Instr::Inv(rd(0, 0)), proc: p(1), op: OpId(1) });
-        instrs.push(InstrInstance { instr: Instr::Resp(rd(0, 0)), proc: p(1), op: OpId(1) });
-        instrs.push(InstrInstance { instr: Instr::Inv(rd(1, 0)), proc: p(1), op: OpId(1) });
-        assert!(matches!(Trace::new(instrs), Err(TraceError::DuplicateOperation { .. })));
+        instrs.push(InstrInstance {
+            instr: Instr::Inv(rd(0, 0)),
+            proc: p(1),
+            op: OpId(1),
+        });
+        instrs.push(InstrInstance {
+            instr: Instr::Resp(rd(0, 0)),
+            proc: p(1),
+            op: OpId(1),
+        });
+        instrs.push(InstrInstance {
+            instr: Instr::Inv(rd(1, 0)),
+            proc: p(1),
+            op: OpId(1),
+        });
+        assert!(matches!(
+            Trace::new(instrs),
+            Err(TraceError::DuplicateOperation { .. })
+        ));
     }
 
     #[test]
     fn builder_produces_sequential_trace() {
         let mut b = TraceBuilder::new();
-        b.complete_op(p(1), Op::Start, vec![Instr::Cas { addr: 9, expect: 0, new: 1, ok: true }]);
+        b.complete_op(
+            p(1),
+            Op::Start,
+            vec![Instr::Cas {
+                addr: 9,
+                expect: 0,
+                new: 1,
+                ok: true,
+            }],
+        );
         b.complete_op(p(1), wr(0, 5), vec![Instr::Store { addr: 0, val: 5 }]);
         b.complete_op(p(1), Op::Commit, vec![Instr::Store { addr: 9, val: 0 }]);
         let r = b.build().unwrap();

@@ -42,7 +42,11 @@ impl Litmus {
         let mut rows = Vec::new();
         for o in &self.outcomes {
             for m in all_models() {
-                rows.push((o.label.clone(), m.name(), check_opacity(&o.history, m).is_opaque()));
+                rows.push((
+                    o.label.clone(),
+                    m.name(),
+                    check_opacity(&o.history, m).is_opaque(),
+                ));
             }
         }
         rows
@@ -68,7 +72,10 @@ pub fn fig1() -> Litmus {
         b.commit(p(1));
         b.read(p(2), Y, ry);
         b.read(p(2), X, rx);
-        Outcome { label: format!("r1={ry} r2={rx}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("r1={ry} r2={rx}"),
+            history: b.build().unwrap(),
+        }
     };
     Litmus {
         name: "fig1",
@@ -94,7 +101,10 @@ pub fn fig2a() -> Litmus {
         b.start(p(1));
         b.write(p(1), Y, 2);
         b.commit(p(1));
-        Outcome { label: format!("x={x_obs} y={y_obs}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("x={x_obs} y={y_obs}"),
+            history: b.build().unwrap(),
+        }
     };
     Litmus {
         name: "fig2a",
@@ -112,7 +122,10 @@ pub fn fig2b() -> Litmus {
         b.write(p(1), Y, 1);
         b.read(p(2), Y, ry);
         b.read(p(2), X, rx);
-        Outcome { label: format!("r1={ry} r2={rx}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("r1={ry} r2={rx}"),
+            history: b.build().unwrap(),
+        }
     };
     Litmus {
         name: "fig2b",
@@ -132,7 +145,10 @@ pub fn fig2c() -> Litmus {
         b.read(p(2), X, zv); // z := x
         b.write(p(1), X, 2);
         b.commit(p(1));
-        Outcome { label: format!("z={zv}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("z={zv}"),
+            history: b.build().unwrap(),
+        }
     };
     let torn = |r1: Val, r2: Val| {
         let mut b = HistoryBuilder::new();
@@ -141,12 +157,22 @@ pub fn fig2c() -> Litmus {
         b.write(p(1), Z, 5);
         b.read(p(2), Z, r2);
         b.commit(p(2));
-        Outcome { label: format!("r1={r1} r2={r2}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("r1={r1} r2={r2}"),
+            history: b.build().unwrap(),
+        }
     };
     Litmus {
         name: "fig2c",
         question: "Isolation: z ≠ 1, and r1 = r2, under every memory model.",
-        outcomes: vec![leak(0), leak(1), leak(2), torn(0, 0), torn(5, 5), torn(0, 5)],
+        outcomes: vec![
+            leak(0),
+            leak(1),
+            leak(2),
+            torn(0, 0),
+            torn(5, 5),
+            torn(0, 5),
+        ],
     }
 }
 
@@ -207,7 +233,10 @@ pub fn sb() -> Litmus {
         b.read(p(1), Y, r1);
         b.write(p(2), Y, 1);
         b.read(p(2), X, r2);
-        Outcome { label: format!("r1={r1} r2={r2}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("r1={r1} r2={r2}"),
+            history: b.build().unwrap(),
+        }
     };
     Litmus {
         name: "sb",
@@ -225,7 +254,10 @@ pub fn lb() -> Litmus {
         b.write(p(1), Y, 1);
         b.read(p(2), Y, r2);
         b.write(p(2), X, 1);
-        Outcome { label: format!("r1={r1} r2={r2}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("r1={r1} r2={r2}"),
+            history: b.build().unwrap(),
+        }
     };
     Litmus {
         name: "lb",
@@ -274,7 +306,10 @@ pub fn sb_transactional() -> Litmus {
         b.write(p(2), Y, 1);
         b.read(p(2), X, r2);
         b.commit(p(2));
-        Outcome { label: format!("r1={r1} r2={r2}"), history: b.build().unwrap() }
+        Outcome {
+            label: format!("r1={r1} r2={r2}"),
+            history: b.build().unwrap(),
+        }
     };
     Litmus {
         name: "sb-txn",
@@ -286,7 +321,16 @@ pub fn sb_transactional() -> Litmus {
 /// All litmus tests with per-model verdict tables (Figures 1–2 plus the
 /// classic non-transactional shapes).
 pub fn all_litmus() -> Vec<Litmus> {
-    vec![fig1(), fig2a(), fig2b(), fig2c(), sb(), lb(), iriw(), sb_transactional()]
+    vec![
+        fig1(),
+        fig2a(),
+        fig2b(),
+        fig2c(),
+        sb(),
+        lb(),
+        iriw(),
+        sb_transactional(),
+    ]
 }
 
 #[cfg(test)]
@@ -325,8 +369,18 @@ mod tests {
             if m.name() == "Junk-SC" {
                 continue; // havoc legitimately allows junk values
             }
-            assert_eq!(l.judge("z=1", m), Some(false), "z=1 leaked under {}", m.name());
-            assert_eq!(l.judge("r1=0 r2=5", m), Some(false), "torn read under {}", m.name());
+            assert_eq!(
+                l.judge("z=1", m),
+                Some(false),
+                "z=1 leaked under {}",
+                m.name()
+            );
+            assert_eq!(
+                l.judge("r1=0 r2=5", m),
+                Some(false),
+                "torn read under {}",
+                m.name()
+            );
             assert_eq!(l.judge("z=0", m), Some(true));
             assert_eq!(l.judge("r1=0 r2=0", m), Some(true));
         }

@@ -48,9 +48,7 @@ fn run_thread(tm: &dyn TmAlgo, cx: &mut Ctx, prog: &[Stmt]) -> ThreadReads {
                                             }
                                             Err(e) => Err(e),
                                         },
-                                        TxOp::Write(v, val) => {
-                                            tm.txn_write(cx, v.0 as usize, *val)
-                                        }
+                                        TxOp::Write(v, val) => tm.txn_write(cx, v.0 as usize, *val),
                                     };
                                     if res.is_err() {
                                         aborted = true;
@@ -147,7 +145,10 @@ pub fn run_once<A: TmAlgo + Send + Sync + 'static>(
             run_thread(tm.as_ref(), &mut cx, &stmts)
         }));
     }
-    joins.into_iter().map(|j| j.join().expect("program thread panicked")).collect()
+    joins
+        .into_iter()
+        .map(|j| j.join().expect("program thread panicked"))
+        .collect()
 }
 
 /// Run the program `iters` times (fresh STM each time) and count the

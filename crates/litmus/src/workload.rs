@@ -28,7 +28,13 @@ pub struct WorkloadCfg {
 
 impl Default for WorkloadCfg {
     fn default() -> Self {
-        WorkloadCfg { n_vars: 64, txn_pct: 50, read_pct: 90, txn_len: 4, ops: 10_000 }
+        WorkloadCfg {
+            n_vars: 64,
+            txn_pct: 50,
+            read_pct: 90,
+            txn_len: 4,
+            ops: 10_000,
+        }
     }
 }
 
@@ -150,7 +156,10 @@ mod tests {
 
     #[test]
     fn generation_deterministic_and_sized() {
-        let cfg = WorkloadCfg { ops: 100, ..WorkloadCfg::default() };
+        let cfg = WorkloadCfg {
+            ops: 100,
+            ..WorkloadCfg::default()
+        };
         let a = generate(&cfg, 1);
         let b = generate(&cfg, 1);
         assert_eq!(a.len(), b.len());
@@ -166,14 +175,22 @@ mod tests {
 
     #[test]
     fn pure_nontxn_workload() {
-        let cfg = WorkloadCfg { txn_pct: 0, ops: 50, ..WorkloadCfg::default() };
+        let cfg = WorkloadCfg {
+            txn_pct: 0,
+            ops: 50,
+            ..WorkloadCfg::default()
+        };
         let items = generate(&cfg, 2);
         assert!(items.iter().all(|i| matches!(i, Item::Nt(_))));
     }
 
     #[test]
     fn executes_on_every_stm() {
-        let cfg = WorkloadCfg { n_vars: 8, ops: 500, ..WorkloadCfg::default() };
+        let cfg = WorkloadCfg {
+            n_vars: 8,
+            ops: 500,
+            ..WorkloadCfg::default()
+        };
         let items = generate(&cfg, 3);
         let stms: Vec<Box<dyn TmAlgo>> = vec![
             Box::new(GlobalLockStm::new(cfg.n_vars)),
@@ -195,7 +212,12 @@ mod tests {
     #[test]
     fn concurrent_execution_completes() {
         use std::sync::Arc;
-        let cfg = WorkloadCfg { n_vars: 4, ops: 2_000, read_pct: 60, ..WorkloadCfg::default() };
+        let cfg = WorkloadCfg {
+            n_vars: 4,
+            ops: 2_000,
+            read_pct: 60,
+            ..WorkloadCfg::default()
+        };
         let tm = Arc::new(StrongStm::new(cfg.n_vars));
         let mut joins = Vec::new();
         for t in 0..3u32 {

@@ -1,0 +1,188 @@
+//! `SearchStats` unit tests on the paper's Figure 1–3 histories: the
+//! traced checker entry points must report search counters that are
+//! internally consistent and match the known structure of each figure.
+
+use jungle_core::builder::HistoryBuilder;
+use jungle_core::ids::{ProcId, Var, X, Y};
+use jungle_core::model::{Rmo, Sc};
+use jungle_core::opacity::check_opacity_traced;
+use jungle_core::sgla::check_sgla_traced;
+use jungle_litmus::figures::all_litmus;
+
+fn p(n: u32) -> ProcId {
+    ProcId(n)
+}
+
+#[test]
+fn fig1_allowed_outcome_stats() {
+    // Figure 1, consistent outcome (y=1, x=1): 1 transaction + 2
+    // non-transactional reads = 3 schedulable units; the first
+    // serialization order already admits a witness.
+    let mut b = HistoryBuilder::new();
+    b.start(p(1));
+    b.write(p(1), X, 1);
+    b.write(p(1), Y, 1);
+    b.commit(p(1));
+    b.read(p(2), Y, 1);
+    b.read(p(2), X, 1);
+    let h = b.build().unwrap();
+    let (v, s) = check_opacity_traced(&h, &Sc);
+    assert!(v.is_opaque());
+    assert_eq!(s.units, 3);
+    assert_eq!(s.txn_orders, 1); // only one txn: one complete order
+    assert_eq!(s.searches, 1);
+    assert_eq!(s.peak_depth, 3); // a full witness was placed
+    assert!(
+        s.nodes >= 3,
+        "at least one node per placed unit, got {}",
+        s.nodes
+    );
+    assert!(s.wall_ns > 0, "traced entry point must measure wall time");
+}
+
+#[test]
+fn fig1_forbidden_outcome_exhausts_search() {
+    // Figure 1, the paper's headline outcome (y=1, x=0) under SC: the
+    // checker must exhaust the search, visibly pruning and backtracking.
+    let mut b = HistoryBuilder::new();
+    b.start(p(1));
+    b.write(p(1), X, 1);
+    b.write(p(1), Y, 1);
+    b.commit(p(1));
+    b.read(p(2), Y, 1);
+    b.read(p(2), X, 0);
+    let h = b.build().unwrap();
+    let (v, s) = check_opacity_traced(&h, &Sc);
+    assert!(!v.is_opaque());
+    assert!(
+        s.prune_hits > 0,
+        "rejection must come from the prefix checker"
+    );
+    assert!(s.peak_depth < s.units, "no full witness may be reached");
+
+    // The same outcome is allowed under RMO: dropping the read-read
+    // view edge lets the stale read of x serialize before the
+    // transaction, so the search reaches full depth.
+    let (v, s_rmo) = check_opacity_traced(&h, &Rmo);
+    assert!(v.is_opaque());
+    assert_eq!(s_rmo.peak_depth, s_rmo.units);
+}
+
+#[test]
+fn fig2a_three_transactions_enumerate_orders() {
+    // Figure 2(a) with the forbidden intermediate observation x=1: three
+    // transactions, every serialization order consistent with real time
+    // must be enumerated before rejecting.
+    let mut b = HistoryBuilder::new();
+    b.start(p(1));
+    b.write(p(1), X, 1);
+    b.write(p(1), X, 2);
+    b.commit(p(1));
+    b.start(p(2));
+    b.read(p(2), X, 1);
+    b.read(p(2), Y, 0);
+    b.commit(p(2));
+    b.start(p(1));
+    b.write(p(1), Y, 2);
+    b.commit(p(1));
+    let h = b.build().unwrap();
+    let (v, s) = check_opacity_traced(&h, &Sc);
+    assert!(!v.is_opaque());
+    assert_eq!(s.units, 3);
+    // Real time totally orders the three transactions (each completes
+    // before the next starts): exactly one complete order exists.
+    assert_eq!(s.txn_orders, 1);
+    assert!(s.backtracks > 0);
+}
+
+#[test]
+fn fig2b_nontxn_only_message_passing() {
+    // Figure 2(b): four non-transactional operations, no transactions.
+    let mut b = HistoryBuilder::new();
+    b.write(p(1), X, 1);
+    b.write(p(1), Y, 1);
+    b.read(p(2), Y, 1);
+    b.read(p(2), X, 0);
+    let h = b.build().unwrap();
+    let (v, s) = check_opacity_traced(&h, &Sc);
+    assert!(!v.is_opaque());
+    assert_eq!(s.units, 4);
+    assert_eq!(s.txn_orders, 1); // the single empty transaction order
+    let (v, s) = check_opacity_traced(&h, &Rmo);
+    assert!(v.is_opaque());
+    assert_eq!(s.peak_depth, 4);
+}
+
+#[test]
+fn fig3_units_and_depth() {
+    // Figure 3(a) with v = 1 (opaque under SC): one non-transactional
+    // write, two transactions, three non-transactional reads = 6 units.
+    let mut b = HistoryBuilder::new();
+    b.write(p(1), X, 1);
+    b.start(p(1));
+    b.read(p(2), Y, 1);
+    b.write(p(1), Y, 1);
+    b.commit(p(1));
+    b.read(p(2), X, 1);
+    b.start(p(3));
+    b.commit(p(3));
+    b.read(p(3), X, 1);
+    let h = b.build().unwrap();
+    let (v, s) = check_opacity_traced(&h, &Sc);
+    assert!(v.is_opaque());
+    assert_eq!(s.units, 6);
+    assert_eq!(s.peak_depth, 6);
+    assert!(s.nodes >= 6);
+}
+
+#[test]
+fn sgla_traced_reports_stats_too() {
+    let mut b = HistoryBuilder::new();
+    b.start(p(1));
+    b.write(p(1), X, 1);
+    b.commit(p(1));
+    b.read(p(2), X, 1);
+    let h = b.build().unwrap();
+    let (v, s) = check_sgla_traced(&h, &Sc);
+    assert!(v.is_sgla());
+    assert!(s.units > 0);
+    assert!(s.wall_ns > 0);
+    assert_eq!(s.searches, 1);
+}
+
+#[test]
+fn all_litmus_outcomes_have_consistent_stats() {
+    // Invariants that must hold for every bundled figure outcome: the
+    // traced checker measures time, visits at least one node per placed
+    // unit, and reaches full depth exactly when a witness exists.
+    for litmus in all_litmus() {
+        for o in &litmus.outcomes {
+            let (v, s) = check_opacity_traced(&o.history, &Sc);
+            let ctx = format!("{}/{}", litmus.name, o.label);
+            assert!(s.units > 0, "{ctx}: no units");
+            assert_eq!(s.searches, 1, "{ctx}");
+            assert!(s.wall_ns > 0, "{ctx}: no wall time");
+            assert!(s.peak_depth <= s.units, "{ctx}: depth overflow");
+            assert!(s.nodes >= s.peak_depth, "{ctx}: fewer nodes than depth");
+            if v.is_opaque() {
+                assert_eq!(s.peak_depth, s.units, "{ctx}: witness without full depth");
+            } else {
+                assert!(s.txn_orders >= 1, "{ctx}: rejected without enumerating");
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_absorb_accumulates_across_figures() {
+    // Folding per-outcome stats (as the report binary does per figure)
+    // sums counters and maxes depth.
+    let litmus = &all_litmus()[0];
+    let mut acc = jungle_obs::SearchStats::default();
+    for o in &litmus.outcomes {
+        let (_, s) = check_opacity_traced(&o.history, &Sc);
+        acc.absorb(&s);
+    }
+    assert_eq!(acc.searches, litmus.outcomes.len() as u64);
+    assert!(acc.units >= 3);
+}

@@ -154,9 +154,7 @@ impl Process for TmProcess {
                         continue;
                     }
                     match self.stmts[self.stmt_idx].clone() {
-                        Stmt::Txn { .. } | Stmt::TxnGuard { .. } => {
-                            self.phase = Ph::TxnStartInv
-                        }
+                        Stmt::Txn { .. } | Stmt::TxnGuard { .. } => self.phase = Ph::TxnStartInv,
                         Stmt::NtRead(v) => self.phase = Ph::NtReadInv(v),
                         Stmt::NtWrite(v, val) => self.phase = Ph::NtWriteInv(v, val),
                     }
@@ -169,11 +167,7 @@ impl Process for TmProcess {
                 }
                 Ph::TxnAcqCas => {
                     self.phase = Ph::TxnAcqCheck;
-                    return Step::Instr(PInstr::Cas(
-                        GLOBAL_LOCK,
-                        LOCK_FREE,
-                        lock_owner(self.pid),
-                    ));
+                    return Step::Instr(PInstr::Cas(GLOBAL_LOCK, LOCK_FREE, lock_owner(self.pid)));
                 }
                 Ph::TxnAcqCheck => {
                     if last == Some(1) {
@@ -201,9 +195,10 @@ impl Process for TmProcess {
                     return Step::Inv(rd_op(g, 0));
                 }
                 Ph::GuardCheck(g, e) => {
-                    if let Some(val) = self.writeset_get(g).or_else(|| {
-                        self.readset_get(g).map(|w| self.decode(w))
-                    }) {
+                    if let Some(val) = self
+                        .writeset_get(g)
+                        .or_else(|| self.readset_get(g).map(|w| self.decode(w)))
+                    {
                         self.skip_body = val != e;
                         self.phase = Ph::TxnOpNext;
                         return Step::Resp(rd_op(g, val));
@@ -442,10 +437,14 @@ mod tests {
             .collect();
         assert_eq!(reads, vec![7, 7]);
         // The commit published with a CAS.
-        assert!(trace
-            .instrs()
-            .iter()
-            .any(|i| matches!(i.instr, Instr::Cas { addr: 0, ok: true, .. })));
+        assert!(trace.instrs().iter().any(|i| matches!(
+            i.instr,
+            Instr::Cas {
+                addr: 0,
+                ok: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -491,10 +490,7 @@ mod tests {
 
     #[test]
     fn versioned_txn_publishes_packed_words() {
-        let prog = ThreadProg(vec![
-            Stmt::txn(vec![TxOp::Write(X, 3)]),
-            Stmt::NtRead(X),
-        ]);
+        let prog = ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 3)]), Stmt::NtRead(X)]);
         let trace = run_single(&VersionedTm, prog);
         let reads: Vec<Val> = trace
             .ops()
@@ -508,15 +504,22 @@ mod tests {
     fn write_txn_nt_write_takes_lock() {
         let prog = ThreadProg(vec![Stmt::NtWrite(Y, 4)]);
         let trace = run_single(&WriteTxnTm, prog);
-        assert!(trace
-            .instrs()
-            .iter()
-            .any(|i| matches!(i.instr, Instr::Cas { addr: GLOBAL_LOCK, ok: true, .. })));
+        assert!(trace.instrs().iter().any(|i| matches!(
+            i.instr,
+            Instr::Cas {
+                addr: GLOBAL_LOCK,
+                ok: true,
+                ..
+            }
+        )));
         // Lock released afterwards.
-        assert!(trace
-            .instrs()
-            .iter()
-            .any(|i| matches!(i.instr, Instr::Store { addr: GLOBAL_LOCK, val: LOCK_FREE })));
+        assert!(trace.instrs().iter().any(|i| matches!(
+            i.instr,
+            Instr::Store {
+                addr: GLOBAL_LOCK,
+                val: LOCK_FREE
+            }
+        )));
     }
 
     #[test]
@@ -553,7 +556,11 @@ mod tests {
         let r = m.run(&mut s, 100_000);
         assert!(r.completed);
         assert_eq!(
-            r.trace.ops().iter().filter(|o| matches!(o.op, Op::Commit)).count(),
+            r.trace
+                .ops()
+                .iter()
+                .filter(|o| matches!(o.op, Op::Commit))
+                .count(),
             2
         );
     }

@@ -194,8 +194,14 @@ mod tests {
 
     #[test]
     fn instrumentation_classes() {
-        assert_eq!(GlobalLockTm.instrumentation(), Instrumentation::Uninstrumented);
-        assert_eq!(WriteTxnTm.instrumentation(), Instrumentation::UnboundedWrites);
+        assert_eq!(
+            GlobalLockTm.instrumentation(),
+            Instrumentation::Uninstrumented
+        );
+        assert_eq!(
+            WriteTxnTm.instrumentation(),
+            Instrumentation::UnboundedWrites
+        );
         assert_eq!(
             VersionedTm.instrumentation(),
             Instrumentation::ConstantTimeWrites { bound: 1 }

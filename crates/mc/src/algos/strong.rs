@@ -72,13 +72,17 @@ pub struct StrongTm {
 impl StrongTm {
     /// Fully instrumented: opacity parametrized by SC.
     pub const fn new() -> Self {
-        StrongTm { optimized_reads: false }
+        StrongTm {
+            optimized_reads: false,
+        }
     }
 
     /// Read-de-instrumented variant (§6.1): plain non-transactional
     /// loads; correct for `M ∉ Mrr ∪ Mwr`.
     pub const fn optimized() -> Self {
-        StrongTm { optimized_reads: true }
+        StrongTm {
+            optimized_reads: true,
+        }
     }
 }
 
@@ -247,9 +251,7 @@ impl Process for StrongProcess {
                 }
                 Ph::StartResp => {
                     self.phase = match &self.stmts[self.stmt_idx] {
-                        Stmt::TxnGuard { guard, expect, .. } => {
-                            Ph::GuardReadInv(*guard, *expect)
-                        }
+                        Stmt::TxnGuard { guard, expect, .. } => Ph::GuardReadInv(*guard, *expect),
                         _ => Ph::TxnOpNext,
                     };
                     return Step::Resp(Op::Start);
@@ -293,11 +295,7 @@ impl Process for StrongProcess {
                     let w = last.expect("load result");
                     if tag(w) == TAG_SHARED {
                         self.phase = Ph::ReadCasCheck(v, guard);
-                        return Step::Instr(PInstr::Cas(
-                            meta_of(v),
-                            w,
-                            enc_shared(readers(w) + 1),
-                        ));
+                        return Step::Instr(PInstr::Cas(meta_of(v), w, enc_shared(readers(w) + 1)));
                     }
                     self.phase = Ph::ReadMetaIssue(v, guard); // spin
                 }
@@ -510,7 +508,10 @@ mod tests {
     use jungle_memsim::{DirectedScheduler, HwModel, Machine};
 
     fn run_single(prog: ThreadProg) -> jungle_isa::Trace {
-        let m = Machine::new(HwModel::Sc, vec![StrongTm::new().make_process(ProcId(0), prog)]);
+        let m = Machine::new(
+            HwModel::Sc,
+            vec![StrongTm::new().make_process(ProcId(0), prog)],
+        );
         let mut s = DirectedScheduler::default();
         let r = m.run(&mut s, 50_000);
         assert!(r.completed);
@@ -549,7 +550,11 @@ mod tests {
     fn guard_skips_body_when_mismatch() {
         // Guard expects Y == 1 but Y is 0: the body write is skipped.
         let trace = run_single(ThreadProg(vec![
-            Stmt::TxnGuard { guard: Y, expect: 1, ops: vec![TxOp::Write(X, 5)] },
+            Stmt::TxnGuard {
+                guard: Y,
+                expect: 1,
+                ops: vec![TxOp::Write(X, 5)],
+            },
             Stmt::NtRead(X),
         ]));
         let reads: Vec<Val> = trace
@@ -564,7 +569,11 @@ mod tests {
     fn guard_runs_body_when_match() {
         let trace = run_single(ThreadProg(vec![
             Stmt::NtWrite(Y, 1),
-            Stmt::TxnGuard { guard: Y, expect: 1, ops: vec![TxOp::Write(X, 5)] },
+            Stmt::TxnGuard {
+                guard: Y,
+                expect: 1,
+                ops: vec![TxOp::Write(X, 5)],
+            },
             Stmt::NtRead(X),
         ]));
         let reads: Vec<Val> = trace
@@ -618,7 +627,10 @@ mod tests {
             0..2_000,
             8_000,
         );
-        assert!(bad.is_some(), "expected an SC violation for optimized reads");
+        assert!(
+            bad.is_some(),
+            "expected an SC violation for optimized reads"
+        );
         // …but under Alpha (reads reorder) every trace is fine.
         let good = check_random(
             &program,
@@ -629,6 +641,10 @@ mod tests {
             0..300,
             8_000,
         );
-        assert!(good.ok, "optimized strong TM violated Alpha-opacity: {:?}", good.violation);
+        assert!(
+            good.ok,
+            "optimized strong TM violated Alpha-opacity: {:?}",
+            good.violation
+        );
     }
 }

@@ -193,9 +193,7 @@ impl Process for Tl2Process {
                 }
                 Ph::StartResp => {
                     self.phase = match &self.stmts[self.stmt_idx] {
-                        Stmt::TxnGuard { guard, expect, .. } => {
-                            Ph::GuardReadInv(*guard, *expect)
-                        }
+                        Stmt::TxnGuard { guard, expect, .. } => Ph::GuardReadInv(*guard, *expect),
                         _ => Ph::TxnOpNext,
                     };
                     return Step::Resp(Op::Start);
@@ -448,13 +446,20 @@ mod tests {
         let p2 = ThreadProg(vec![Stmt::txn(vec![TxOp::Read(X), TxOp::Write(X, 2)])]);
         let m = Machine::new(
             HwModel::Sc,
-            vec![LazyTl2Tm.make_process(ProcId(0), p1), LazyTl2Tm.make_process(ProcId(1), p2)],
+            vec![
+                LazyTl2Tm.make_process(ProcId(0), p1),
+                LazyTl2Tm.make_process(ProcId(1), p2),
+            ],
         );
         let mut s = RandomScheduler::new(11);
         let r = m.run(&mut s, 100_000);
         assert!(r.completed);
-        let commits =
-            r.trace.ops().iter().filter(|o| matches!(o.op, Op::Commit)).count();
+        let commits = r
+            .trace
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.op, Op::Commit))
+            .count();
         assert_eq!(commits, 2);
     }
 

@@ -46,7 +46,11 @@ pub fn measure(algo: &dyn TmAlgo) -> CostStats {
     );
     let mut sched = RandomScheduler::new(7);
     let r = m.run(&mut sched, 100_000);
-    assert!(r.completed, "{}: standard program did not complete", algo.name());
+    assert!(
+        r.completed,
+        "{}: standard program did not complete",
+        algo.name()
+    );
     r.trace.cost_stats()
 }
 

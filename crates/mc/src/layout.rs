@@ -92,7 +92,11 @@ mod tests {
     #[test]
     fn packing_roundtrips() {
         use packed::*;
-        for (v, p, ver) in [(0u64, 0u32, 0u32), (42, 3, 7), (u32::MAX as u64, 255, 0xFF_FFFF)] {
+        for (v, p, ver) in [
+            (0u64, 0u32, 0u32),
+            (42, 3, 7),
+            (u32::MAX as u64, 255, 0xFF_FFFF),
+        ] {
             let w = pack(v, ProcId(p), ver);
             assert_eq!(value(w), v);
             assert_eq!(pid(w), ProcId(p));

@@ -35,10 +35,13 @@
 pub mod algos;
 pub mod cost;
 pub mod layout;
+pub mod obs;
 pub mod program;
 pub mod theorems;
 pub mod verify;
 
-pub use algos::{GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm};
+pub use algos::{
+    GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm,
+};
 pub use program::{Program, Stmt, ThreadProg, TxOp};
 pub use verify::{check_all_traces, find_violation, trace_satisfies, CheckKind, Verdict};

@@ -80,11 +80,12 @@ impl Program {
             .iter()
             .flat_map(|t| t.0.iter())
             .flat_map(|s| match s {
-                Stmt::Txn { ops, .. } => {
-                    ops.iter().map(|o| match o {
+                Stmt::Txn { ops, .. } => ops
+                    .iter()
+                    .map(|o| match o {
                         TxOp::Read(v) | TxOp::Write(v, _) => *v,
-                    }).collect::<Vec<_>>()
-                }
+                    })
+                    .collect::<Vec<_>>(),
                 Stmt::TxnGuard { guard, ops, .. } => {
                     let mut vs: Vec<Var> = ops
                         .iter()
@@ -137,7 +138,14 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { threads: 2, vars: 2, max_stmts: 2, max_txn_ops: 2, txn_pct: 50, abort_pct: 15 }
+        GenConfig {
+            threads: 2,
+            vars: 2,
+            max_stmts: 2,
+            max_txn_ops: 2,
+            txn_pct: 50,
+            abort_pct: 15,
+        }
     }
 }
 
@@ -216,14 +224,21 @@ mod tests {
 
     #[test]
     fn distinct_seeds_vary() {
-        let cfg = GenConfig { max_stmts: 3, ..GenConfig::default() };
+        let cfg = GenConfig {
+            max_stmts: 3,
+            ..GenConfig::default()
+        };
         let differs = (0..20).any(|s| generate(&cfg, s) != generate(&cfg, s + 100));
         assert!(differs);
     }
 
     #[test]
     fn written_values_are_distinct() {
-        let cfg = GenConfig { max_stmts: 4, max_txn_ops: 3, ..GenConfig::default() };
+        let cfg = GenConfig {
+            max_stmts: 4,
+            max_txn_ops: 3,
+            ..GenConfig::default()
+        };
         let p = generate(&cfg, 3);
         let mut vals = Vec::new();
         for t in &p.0 {

@@ -15,9 +15,10 @@ use crate::algos::{
     GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm,
 };
 use crate::program::{generate, GenConfig, Program, Stmt, ThreadProg, TxOp};
-use crate::verify::{check_all_traces, check_random, find_violation, CheckKind};
+use crate::verify::{check_all_traces, check_random, CheckKind};
 use jungle_core::ids::{X, Y};
 use jungle_core::model::{Alpha, MemoryModel, Pso, Relaxed, Sc, Tso};
+use jungle_obs::{McStats, TmSnapshot};
 
 /// How an experiment establishes its claim.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,6 +56,10 @@ pub struct ExperimentResult {
     pub passed: bool,
     /// Human-readable detail.
     pub detail: String,
+    /// Exploration counters from the underlying verification.
+    pub stats: McStats,
+    /// TM runtime counters aggregated over every checked trace.
+    pub tm: TmSnapshot,
 }
 
 impl Experiment {
@@ -64,7 +69,7 @@ impl Experiment {
         let hw = jungle_memsim::HwModel::Sc;
         match self.expect {
             Expectation::ViolationExists => {
-                let found = find_violation(
+                let v = check_random(
                     &self.program,
                     self.algo,
                     hw,
@@ -74,14 +79,16 @@ impl Experiment {
                     max_steps,
                 );
                 ExperimentResult {
-                    passed: found.is_some(),
-                    detail: match found {
+                    passed: v.violation.is_some(),
+                    detail: match v.violation {
                         Some(_) => format!("{}: violating trace found as expected", self.id),
                         None => format!(
                             "{}: no violating trace in {} random schedules",
                             self.id, seeds
                         ),
                     },
+                    stats: v.stats,
+                    tm: v.tm,
                 }
             }
             Expectation::AllTracesSatisfy => {
@@ -112,6 +119,8 @@ impl Experiment {
                     } else {
                         format!("{}: violation found:\n{:?}", self.id, v.violation)
                     },
+                    stats: v.stats,
+                    tm: v.tm,
                 }
             }
         }
@@ -362,7 +371,11 @@ pub fn privatization_program() -> Program {
         // Worker: publish the flag, then conditionally update the datum.
         ThreadProg(vec![
             Stmt::NtWrite(Y, 1),
-            Stmt::TxnGuard { guard: Y, expect: 1, ops: vec![TxOp::Write(X, 7)] },
+            Stmt::TxnGuard {
+                guard: Y,
+                expect: 1,
+                ops: vec![TxOp::Write(X, 7)],
+            },
         ]),
         // Privatizer: wait-free lowering of the flag, then plain access.
         ThreadProg(vec![
@@ -679,16 +692,13 @@ mod tests {
 
     #[test]
     fn random_sweep_smoke() {
-        let cfg = GenConfig { max_stmts: 2, max_txn_ops: 2, ..GenConfig::default() };
-        let checked = random_sweep(
-            &GlobalLockTm,
-            &Relaxed,
-            CheckKind::Opacity,
-            4,
-            6,
-            &cfg,
-        )
-        .expect("global-lock TM must be opaque under the relaxed model");
+        let cfg = GenConfig {
+            max_stmts: 2,
+            max_txn_ops: 2,
+            ..GenConfig::default()
+        };
+        let checked = random_sweep(&GlobalLockTm, &Relaxed, CheckKind::Opacity, 4, 6, &cfg)
+            .expect("global-lock TM must be opaque under the relaxed model");
         assert!(checked > 0);
     }
 }

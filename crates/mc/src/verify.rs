@@ -10,13 +10,15 @@
 //! [`find_violation`] sample it with seeded-random schedules.
 
 use crate::algos::TmAlgo;
+use crate::obs::tm_counts_from_trace;
 use crate::program::Program;
+use jungle_core::ids::ProcId;
 use jungle_core::model::MemoryModel;
 use jungle_core::opacity::check_opacity;
 use jungle_core::sgla::check_sgla;
-use jungle_core::ids::ProcId;
 use jungle_isa::trace::Trace;
 use jungle_memsim::{explore, BurstyScheduler, HwModel, Machine, RandomScheduler, Scheduler};
+use jungle_obs::{McStats, TmSnapshot};
 
 /// Which correctness property to check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,6 +42,24 @@ pub struct Verdict {
     /// Runs that hit the step bound before completing (skipped unless
     /// `check_incomplete` was requested).
     pub truncated: usize,
+    /// Exploration counters: schedules, histories checked, and the
+    /// aggregated simulated-machine statistics.
+    pub stats: McStats,
+    /// TM runtime counters aggregated over every checked trace.
+    pub tm: TmSnapshot,
+}
+
+impl Verdict {
+    fn passing() -> Self {
+        Verdict {
+            ok: true,
+            violation: None,
+            runs: 0,
+            truncated: 0,
+            stats: McStats::default(),
+            tm: TmSnapshot::default(),
+        }
+    }
 }
 
 /// Does some history corresponding to `trace` satisfy the property
@@ -79,7 +99,9 @@ pub fn check_all_traces(
     kind: CheckKind,
     max_steps: usize,
 ) -> Verdict {
-    let mut verdict = Verdict { ok: true, violation: None, runs: 0, truncated: 0 };
+    let mut verdict = Verdict::passing();
+    let mut histories_checked = 0u64;
+    let mut tm = TmSnapshot::default();
     let out = explore(
         || build_machine(program, algo, hw),
         max_steps,
@@ -87,6 +109,8 @@ pub fn check_all_traces(
             if !r.completed {
                 return false; // counted by explore; skip checking prefixes
             }
+            histories_checked += 1;
+            tm.absorb(&tm_counts_from_trace(&r.trace));
             if !trace_satisfies(&r.trace, model, kind) {
                 verdict.ok = false;
                 verdict.violation = Some(r.trace.clone());
@@ -97,6 +121,11 @@ pub fn check_all_traces(
     );
     verdict.runs = out.runs;
     verdict.truncated = out.truncated;
+    verdict.stats.schedules = out.runs as u64;
+    verdict.stats.truncated = out.truncated as u64;
+    verdict.stats.histories_checked = histories_checked;
+    verdict.stats.machine = out.stats;
+    verdict.tm = tm;
     verdict
 }
 
@@ -111,7 +140,7 @@ pub fn check_random(
     seeds: std::ops::Range<u64>,
     max_steps: usize,
 ) -> Verdict {
-    let mut verdict = Verdict { ok: true, violation: None, runs: 0, truncated: 0 };
+    let mut verdict = Verdict::passing();
     for seed in seeds {
         // Alternate uniform and bursty schedules: uniform explores
         // diffuse interleavings, bursts hit the tight windows of the
@@ -123,10 +152,15 @@ pub fn check_random(
         };
         let r = build_machine(program, algo, hw).run(sched.as_mut(), max_steps);
         verdict.runs += 1;
+        verdict.stats.schedules += 1;
+        verdict.stats.machine.absorb(&r.stats);
         if !r.completed {
             verdict.truncated += 1;
+            verdict.stats.truncated += 1;
             continue;
         }
+        verdict.stats.histories_checked += 1;
+        verdict.tm.absorb(&tm_counts_from_trace(&r.trace));
         if !trace_satisfies(&r.trace, model, kind) {
             verdict.ok = false;
             verdict.violation = Some(r.trace);
@@ -165,9 +199,24 @@ mod tests {
             Stmt::txn(vec![TxOp::Write(X, 1), TxOp::Read(X)]),
             Stmt::NtRead(X),
         ])]);
-        let v = check_all_traces(&p, &GlobalLockTm, HwModel::Sc, &Sc, CheckKind::Opacity, 1_000);
+        let v = check_all_traces(
+            &p,
+            &GlobalLockTm,
+            HwModel::Sc,
+            &Sc,
+            CheckKind::Opacity,
+            1_000,
+        );
         assert!(v.ok, "violation: {:?}", v.violation);
         assert_eq!(v.runs, 1); // single thread → single schedule
+                               // Exploration stats are recorded alongside the verdict.
+        assert_eq!(v.stats.schedules, 1);
+        assert_eq!(v.stats.histories_checked, 1);
+        assert!(v.stats.machine.steps > 0);
+        assert_eq!(v.tm.commits, 1);
+        assert_eq!(v.tm.txn_reads, 1);
+        assert_eq!(v.tm.txn_writes, 1);
+        assert_eq!(v.tm.nontxn_uninstrumented, 1); // global-lock reads are bare loads
     }
 
     #[test]

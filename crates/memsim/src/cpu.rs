@@ -60,7 +60,11 @@ impl StoreBuffer {
     /// The youngest buffered value for `addr`, if any (store-to-load
     /// forwarding).
     pub fn forward(&self, addr: Addr) -> Option<Val> {
-        self.entries.iter().rev().find(|e| e.addr == addr).map(|e| e.val)
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.val)
     }
 
     /// The indices of entries that may drain next under `hw`:

@@ -11,6 +11,7 @@ use crate::sched::{Action, ExhaustiveCursor, Scheduler};
 use jungle_core::ids::{OpId, ProcId, Val};
 use jungle_isa::instr::{Instr, InstrInstance};
 use jungle_isa::trace::Trace;
+use jungle_obs::MachineStats;
 
 /// The outcome of one simulated run.
 #[derive(Debug)]
@@ -25,6 +26,9 @@ pub struct RunResult {
     /// Final global memory (written cells only, sorted by address).
     /// Buffered stores of truncated runs are *not* included.
     pub final_mem: Vec<(jungle_isa::instr::Addr, Val)>,
+    /// Execution counters (instructions by kind, store-buffer flushes,
+    /// reorder-window occupancy high-water mark).
+    pub stats: MachineStats,
 }
 
 struct CpuState {
@@ -44,6 +48,7 @@ pub struct Machine {
     cpus: Vec<CpuState>,
     instrs: Vec<InstrInstance>,
     next_op: u32,
+    stats: MachineStats,
 }
 
 impl Machine {
@@ -60,7 +65,14 @@ impl Machine {
                 current_op: None,
             })
             .collect();
-        Machine { hw, mem: GlobalMem::default(), cpus, instrs: Vec::new(), next_op: 1 }
+        Machine {
+            hw,
+            mem: GlobalMem::default(),
+            cpus,
+            instrs: Vec::new(),
+            next_op: 1,
+            stats: MachineStats::default(),
+        }
     }
 
     /// Pre-initialize a memory address (all addresses default to 0).
@@ -92,7 +104,11 @@ impl Machine {
             .current_op
             .map(|(id, _)| id)
             .expect("instruction issued outside an operation");
-        self.instrs.push(InstrInstance { instr, proc: ProcId(cpu as u32), op });
+        self.instrs.push(InstrInstance {
+            instr,
+            proc: ProcId(cpu as u32),
+            op,
+        });
         self.instrs.len() - 1
     }
 
@@ -133,6 +149,7 @@ impl Machine {
             }
             Step::Instr(pi) => match pi {
                 PInstr::Load(addr) => {
+                    self.stats.loads += 1;
                     let val = match self.hw {
                         HwModel::Sc => self.mem.load(addr),
                         _ => self.cpus[cpu]
@@ -144,21 +161,35 @@ impl Machine {
                     self.cpus[cpu].resume = Some(val);
                 }
                 PInstr::Store(addr, val) => {
+                    self.stats.stores += 1;
                     match self.hw {
                         HwModel::Sc => self.mem.store(addr, val),
-                        _ => self.cpus[cpu].buffer.push(addr, val),
+                        _ => {
+                            self.cpus[cpu].buffer.push(addr, val);
+                            self.stats.note_occupancy(self.cpus[cpu].buffer.len());
+                        }
                     }
                     self.record(cpu, Instr::Store { addr, val });
                     self.cpus[cpu].resume = Some(0);
                 }
                 PInstr::Cas(addr, expect, new) => {
+                    self.stats.cas_ops += 1;
                     // A CAS acts like a fence: drain the CPU's own
                     // buffer before executing atomically.
                     for e in self.cpus[cpu].buffer.drain_all() {
+                        self.stats.flushes += 1;
                         self.mem.store(e.addr, e.val);
                     }
                     let ok = self.mem.cas(addr, expect, new);
-                    self.record(cpu, Instr::Cas { addr, expect, new, ok });
+                    self.record(
+                        cpu,
+                        Instr::Cas {
+                            addr,
+                            expect,
+                            new,
+                            ok,
+                        },
+                    );
                     self.cpus[cpu].resume = Some(ok as Val);
                 }
             },
@@ -175,17 +206,20 @@ impl Machine {
             }
             if steps >= max_steps {
                 let final_mem = self.mem.snapshot();
+                self.stats.steps = steps as u64;
                 return RunResult {
                     trace: Trace::new(self.instrs).expect("recorded trace is well-formed"),
                     completed: false,
                     steps,
                     final_mem,
+                    stats: self.stats,
                 };
             }
             let choice = sched.choose(&actions);
             match actions[choice] {
                 Action::Exec { cpu } => self.exec(cpu),
                 Action::Drain { cpu, idx } => {
+                    self.stats.flushes += 1;
                     let e = self.cpus[cpu].buffer.take(idx);
                     self.mem.store(e.addr, e.val);
                 }
@@ -193,11 +227,13 @@ impl Machine {
             steps += 1;
         }
         let final_mem = self.mem.snapshot();
+        self.stats.steps = steps as u64;
         RunResult {
             trace: Trace::new(self.instrs).expect("recorded trace is well-formed"),
             completed: true,
             steps,
             final_mem,
+            stats: self.stats,
         }
     }
 }
@@ -211,6 +247,8 @@ pub struct ExploreOutcome {
     pub truncated: usize,
     /// True if `visit` requested an early stop.
     pub stopped_early: bool,
+    /// Machine-level totals accumulated across all visited runs.
+    pub stats: MachineStats,
 }
 
 /// Exhaustively explore every schedule of the machine built by
@@ -231,6 +269,7 @@ pub fn explore(
     loop {
         cursor.rewind();
         let result = factory().run(&mut cursor, max_steps);
+        out.stats.absorb(&result.stats);
         out.runs += 1;
         if !result.completed {
             out.truncated += 1;
@@ -366,8 +405,7 @@ mod tests {
                 }
             })) as Box<dyn Process>
         };
-        let factory =
-            || Machine::new(HwModel::Tso, vec![mk(0, 1, X, Y), mk(1, 0, Y, X)]);
+        let factory = || Machine::new(HwModel::Tso, vec![mk(0, 1, X, Y), mk(1, 0, Y, X)]);
         let mut both_zero = false;
         explore(factory, 64, |r| {
             let reads: Vec<Val> = r
@@ -394,17 +432,20 @@ mod tests {
         // (y=1, x=0) requires write-write reordering: PSO yes, TSO no.
         let run_all = |hw: HwModel| {
             let factory = move || {
-                Machine::new(hw, vec![
-                    Box::new(ScriptProcess::new(vec![
-                        Step::Inv(wr_op(X, 1)),
-                        Step::Instr(PInstr::Store(0, 1)),
-                        Step::Resp(wr_op(X, 1)),
-                        Step::Inv(wr_op(Y, 1)),
-                        Step::Instr(PInstr::Store(1, 1)),
-                        Step::Resp(wr_op(Y, 1)),
-                    ])) as Box<dyn Process>,
-                    two_reads(Y, 1, X, 0),
-                ])
+                Machine::new(
+                    hw,
+                    vec![
+                        Box::new(ScriptProcess::new(vec![
+                            Step::Inv(wr_op(X, 1)),
+                            Step::Instr(PInstr::Store(0, 1)),
+                            Step::Resp(wr_op(X, 1)),
+                            Step::Inv(wr_op(Y, 1)),
+                            Step::Instr(PInstr::Store(1, 1)),
+                            Step::Resp(wr_op(Y, 1)),
+                        ])) as Box<dyn Process>,
+                        two_reads(Y, 1, X, 0),
+                    ],
+                )
             };
             let mut fresh_y_stale_x = false;
             explore(factory, 96, |r| {
@@ -507,11 +548,51 @@ mod tests {
     }
 
     #[test]
+    fn run_stats_count_instrs_and_flushes() {
+        // One store into a TSO buffer, drained by the scheduler, then a
+        // CAS (which drains nothing further).
+        use crate::process::FnProcess;
+        let mut st = 0;
+        let p = Box::new(FnProcess::new(move |_| {
+            st += 1;
+            match st {
+                1 => Step::Inv(wr_op(X, 1)),
+                2 => Step::Instr(PInstr::Store(0, 1)),
+                3 => Step::Resp(wr_op(X, 1)),
+                4 => Step::Inv(rd_op(X, 0)),
+                5 => Step::Instr(PInstr::Load(0)),
+                6 => Step::Resp(rd_op(X, 1)),
+                7 => Step::Inv(wr_op(Y, 2)),
+                8 => Step::Instr(PInstr::Cas(1, 0, 2)),
+                9 => Step::Resp(wr_op(Y, 2)),
+                _ => Step::Done,
+            }
+        })) as Box<dyn Process>;
+        let m = Machine::new(HwModel::Tso, vec![p]);
+        let mut s = DirectedScheduler::new(vec![0; 64]);
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+        assert_eq!(r.stats.stores, 1);
+        assert_eq!(r.stats.loads, 1);
+        assert_eq!(r.stats.cas_ops, 1);
+        assert_eq!(r.stats.flushes, 1, "buffered store must flush exactly once");
+        assert_eq!(r.stats.max_buffer_occupancy, 1);
+        assert_eq!(r.stats.steps as usize, r.steps);
+    }
+
+    #[test]
+    fn explore_aggregates_stats() {
+        let factory = || Machine::new(HwModel::Sc, vec![writer(X, 0, 1), writer(Y, 1, 2)]);
+        let out = explore(factory, 64, |_| false);
+        // Every run executes both stores.
+        assert_eq!(out.stats.stores, 2 * out.runs as u64);
+        assert!(out.stats.steps > 0);
+    }
+
+    #[test]
     fn explore_counts_runs() {
         // Two single-instruction processes → a handful of interleavings.
-        let factory = || {
-            Machine::new(HwModel::Sc, vec![writer(X, 0, 1), writer(Y, 1, 2)])
-        };
+        let factory = || Machine::new(HwModel::Sc, vec![writer(X, 0, 1), writer(Y, 1, 2)]);
         let out = explore(factory, 64, |_| false);
         assert!(out.runs >= 2, "expected ≥2 interleavings, got {}", out.runs);
         assert_eq!(out.truncated, 0);

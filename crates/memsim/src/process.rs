@@ -61,7 +61,9 @@ pub struct ScriptProcess {
 impl ScriptProcess {
     /// Create a process that plays `steps` then finishes.
     pub fn new(steps: Vec<Step>) -> Self {
-        ScriptProcess { steps: steps.into_iter() }
+        ScriptProcess {
+            steps: steps.into_iter(),
+        }
     }
 }
 

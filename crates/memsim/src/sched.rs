@@ -66,7 +66,9 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// A scheduler seeded with `seed`.
     pub fn new(seed: u64) -> Self {
-        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -92,7 +94,11 @@ pub struct BurstyScheduler {
 impl BurstyScheduler {
     /// A bursty scheduler seeded with `seed`.
     pub fn new(seed: u64) -> Self {
-        BurstyScheduler { rng: StdRng::seed_from_u64(seed), target: 0, remaining: 0 }
+        BurstyScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            target: 0,
+            remaining: 0,
+        }
     }
 }
 

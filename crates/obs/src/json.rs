@@ -1,0 +1,171 @@
+//! A tiny JSON document model with compact serialization.
+//!
+//! The workspace builds offline, so `serde`/`serde_json` are not
+//! available; every metrics type serializes through this module
+//! instead. Output is always valid, compact JSON — object keys appear
+//! in insertion order so snapshots diff cleanly across runs.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (the common case for counters).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; non-finite values serialize as `null`.
+    F64(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, for incremental building via [`Json::push`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key/value pair; panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Self {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Fetch a field of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+/// Escape a string for inclusion in a JSON document (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(n) => write!(f, "{n}"),
+            Json::I64(n) => write!(f, "{n}"),
+            Json::F64(x) if x.is_finite() => write!(f, "{x}"),
+            Json::F64(_) => write!(f, "null"),
+            Json::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{}", escape(k), v)?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Types that render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_rendering() {
+        let mut j = Json::obj();
+        j.push("name", "fig\"1\"".into())
+            .push("count", 3u64.into())
+            .push("flags", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"fig\"1\"","count":3,"flags":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(escape("a\u{1}b\nc"), "a\\u0001b\\nc");
+    }
+}

@@ -1,0 +1,43 @@
+//! `jungle-obs` — observability primitives for the jungle workspace.
+//!
+//! The workspace reproduces "Transactions in the Jungle" (Guerraoui et
+//! al., SPAA 2010): TM algorithms whose cost model turns on *how many*
+//! instrumented steps each operation takes, and checkers whose cost is
+//! an exponential search. This crate gives every layer a common,
+//! dependency-free vocabulary for counting that work:
+//!
+//! * [`counter`] — sharded, cache-padded atomic counters for
+//!   multi-threaded producers (the real STMs).
+//! * [`span`] — lightweight wall-clock spans.
+//! * [`search::SearchStats`] — per-search counters for the opacity and
+//!   SGLA checkers (nodes, backtracks, prune hits, orders, depth).
+//! * [`tm::TmMetrics`] / [`tm::TmSnapshot`] — per-algorithm commit /
+//!   abort / CAS-failure / instrumentation counters.
+//! * [`sim::MachineStats`] / [`sim::McStats`] — simulator steps,
+//!   store-buffer flushes and occupancy, schedules explored.
+//! * [`snapshot::MetricsSnapshot`] — the serializable aggregate the
+//!   report binary emits.
+//!
+//! Collection is **off by default** in the hot paths: the STMs take an
+//! `Option<Arc<TmMetrics>>` and skip all counting when it is `None`,
+//! and wall-clock timing only happens in explicit `*_traced` checker
+//! entry points. The build is fully offline, so serialization is a
+//! small hand-rolled JSON model ([`json`]) rather than `serde`.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod json;
+pub mod search;
+pub mod sim;
+pub mod snapshot;
+pub mod span;
+pub mod tm;
+
+pub use counter::{CachePadded, Counter, SHARDS};
+pub use json::{Json, ToJson};
+pub use search::SearchStats;
+pub use sim::{MachineStats, McStats};
+pub use snapshot::MetricsSnapshot;
+pub use span::Span;
+pub use tm::{TmMetrics, TmSnapshot};

@@ -1,0 +1,124 @@
+//! Statistics for the relaxed-memory simulator and the model-checking
+//! layer built on it.
+
+use crate::json::{Json, ToJson};
+
+/// Counters for one simulated machine run (or a sum over many runs —
+/// see [`MachineStats::absorb`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Scheduler steps executed (instruction executions + drains).
+    pub steps: u64,
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store instructions executed (into the store buffer).
+    pub stores: u64,
+    /// CAS instructions executed.
+    pub cas_ops: u64,
+    /// Store-buffer entries flushed to memory.
+    pub flushes: u64,
+    /// Largest store-buffer occupancy observed on any CPU (the
+    /// reorder-window high-water mark).
+    pub max_buffer_occupancy: u64,
+}
+
+impl MachineStats {
+    /// Fold another run's stats in. Counters add;
+    /// `max_buffer_occupancy` takes the max.
+    pub fn absorb(&mut self, other: &MachineStats) {
+        self.steps += other.steps;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.cas_ops += other.cas_ops;
+        self.flushes += other.flushes;
+        self.max_buffer_occupancy = self.max_buffer_occupancy.max(other.max_buffer_occupancy);
+    }
+
+    /// Record a store-buffer occupancy observation.
+    #[inline]
+    pub fn note_occupancy(&mut self, depth: usize) {
+        self.max_buffer_occupancy = self.max_buffer_occupancy.max(depth as u64);
+    }
+}
+
+impl ToJson for MachineStats {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("steps", self.steps.into())
+            .push("loads", self.loads.into())
+            .push("stores", self.stores.into())
+            .push("cas_ops", self.cas_ops.into())
+            .push("flushes", self.flushes.into())
+            .push("max_buffer_occupancy", self.max_buffer_occupancy.into());
+        j
+    }
+}
+
+/// Totals for a model-checking pass (exhaustive or randomized).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct McStats {
+    /// Schedules explored (machine runs).
+    pub schedules: u64,
+    /// Runs cut off by the step bound before completing.
+    pub truncated: u64,
+    /// Histories extracted from traces and fed to a checker.
+    pub histories_checked: u64,
+    /// Machine-level totals across all runs.
+    pub machine: MachineStats,
+}
+
+impl McStats {
+    /// Fold another pass's totals in.
+    pub fn absorb(&mut self, other: &McStats) {
+        self.schedules += other.schedules;
+        self.truncated += other.truncated;
+        self.histories_checked += other.histories_checked;
+        self.machine.absorb(&other.machine);
+    }
+}
+
+impl ToJson for McStats {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("schedules", self.schedules.into())
+            .push("truncated", self.truncated.into())
+            .push("histories_checked", self.histories_checked.into())
+            .push("machine", self.machine.to_json());
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_absorb() {
+        let mut a = MachineStats {
+            steps: 10,
+            flushes: 2,
+            max_buffer_occupancy: 3,
+            ..Default::default()
+        };
+        a.absorb(&MachineStats {
+            steps: 5,
+            max_buffer_occupancy: 7,
+            ..Default::default()
+        });
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.flushes, 2);
+        assert_eq!(a.max_buffer_occupancy, 7);
+    }
+
+    #[test]
+    fn mc_json_nests_machine() {
+        let s = McStats {
+            schedules: 4,
+            histories_checked: 4,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("schedules"), Some(&Json::U64(4)));
+        assert!(j.get("machine").is_some());
+    }
+}

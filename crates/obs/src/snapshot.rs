@@ -1,0 +1,141 @@
+//! The top-level serializable metrics aggregate.
+
+use crate::json::{Json, ToJson};
+use crate::search::SearchStats;
+use crate::sim::McStats;
+use crate::tm::TmSnapshot;
+
+/// Everything the workspace knows how to measure, gathered into one
+/// serializable value. Sections are independent: a producer fills in
+/// what it ran and leaves the rest empty.
+///
+/// With no `serde` available offline, serialization is via
+/// [`ToJson`]; `snapshot.to_json().to_string()` yields a compact JSON
+/// object with stable key order.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    /// Checker search stats, keyed by a caller-chosen label (for the
+    /// report: one entry per litmus figure).
+    pub checker: Vec<(String, SearchStats)>,
+    /// Per-algorithm TM counters, keyed by algorithm name.
+    pub stms: Vec<(String, TmSnapshot)>,
+    /// Model-checking totals, if a verification pass ran.
+    pub mc: Option<McStats>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `stats` into the checker entry labelled `label`, creating
+    /// it if absent.
+    pub fn record_checker(&mut self, label: &str, stats: &SearchStats) {
+        match self.checker.iter_mut().find(|(l, _)| l == label) {
+            Some((_, s)) => s.absorb(stats),
+            None => self.checker.push((label.to_string(), *stats)),
+        }
+    }
+
+    /// Fold `snap` into the STM entry for `algo`, creating it if
+    /// absent.
+    pub fn record_stm(&mut self, algo: &str, snap: &TmSnapshot) {
+        match self.stms.iter_mut().find(|(a, _)| a == algo) {
+            Some((_, s)) => s.absorb(snap),
+            None => self.stms.push((algo.to_string(), *snap)),
+        }
+    }
+
+    /// Fold model-checking totals into the `mc` section.
+    pub fn record_mc(&mut self, stats: &McStats) {
+        self.mc.get_or_insert_with(McStats::default).absorb(stats);
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        let mut checker = Json::obj();
+        for (label, stats) in &self.checker {
+            checker.push(label, stats.to_json());
+        }
+        let mut stms = Json::obj();
+        for (algo, snap) in &self.stms {
+            stms.push(algo, snap.to_json());
+        }
+        let mut j = Json::obj();
+        j.push("checker", checker).push("stms", stms).push(
+            "mc",
+            match &self.mc {
+                Some(mc) => mc.to_json(),
+                None => Json::Null,
+            },
+        );
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_merges_by_key() {
+        let mut m = MetricsSnapshot::new();
+        m.record_checker(
+            "fig1",
+            &SearchStats {
+                nodes: 2,
+                searches: 1,
+                ..Default::default()
+            },
+        );
+        m.record_checker(
+            "fig1",
+            &SearchStats {
+                nodes: 3,
+                searches: 1,
+                ..Default::default()
+            },
+        );
+        m.record_checker("fig2", &SearchStats::for_units(1));
+        assert_eq!(m.checker.len(), 2);
+        assert_eq!(m.checker[0].1.nodes, 5);
+        assert_eq!(m.checker[0].1.searches, 2);
+
+        m.record_stm(
+            "tl2",
+            &TmSnapshot {
+                commits: 1,
+                ..Default::default()
+            },
+        );
+        m.record_stm(
+            "tl2",
+            &TmSnapshot {
+                commits: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.stms[0].1.commits, 3);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut m = MetricsSnapshot::new();
+        m.record_mc(&McStats {
+            schedules: 9,
+            ..Default::default()
+        });
+        let j = m.to_json();
+        assert!(j.get("checker").is_some());
+        assert!(j.get("stms").is_some());
+        assert_eq!(
+            j.get("mc").and_then(|mc| mc.get("schedules")),
+            Some(&Json::U64(9))
+        );
+        // Empty sections serialize as {} / null, still valid JSON.
+        let text = MetricsSnapshot::new().to_json().to_string();
+        assert_eq!(text, r#"{"checker":{},"stms":{},"mc":null}"#);
+    }
+}

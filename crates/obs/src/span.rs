@@ -1,0 +1,58 @@
+//! Lightweight timing spans.
+//!
+//! A [`Span`] is a started monotonic clock; finishing it yields
+//! elapsed nanoseconds, optionally accumulating into a counter. No
+//! allocation, no global state — cheap enough to wrap individual
+//! checker searches.
+
+use crate::counter::Counter;
+use std::time::Instant;
+
+/// An in-flight timing measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Span {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stop and fold the elapsed time into `sink` on `shard_hint`'s
+    /// shard; returns the elapsed nanoseconds.
+    pub fn finish_into(self, sink: &Counter, shard_hint: usize) -> u64 {
+        let ns = self.elapsed_ns();
+        sink.add(shard_hint, ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let span = Span::start();
+        let a = span.elapsed_ns();
+        std::hint::black_box((0..1000u64).sum::<u64>());
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn finish_accumulates() {
+        let c = Counter::new();
+        let ns = Span::start().finish_into(&c, 0);
+        assert_eq!(c.get(), ns);
+    }
+}

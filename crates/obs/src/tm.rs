@@ -1,0 +1,184 @@
+//! Per-algorithm TM runtime metrics.
+//!
+//! [`TmMetrics`] is the live, thread-safe handle an STM's contexts
+//! share (each worker bumps its own shard); [`TmSnapshot`] is the
+//! plain-value read-out. The model-checking layer produces
+//! `TmSnapshot`s directly by classifying trace instructions, so the
+//! same shape describes both real and interpreted executions.
+
+use crate::counter::Counter;
+use crate::json::{Json, ToJson};
+
+/// Live counters for one TM algorithm instance. Cheap to share via
+/// `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct TmMetrics {
+    /// Transactions committed.
+    pub commits: Counter,
+    /// Transactions aborted (each retry of an `atomically` body counts).
+    pub aborts: Counter,
+    /// CAS instructions that failed.
+    pub cas_failures: Counter,
+    /// Successful lock acquisitions (global lock or per-var locks).
+    pub lock_acquisitions: Counter,
+    /// Spin-loop iterations while waiting for a lock.
+    pub lock_spins: Counter,
+    /// Transactional reads.
+    pub txn_reads: Counter,
+    /// Transactional writes.
+    pub txn_writes: Counter,
+    /// Non-transactional ops that ran extra instrumentation.
+    pub nontxn_instrumented: Counter,
+    /// Non-transactional ops compiled to the bare access.
+    pub nontxn_uninstrumented: Counter,
+}
+
+impl TmMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy the current values out.
+    pub fn snapshot(&self) -> TmSnapshot {
+        TmSnapshot {
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
+            cas_failures: self.cas_failures.get(),
+            lock_acquisitions: self.lock_acquisitions.get(),
+            lock_spins: self.lock_spins.get(),
+            txn_reads: self.txn_reads.get(),
+            txn_writes: self.txn_writes.get(),
+            nontxn_instrumented: self.nontxn_instrumented.get(),
+            nontxn_uninstrumented: self.nontxn_uninstrumented.get(),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.commits.reset();
+        self.aborts.reset();
+        self.cas_failures.reset();
+        self.lock_acquisitions.reset();
+        self.lock_spins.reset();
+        self.txn_reads.reset();
+        self.txn_writes.reset();
+        self.nontxn_instrumented.reset();
+        self.nontxn_uninstrumented.reset();
+    }
+}
+
+/// Point-in-time values of a [`TmMetrics`] (or counts derived from a
+/// model-checker trace).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TmSnapshot {
+    /// See [`TmMetrics::commits`].
+    pub commits: u64,
+    /// See [`TmMetrics::aborts`].
+    pub aborts: u64,
+    /// See [`TmMetrics::cas_failures`].
+    pub cas_failures: u64,
+    /// See [`TmMetrics::lock_acquisitions`].
+    pub lock_acquisitions: u64,
+    /// See [`TmMetrics::lock_spins`].
+    pub lock_spins: u64,
+    /// See [`TmMetrics::txn_reads`].
+    pub txn_reads: u64,
+    /// See [`TmMetrics::txn_writes`].
+    pub txn_writes: u64,
+    /// See [`TmMetrics::nontxn_instrumented`].
+    pub nontxn_instrumented: u64,
+    /// See [`TmMetrics::nontxn_uninstrumented`].
+    pub nontxn_uninstrumented: u64,
+}
+
+impl TmSnapshot {
+    /// Fold another snapshot into this one (all fields add).
+    pub fn absorb(&mut self, other: &TmSnapshot) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.cas_failures += other.cas_failures;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.lock_spins += other.lock_spins;
+        self.txn_reads += other.txn_reads;
+        self.txn_writes += other.txn_writes;
+        self.nontxn_instrumented += other.nontxn_instrumented;
+        self.nontxn_uninstrumented += other.nontxn_uninstrumented;
+    }
+}
+
+impl ToJson for TmSnapshot {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("commits", self.commits.into())
+            .push("aborts", self.aborts.into())
+            .push("cas_failures", self.cas_failures.into())
+            .push("lock_acquisitions", self.lock_acquisitions.into())
+            .push("lock_spins", self.lock_spins.into())
+            .push("txn_reads", self.txn_reads.into())
+            .push("txn_writes", self.txn_writes.into())
+            .push("nontxn_instrumented", self.nontxn_instrumented.into())
+            .push("nontxn_uninstrumented", self.nontxn_uninstrumented.into());
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let m = TmMetrics::new();
+        m.commits.inc(0);
+        m.commits.inc(1);
+        m.aborts.inc(0);
+        m.nontxn_uninstrumented.add(2, 5);
+        let s = m.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.nontxn_uninstrumented, 5);
+        m.reset();
+        assert_eq!(m.snapshot(), TmSnapshot::default());
+    }
+
+    #[test]
+    fn shared_handle_across_threads() {
+        let m = Arc::new(TmMetrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|pid| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.commits.inc(pid);
+                        m.txn_reads.add(pid, 3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.commits, 4000);
+        assert_eq!(s.txn_reads, 12_000);
+    }
+
+    #[test]
+    fn absorb_adds_fields() {
+        let mut a = TmSnapshot {
+            commits: 1,
+            cas_failures: 2,
+            ..Default::default()
+        };
+        a.absorb(&TmSnapshot {
+            commits: 3,
+            lock_spins: 4,
+            ..Default::default()
+        });
+        assert_eq!(a.commits, 4);
+        assert_eq!(a.cas_failures, 2);
+        assert_eq!(a.lock_spins, 4);
+    }
+}

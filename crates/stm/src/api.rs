@@ -9,6 +9,7 @@
 
 use crate::recorder::Recorder;
 use jungle_core::ids::ProcId;
+use jungle_obs::TmMetrics;
 use std::sync::Arc;
 
 /// Marker error: the current transaction has been aborted and rolled
@@ -37,6 +38,9 @@ pub struct Ctx {
     pub shared: Vec<usize>,
     /// Optional history recorder.
     pub rec: Option<Arc<Recorder>>,
+    /// Optional shared runtime metrics. `None` (the default) keeps
+    /// every operation on the bare, uncounted path.
+    pub metrics: Option<Arc<TmMetrics>>,
     /// Scratch RNG state for backoff (xorshift).
     pub rng: u64,
     /// Committed transactions on this thread (via [`atomically`]).
@@ -57,15 +61,34 @@ impl Ctx {
             locks: Vec::new(),
             shared: Vec::new(),
             rec,
+            metrics: None,
             rng: 0x9E37_79B9_7F4A_7C15 ^ (u64::from(pid.0) << 17 | 1),
             commits: 0,
             aborts: 0,
         }
     }
 
+    /// Attach a shared metrics block (builder style).
+    pub fn with_metrics(mut self, metrics: Arc<TmMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Borrow the recorder, if recording is enabled.
     pub fn rec(&self) -> Option<&Recorder> {
         self.rec.as_deref()
+    }
+
+    /// Borrow the metrics block, if attached.
+    #[inline]
+    pub fn met(&self) -> Option<&TmMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// This context's counter-shard hint (its process id).
+    #[inline]
+    pub fn shard(&self) -> usize {
+        self.pid.0 as usize
     }
 
     /// Clear per-transaction state (sets and held locks lists).
@@ -78,12 +101,19 @@ impl Ctx {
 
     /// Look up the write set.
     pub fn ws_get(&self, var: usize) -> Option<u64> {
-        self.writeset.iter().rev().find(|(v, _)| *v == var).map(|(_, w)| *w)
+        self.writeset
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == var)
+            .map(|(_, w)| *w)
     }
 
     /// Look up the read set.
     pub fn rs_get(&self, var: usize) -> Option<u64> {
-        self.readset.iter().find(|(v, _)| *v == var).map(|(_, w)| *w)
+        self.readset
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, w)| *w)
     }
 
     /// Insert or update a write-set entry.
@@ -226,6 +256,38 @@ mod tests {
         assert_eq!(cx.rs_get(1), Some(5));
         cx.reset_txn();
         assert!(cx.readset.is_empty() && cx.writeset.is_empty());
+    }
+
+    #[test]
+    fn metrics_count_commits_and_nt_classes() {
+        use crate::global_lock::GlobalLockStm;
+        let tm = GlobalLockStm::new(2);
+        let metrics = Arc::new(TmMetrics::new());
+        let mut cx = Ctx::new(ProcId(0), None).with_metrics(metrics.clone());
+        atomically(&tm, &mut cx, |tx| {
+            tx.write(0, 1)?;
+            tx.read(1)
+        });
+        tm.nt_read(&mut cx, 0);
+        tm.nt_write(&mut cx, 1, 9);
+        let s = metrics.snapshot();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 0);
+        assert_eq!(s.txn_reads, 1);
+        assert_eq!(s.txn_writes, 1);
+        assert_eq!(s.lock_acquisitions, 1);
+        assert_eq!(s.nontxn_uninstrumented, 2);
+        assert_eq!(s.nontxn_instrumented, 0);
+    }
+
+    #[test]
+    fn no_metrics_means_no_counting_path() {
+        use crate::global_lock::GlobalLockStm;
+        let tm = GlobalLockStm::new(1);
+        let mut cx = Ctx::new(ProcId(0), None);
+        assert!(cx.met().is_none());
+        atomically(&tm, &mut cx, |tx| tx.write(0, 1));
+        assert_eq!(cx.commits, 1); // local bookkeeping still works
     }
 
     #[test]

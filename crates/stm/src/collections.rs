@@ -22,7 +22,9 @@ pub struct TArray<W: Word> {
 impl<W: Word> TArray<W> {
     /// Allocate `len` cells starting at heap slot `base`.
     pub fn new<A: TmAlgo>(space: &TVarSpace<A>, base: usize, len: usize) -> Self {
-        TArray { cells: (0..len).map(|i| space.tvar::<W>(base + i)).collect() }
+        TArray {
+            cells: (0..len).map(|i| space.tvar::<W>(base + i)).collect(),
+        }
     }
 
     /// Number of cells.
@@ -121,10 +123,7 @@ impl TQueue {
 
     /// Transactionally dequeue; reports [`QueueState::Empty`] without
     /// side effects when there is nothing to take.
-    pub fn try_dequeue(
-        &self,
-        tx: &mut TypedTx<'_>,
-    ) -> Result<Result<u64, QueueState>, Aborted> {
+    pub fn try_dequeue(&self, tx: &mut TypedTx<'_>) -> Result<Result<u64, QueueState>, Aborted> {
         let head = tx.read(&self.head)?;
         let tail = tx.read(&self.tail)?;
         if head == tail {
@@ -172,7 +171,9 @@ pub struct TCounter {
 impl TCounter {
     /// Allocate at heap slot `slot`.
     pub fn new<A: TmAlgo>(space: &TVarSpace<A>, slot: usize) -> Self {
-        TCounter { cell: space.tvar(slot) }
+        TCounter {
+            cell: space.tvar(slot),
+        }
     }
 
     /// Transactionally add `n`, returning the new value.
@@ -216,11 +217,17 @@ mod tests {
         for i in 1..=4 {
             assert_eq!(th.atomically(|tx| q.try_enqueue(tx, i)), Ok(()));
         }
-        assert_eq!(th.atomically(|tx| q.try_enqueue(tx, 99)), Err(QueueState::Full));
+        assert_eq!(
+            th.atomically(|tx| q.try_enqueue(tx, 99)),
+            Err(QueueState::Full)
+        );
         for i in 1..=4 {
             assert_eq!(th.atomically(|tx| q.try_dequeue(tx)), Ok(i));
         }
-        assert_eq!(th.atomically(|tx| q.try_dequeue(tx)), Err(QueueState::Empty));
+        assert_eq!(
+            th.atomically(|tx| q.try_dequeue(tx)),
+            Err(QueueState::Empty)
+        );
     }
 
     #[test]

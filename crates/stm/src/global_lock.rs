@@ -53,17 +53,27 @@ fn lock_word(p: ProcId) -> u64 {
 
 impl<C: Codec> Fig6Core<C> {
     pub fn new(n_vars: usize, codec: C) -> Self {
-        Fig6Core { heap: Heap::new(n_vars), lock: AtomicU64::new(0), codec }
+        Fig6Core {
+            heap: Heap::new(n_vars),
+            lock: AtomicU64::new(0),
+            codec,
+        }
     }
 
-    pub fn acquire(&self, p: ProcId) {
+    pub fn acquire(&self, cx: &Ctx) {
         loop {
             if self
                 .lock
-                .compare_exchange(0, lock_word(p), Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(0, lock_word(cx.pid), Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
+                if let Some(m) = cx.met() {
+                    m.lock_acquisitions.inc(cx.shard());
+                }
                 return;
+            }
+            if let Some(m) = cx.met() {
+                m.lock_spins.inc(cx.shard());
             }
             let mut spins = 0u32;
             while self.lock.load(Ordering::Relaxed) != 0 {
@@ -85,7 +95,7 @@ impl<C: Codec> Fig6Core<C> {
 
     pub fn txn_start(&self, cx: &mut Ctx) {
         let tok = cx.rec().map(|r| r.begin());
-        self.acquire(cx.pid);
+        self.acquire(cx);
         cx.reset_txn();
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, Op::Start);
@@ -94,6 +104,9 @@ impl<C: Codec> Fig6Core<C> {
 
     pub fn txn_read(&self, cx: &mut Ctx, var: usize) -> u64 {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.txn_reads.inc(cx.shard());
+        }
         let val = if let Some(v) = cx.ws_get(var) {
             v
         } else if let Some(w) = cx.rs_get(var) {
@@ -111,6 +124,9 @@ impl<C: Codec> Fig6Core<C> {
 
     pub fn txn_write(&self, cx: &mut Ctx, var: usize, val: u64) {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.txn_writes.inc(cx.shard());
+        }
         // Figure 6: a transactional write first latches the current
         // word (a transactional read) for the commit-time CAS.
         if cx.rs_get(var).is_none() && cx.ws_get(var).is_none() {
@@ -134,7 +150,11 @@ impl<C: Codec> Fig6Core<C> {
             // The CAS result is deliberately ignored (Figure 6): a
             // failure means a non-transactional write intervened and
             // serializes after this transaction.
-            let _ = self.heap.cas(var, expected, new);
+            if !self.heap.cas(var, expected, new) {
+                if let Some(m) = cx.met() {
+                    m.cas_failures.inc(cx.shard());
+                }
+            }
         }
         self.release();
         cx.reset_txn();
@@ -181,7 +201,9 @@ pub struct GlobalLockStm {
 impl GlobalLockStm {
     /// An STM over `n_vars` word variables.
     pub fn new(n_vars: usize) -> Self {
-        GlobalLockStm { core: Fig6Core::new(n_vars, RawCodec) }
+        GlobalLockStm {
+            core: Fig6Core::new(n_vars, RawCodec),
+        }
     }
 }
 
@@ -209,18 +231,30 @@ impl TmAlgo for GlobalLockStm {
 
     fn txn_commit(&self, cx: &mut Ctx) -> Result<(), Aborted> {
         self.core.txn_commit(cx);
+        if let Some(m) = cx.met() {
+            m.commits.inc(cx.shard());
+        }
         Ok(())
     }
 
     fn txn_abort(&self, cx: &mut Ctx) {
         self.core.txn_abort(cx);
+        if let Some(m) = cx.met() {
+            m.aborts.inc(cx.shard());
+        }
     }
 
     fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
+        if let Some(m) = cx.met() {
+            m.nontxn_uninstrumented.inc(cx.shard());
+        }
         self.core.nt_read(cx, var)
     }
 
     fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64) {
+        if let Some(m) = cx.met() {
+            m.nontxn_uninstrumented.inc(cx.shard());
+        }
         self.core.nt_write_plain(cx, var, val);
     }
 }
@@ -302,7 +336,10 @@ mod tests {
         });
         tm.nt_read(&mut cx, 0);
         drop(cx);
-        let trace = std::sync::Arc::try_unwrap(rec).unwrap().into_trace().unwrap();
+        let trace = std::sync::Arc::try_unwrap(rec)
+            .unwrap()
+            .into_trace()
+            .unwrap();
         // start, write, read, commit, nt-read = 5 operations.
         assert_eq!(trace.ops().len(), 5);
         let h = trace.canonical_history().unwrap();

@@ -44,6 +44,7 @@ pub use api::{atomically, Aborted, Ctx, TmAlgo, Tx};
 pub use cell::Heap;
 pub use collections::{QueueState, TArray, TCounter, TQueue};
 pub use global_lock::GlobalLockStm;
+pub use jungle_obs::{TmMetrics, TmSnapshot};
 pub use recorder::Recorder;
 pub use strong::StrongStm;
 pub use tl2::Tl2Stm;

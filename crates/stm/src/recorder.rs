@@ -18,12 +18,12 @@
 //! `finish`: per the paper's trace grammar the operation instance does
 //! not exist, and the abort that follows is the next operation.
 
-use crossbeam::queue::SegQueue;
 use jungle_core::ids::{OpId, ProcId, Val, Var};
 use jungle_core::op::{Command, Op};
 use jungle_isa::instr::{Instr, InstrInstance};
 use jungle_isa::trace::{Trace, TraceError};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Handle for an operation in flight: carries its id and the timestamp
 /// of its invocation.
@@ -48,11 +48,15 @@ enum Marker {
 }
 
 /// Concurrent interval recorder.
+///
+/// Timestamps come from lock-free atomic fetch-adds; only the event
+/// push takes a mutex, which is off the measured path in every
+/// experiment that cares (instrumentation-cost runs use no recorder).
 #[derive(Debug, Default)]
 pub struct Recorder {
     seq: AtomicU64,
     next_op: AtomicU64,
-    events: SegQueue<Event>,
+    events: Mutex<Vec<Event>>,
 }
 
 /// Build a read operation value.
@@ -74,23 +78,44 @@ impl Recorder {
     /// Mark the start of an operation; pass the token to
     /// [`Recorder::finish`] when it completes. Dropping the token
     /// without finishing erases the operation (it never responded).
+    ///
+    /// # Panics
+    ///
+    /// If more than `u32::MAX - 1` operations are begun: op ids are
+    /// 32-bit, and silently wrapping would alias distinct operations
+    /// in the resulting trace.
     pub fn begin(&self) -> OpToken {
-        let id = self.next_op.fetch_add(1, Ordering::SeqCst) as u32 + 1;
+        let raw = self.next_op.fetch_add(1, Ordering::SeqCst);
+        let id = u32::try_from(raw)
+            .ok()
+            .and_then(|n| n.checked_add(1))
+            .expect("Recorder: op id space (u32) exhausted");
         let inv_seq = self.seq.fetch_add(1, Ordering::SeqCst);
         OpToken { id, inv_seq }
+    }
+
+    /// Number of operations begun so far (including unfinished ones).
+    pub fn ops_recorded(&self) -> u64 {
+        self.next_op.load(Ordering::SeqCst)
     }
 
     /// Complete the operation `token` as `op` (with observed values
     /// filled in), emitting its invocation and response events.
     pub fn finish(&self, proc: ProcId, token: OpToken, op: Op) {
         let resp_seq = self.seq.fetch_add(1, Ordering::SeqCst);
-        self.events.push(Event {
+        let mut events = self.events.lock().unwrap();
+        events.push(Event {
             seq: token.inv_seq,
             proc,
             op: OpId(token.id),
             marker: Marker::Inv(op.clone()),
         });
-        self.events.push(Event { seq: resp_seq, proc, op: OpId(token.id), marker: Marker::Resp(op) });
+        events.push(Event {
+            seq: resp_seq,
+            proc,
+            op: OpId(token.id),
+            marker: Marker::Resp(op),
+        });
     }
 
     /// Record a zero-width operation at the current instant (begin +
@@ -102,21 +127,18 @@ impl Recorder {
 
     /// Number of recorded events (two per completed operation).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.lock().unwrap().len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.lock().unwrap().is_empty()
     }
 
     /// Drain into a marker-only trace ordered by timestamp. Call after
     /// all worker threads have joined.
     pub fn into_trace(self) -> Result<Trace, TraceError> {
-        let mut evs: Vec<Event> = Vec::with_capacity(self.events.len());
-        while let Some(e) = self.events.pop() {
-            evs.push(e);
-        }
+        let mut evs = self.events.into_inner().unwrap();
         evs.sort_by_key(|e| e.seq);
         let instrs = evs
             .into_iter()
@@ -125,7 +147,11 @@ impl Recorder {
                     Marker::Inv(op) => Instr::Inv(op),
                     Marker::Resp(op) => Instr::Resp(op),
                 };
-                InstrInstance { instr, proc: e.proc, op: e.op }
+                InstrInstance {
+                    instr,
+                    proc: e.proc,
+                    op: e.op,
+                }
             })
             .collect();
         Trace::new(instrs)
@@ -187,6 +213,16 @@ mod tests {
         let trace = r.into_trace().unwrap();
         assert_eq!(trace.ops().len(), 100);
         assert!(trace.canonical_history().is_ok());
+    }
+
+    #[test]
+    fn ops_recorded_counts_begins() {
+        let r = Recorder::new();
+        assert_eq!(r.ops_recorded(), 0);
+        r.instant(ProcId(0), Op::Start);
+        let _unfinished = r.begin();
+        assert_eq!(r.ops_recorded(), 2); // finished + unfinished both count
+        assert_eq!(r.len(), 2); // but only the finished op has events
     }
 
     #[test]

@@ -51,15 +51,15 @@ fn enc_shared(n: u64) -> u64 {
 }
 
 fn enc_excl(pid: u32) -> u64 {
-    (TAG_EXCL << TAG_SHIFT) | u64::from(pid) + 1
+    (TAG_EXCL << TAG_SHIFT) | (u64::from(pid) + 1)
 }
 
 fn enc_anon(pid: u32) -> u64 {
-    (TAG_ANON << TAG_SHIFT) | u64::from(pid) + 1
+    (TAG_ANON << TAG_SHIFT) | (u64::from(pid) + 1)
 }
 
 fn enc_private(pid: u32) -> u64 {
-    (TAG_PRIVATE << TAG_SHIFT) | u64::from(pid) + 1
+    (TAG_PRIVATE << TAG_SHIFT) | (u64::from(pid) + 1)
 }
 
 fn owner(w: u64) -> u64 {
@@ -80,14 +80,22 @@ impl StrongStm {
     /// Fully instrumented variant: strong atomicity — opacity
     /// parametrized by sequential consistency.
     pub fn new(n_vars: usize) -> Self {
-        StrongStm { data: Heap::new(n_vars), meta: Heap::new(n_vars), optimized_reads: false }
+        StrongStm {
+            data: Heap::new(n_vars),
+            meta: Heap::new(n_vars),
+            optimized_reads: false,
+        }
     }
 
     /// Read-optimized variant (§6.1): non-transactional reads are plain
     /// loads; correct for models that may reorder reads
     /// (`M ∉ Mrr ∪ Mwr`).
     pub fn new_optimized(n_vars: usize) -> Self {
-        StrongStm { data: Heap::new(n_vars), meta: Heap::new(n_vars), optimized_reads: true }
+        StrongStm {
+            data: Heap::new(n_vars),
+            meta: Heap::new(n_vars),
+            optimized_reads: true,
+        }
     }
 
     /// Take `var` into the **private** record state (§6.1's fourth
@@ -161,13 +169,24 @@ impl StrongStm {
             match tag(w) {
                 TAG_SHARED => {
                     if self.meta.cas(var, w, enc_shared(readers(w) + 1)) {
+                        if let Some(m) = cx.met() {
+                            m.lock_acquisitions.inc(cx.shard());
+                        }
                         cx.shared.push(var);
                         return Ok(());
+                    }
+                    if let Some(m) = cx.met() {
+                        m.cas_failures.inc(cx.shard());
                     }
                 }
                 // Anonymous owners finish in O(1); exclusive owners may
                 // hold until commit — spin a bounded amount for both.
-                _ => std::hint::spin_loop(),
+                _ => {
+                    if let Some(m) = cx.met() {
+                        m.lock_spins.inc(cx.shard());
+                    }
+                    std::hint::spin_loop()
+                }
             }
         }
         self.release_all(cx);
@@ -181,20 +200,38 @@ impl StrongStm {
             let w = self.meta.load(var);
             match tag(w) {
                 TAG_SHARED => {
-                    let expect = if upgrading { enc_shared(1) } else { enc_shared(0) };
+                    let expect = if upgrading {
+                        enc_shared(1)
+                    } else {
+                        enc_shared(0)
+                    };
                     if w == expect {
                         if self.meta.cas(var, w, enc_excl(cx.pid.0)) {
+                            if let Some(m) = cx.met() {
+                                m.lock_acquisitions.inc(cx.shard());
+                            }
                             if upgrading {
                                 cx.shared.retain(|&v| v != var);
                             }
                             cx.locks.push(var);
                             return Ok(());
                         }
+                        if let Some(m) = cx.met() {
+                            m.cas_failures.inc(cx.shard());
+                        }
                     } else {
+                        if let Some(m) = cx.met() {
+                            m.lock_spins.inc(cx.shard());
+                        }
                         std::hint::spin_loop(); // other readers present
                     }
                 }
-                _ => std::hint::spin_loop(),
+                _ => {
+                    if let Some(m) = cx.met() {
+                        m.lock_spins.inc(cx.shard());
+                    }
+                    std::hint::spin_loop()
+                }
             }
         }
         self.release_all(cx);
@@ -229,6 +266,9 @@ impl TmAlgo for StrongStm {
 
     fn txn_read(&self, cx: &mut Ctx, var: usize) -> Result<u64, Aborted> {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.txn_reads.inc(cx.shard());
+        }
         if let Some(v) = cx.ws_get(var) {
             if let (Some(r), Some(t)) = (cx.rec(), tok) {
                 r.finish(cx.pid, t, rd_op(Var(var as u32), v));
@@ -254,6 +294,9 @@ impl TmAlgo for StrongStm {
 
     fn txn_write(&self, cx: &mut Ctx, var: usize, val: u64) -> Result<(), Aborted> {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.txn_writes.inc(cx.shard());
+        }
         if !cx.locks.contains(&var) {
             self.acquire_excl(cx, var)?;
         }
@@ -275,6 +318,9 @@ impl TmAlgo for StrongStm {
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, Op::Commit);
         }
+        if let Some(m) = cx.met() {
+            m.commits.inc(cx.shard());
+        }
         Ok(())
     }
 
@@ -284,10 +330,20 @@ impl TmAlgo for StrongStm {
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, Op::Abort);
         }
+        if let Some(m) = cx.met() {
+            m.aborts.inc(cx.shard());
+        }
     }
 
     fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            if self.optimized_reads {
+                m.nontxn_uninstrumented.inc(cx.shard());
+            } else {
+                m.nontxn_instrumented.inc(cx.shard());
+            }
+        }
         if !self.optimized_reads {
             // Wait while a transaction holds the record exclusively.
             let mut spins = 0u32;
@@ -309,15 +365,22 @@ impl TmAlgo for StrongStm {
 
     fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64) {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.nontxn_instrumented.inc(cx.shard());
+        }
         // Gain exclusive-anonymous ownership.
         let mut spins = 0u32;
         loop {
             let w = self.meta.load(var);
-            if tag(w) == TAG_SHARED
-                && readers(w) == 0
-                && self.meta.cas(var, w, enc_anon(cx.pid.0))
+            if tag(w) == TAG_SHARED && readers(w) == 0 && self.meta.cas(var, w, enc_anon(cx.pid.0))
             {
+                if let Some(m) = cx.met() {
+                    m.lock_acquisitions.inc(cx.shard());
+                }
                 break;
+            }
+            if let Some(m) = cx.met() {
+                m.lock_spins.inc(cx.shard());
             }
             std::hint::spin_loop();
             spins += 1;
@@ -452,7 +515,10 @@ mod tests {
         for _ in 0..3000 {
             let y = tm.nt_read(&mut cx, 1);
             let x = tm.nt_read(&mut cx, 0);
-            assert!(x >= y, "strong atomicity violated: y={y} fresh but x={x} stale");
+            assert!(
+                x >= y,
+                "strong atomicity violated: y={y} fresh but x={x} stale"
+            );
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         w.join().unwrap();
@@ -482,7 +548,10 @@ mod tests {
             tm2.nt_write(&mut cx1, 0, 99); // must wait for publish
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!h.is_finished(), "nt write must wait for the private record");
+        assert!(
+            !h.is_finished(),
+            "nt write must wait for the private record"
+        );
         tm.private_write(&cx, 0, 42);
         tm.publish(&mut cx, 0);
         h.join().unwrap();
@@ -509,7 +578,10 @@ mod tests {
         tm.publish(&mut cx, 0);
         let aborts = h.join().unwrap();
         assert_eq!(tm.nt_read(&mut cx, 0), 11);
-        assert!(aborts >= 1, "the transaction should have aborted while private");
+        assert!(
+            aborts >= 1,
+            "the transaction should have aborted while private"
+        );
     }
 
     #[test]

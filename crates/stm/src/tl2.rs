@@ -46,7 +46,11 @@ pub struct Tl2Stm {
 impl Tl2Stm {
     /// An STM over `n_vars` word variables.
     pub fn new(n_vars: usize) -> Self {
-        Tl2Stm { data: Heap::new(n_vars), vlocks: Heap::new(n_vars), clock: AtomicU64::new(0) }
+        Tl2Stm {
+            data: Heap::new(n_vars),
+            vlocks: Heap::new(n_vars),
+            clock: AtomicU64::new(0),
+        }
     }
 
     fn rollback(&self, cx: &mut Ctx) {
@@ -81,6 +85,9 @@ impl TmAlgo for Tl2Stm {
 
     fn txn_read(&self, cx: &mut Ctx, var: usize) -> Result<u64, Aborted> {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.txn_reads.inc(cx.shard());
+        }
         if let Some(v) = cx.ws_get(var) {
             if let (Some(r), Some(t)) = (cx.rec(), tok) {
                 r.finish(cx.pid, t, rd_op(Var(var as u32), v));
@@ -108,6 +115,9 @@ impl TmAlgo for Tl2Stm {
 
     fn txn_write(&self, cx: &mut Ctx, var: usize, val: u64) -> Result<(), Aborted> {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.txn_writes.inc(cx.shard());
+        }
         cx.ws_put(var, val);
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, wr_op(Var(var as u32), val));
@@ -123,6 +133,9 @@ impl TmAlgo for Tl2Stm {
             if let (Some(r), Some(t)) = (cx.rec(), tok) {
                 r.finish(cx.pid, t, Op::Commit);
             }
+            if let Some(m) = cx.met() {
+                m.commits.inc(cx.shard());
+            }
             return Ok(());
         }
         // Phase 1: lock the write set.
@@ -132,14 +145,23 @@ impl TmAlgo for Tl2Stm {
             for _ in 0..LOCK_SPIN {
                 let w = self.vlocks.load(var);
                 if !locked(w) && self.vlocks.cas(var, w, enc(version(w), true)) {
+                    if let Some(m) = cx.met() {
+                        m.lock_acquisitions.inc(cx.shard());
+                    }
                     cx.locks.push(var);
                     acquired = true;
                     break;
+                }
+                if let Some(m) = cx.met() {
+                    m.lock_spins.inc(cx.shard());
                 }
                 std::hint::spin_loop();
             }
             if !acquired {
                 self.rollback(cx);
+                if let Some(m) = cx.met() {
+                    m.aborts.inc(cx.shard());
+                }
                 return Err(Aborted);
             }
         }
@@ -151,9 +173,11 @@ impl TmAlgo for Tl2Stm {
                 let (var, v1) = cx.readset[i];
                 let w = self.vlocks.load(var);
                 let locked_by_me = cx.locks.contains(&var);
-                if version(w) > cx.rv || (locked(w) && !locked_by_me) || version(w) != version(v1)
-                {
+                if version(w) > cx.rv || (locked(w) && !locked_by_me) || version(w) != version(v1) {
                     self.rollback(cx);
+                    if let Some(m) = cx.met() {
+                        m.aborts.inc(cx.shard());
+                    }
                     return Err(Aborted);
                 }
             }
@@ -172,6 +196,9 @@ impl TmAlgo for Tl2Stm {
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, Op::Commit);
         }
+        if let Some(m) = cx.met() {
+            m.commits.inc(cx.shard());
+        }
         Ok(())
     }
 
@@ -181,10 +208,16 @@ impl TmAlgo for Tl2Stm {
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, Op::Abort);
         }
+        if let Some(m) = cx.met() {
+            m.aborts.inc(cx.shard());
+        }
     }
 
     fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.nontxn_uninstrumented.inc(cx.shard());
+        }
         let v = self.data.load(var);
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, rd_op(Var(var as u32), v));
@@ -194,6 +227,9 @@ impl TmAlgo for Tl2Stm {
 
     fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64) {
         let tok = cx.rec().map(|r| r.begin());
+        if let Some(m) = cx.met() {
+            m.nontxn_uninstrumented.inc(cx.shard());
+        }
         self.data.store(var, val);
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
             r.finish(cx.pid, t, wr_op(Var(var as u32), val));
@@ -292,9 +328,7 @@ mod tests {
         };
         let mut cx = Ctx::new(ProcId(2), None);
         for _ in 0..2000 {
-            let (a, b) = atomically(tm.as_ref(), &mut cx, |tx| {
-                Ok((tx.read(0)?, tx.read(1)?))
-            });
+            let (a, b) = atomically(tm.as_ref(), &mut cx, |tx| Ok((tx.read(0)?, tx.read(1)?)));
             assert_eq!(a + b, 1000, "torn transactional snapshot");
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -324,9 +358,7 @@ mod tests {
         };
         let mut cx = Ctx::new(ProcId(1), None);
         for _ in 0..2000 {
-            let (a, b) = atomically(tm.as_ref(), &mut cx, |tx| {
-                Ok((tx.read(0)?, tx.read(1)?))
-            });
+            let (a, b) = atomically(tm.as_ref(), &mut cx, |tx| Ok((tx.read(0)?, tx.read(1)?)));
             assert_eq!(a, b, "TL2 snapshot isolation violated");
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);

@@ -59,14 +59,20 @@ pub struct TVarSpace<A: TmAlgo> {
 
 impl<A: TmAlgo> Clone for TVarSpace<A> {
     fn clone(&self) -> Self {
-        TVarSpace { tm: self.tm.clone(), recorder: self.recorder.clone() }
+        TVarSpace {
+            tm: self.tm.clone(),
+            recorder: self.recorder.clone(),
+        }
     }
 }
 
 impl<A: TmAlgo> TVarSpace<A> {
     /// Wrap an STM instance.
     pub fn new(tm: A) -> Self {
-        TVarSpace { tm: Arc::new(tm), recorder: None }
+        TVarSpace {
+            tm: Arc::new(tm),
+            recorder: None,
+        }
     }
 
     /// Wrap an STM instance with history recording enabled. The
@@ -74,12 +80,21 @@ impl<A: TmAlgo> TVarSpace<A> {
     /// threads are done (`Arc::try_unwrap(rec)?.into_trace()`).
     pub fn recorded(tm: A) -> (Self, Arc<Recorder>) {
         let rec = Arc::new(Recorder::new());
-        (TVarSpace { tm: Arc::new(tm), recorder: Some(rec.clone()) }, rec)
+        (
+            TVarSpace {
+                tm: Arc::new(tm),
+                recorder: Some(rec.clone()),
+            },
+            rec,
+        )
     }
 
     /// A typed variable at heap slot `slot`.
     pub fn tvar<W: Word>(&self, slot: usize) -> TVar<W> {
-        TVar { slot, _ty: PhantomData }
+        TVar {
+            slot,
+            _ty: PhantomData,
+        }
     }
 
     /// The underlying algorithm.
@@ -121,11 +136,7 @@ impl<'a> TypedTx<'a> {
     }
 
     /// Read-modify-write helper; returns the new value.
-    pub fn modify<W: Word>(
-        &mut self,
-        var: &TVar<W>,
-        f: impl FnOnce(W) -> W,
-    ) -> Result<W, Aborted> {
+    pub fn modify<W: Word>(&mut self, var: &TVar<W>, f: impl FnOnce(W) -> W) -> Result<W, Aborted> {
         let v = f(self.read(var)?);
         self.write(var, v)?;
         Ok(v)
@@ -144,7 +155,10 @@ impl<A: TmAlgo> TVarThread<A> {
         loop {
             tm.txn_start(&mut self.cx);
             let out = {
-                let mut tx = TypedTx { tm, cx: &mut self.cx };
+                let mut tx = TypedTx {
+                    tm,
+                    cx: &mut self.cx,
+                };
                 body(&mut tx)
             };
             match out {

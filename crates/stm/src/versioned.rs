@@ -68,7 +68,9 @@ pub struct VersionedStm {
 impl VersionedStm {
     /// An STM over `n_vars` packed-word variables (values ≤ `u32::MAX`).
     pub fn new(n_vars: usize) -> Self {
-        VersionedStm { core: Fig6Core::new(n_vars, PackedCodec) }
+        VersionedStm {
+            core: Fig6Core::new(n_vars, PackedCodec),
+        }
     }
 }
 
@@ -83,11 +85,18 @@ impl VersionedStm {
     /// reads whose address was computed from a prior non-transactional
     /// read; use plain [`TmAlgo::nt_read`] everywhere else.
     pub fn nt_read_volatile(&self, cx: &mut Ctx, var: usize) -> u64 {
-        self.core.acquire(cx.pid);
+        if let Some(m) = cx.met() {
+            m.nontxn_instrumented.inc(cx.shard());
+        }
+        self.core.acquire(cx);
         let tok = cx.rec().map(|r| r.begin());
         let val = packing::value(self.core.heap.load(var));
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
-            r.finish(cx.pid, t, crate::recorder::rd_op(jungle_core::ids::Var(var as u32), val));
+            r.finish(
+                cx.pid,
+                t,
+                crate::recorder::rd_op(jungle_core::ids::Var(var as u32), val),
+            );
         }
         self.core.release();
         val
@@ -119,19 +128,33 @@ impl TmAlgo for VersionedStm {
 
     fn txn_commit(&self, cx: &mut Ctx) -> Result<(), Aborted> {
         self.core.txn_commit(cx);
+        if let Some(m) = cx.met() {
+            m.commits.inc(cx.shard());
+        }
         Ok(())
     }
 
     fn txn_abort(&self, cx: &mut Ctx) {
         self.core.txn_abort(cx);
+        if let Some(m) = cx.met() {
+            m.aborts.inc(cx.shard());
+        }
     }
 
     fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
+        if let Some(m) = cx.met() {
+            m.nontxn_uninstrumented.inc(cx.shard());
+        }
         self.core.nt_read(cx, var)
     }
 
     fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64) {
         debug_assert!(val <= packing::MAX_VALUE);
+        // One store of a fresh packed word — constant-time, but still
+        // instrumentation relative to a bare store.
+        if let Some(m) = cx.met() {
+            m.nontxn_instrumented.inc(cx.shard());
+        }
         self.core.nt_write_plain(cx, var, val);
     }
 }
@@ -224,7 +247,10 @@ mod tests {
             // Between the two volatile reads a whole commit may land,
             // so y ≥ x is the invariant (modulo the wrap at 1000).
             if x > 0 && y > 0 && x < 900 && y < 900 {
-                assert!(y >= x, "volatile reads observed reordered commits: x={x} y={y}");
+                assert!(
+                    y >= x,
+                    "volatile reads observed reordered commits: x={x} y={y}"
+                );
             }
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);

@@ -23,7 +23,9 @@ pub struct WriteTxnStm {
 impl WriteTxnStm {
     /// An STM over `n_vars` word variables.
     pub fn new(n_vars: usize) -> Self {
-        WriteTxnStm { core: Fig6Core::new(n_vars, RawCodec) }
+        WriteTxnStm {
+            core: Fig6Core::new(n_vars, RawCodec),
+        }
     }
 }
 
@@ -51,20 +53,32 @@ impl TmAlgo for WriteTxnStm {
 
     fn txn_commit(&self, cx: &mut Ctx) -> Result<(), Aborted> {
         self.core.txn_commit(cx);
+        if let Some(m) = cx.met() {
+            m.commits.inc(cx.shard());
+        }
         Ok(())
     }
 
     fn txn_abort(&self, cx: &mut Ctx) {
         self.core.txn_abort(cx);
+        if let Some(m) = cx.met() {
+            m.aborts.inc(cx.shard());
+        }
     }
 
     fn nt_read(&self, cx: &mut Ctx, var: usize) -> u64 {
+        if let Some(m) = cx.met() {
+            m.nontxn_uninstrumented.inc(cx.shard());
+        }
         self.core.nt_read(cx, var)
     }
 
     fn nt_write(&self, cx: &mut Ctx, var: usize, val: u64) {
+        if let Some(m) = cx.met() {
+            m.nontxn_instrumented.inc(cx.shard());
+        }
         let tok = cx.rec().map(|r| r.begin());
-        self.core.acquire(cx.pid);
+        self.core.acquire(cx);
         self.core.heap.store(var, val);
         self.core.release();
         if let (Some(r), Some(t)) = (cx.rec(), tok) {
@@ -95,9 +109,7 @@ mod tests {
         });
         let mut cx = Ctx::new(ProcId(0), None);
         for _ in 0..500 {
-            let (a, b) = atomically(tm.as_ref(), &mut cx, |tx| {
-                Ok((tx.read(0)?, tx.read(1)?))
-            });
+            let (a, b) = atomically(tm.as_ref(), &mut cx, |tx| Ok((tx.read(0)?, tx.read(1)?)));
             // Both variables written under the lock by the same loop
             // iteration or a mix of adjacent ones; values never exceed
             // 500 and reads see committed values only.

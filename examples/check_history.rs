@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example check_history`
 
 use jungle::core::model::all_models;
-use jungle::core::pretty::render_columns;
 use jungle::core::prelude::*;
+use jungle::core::pretty::render_columns;
 
 fn main() {
     // Figure 3(a): p1 writes x and runs the transaction writing y; p2
@@ -54,7 +54,10 @@ fn main() {
         println!("\nwitness sequential history for {p} under RMO (operation ids):");
         println!(
             "  {}",
-            w.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(" → ")
+            w.iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(" → ")
         );
         println!("  transaction serialization order: {:?}", v.txn_order());
     }

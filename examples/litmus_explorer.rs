@@ -11,7 +11,10 @@ fn main() {
     let models = all_models();
 
     for litmus in all_litmus() {
-        println!("── {} ─────────────────────────────────────────", litmus.name);
+        println!(
+            "── {} ─────────────────────────────────────────",
+            litmus.name
+        );
         println!("   {}", litmus.question);
         println!();
 
@@ -32,7 +35,11 @@ fn main() {
         }
         println!();
         if let Some(first) = litmus.outcomes.first() {
-            println!("   (history of '{}': {})", first.label, render_line(&first.history));
+            println!(
+                "   (history of '{}': {})",
+                first.label,
+                render_line(&first.history)
+            );
         }
         println!();
     }

@@ -93,7 +93,10 @@ fn main() {
     println!("Part 1 — running the privatization idiom on real STMs");
     println!("        ({ROUNDS} rounds each, 1 worker + 1 privatizer)\n");
     let strong = run_idiom(|| StrongStm::new(2));
-    println!("  strong (§6.1):        {strong} clobbered rounds {}", tag(strong));
+    println!(
+        "  strong (§6.1):        {strong} clobbered rounds {}",
+        tag(strong)
+    );
     let gl = run_idiom(|| GlobalLockStm::new(2));
     println!("  global-lock (Fig. 6): {gl} clobbered rounds {}", tag(gl));
     assert_eq!(strong + gl, 0, "privatization must be safe on these STMs");
@@ -106,7 +109,11 @@ fn main() {
         println!(
             "  opacity parametrized by {:<8}: {}",
             m.name(),
-            if v.is_opaque() { "satisfied (!?)" } else { "VIOLATED" }
+            if v.is_opaque() {
+                "satisfied (!?)"
+            } else {
+                "VIOLATED"
+            }
         );
         if m.name() != "Junk-SC" {
             assert!(!v.is_opaque());

@@ -1,0 +1,437 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses. The build environment cannot reach crates.io, so the
+//! real crate is unavailable; this shim keeps the bench files
+//! source-compatible while providing a simple but honest timing
+//! harness.
+//!
+//! Behaviour:
+//!
+//! * Under `cargo bench` (cargo passes `--bench` to the binary) each
+//!   benchmark warms up, sizes its sample iteration count from the
+//!   warm-up estimate, and collects `sample_size` timed samples.
+//!   Human-readable results go to **stderr**; a single JSON object
+//!   (`{"benchmarks": [...], "metrics": {...}}`) goes to **stdout** so
+//!   `cargo bench --bench X > BENCH_X.json` captures a machine-readable
+//!   perf trajectory.
+//! * Under `cargo test` (no `--bench` argument) every benchmark runs a
+//!   single smoke iteration so the bench targets stay cheap correctness
+//!   checks, matching real criterion's test-mode behaviour.
+//! * [`report_metrics`] lets bench code attach observability counters
+//!   (e.g. `jungle-obs` snapshots, pre-rendered as JSON) to the
+//!   `metrics` section of the JSON output.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How work per iteration is expressed for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    group: String,
+    id: String,
+    mode: &'static str,
+    samples: u64,
+    iters_per_sample: u64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+fn records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn metrics() -> &'static Mutex<Vec<(String, String)>> {
+    static METRICS: OnceLock<Mutex<Vec<(String, String)>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Attach a named block of pre-rendered JSON (e.g. a `jungle-obs`
+/// snapshot's `to_json()`) to the `metrics` section of the bench
+/// binary's JSON output. Later values for the same key win.
+pub fn report_metrics(key: impl Into<String>, json: impl Into<String>) {
+    let mut m = metrics().lock().unwrap();
+    let key = key.into();
+    m.retain(|(k, _)| *k != key);
+    m.push((key, json.into()));
+}
+
+/// True when cargo invoked this binary via `cargo bench`.
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// No-op in the shim (kept for call-site compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the total measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of timed samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration work for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id, &mut |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            plan: if full_measurement() {
+                Plan::Measure {
+                    warm_up: self.warm_up,
+                    measurement: self.measurement,
+                    sample_size: self.sample_size,
+                }
+            } else {
+                Plan::Smoke
+            },
+            outcome: None,
+        };
+        f(&mut bencher);
+        let Some(o) = bencher.outcome else {
+            eprintln!(
+                "warning: benchmark {}/{} never called iter()",
+                self.name, id.id
+            );
+            return;
+        };
+        let record = BenchRecord {
+            group: self.name.clone(),
+            id: id.id,
+            mode: if matches!(bencher.plan, Plan::Smoke) {
+                "smoke"
+            } else {
+                "measure"
+            },
+            samples: o.samples,
+            iters_per_sample: o.iters_per_sample,
+            mean_ns: o.mean_ns,
+            min_ns: o.min_ns,
+            max_ns: o.max_ns,
+            throughput: self.throughput,
+        };
+        let rate = match record.throughput {
+            Some(Throughput::Elements(n)) if record.mean_ns > 0.0 => {
+                format!("  {:.2} Melem/s", n as f64 / record.mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if record.mean_ns > 0.0 => {
+                format!("  {:.2} MB/s", n as f64 / record.mean_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "{:<28} {:<24} {:>12.1} ns/iter  [{:.1} .. {:.1}]{}",
+            record.group, record.id, record.mean_ns, record.min_ns, record.max_ns, rate
+        );
+        records().lock().unwrap().push(record);
+    }
+
+    /// Close the group (results are recorded as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+enum Plan {
+    Smoke,
+    Measure {
+        warm_up: Duration,
+        measurement: Duration,
+        sample_size: usize,
+    },
+}
+
+struct Outcome {
+    samples: u64,
+    iters_per_sample: u64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    plan: Plan,
+    outcome: Option<Outcome>,
+}
+
+impl Bencher {
+    /// Measure `routine`, keeping its output alive to defeat
+    /// dead-code elimination.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.plan {
+            Plan::Smoke => {
+                let t0 = Instant::now();
+                std::hint::black_box(routine());
+                let ns = t0.elapsed().as_nanos() as f64;
+                self.outcome = Some(Outcome {
+                    samples: 1,
+                    iters_per_sample: 1,
+                    mean_ns: ns,
+                    min_ns: ns,
+                    max_ns: ns,
+                });
+            }
+            Plan::Measure {
+                warm_up,
+                measurement,
+                sample_size,
+            } => {
+                // Warm up and estimate per-iteration cost.
+                let mut warm_iters: u64 = 0;
+                let warm_start = Instant::now();
+                while warm_start.elapsed() < warm_up {
+                    std::hint::black_box(routine());
+                    warm_iters += 1;
+                }
+                let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+                // Size each sample so the whole run fits the budget.
+                let target_sample_ns = measurement.as_nanos() as f64 / sample_size as f64;
+                let iters_per_sample = ((target_sample_ns / est_ns.max(1.0)).floor() as u64).max(1);
+
+                let mut sum = 0.0f64;
+                let mut min = f64::INFINITY;
+                let mut max = 0.0f64;
+                for _ in 0..sample_size {
+                    let t0 = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        std::hint::black_box(routine());
+                    }
+                    let per_iter = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+                    sum += per_iter;
+                    min = min.min(per_iter);
+                    max = max.max(per_iter);
+                }
+                self.outcome = Some(Outcome {
+                    samples: sample_size as u64,
+                    iters_per_sample,
+                    mean_ns: sum / sample_size as f64,
+                    min_ns: min,
+                    max_ns: max,
+                });
+            }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __emit_json() {
+    let records = records().lock().unwrap();
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let tp = match r.throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{{\"group\":\"{}\",\"id\":\"{}\",\"mode\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}{}}}",
+            escape(&r.group),
+            escape(&r.id),
+            r.mode,
+            r.samples,
+            r.iters_per_sample,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            tp
+        ));
+    }
+    out.push_str("],\"metrics\":{");
+    let metrics = metrics().lock().unwrap();
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), v));
+    }
+    out.push_str("}}");
+    println!("{out}");
+}
+
+/// Collect benchmark functions into a runnable group (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups, then emit the JSON report
+/// to stdout (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::__emit_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_records_result() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_test");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0..4u64).sum::<u64>())
+        });
+        g.finish();
+        let recs = records().lock().unwrap();
+        let r = recs
+            .iter()
+            .find(|r| r.group == "shim_test")
+            .expect("recorded");
+        assert_eq!(r.id, "sum");
+        assert!(r.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn metrics_registry_last_write_wins() {
+        report_metrics("k", "{\"a\":1}");
+        report_metrics("k", "{\"a\":2}");
+        let m = metrics().lock().unwrap();
+        let hits: Vec<_> = m.iter().filter(|(k, _)| k == "k").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "{\"a\":2}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline drop-in replacement for the subset of `rand` 0.8 this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! half-open and inclusive integer ranges, and `Rng::gen_bool`.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be vendored; this shim keeps call sites source-compatible.
+//! The generator is xoshiro256** seeded via SplitMix64 — deterministic
+//! per seed, which is all the workspace's reproducible fuzzing needs.
+//! The stream differs from the real `StdRng` (ChaCha12), so seeds do
+//! not reproduce schedules across the two implementations.
+
+#![warn(missing_docs)]
+
+pub mod rngs {
+    //! Named generator types (mirrors `rand::rngs`).
+
+    /// The workspace's standard seeded generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256**
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+}
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// A range uniform values can be drawn from (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw a uniform sample using `next` as the entropy source.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Integer types a uniform sample can target (mirrors
+/// `rand::distributions::uniform::SampleUniform` in spirit).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)` or `[low, high]` per `inclusive`.
+    fn sample_range(low: Self, high: Self, inclusive: bool, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(
+                low: $t,
+                high: $t,
+                inclusive: bool,
+                next: &mut dyn FnMut() -> u64,
+            ) -> $t {
+                let (lo, hi) = (low as $wide, high as $wide);
+                let span = hi - lo + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                let r = ((next)() as $wide).rem_euclid(span);
+                (lo + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+// Generic over the element type, like the real crate, so integer
+// literal inference flows from the call site into the range.
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(self.start, self.end, false, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (a, b) = self.into_inner();
+        assert!(a <= b, "gen_range: empty range");
+        T::sample_range(a, b, true, next)
+    }
+}
+
+/// The generator trait (mirrors the used subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64_dyn();
+        range.sample(&mut next)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 bits of entropy → uniform in [0, 1).
+        let u = (self.next_u64_dyn() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    #[doc(hidden)]
+    fn next_u64_dyn(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        StdRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..17u64);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(1..=8usize);
+            assert!((1..=8).contains(&y));
+            let z = r.gen_range(0..100u8);
+            assert!(z < 100);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((300..700).contains(&hits), "suspicious bias: {hits}");
+    }
+}

@@ -102,7 +102,11 @@ fn load_buffering_with_dependencies_forbidden() {
     b.dep_write(p(2), X, 1, DepKind::Data, vec![r2]);
     let h = b.build().unwrap();
     for m in [&Sc as &dyn jungle::core::model::MemoryModel, &Rmo, &Alpha] {
-        assert!(!check_opacity(&h, m).is_opaque(), "LB+deps allowed under {}", m.name());
+        assert!(
+            !check_opacity(&h, m).is_opaque(),
+            "LB+deps allowed under {}",
+            m.name()
+        );
     }
     // With *independent* writes the cycle breaks on a fully relaxed
     // model: each write may float above its read.

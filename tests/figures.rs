@@ -65,8 +65,18 @@ fn fig2c_isolation_for_all_models() {
         if m.name() == "Junk-SC" {
             continue;
         }
-        assert_eq!(l.judge("z=1", m), Some(false), "intermediate leak under {}", m.name());
-        assert_eq!(l.judge("r1=0 r2=5", m), Some(false), "torn txn reads under {}", m.name());
+        assert_eq!(
+            l.judge("z=1", m),
+            Some(false),
+            "intermediate leak under {}",
+            m.name()
+        );
+        assert_eq!(
+            l.judge("r1=0 r2=5", m),
+            Some(false),
+            "torn txn reads under {}",
+            m.name()
+        );
     }
 }
 

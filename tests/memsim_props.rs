@@ -22,42 +22,40 @@ fn straightline(ops: Vec<(bool, u32, Val)>) -> Box<dyn Process> {
     let mut queue = ops.into_iter();
     let mut pending: Option<(bool, u32, Val)> = None;
     let mut phase = 0u8;
-    Box::new(FnProcess::new(move |last| {
-        loop {
-            match phase {
-                0 => match queue.next() {
-                    None => return Step::Done,
-                    Some(op) => {
-                        pending = Some(op);
-                        phase = 1;
-                        let (is_read, a, v) = op;
-                        return Step::Inv(if is_read {
-                            rd_op(Var(a), 0)
-                        } else {
-                            wr_op(Var(a), v)
-                        });
-                    }
-                },
-                1 => {
-                    let (is_read, a, v) = pending.unwrap();
-                    phase = 2;
-                    return Step::Instr(if is_read {
-                        PInstr::Load(a)
-                    } else {
-                        PInstr::Store(a, v)
-                    });
-                }
-                2 => {
-                    let (is_read, a, v) = pending.unwrap();
-                    phase = 0;
-                    return Step::Resp(if is_read {
-                        rd_op(Var(a), last.unwrap())
+    Box::new(FnProcess::new(move |last| loop {
+        match phase {
+            0 => match queue.next() {
+                None => return Step::Done,
+                Some(op) => {
+                    pending = Some(op);
+                    phase = 1;
+                    let (is_read, a, v) = op;
+                    return Step::Inv(if is_read {
+                        rd_op(Var(a), 0)
                     } else {
                         wr_op(Var(a), v)
                     });
                 }
-                _ => unreachable!(),
+            },
+            1 => {
+                let (is_read, a, v) = pending.unwrap();
+                phase = 2;
+                return Step::Instr(if is_read {
+                    PInstr::Load(a)
+                } else {
+                    PInstr::Store(a, v)
+                });
             }
+            2 => {
+                let (is_read, a, v) = pending.unwrap();
+                phase = 0;
+                return Step::Resp(if is_read {
+                    rd_op(Var(a), last.unwrap())
+                } else {
+                    wr_op(Var(a), v)
+                });
+            }
+            _ => unreachable!(),
         }
     }))
 }
@@ -108,8 +106,13 @@ proptest! {
 fn same_address_writes_stay_ordered() {
     for hw in [HwModel::Sc, HwModel::Tso, HwModel::Pso] {
         let factory = move || {
-            Machine::new(hw, vec![straightline(vec![(false, 0, 1), (false, 0, 2)]),
-                                  straightline(vec![(true, 0, 0), (true, 0, 0)])])
+            Machine::new(
+                hw,
+                vec![
+                    straightline(vec![(false, 0, 1), (false, 0, 2)]),
+                    straightline(vec![(true, 0, 0), (true, 0, 0)]),
+                ],
+            )
         };
         let mut violated = false;
         explore(factory, 128, |r| {

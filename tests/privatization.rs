@@ -78,7 +78,10 @@ fn real_strong_stm_private_state_idiom() {
     // After everything, the datum holds either the last private value
     // or a mutator value — but it is always a value someone wrote.
     let v = tm.nt_read(&mut cx, DATA);
-    assert!(v == ROUNDS || (1_000..3_000).contains(&v), "out-of-thin-air value {v}");
+    assert!(
+        v == ROUNDS || (1_000..3_000).contains(&v),
+        "out-of-thin-air value {v}"
+    );
 }
 
 #[test]

@@ -28,7 +28,11 @@ fn sgla_opacity_gap_examples() {
     for m in all_models() {
         if m.name() != "Junk-SC" {
             // (Junk-SC's havoc legitimately explains the torn values.)
-            assert!(!check_opacity(&h, m).is_opaque(), "opacity under {}", m.name());
+            assert!(
+                !check_opacity(&h, m).is_opaque(),
+                "opacity under {}",
+                m.name()
+            );
         }
         assert!(check_sgla(&h, m).is_sgla(), "SGLA under {}", m.name());
     }

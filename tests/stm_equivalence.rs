@@ -105,9 +105,7 @@ fn run_on(tm: &dyn TmAlgo, acts: &[Act]) -> Vec<Val> {
                         TxOp::Read(v) => {
                             txn_reads.push(tm.txn_read(&mut cx, v.0 as usize).unwrap())
                         }
-                        TxOp::Write(v, val) => {
-                            tm.txn_write(&mut cx, v.0 as usize, *val).unwrap()
-                        }
+                        TxOp::Write(v, val) => tm.txn_write(&mut cx, v.0 as usize, *val).unwrap(),
                     }
                 }
                 if *abort {

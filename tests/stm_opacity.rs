@@ -22,7 +22,9 @@ fn satisfies_opacity(trace: &Trace, model: &dyn MemoryModel) -> bool {
             return true;
         }
     }
-    trace.exists_corresponding(|h| check_opacity(h, model).is_opaque()).is_some()
+    trace
+        .exists_corresponding(|h| check_opacity(h, model).is_opaque())
+        .is_some()
 }
 
 fn satisfies_sgla(trace: &Trace, model: &dyn MemoryModel) -> bool {
@@ -31,7 +33,9 @@ fn satisfies_sgla(trace: &Trace, model: &dyn MemoryModel) -> bool {
             return true;
         }
     }
-    trace.exists_corresponding(|h| check_sgla(h, model).is_sgla()).is_some()
+    trace
+        .exists_corresponding(|h| check_sgla(h, model).is_sgla())
+        .is_some()
 }
 
 fn mixed_program() -> Program {
@@ -127,7 +131,10 @@ fn tl2_transaction_only_executions_opaque() {
 #[test]
 fn aborting_transactions_recorded_and_consistent() {
     let program = Program(vec![
-        ThreadProg(vec![Stmt::aborting_txn(vec![TxOp::Write(X, 9)]), Stmt::NtRead(X)]),
+        ThreadProg(vec![
+            Stmt::aborting_txn(vec![TxOp::Write(X, 9)]),
+            Stmt::NtRead(X),
+        ]),
         ThreadProg(vec![Stmt::txn(vec![TxOp::Read(X)])]),
     ]);
     for i in 0..30 {

@@ -17,23 +17,44 @@ fn all_fixed_experiments_pass() {
 }
 
 fn sweep_cfg() -> GenConfig {
-    GenConfig { threads: 2, vars: 2, max_stmts: 2, max_txn_ops: 2, txn_pct: 60, abort_pct: 20 }
+    GenConfig {
+        threads: 2,
+        vars: 2,
+        max_stmts: 2,
+        max_txn_ops: 2,
+        txn_pct: 60,
+        abort_pct: 20,
+    }
 }
 
 #[test]
 fn thm3_random_program_sweep() {
     // Theorem 3: the Figure 6 TM is opaque parametrized by the fully
     // relaxed model, over randomly generated programs and schedules.
-    let checked = random_sweep(&GlobalLockTm, &Relaxed, CheckKind::Opacity, 25, 12, &sweep_cfg())
-        .unwrap_or_else(|e| panic!("Theorem 3 sweep failed: {e}"));
+    let checked = random_sweep(
+        &GlobalLockTm,
+        &Relaxed,
+        CheckKind::Opacity,
+        25,
+        12,
+        &sweep_cfg(),
+    )
+    .unwrap_or_else(|e| panic!("Theorem 3 sweep failed: {e}"));
     assert!(checked >= 25 * 6, "too few completed runs: {checked}");
 }
 
 #[test]
 fn thm4_random_program_sweep() {
     // Theorem 4: writes-as-transactions, opaque for M ∉ Mrr (Alpha).
-    let checked = random_sweep(&WriteTxnTm, &Alpha, CheckKind::Opacity, 20, 10, &sweep_cfg())
-        .unwrap_or_else(|e| panic!("Theorem 4 sweep failed: {e}"));
+    let checked = random_sweep(
+        &WriteTxnTm,
+        &Alpha,
+        CheckKind::Opacity,
+        20,
+        10,
+        &sweep_cfg(),
+    )
+    .unwrap_or_else(|e| panic!("Theorem 4 sweep failed: {e}"));
     assert!(checked > 0);
 }
 
@@ -41,8 +62,15 @@ fn thm4_random_program_sweep() {
 fn thm5_random_program_sweep() {
     // Theorem 5: constant-time write instrumentation, opaque for
     // M ∉ Mrr ∪ Mwr (Alpha).
-    let checked = random_sweep(&VersionedTm, &Alpha, CheckKind::Opacity, 20, 10, &sweep_cfg())
-        .unwrap_or_else(|e| panic!("Theorem 5 sweep failed: {e}"));
+    let checked = random_sweep(
+        &VersionedTm,
+        &Alpha,
+        CheckKind::Opacity,
+        20,
+        10,
+        &sweep_cfg(),
+    )
+    .unwrap_or_else(|e| panic!("Theorem 5 sweep failed: {e}"));
     assert!(checked > 0);
 }
 
@@ -133,7 +161,10 @@ fn versioned_vs_naive_on_theorem2_scenario() {
         0..2_000,
         8_000,
     );
-    assert!(naive.is_some(), "Theorem 2: naive store-based TM must violate");
+    assert!(
+        naive.is_some(),
+        "Theorem 2: naive store-based TM must violate"
+    );
 
     let versioned = check_random(
         &program,
@@ -144,5 +175,9 @@ fn versioned_vs_naive_on_theorem2_scenario() {
         0..2_000,
         8_000,
     );
-    assert!(versioned.ok, "versioned TM violated: {:?}", versioned.violation);
+    assert!(
+        versioned.ok,
+        "versioned TM violated: {:?}",
+        versioned.violation
+    );
 }
