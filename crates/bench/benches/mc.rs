@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jungle_core::model::Sc;
 use jungle_mc::theorems::{lemma1, thm1_case1, thm2, thm3_litmus};
+use jungle_mc::SweepSeeds;
 use jungle_obs::{MetricsSnapshot, ToJson};
 use std::hint::black_box;
 use std::time::Duration;
@@ -16,21 +17,21 @@ fn bench_violation_searches(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function(BenchmarkId::from_parameter("lemma1"), |b| {
         b.iter(|| {
-            let r = lemma1().run(5, 2_000);
+            let r = lemma1().run(SweepSeeds::new(0, 5), 2_000);
             assert!(r.passed);
             black_box(r.passed)
         })
     });
     g.bench_function(BenchmarkId::from_parameter("thm1_case1_sc"), |b| {
         b.iter(|| {
-            let r = thm1_case1(&Sc).run(2_000, 6_000);
+            let r = thm1_case1(&Sc).run(SweepSeeds::new(0, 2_000), 6_000);
             assert!(r.passed);
             black_box(r.passed)
         })
     });
     g.bench_function(BenchmarkId::from_parameter("thm2"), |b| {
         b.iter(|| {
-            let r = thm2().run(2_000, 6_000);
+            let r = thm2().run(SweepSeeds::new(0, 2_000), 6_000);
             assert!(r.passed);
             black_box(r.passed)
         })
@@ -45,7 +46,7 @@ fn bench_positive_sweep(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function(BenchmarkId::from_parameter("thm3_litmus_exhaustive"), |b| {
         b.iter(|| {
-            let r = thm3_litmus().run(0, 4_000);
+            let r = thm3_litmus().run(SweepSeeds::new(0, 0), 4_000);
             assert!(r.passed);
             black_box(r.passed)
         })
@@ -60,7 +61,7 @@ fn bench_positive_sweep(c: &mut Criterion) {
         (thm2(), 500),
         (thm3_litmus(), 0),
     ] {
-        let r = e.run(runs, 4_000);
+        let r = e.run(SweepSeeds::new(0, runs), 4_000);
         snap.record_stm(e.algo.name(), &r.tm);
         snap.record_mc(&r.stats);
     }

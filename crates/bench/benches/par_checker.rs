@@ -1,0 +1,127 @@
+//! Experiment E5 (parallel half): the serial checker against the
+//! parallel entry points at 1/2/4/8 worker threads, over histories
+//! whose serialization-order enumeration is wide enough to split.
+//!
+//! The stress histories come from `jungle_litmus::stress`:
+//! `wide_unsat_history(p)` forces the checker to exhaust all `p!`
+//! transaction orders (the most parallelizable shape), while
+//! `wide_history(p, 0)` buries the witness behind the orders the
+//! enumeration visits first. An untimed traced pass at the end attaches
+//! the search counters (workers, stolen prefixes, memo hits) to the
+//! JSON report so `report --json` and CI can track them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jungle_core::model::Sc;
+use jungle_core::opacity::{check_opacity, check_opacity_par, check_opacity_par_traced};
+use jungle_core::par::ParallelConfig;
+use jungle_core::sgla::{check_sgla, check_sgla_par};
+use jungle_litmus::stress::{wide_history, wide_unsat_history};
+use jungle_obs::{MetricsSnapshot, ToJson};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Worker counts swept by every group. `0` is not included: the point
+/// is comparing fixed counts against the serial baseline, not the OS
+/// auto-detection.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A config pinned to `threads` workers with the size threshold
+/// disabled, so even the smaller stress histories take the parallel
+/// path and the comparison is clean.
+fn pinned(threads: usize) -> ParallelConfig {
+    ParallelConfig {
+        threads,
+        min_units: 0,
+    }
+}
+
+fn bench_opacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_par_opacity");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    for p in [4usize, 5, 6] {
+        let h = wide_unsat_history(p);
+        g.bench_with_input(BenchmarkId::new("serial", p), &h, |b, h| {
+            b.iter(|| black_box(check_opacity(h, &Sc).is_opaque()))
+        });
+        for t in THREADS {
+            let cfg = pinned(t);
+            g.bench_with_input(BenchmarkId::new(format!("par_t{t}"), p), &h, |b, h| {
+                b.iter(|| black_box(check_opacity_par(h, &Sc, &cfg).is_opaque()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_opacity_witness(c: &mut Criterion) {
+    // The satisfiable variant: the witness needs transaction 0 last, so
+    // the serial scan burns through (p-1)! failing orders first while
+    // the pool reaches the successful prefix sooner (the deterministic
+    // lowest-index rule still returns the identical witness).
+    let mut g = c.benchmark_group("E5_par_opacity_witness");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let p = 6usize;
+    let h = wide_history(p, 0);
+    g.bench_with_input(BenchmarkId::new("serial", p), &h, |b, h| {
+        b.iter(|| black_box(check_opacity(h, &Sc).is_opaque()))
+    });
+    for t in THREADS {
+        let cfg = pinned(t);
+        g.bench_with_input(BenchmarkId::new(format!("par_t{t}"), p), &h, |b, h| {
+            b.iter(|| black_box(check_opacity_par(h, &Sc, &cfg).is_opaque()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sgla(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_par_sgla");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let p = 5usize;
+    let h = wide_unsat_history(p);
+    g.bench_with_input(BenchmarkId::new("serial", p), &h, |b, h| {
+        b.iter(|| black_box(check_sgla(h, &Sc).is_sgla()))
+    });
+    for t in THREADS {
+        let cfg = pinned(t);
+        g.bench_with_input(BenchmarkId::new(format!("par_t{t}"), p), &h, |b, h| {
+            b.iter(|| black_box(check_sgla_par(h, &Sc, &cfg).is_sgla()))
+        });
+    }
+    g.finish();
+}
+
+fn report_counters(_c: &mut Criterion) {
+    // Untimed traced pass: cross-check verdicts and surface the
+    // parallel counters in the JSON report.
+    let mut snap = MetricsSnapshot::new();
+    for p in [4usize, 6] {
+        let h = wide_unsat_history(p);
+        let serial = check_opacity(&h, &Sc);
+        for t in THREADS {
+            let (v, stats) = check_opacity_par_traced(&h, &Sc, &pinned(t));
+            assert_eq!(
+                v.is_opaque(),
+                serial.is_opaque(),
+                "parallel verdict diverged at p={p}, threads={t}"
+            );
+            snap.record_checker(&format!("E5_wide_unsat_p{p}_t{t}"), &stats);
+        }
+    }
+    criterion::report_metrics("E5_par_checker", snap.to_json().to_string());
+}
+
+criterion_group!(
+    benches,
+    bench_opacity,
+    bench_opacity_witness,
+    bench_sgla,
+    report_counters
+);
+criterion_main!(benches);

@@ -19,6 +19,7 @@ use jungle_mc::algos::{
 };
 use jungle_mc::cost::measure;
 use jungle_mc::theorems::all_fixed_experiments;
+use jungle_mc::SweepSeeds;
 use jungle_obs::{Json, MetricsSnapshot, ToJson};
 
 struct Row {
@@ -130,7 +131,7 @@ fn main() {
     }
     for e in all_fixed_experiments() {
         let t0 = std::time::Instant::now();
-        let r = e.run(2_000, 8_000);
+        let r = e.run(SweepSeeds::new(0, 2_000), 8_000);
         let dt = t0.elapsed();
         metrics.record_stm(e.algo.name(), &r.tm);
         metrics.record_mc(&r.stats);

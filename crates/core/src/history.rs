@@ -9,6 +9,7 @@
 //! [`History::is_transactional`] and [`History::precedes_rt`] (the
 //! paper's `≺h`) are cheap.
 
+use crate::fingerprint::{fold_op, Fnv1a};
 use crate::ids::{OpId, ProcId, Var};
 use crate::op::{Command, Op};
 use std::collections::{HashMap, HashSet};
@@ -400,6 +401,28 @@ impl History {
     pub fn prefix(&self, i: usize) -> History {
         History::new(self.ops[..=i].to_vec()).expect("prefix of well-formed is well-formed")
     }
+
+    /// A stable 64-bit structural fingerprint of the history: FNV-1a
+    /// over the operation sequence (process, identifier, operation kind,
+    /// variable, values, dependency sets).
+    ///
+    /// Two histories with the same fingerprint are — modulo the
+    /// vanishingly unlikely 64-bit collision — the *same* sequence of
+    /// operation instances, so any checker verdict computed for one
+    /// applies to the other. The model-checking sweeps use this as the
+    /// memoization key for checker verdicts; the deduplicated schedule
+    /// exploration keys its seen-set on the analogous trace fingerprint.
+    /// The hash is independent of platform, allocation, and process run,
+    /// so fingerprints are comparable across runs and machines.
+    pub fn cache_key(&self) -> u64 {
+        let mut f = Fnv1a::new();
+        for oi in &self.ops {
+            f.word(u64::from(oi.proc.0));
+            f.word(u64::from(oi.id.0));
+            fold_op(&mut f, &oi.op);
+        }
+        f.finish()
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +465,25 @@ mod tests {
         assert!(h.is_transactional(1)); // start by p1
         assert!(!h.is_transactional(2)); // (rd,y,1) by p2
         assert!(!h.is_transactional(5)); // (rd,x,v) by p2
+    }
+
+    #[test]
+    fn cache_key_stable_and_structure_sensitive() {
+        let h = fig3a();
+        assert_eq!(h.cache_key(), fig3a().cache_key());
+        // Changing any structural detail changes the fingerprint.
+        let mut b = HistoryBuilder::new();
+        b.write(p(1), X, 2); // differs in the written value only
+        b.start(p(1));
+        b.read(p(2), Y, 1);
+        b.write(p(1), Y, 1);
+        b.commit(p(1));
+        b.read(p(2), X, 7);
+        b.start(p(3));
+        b.commit(p(3));
+        b.read(p(3), X, 7);
+        let h2 = b.build().unwrap();
+        assert_ne!(h.cache_key(), h2.cache_key());
     }
 
     #[test]

@@ -59,12 +59,14 @@
 pub mod builder;
 pub mod classes;
 pub mod explain;
+pub mod fingerprint;
 pub mod history;
 pub mod ids;
 pub mod legal;
 pub mod model;
 pub mod op;
 pub mod opacity;
+pub mod par;
 pub mod pretty;
 pub mod sgla;
 pub mod spec;
@@ -77,8 +79,14 @@ pub mod prelude {
     pub use crate::ids::{OpId, ProcId, Val, Var};
     pub use crate::model::{Alpha, JunkSc, MemoryModel, Pso, Relaxed, Rmo, Sc, Tso, TsoForwarding};
     pub use crate::op::{Command, DepKind, Op};
-    pub use crate::opacity::{check_opacity, check_opacity_traced, OpacityVerdict};
-    pub use crate::sgla::{check_sgla, check_sgla_traced, SglaVerdict};
+    pub use crate::opacity::{
+        check_opacity, check_opacity_par, check_opacity_par_traced, check_opacity_traced,
+        OpacityVerdict,
+    };
+    pub use crate::par::ParallelConfig;
+    pub use crate::sgla::{
+        check_sgla, check_sgla_par, check_sgla_par_traced, check_sgla_traced, SglaVerdict,
+    };
     pub use crate::spec::{Spec, SpecRegistry};
     pub use jungle_obs::SearchStats;
 }

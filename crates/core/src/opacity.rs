@@ -34,12 +34,19 @@ use crate::history::{History, TxnStatus};
 use crate::ids::{OpId, ProcId};
 use crate::legal::PrefixChecker;
 use crate::model::MemoryModel;
+use crate::par::{
+    run_prefix_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP, PREFIXES_PER_WORKER,
+};
 use crate::spec::SpecRegistry;
 use jungle_obs::{SearchStats, Span};
 
 /// A found serialization order plus per-viewer witness sequences, or
 /// `None` while the search is still running.
 type WitnessResult = Option<(Vec<usize>, Vec<(ProcId, Vec<OpId>)>)>;
+
+/// Per-worker memo of inner witness searches, keyed by the exact
+/// deduplicated edge set (the only input that varies between calls).
+type OpacityMemo = WitnessMemo<Vec<(usize, usize)>, Option<Vec<OpId>>>;
 
 /// One schedulable unit of the witness search.
 #[derive(Clone, Debug)]
@@ -126,6 +133,72 @@ pub fn check_opacity_with_traced(
     (verdict, stats)
 }
 
+/// Parallel variant of [`check_opacity`]: fans the serialization-order
+/// enumeration over a scoped worker pool. The verdict **and** the
+/// witness are exactly those of the serial checker, for every thread
+/// count (see the [`par`](crate::par) module docs for why). Falls back
+/// to the serial path below `cfg.min_units` schedulable units.
+pub fn check_opacity_par(
+    h: &History,
+    model: &dyn MemoryModel,
+    cfg: &ParallelConfig,
+) -> OpacityVerdict {
+    check_opacity_par_with(h, model, &SpecRegistry::registers(), cfg)
+}
+
+/// Like [`check_opacity_par`], additionally returning search stats
+/// (per-worker counters merged; `workers`/`stolen_prefixes`/`cache_hits`
+/// describe the pool).
+pub fn check_opacity_par_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+    cfg: &ParallelConfig,
+) -> (OpacityVerdict, SearchStats) {
+    check_opacity_par_with_traced(h, model, &SpecRegistry::registers(), cfg)
+}
+
+/// Parallel variant of [`check_opacity_with`].
+pub fn check_opacity_par_with(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+    cfg: &ParallelConfig,
+) -> OpacityVerdict {
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
+    let th = model.transform(h);
+    Search::new(&th, model, specs).run_par(cfg, &mut stats)
+}
+
+/// Like [`check_opacity_par_with`], additionally returning search stats.
+pub fn check_opacity_par_with_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+    cfg: &ParallelConfig,
+) -> (OpacityVerdict, SearchStats) {
+    let span = Span::start();
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
+    let th = model.transform(h);
+    let verdict = Search::new(&th, model, specs).run_par(cfg, &mut stats);
+    stats.wall_ns = span.elapsed_ns();
+    (verdict, stats)
+}
+
+/// The per-viewer ordering constraints, computed once per check: the
+/// minimal views of `R(τ(h))` lifted to unit edges, with identical
+/// viewer constraint sets deduplicated.
+struct ViewCtx {
+    viewers: Vec<ProcId>,
+    view_edges: Vec<Vec<(usize, usize)>>,
+    distinct: Vec<usize>,
+}
+
 struct Search<'a> {
     h: &'a History,
     model: &'a dyn MemoryModel,
@@ -184,6 +257,135 @@ impl<'a> Search<'a> {
 
     fn run(&self, stats: &mut SearchStats) -> OpacityVerdict {
         stats.units += self.units.len() as u64;
+        let ctx = self.view_ctx();
+        let n_txn = self.h.txns().len();
+        let mut order: Vec<usize> = Vec::with_capacity(n_txn);
+        let mut used = vec![false; n_txn];
+        let mut result: WitnessResult = None;
+        self.enum_txn_orders(
+            &mut order,
+            &mut used,
+            &ctx,
+            &mut result,
+            stats,
+            &Cancel::never(),
+            &mut OpacityMemo::disabled(),
+        );
+        Self::verdict(result)
+    }
+
+    /// Parallel counterpart of [`Search::run`]: split the
+    /// serialization-order enumeration into DFS-ordered prefixes and
+    /// farm them out to scoped workers. Returns exactly what `run`
+    /// would (see the `par` module docs).
+    fn run_par(&self, cfg: &ParallelConfig, stats: &mut SearchStats) -> OpacityVerdict {
+        if cfg.serial_for(self.units.len()) {
+            return self.run(stats);
+        }
+        let threads = cfg.effective_threads();
+        stats.units += self.units.len() as u64;
+        stats.workers = stats.workers.max(threads as u64);
+        let ctx = self.view_ctx();
+        let n_txn = self.h.txns().len();
+        let prefixes = self.order_prefixes(threads * PREFIXES_PER_WORKER);
+        let result = run_prefix_pool(
+            threads,
+            &prefixes,
+            || OpacityMemo::new(MEMO_CAP),
+            |_, prefix, cancel, memo, local| {
+                let mut order = prefix.to_vec();
+                let mut used = vec![false; n_txn];
+                for &t in prefix {
+                    used[t] = true;
+                }
+                let mut result: WitnessResult = None;
+                self.enum_txn_orders(
+                    &mut order,
+                    &mut used,
+                    &ctx,
+                    &mut result,
+                    local,
+                    cancel,
+                    memo,
+                );
+                result
+            },
+            stats,
+        );
+        Self::verdict(result)
+    }
+
+    fn verdict(result: WitnessResult) -> OpacityVerdict {
+        match result {
+            Some((txn_order, witnesses)) => OpacityVerdict {
+                opaque: true,
+                witnesses,
+                txn_order,
+            },
+            None => OpacityVerdict {
+                opaque: false,
+                witnesses: Vec::new(),
+                txn_order: Vec::new(),
+            },
+        }
+    }
+
+    /// May transaction `t` be serialized next, given the already-placed
+    /// set `used`? (The real-time constraint: every completed txn that
+    /// finished before `t` began must already be placed.)
+    fn can_place(&self, t: usize, used: &[bool]) -> bool {
+        let txns = self.h.txns();
+        (0..txns.len()).all(|u| {
+            u == t
+                || used[u]
+                || !(txns[u].status.is_completed() && txns[u].last() < txns[t].first())
+        })
+    }
+
+    /// All valid serialization-order prefixes of the smallest depth
+    /// yielding at least `target` of them (or complete orders if the
+    /// history has too few transactions), in the exact order the serial
+    /// DFS visits them — prefix index therefore equals serial visit
+    /// order, which is what makes min-index selection deterministic.
+    fn order_prefixes(&self, target: usize) -> Vec<Vec<usize>> {
+        let n_txn = self.h.txns().len();
+        let mut depth = 1.min(n_txn);
+        loop {
+            let mut out = Vec::new();
+            let mut order = Vec::new();
+            let mut used = vec![false; n_txn];
+            self.collect_prefixes(depth, &mut order, &mut used, &mut out);
+            if out.len() >= target || depth >= n_txn {
+                return out;
+            }
+            depth += 1;
+        }
+    }
+
+    fn collect_prefixes(
+        &self,
+        depth: usize,
+        order: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if order.len() == depth {
+            out.push(order.clone());
+            return;
+        }
+        for t in 0..self.h.txns().len() {
+            if used[t] || !self.can_place(t, used) {
+                continue;
+            }
+            used[t] = true;
+            order.push(t);
+            self.collect_prefixes(depth, order, used, out);
+            order.pop();
+            used[t] = false;
+        }
+    }
+
+    fn view_ctx(&self) -> ViewCtx {
         let procs = self.h.procs();
         let viewers: Vec<ProcId> = if procs.is_empty() {
             vec![ProcId(0)]
@@ -226,51 +428,30 @@ impl<'a> Search<'a> {
             }
         }
 
-        // Real-time DAG over transactions.
-        let txns = self.h.txns();
-        let n_txn = txns.len();
-        let mut order: Vec<usize> = Vec::with_capacity(n_txn);
-        let mut used = vec![false; n_txn];
-        let mut result: WitnessResult = None;
-        self.enum_txn_orders(
-            &mut order,
-            &mut used,
-            &viewers,
-            &distinct,
-            &view_edges,
-            &mut result,
-            stats,
-        );
-
-        match result {
-            Some((txn_order, witnesses)) => OpacityVerdict {
-                opaque: true,
-                witnesses,
-                txn_order,
-            },
-            None => OpacityVerdict {
-                opaque: false,
-                witnesses: Vec::new(),
-                txn_order: Vec::new(),
-            },
+        ViewCtx {
+            viewers,
+            view_edges,
+            distinct,
         }
     }
 
     /// Enumerate serialization orders of transactions consistent with
     /// the real-time order, attempting the per-viewer witness search for
-    /// each complete order.
+    /// each complete order. `cancel` aborts the enumeration once its
+    /// result can no longer matter (parallel search only); `memo`
+    /// replays previously solved witness sub-searches.
     #[allow(clippy::too_many_arguments)]
     fn enum_txn_orders(
         &self,
         order: &mut Vec<usize>,
         used: &mut Vec<bool>,
-        viewers: &[ProcId],
-        distinct: &[usize],
-        view_edges: &[Vec<(usize, usize)>],
+        ctx: &ViewCtx,
         result: &mut WitnessResult,
         stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
+        memo: &mut OpacityMemo,
     ) {
-        if result.is_some() {
+        if result.is_some() || cancel.hit() {
             return;
         }
         let txns = self.h.txns();
@@ -278,28 +459,33 @@ impl<'a> Search<'a> {
             stats.txn_orders += 1;
             // Attempt witnesses for every distinct viewer constraint set.
             let mut found: Vec<(usize, Vec<OpId>)> = Vec::new();
-            for &d in distinct {
+            for &d in &ctx.distinct {
                 let mut edges = self.base_edges.clone();
-                edges.extend(view_edges[d].iter().copied());
+                edges.extend(ctx.view_edges[d].iter().copied());
                 for w in order.windows(2) {
                     edges.push((self.txn_units[w[0]], self.txn_units[w[1]]));
                 }
                 edges.sort_unstable();
                 edges.dedup();
-                match self.find_witness(&edges, stats) {
+                match self.find_witness(&edges, stats, cancel, memo) {
                     Some(seq) => found.push((d, seq)),
                     None => return, // this txn order fails for some viewer
                 }
             }
-            let witnesses = viewers
+            if cancel.hit() {
+                return; // a cancelled sub-search may have failed spuriously
+            }
+            let witnesses = ctx
+                .viewers
                 .iter()
                 .map(|&p| {
-                    let vi = viewers.iter().position(|&q| q == p).unwrap();
+                    let vi = ctx.viewers.iter().position(|&q| q == p).unwrap();
                     // Find the distinct representative with identical edges.
-                    let d = distinct
+                    let d = ctx
+                        .distinct
                         .iter()
                         .copied()
-                        .find(|&d| view_edges[d] == view_edges[vi])
+                        .find(|&d| ctx.view_edges[d] == ctx.view_edges[vi])
                         .unwrap();
                     let seq = found.iter().find(|(fd, _)| *fd == d).unwrap().1.clone();
                     (p, seq)
@@ -309,21 +495,12 @@ impl<'a> Search<'a> {
             return;
         }
         for t in 0..txns.len() {
-            if used[t] {
-                continue;
-            }
-            // Real-time constraint: all txns that must precede t are used.
-            let ok = (0..txns.len()).all(|u| {
-                u == t
-                    || used[u]
-                    || !(txns[u].status.is_completed() && txns[u].last() < txns[t].first())
-            });
-            if !ok {
+            if used[t] || !self.can_place(t, used) {
                 continue;
             }
             used[t] = true;
             order.push(t);
-            self.enum_txn_orders(order, used, viewers, distinct, view_edges, result, stats);
+            self.enum_txn_orders(order, used, ctx, result, stats, cancel, memo);
             order.pop();
             used[t] = false;
         }
@@ -331,7 +508,17 @@ impl<'a> Search<'a> {
 
     /// Backtracking topological search for a prefix-legal sequence of
     /// units respecting `edges`. Returns the witness as operation ids.
-    fn find_witness(&self, edges: &[(usize, usize)], stats: &mut SearchStats) -> Option<Vec<OpId>> {
+    fn find_witness(
+        &self,
+        edges: &[(usize, usize)],
+        stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
+        memo: &mut OpacityMemo,
+    ) -> Option<Vec<OpId>> {
+        if let Some(hit) = memo.get(edges) {
+            stats.cache_hits += 1;
+            return hit.clone();
+        }
         let n = self.units.len();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
@@ -341,7 +528,7 @@ impl<'a> Search<'a> {
         }
         let mut seq: Vec<usize> = Vec::with_capacity(n);
         let checker = PrefixChecker::new(self.specs);
-        if self.dfs(&succs, &mut indeg, &mut seq, &checker, stats) {
+        let result = if self.dfs(&succs, &mut indeg, &mut seq, &checker, stats, cancel) {
             let mut out = Vec::new();
             for &u in &seq {
                 match &self.units[u] {
@@ -356,7 +543,13 @@ impl<'a> Search<'a> {
             Some(out)
         } else {
             None
+        };
+        // A cancelled search may report "no witness" spuriously — never
+        // memoize it.
+        if !cancel.hit() {
+            memo.put(edges.to_vec(), result.clone());
         }
+        result
     }
 
     fn dfs(
@@ -366,10 +559,14 @@ impl<'a> Search<'a> {
         seq: &mut Vec<usize>,
         checker: &PrefixChecker<'_>,
         stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
     ) -> bool {
         let n = self.units.len();
         if seq.len() == n {
             return true;
+        }
+        if cancel.hit() {
+            return false;
         }
         let placed: Vec<bool> = {
             let mut v = vec![false; n];
@@ -411,7 +608,7 @@ impl<'a> Search<'a> {
             }
             seq.push(u);
             stats.note_depth(seq.len());
-            if self.dfs(succs, indeg, seq, &c, stats) {
+            if self.dfs(succs, indeg, seq, &c, stats, cancel) {
                 return true;
             }
             seq.pop();

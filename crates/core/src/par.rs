@@ -1,0 +1,319 @@
+//! Shared machinery for the parallel checker entry points.
+//!
+//! Both exponential searches ([`opacity`](crate::opacity) and
+//! [`sgla`](crate::sgla)) have the same top-level shape: enumerate
+//! transaction serialization orders consistent with a partial order,
+//! and run an inner witness search for each complete order. The
+//! parallel entry points exploit that shape:
+//!
+//! 1. The serialization-order enumeration is split into **prefixes** of
+//!    a small fixed depth, generated serially in exactly the order the
+//!    serial DFS would visit them, and indexed `0, 1, 2, …`.
+//! 2. A scoped worker pool ([`run_prefix_pool`]) pulls prefix indices
+//!    from a shared atomic counter; each worker exhausts its prefix's
+//!    subtree (the same DFS the serial checker runs, restricted to
+//!    orders extending the prefix).
+//! 3. The first success is published by storing the prefix index in an
+//!    atomic `found_at` cell via `fetch_min`. Workers consult the cell
+//!    through a [`Cancel`] token: a worker on prefix `i` aborts as soon
+//!    as some prefix `j < i` has succeeded, because its own answer can
+//!    no longer affect the result.
+//!
+//! **Determinism.** The returned witness is the one from the *lowest*
+//! successful prefix index, and within a prefix each worker searches
+//! completions in serial DFS order and stops at the first success — so
+//! the parallel result (verdict *and* witness) is exactly the serial
+//! result, independent of thread count and scheduling. Cancellation
+//! cannot break this: a prefix is only ever cancelled by a strictly
+//! lower-indexed success, in which case the serial search would have
+//! stopped before reaching it anyway.
+//!
+//! Workers also keep a bounded per-worker [`WitnessMemo`] mapping inner
+//! witness-search inputs (deduplicated edge sets) to their results —
+//! sound because the inner search depends only on the fixed history,
+//! model, and specs plus the edge set. Hits are reported as
+//! `SearchStats::cache_hits`.
+//!
+//! The pool uses `std::thread::scope` — no external thread-pool crate —
+//! so borrowing the search state from the caller's stack is safe and
+//! the whole machinery is dependency-free.
+
+use jungle_obs::SearchStats;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for the parallel checker entry points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads to use. `0` means "ask the OS"
+    /// (`std::thread::available_parallelism`). With an effective count
+    /// of 1 the serial path runs directly — no threads are spawned.
+    pub threads: usize,
+    /// Histories with fewer schedulable units than this take the serial
+    /// path unconditionally, so litmus-sized inputs pay zero overhead.
+    pub min_units: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 0,
+            min_units: 12,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A config pinned to exactly `threads` workers (still subject to
+    /// the `min_units` serial fallback).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// The worker count after resolving `0` to the OS-reported
+    /// parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Should a history with `units` schedulable units run serially?
+    pub fn serial_for(&self, units: usize) -> bool {
+        units < self.min_units || self.effective_threads() <= 1
+    }
+}
+
+/// Cancellation token for one unit of pool work: signals when a
+/// strictly lower-indexed prefix has already succeeded.
+pub(crate) struct Cancel<'a> {
+    gate: Option<(&'a AtomicUsize, usize)>,
+}
+
+impl<'a> Cancel<'a> {
+    /// A token that never fires (serial search).
+    pub(crate) fn never() -> Self {
+        Cancel { gate: None }
+    }
+
+    /// A token for prefix `index`, watching `found_at`.
+    pub(crate) fn below(found_at: &'a AtomicUsize, index: usize) -> Self {
+        Cancel {
+            gate: Some((found_at, index)),
+        }
+    }
+
+    /// Has this work item become irrelevant?
+    #[inline]
+    pub(crate) fn hit(&self) -> bool {
+        match self.gate {
+            Some((found_at, index)) => found_at.load(Ordering::Relaxed) < index,
+            None => false,
+        }
+    }
+}
+
+/// A bounded memo of inner witness-search results, keyed by the exact
+/// search input (no hashing-based identification, so hits are always
+/// sound). Once full it stops admitting new entries rather than
+/// evicting — the searches revisit recent edge sets far more often than
+/// old ones, and a hard cap keeps worst-case memory flat.
+pub(crate) struct WitnessMemo<K, V> {
+    cap: usize,
+    map: HashMap<K, V>,
+}
+
+impl<K: Eq + Hash, V: Clone> WitnessMemo<K, V> {
+    /// A memo admitting at most `cap` entries.
+    pub(crate) fn new(cap: usize) -> Self {
+        WitnessMemo {
+            cap,
+            map: HashMap::new(),
+        }
+    }
+
+    /// A memo that never stores anything (serial paths, which must
+    /// keep byte-identical behavior to the pre-parallel checker).
+    pub(crate) fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Look up a previously computed result.
+    pub(crate) fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.map.get(key)
+    }
+
+    /// Record a result if there is room.
+    pub(crate) fn put(&mut self, key: K, value: V) {
+        if self.map.len() < self.cap {
+            self.map.insert(key, value);
+        }
+    }
+}
+
+/// How many prefixes [`run_prefix_pool`] wants per worker: enough that
+/// an unlucky worker stuck on one hard subtree does not serialize the
+/// sweep.
+pub(crate) const PREFIXES_PER_WORKER: usize = 8;
+
+/// Per-worker memo capacity for the checker searches.
+pub(crate) const MEMO_CAP: usize = 4096;
+
+/// Run `work` over every prefix on `threads` scoped workers and return
+/// the result of the lowest-indexed prefix that produced one, exactly
+/// as a serial left-to-right scan would.
+///
+/// `init` builds one mutable worker-local state (e.g. a memo) per
+/// worker; `work(i, prefix, cancel, state, stats)` must stop early and
+/// return `None` once `cancel.hit()` — its result is discarded in that
+/// case anyway. Per-worker [`SearchStats`] are merged into `stats`
+/// (including `stolen_prefixes`; the caller sets `workers`).
+pub(crate) fn run_prefix_pool<R, S, I, F>(
+    threads: usize,
+    prefixes: &[Vec<usize>],
+    init: I,
+    work: F,
+    stats: &mut SearchStats,
+) -> Option<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &[usize], &Cancel<'_>, &mut S, &mut SearchStats) -> Option<R> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let found_at = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<R>>> = prefixes.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = SearchStats::default();
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= prefixes.len() {
+                            break;
+                        }
+                        if found_at.load(Ordering::Relaxed) < i {
+                            continue; // a lower prefix already won
+                        }
+                        local.stolen_prefixes += 1;
+                        let cancel = Cancel::below(&found_at, i);
+                        if let Some(r) = work(i, &prefixes[i], &cancel, &mut state, &mut local) {
+                            *slots[i].lock().unwrap() = Some(r);
+                            found_at.fetch_min(i, Ordering::Relaxed);
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h.join().expect("checker worker panicked");
+            stats.absorb(&local);
+        }
+    });
+
+    let winner = found_at.load(Ordering::Relaxed);
+    if winner == usize::MAX {
+        None
+    } else {
+        slots[winner].lock().unwrap().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_auto() {
+        let cfg = ParallelConfig::default();
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.effective_threads() >= 1);
+        assert!(cfg.serial_for(0));
+        assert!(cfg.serial_for(cfg.min_units - 1));
+    }
+
+    #[test]
+    fn pinned_config_overrides_auto() {
+        let cfg = ParallelConfig::with_threads(4);
+        assert_eq!(cfg.effective_threads(), 4);
+        assert!(ParallelConfig::with_threads(1).serial_for(usize::MAX));
+    }
+
+    #[test]
+    fn memo_caps_and_replays() {
+        let mut m: WitnessMemo<u32, u32> = WitnessMemo::new(2);
+        m.put(1, 10);
+        m.put(2, 20);
+        m.put(3, 30); // over capacity: dropped
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.get(&2), Some(&20));
+        assert_eq!(m.get(&3), None);
+        assert_eq!(WitnessMemo::<u32, u32>::disabled().get(&1), None);
+    }
+
+    #[test]
+    fn pool_returns_lowest_successful_prefix() {
+        // Prefixes 2, 5 and 7 "succeed"; the pool must report 2's
+        // result regardless of completion order.
+        let prefixes: Vec<Vec<usize>> = (0..10).map(|i| vec![i]).collect();
+        let mut stats = SearchStats::default();
+        for threads in [1, 2, 4] {
+            let got = run_prefix_pool(
+                threads,
+                &prefixes,
+                || (),
+                |i, _p, cancel, _s, _l| {
+                    if cancel.hit() {
+                        return None;
+                    }
+                    [2, 5, 7].contains(&i).then_some(i)
+                },
+                &mut stats,
+            );
+            assert_eq!(got, Some(2), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_reports_no_result_when_all_fail() {
+        let prefixes: Vec<Vec<usize>> = (0..6).map(|i| vec![i]).collect();
+        let mut stats = SearchStats::default();
+        let got: Option<usize> = run_prefix_pool(
+            2,
+            &prefixes,
+            || (),
+            |_, _, _, _: &mut (), _| None,
+            &mut stats,
+        );
+        assert_eq!(got, None);
+        // Every prefix was pulled by some worker.
+        assert_eq!(stats.stolen_prefixes, 6);
+    }
+
+    #[test]
+    fn cancel_token_semantics() {
+        let found = AtomicUsize::new(usize::MAX);
+        let c5 = Cancel::below(&found, 5);
+        assert!(!c5.hit());
+        found.store(3, Ordering::Relaxed);
+        assert!(c5.hit());
+        assert!(!Cancel::below(&found, 2).hit());
+        assert!(!Cancel::never().hit());
+    }
+}

@@ -51,6 +51,9 @@ use crate::history::{History, TxnStatus};
 use crate::ids::{OpId, ProcId};
 use crate::legal::CsChecker;
 use crate::model::MemoryModel;
+use crate::par::{
+    run_prefix_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP, PREFIXES_PER_WORKER,
+};
 use crate::spec::SpecRegistry;
 use jungle_obs::{SearchStats, Span};
 
@@ -130,6 +133,73 @@ pub fn check_sgla_with_traced(
     (verdict, stats)
 }
 
+/// Parallel variant of [`check_sgla`]: fans the transaction-order
+/// enumeration over a scoped worker pool. Verdict **and** witness are
+/// exactly those of the serial checker for every thread count (see the
+/// [`par`](crate::par) module docs); falls back to the serial path
+/// below `cfg.min_units` operations.
+pub fn check_sgla_par(h: &History, model: &dyn MemoryModel, cfg: &ParallelConfig) -> SglaVerdict {
+    check_sgla_par_with(h, model, &SpecRegistry::registers(), cfg)
+}
+
+/// Like [`check_sgla_par`], additionally returning search stats
+/// (per-worker counters merged; `workers`/`stolen_prefixes`/`cache_hits`
+/// describe the pool).
+pub fn check_sgla_par_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+    cfg: &ParallelConfig,
+) -> (SglaVerdict, SearchStats) {
+    check_sgla_par_with_traced(h, model, &SpecRegistry::registers(), cfg)
+}
+
+/// Parallel variant of [`check_sgla_with`].
+pub fn check_sgla_par_with(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+    cfg: &ParallelConfig,
+) -> SglaVerdict {
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
+    let th = model.transform(h);
+    SglaSearch {
+        h: &th,
+        model,
+        specs,
+    }
+    .run_par(cfg, &mut stats)
+}
+
+/// Like [`check_sgla_par_with`], additionally returning search stats.
+pub fn check_sgla_par_with_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+    cfg: &ParallelConfig,
+) -> (SglaVerdict, SearchStats) {
+    let span = Span::start();
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
+    let th = model.transform(h);
+    let verdict = SglaSearch {
+        h: &th,
+        model,
+        specs,
+    }
+    .run_par(cfg, &mut stats);
+    stats.wall_ns = span.elapsed_ns();
+    (verdict, stats)
+}
+
+/// Per-worker memo of inner witness searches, keyed by the exact
+/// deduplicated op-level edge set (the only varying input).
+type SglaMemo = WitnessMemo<Vec<(usize, usize)>, Option<Vec<OpId>>>;
+
 struct SglaSearch<'a> {
     h: &'a History,
     model: &'a dyn MemoryModel,
@@ -151,16 +221,56 @@ impl<'a> SglaSearch<'a> {
     fn run(&self, stats: &mut SearchStats) -> SglaVerdict {
         // SGLA schedules at operation granularity: every op is a unit.
         stats.units += self.h.len() as u64;
-        let txns = self.h.txns();
-        let n_txn = txns.len();
+        let n_txn = self.h.txns().len();
 
         // Enumerate transaction total orders consistent with program
         // order and real-time order.
         let mut order = Vec::with_capacity(n_txn);
         let mut used = vec![false; n_txn];
         let mut result: Option<(Vec<usize>, Vec<OpId>)> = None;
-        self.enum_orders(&mut order, &mut used, &mut result, stats);
+        self.enum_orders(
+            &mut order,
+            &mut used,
+            &mut result,
+            stats,
+            &Cancel::never(),
+            &mut SglaMemo::disabled(),
+        );
+        self.verdict(result)
+    }
 
+    /// Parallel counterpart of [`SglaSearch::run`]: split the
+    /// transaction-order enumeration into DFS-ordered prefixes and farm
+    /// them out to scoped workers. Returns exactly what `run` would.
+    fn run_par(&self, cfg: &ParallelConfig, stats: &mut SearchStats) -> SglaVerdict {
+        if cfg.serial_for(self.h.len()) {
+            return self.run(stats);
+        }
+        let threads = cfg.effective_threads();
+        stats.units += self.h.len() as u64;
+        stats.workers = stats.workers.max(threads as u64);
+        let n_txn = self.h.txns().len();
+        let prefixes = self.order_prefixes(threads * PREFIXES_PER_WORKER);
+        let result = run_prefix_pool(
+            threads,
+            &prefixes,
+            || SglaMemo::new(MEMO_CAP),
+            |_, prefix, cancel, memo, local| {
+                let mut order = prefix.to_vec();
+                let mut used = vec![false; n_txn];
+                for &t in prefix {
+                    used[t] = true;
+                }
+                let mut result: Option<(Vec<usize>, Vec<OpId>)> = None;
+                self.enum_orders(&mut order, &mut used, &mut result, local, cancel, memo);
+                result
+            },
+            stats,
+        );
+        self.verdict(result)
+    }
+
+    fn verdict(&self, result: Option<(Vec<usize>, Vec<OpId>)>) -> SglaVerdict {
         match result {
             Some((txn_order, seq)) => {
                 let witnesses = self
@@ -191,35 +301,80 @@ impl<'a> SglaSearch<'a> {
         txns[a].status.is_completed() && txns[a].last() < txns[b].first()
     }
 
+    /// May transaction `t` come next, given the already-placed `used`?
+    fn can_place(&self, t: usize, used: &[bool]) -> bool {
+        let n_txn = self.h.txns().len();
+        (0..n_txn).all(|u| u == t || used[u] || !self.txn_must_precede(u, t))
+    }
+
+    /// All valid transaction-order prefixes of the smallest depth
+    /// yielding at least `target` of them, in serial DFS order (see
+    /// `Search::order_prefixes` in the opacity checker).
+    fn order_prefixes(&self, target: usize) -> Vec<Vec<usize>> {
+        let n_txn = self.h.txns().len();
+        let mut depth = 1.min(n_txn);
+        loop {
+            let mut out = Vec::new();
+            let mut order = Vec::new();
+            let mut used = vec![false; n_txn];
+            self.collect_prefixes(depth, &mut order, &mut used, &mut out);
+            if out.len() >= target || depth >= n_txn {
+                return out;
+            }
+            depth += 1;
+        }
+    }
+
+    fn collect_prefixes(
+        &self,
+        depth: usize,
+        order: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if order.len() == depth {
+            out.push(order.clone());
+            return;
+        }
+        for t in 0..self.h.txns().len() {
+            if used[t] || !self.can_place(t, used) {
+                continue;
+            }
+            used[t] = true;
+            order.push(t);
+            self.collect_prefixes(depth, order, used, out);
+            order.pop();
+            used[t] = false;
+        }
+    }
+
     fn enum_orders(
         &self,
         order: &mut Vec<usize>,
         used: &mut Vec<bool>,
         result: &mut Option<(Vec<usize>, Vec<OpId>)>,
         stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
+        memo: &mut SglaMemo,
     ) {
-        if result.is_some() {
+        if result.is_some() || cancel.hit() {
             return;
         }
         let n_txn = self.h.txns().len();
         if order.len() == n_txn {
             stats.txn_orders += 1;
-            if let Some(seq) = self.find_witness(order, stats) {
+            if let Some(seq) = self.find_witness(order, stats, cancel, memo) {
                 *result = Some((order.clone(), seq));
             }
             return;
         }
         for t in 0..n_txn {
-            if used[t] {
-                continue;
-            }
-            let ok = (0..n_txn).all(|u| u == t || used[u] || !self.txn_must_precede(u, t));
-            if !ok {
+            if used[t] || !self.can_place(t, used) {
                 continue;
             }
             used[t] = true;
             order.push(t);
-            self.enum_orders(order, used, result, stats);
+            self.enum_orders(order, used, result, stats, cancel, memo);
             order.pop();
             used[t] = false;
         }
@@ -229,7 +384,13 @@ impl<'a> SglaSearch<'a> {
     /// topological/legality search. The constraints are
     /// viewer-independent for all bundled models, so a single search
     /// covers every process's view.
-    fn find_witness(&self, txn_order: &[usize], stats: &mut SearchStats) -> Option<Vec<OpId>> {
+    fn find_witness(
+        &self,
+        txn_order: &[usize],
+        stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
+        memo: &mut SglaMemo,
+    ) -> Option<Vec<OpId>> {
         let h = self.h;
         let n = h.len();
         let txns = h.txns();
@@ -300,6 +461,13 @@ impl<'a> SglaSearch<'a> {
         edges.sort_unstable();
         edges.dedup();
 
+        // Distinct txn orders can collapse to the same op-level edge
+        // set (block edges shadowed by program order); replay those.
+        if let Some(hit) = memo.get(&edges) {
+            stats.cache_hits += 1;
+            return hit.clone();
+        }
+
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
         for &(a, b) in &edges {
@@ -309,11 +477,19 @@ impl<'a> SglaSearch<'a> {
 
         let mut seq = Vec::with_capacity(n);
         let checker = CsChecker::new(self.specs);
-        if self.dfs(&nodes, &succs, &mut indeg, &mut seq, &checker, stats) {
+        let result = if self.dfs(
+            &nodes, &succs, &mut indeg, &mut seq, &checker, stats, cancel,
+        ) {
             Some(seq.into_iter().map(|i| h.ops()[i].id).collect())
         } else {
             None
+        };
+        // A cancelled search may report "no witness" spuriously — never
+        // memoize it.
+        if !cancel.hit() {
+            memo.put(edges, result.clone());
         }
+        result
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -325,10 +501,14 @@ impl<'a> SglaSearch<'a> {
         seq: &mut Vec<usize>,
         checker: &CsChecker<'_>,
         stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
     ) -> bool {
         let n = nodes.len();
         if seq.len() == n {
             return true;
+        }
+        if cancel.hit() {
+            return false;
         }
         let mut placed = vec![false; n];
         for &i in seq.iter() {
@@ -353,7 +533,7 @@ impl<'a> SglaSearch<'a> {
             }
             seq.push(u);
             stats.note_depth(seq.len());
-            if self.dfs(nodes, succs, indeg, seq, &c, stats) {
+            if self.dfs(nodes, succs, indeg, seq, &c, stats, cancel) {
                 return true;
             }
             seq.pop();

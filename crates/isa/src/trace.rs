@@ -253,6 +253,54 @@ impl Trace {
         out
     }
 
+    /// A stable 64-bit structural fingerprint of the trace, for
+    /// deduplicating structurally identical interleavings in
+    /// model-checking sweeps.
+    ///
+    /// The fingerprint covers exactly what the set of corresponding
+    /// histories (and hence any "∃ corresponding history satisfying P"
+    /// verdict) depends on: the operation sequence (process, identifier,
+    /// operation, completeness) and the pairwise interval-precedence
+    /// relation *`i` responds before `j` is invoked*. Two traces with
+    /// equal fingerprints therefore have — modulo a vanishingly unlikely
+    /// 64-bit collision — the same corresponding histories, even if
+    /// their instruction-level interleavings differ. Exhaustive
+    /// store-buffer scheduling produces such traces in bulk, which is
+    /// what makes this key worth computing.
+    pub fn cache_key(&self) -> u64 {
+        use jungle_core::fingerprint::{fold_op, Fnv1a};
+        let mut f = Fnv1a::new();
+        let n = self.ops.len();
+        f.word(n as u64);
+        for o in &self.ops {
+            f.word(u64::from(o.proc.0));
+            f.word(u64::from(o.id.0));
+            f.word(u64::from(o.complete));
+            fold_op(&mut f, &o.op);
+        }
+        // The precedence relation, packed 64 pairs per word.
+        let mut bits = 0u64;
+        let mut filled = 0u32;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                bits = (bits << 1) | u64::from(self.ops[i].last < self.ops[j].first);
+                filled += 1;
+                if filled == 64 {
+                    f.word(bits);
+                    bits = 0;
+                    filled = 0;
+                }
+            }
+        }
+        if filled > 0 {
+            f.word(bits);
+        }
+        f.finish()
+    }
+
     /// The canonical corresponding history: every operation linearized
     /// at its response (or last instruction). Useful as a cheap
     /// first-candidate before enumerating.
@@ -643,6 +691,44 @@ mod tests {
         assert_eq!(st.commit.instrs, 1);
         assert_eq!(st.abort.count, 0);
         assert!((st.nt_read.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_key_ignores_instr_interleaving_but_not_overlap() {
+        // Two interleavings of the same operations with the same
+        // overlap structure fingerprint identically even though the
+        // instruction streams differ.
+        let mk = |swap: bool| {
+            let mut instrs = Vec::new();
+            let mut push = |instr: Instr, proc: ProcId, op: u32| {
+                instrs.push(InstrInstance {
+                    instr,
+                    proc,
+                    op: OpId(op),
+                });
+            };
+            push(Instr::Inv(rd(0, 0)), p(1), 1);
+            push(Instr::Inv(rd(1, 0)), p(2), 2);
+            if swap {
+                push(Instr::Load { addr: 1, val: 0 }, p(2), 2);
+                push(Instr::Load { addr: 0, val: 0 }, p(1), 1);
+            } else {
+                push(Instr::Load { addr: 0, val: 0 }, p(1), 1);
+                push(Instr::Load { addr: 1, val: 0 }, p(2), 2);
+            }
+            push(Instr::Resp(rd(0, 0)), p(1), 1);
+            push(Instr::Resp(rd(1, 0)), p(2), 2);
+            Trace::new(instrs).unwrap()
+        };
+        assert_eq!(mk(false).cache_key(), mk(true).cache_key());
+
+        // Making the operations non-overlapping changes the precedence
+        // relation — and the fingerprint.
+        let mut b = TraceBuilder::new();
+        b.complete_op(p(1), rd(0, 0), vec![Instr::Load { addr: 0, val: 0 }]);
+        b.complete_op(p(2), rd(1, 0), vec![Instr::Load { addr: 1, val: 0 }]);
+        let sequential = b.build().unwrap();
+        assert_ne!(mk(false).cache_key(), sequential.cache_key());
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //! * [`workload`] — parameterized workload generators for the
 //!   `jungle-bench` experiments (read/write mixes, transaction sizes,
 //!   non-transactional fractions).
+//! * [`stress`] — larger generated histories (long chains, wide fully
+//!   concurrent transaction sets) sized for the parallel-checker
+//!   benchmarks rather than figure-level correctness checks.
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod programs;
 pub mod runner;
+pub mod stress;
 pub mod workload;

@@ -502,7 +502,7 @@ impl Process for StrongProcess {
 mod tests {
     use super::*;
     use crate::program::{Program, Stmt};
-    use crate::verify::{check_random, CheckKind};
+    use crate::verify::{check_random, CheckKind, SweepSeeds};
     use jungle_core::ids::{X, Y};
     use jungle_core::model::Sc;
     use jungle_memsim::{DirectedScheduler, HwModel, Machine};
@@ -601,7 +601,7 @@ mod tests {
             HwModel::Sc,
             &Sc,
             CheckKind::Opacity,
-            0..600,
+            SweepSeeds::new(0, 600),
             12_000,
         );
         assert!(v.ok, "strong TM violated SC-opacity: {:?}", v.violation);
@@ -624,7 +624,7 @@ mod tests {
             HwModel::Sc,
             &Sc,
             CheckKind::Opacity,
-            0..2_000,
+            SweepSeeds::new(0, 2_000),
             8_000,
         );
         assert!(
@@ -638,7 +638,7 @@ mod tests {
             HwModel::Sc,
             &Alpha,
             CheckKind::Opacity,
-            0..300,
+            SweepSeeds::new(0, 300),
             8_000,
         );
         assert!(

@@ -413,7 +413,7 @@ impl Process for Tl2Process {
 mod tests {
     use super::*;
     use crate::program::{Program, Stmt};
-    use crate::verify::{check_random, CheckKind};
+    use crate::verify::{check_random, CheckKind, SweepSeeds};
     use jungle_core::ids::{X, Y};
     use jungle_core::model::Sc;
     use jungle_memsim::{DirectedScheduler, HwModel, Machine, RandomScheduler};
@@ -478,7 +478,7 @@ mod tests {
             HwModel::Sc,
             &Sc,
             CheckKind::Opacity,
-            0..150,
+            SweepSeeds::new(0, 150),
             50_000,
         );
         assert!(v.ok, "violation: {:?}", v.violation);

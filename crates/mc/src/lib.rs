@@ -44,4 +44,7 @@ pub use algos::{
     GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm,
 };
 pub use program::{Program, Stmt, ThreadProg, TxOp};
-pub use verify::{check_all_traces, find_violation, trace_satisfies, CheckKind, Verdict};
+pub use verify::{
+    check_all_traces, check_all_traces_par, check_random, find_violation, trace_satisfies,
+    CheckKind, SweepSeeds, Verdict,
+};

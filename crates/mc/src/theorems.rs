@@ -15,9 +15,10 @@ use crate::algos::{
     GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm,
 };
 use crate::program::{generate, GenConfig, Program, Stmt, ThreadProg, TxOp};
-use crate::verify::{check_all_traces, check_random, CheckKind};
+use crate::verify::{check_all_traces_par, check_random, CheckKind, SweepSeeds};
 use jungle_core::ids::{X, Y};
 use jungle_core::model::{Alpha, MemoryModel, Pso, Relaxed, Sc, Tso};
+use jungle_core::par::ParallelConfig;
 use jungle_obs::{McStats, TmSnapshot};
 
 /// How an experiment establishes its claim.
@@ -64,8 +65,23 @@ pub struct ExperimentResult {
 
 impl Experiment {
     /// Run the experiment on SC (linearizable) hardware — the paper's
-    /// baseline assumption for its constructions.
-    pub fn run(&self, seeds: u64, max_steps: usize) -> ExperimentResult {
+    /// baseline assumption for its constructions — with the default
+    /// parallel configuration (auto thread count for exhaustive
+    /// exploration, serial below the size threshold).
+    pub fn run(&self, seeds: SweepSeeds, max_steps: usize) -> ExperimentResult {
+        self.run_with(seeds, max_steps, &ParallelConfig::default())
+    }
+
+    /// [`Experiment::run`] with an explicit parallel configuration for
+    /// the exhaustive exploration path. The verdict is deterministic —
+    /// identical for every thread count and fully determined by the
+    /// explicit `seeds` on the randomized paths.
+    pub fn run_with(
+        &self,
+        seeds: SweepSeeds,
+        max_steps: usize,
+        cfg: &ParallelConfig,
+    ) -> ExperimentResult {
         let hw = jungle_memsim::HwModel::Sc;
         match self.expect {
             Expectation::ViolationExists => {
@@ -75,7 +91,7 @@ impl Experiment {
                     hw,
                     self.model,
                     self.kind,
-                    0..seeds,
+                    seeds,
                     max_steps,
                 );
                 ExperimentResult {
@@ -84,7 +100,7 @@ impl Experiment {
                         Some(_) => format!("{}: violating trace found as expected", self.id),
                         None => format!(
                             "{}: no violating trace in {} random schedules",
-                            self.id, seeds
+                            self.id, seeds.runs
                         ),
                     },
                     stats: v.stats,
@@ -93,13 +109,14 @@ impl Experiment {
             }
             Expectation::AllTracesSatisfy => {
                 let v = if self.exhaustive {
-                    check_all_traces(
+                    check_all_traces_par(
                         &self.program,
                         self.algo,
                         hw,
                         self.model,
                         self.kind,
                         max_steps,
+                        cfg,
                     )
                 } else {
                     check_random(
@@ -108,7 +125,7 @@ impl Experiment {
                         hw,
                         self.model,
                         self.kind,
-                        0..seeds,
+                        seeds,
                         max_steps,
                     )
                 };
@@ -577,7 +594,7 @@ pub fn small_scope_sweep(
                 jungle_memsim::HwModel::Sc,
                 model,
                 kind,
-                0..60,
+                SweepSeeds::new(0, 60),
                 max_steps,
             )
         } else {
@@ -624,7 +641,7 @@ pub fn random_sweep(
             jungle_memsim::HwModel::Sc,
             model,
             kind,
-            0..seeds_per_program,
+            SweepSeeds::new(0, seeds_per_program),
             20_000,
         );
         if !v.ok {
@@ -650,25 +667,25 @@ mod tests {
 
     #[test]
     fn lemma1_violation_found() {
-        let r = lemma1().run(5, 2_000);
+        let r = lemma1().run(SweepSeeds::new(0, 5), 2_000);
         assert!(r.passed, "{}", r.detail);
     }
 
     #[test]
     fn thm1_case1_sc_violation_found() {
-        let r = thm1_case1(&Sc).run(800, 6_000);
+        let r = thm1_case1(&Sc).run(SweepSeeds::new(0, 800), 6_000);
         assert!(r.passed, "{}", r.detail);
     }
 
     #[test]
     fn thm2_violation_found() {
-        let r = thm2().run(600, 4_000);
+        let r = thm2().run(SweepSeeds::new(0, 600), 4_000);
         assert!(r.passed, "{}", r.detail);
     }
 
     #[test]
     fn thm3_litmus_holds() {
-        let r = thm3_litmus().run(0, 4_000);
+        let r = thm3_litmus().run(SweepSeeds::new(0, 0), 4_000);
         assert!(r.passed, "{}", r.detail);
     }
 
@@ -678,7 +695,7 @@ mod tests {
         // here to keep unit tests fast.
         let mut e = thm5_litmus();
         e.exhaustive = false;
-        let r = e.run(60, 20_000);
+        let r = e.run(SweepSeeds::new(0, 60), 20_000);
         assert!(r.passed, "{}", r.detail);
     }
 
@@ -686,7 +703,7 @@ mod tests {
     fn thm7_sgla_random_subset_holds() {
         let mut e = thm7_litmus(&Sc);
         e.exhaustive = false;
-        let r = e.run(60, 20_000);
+        let r = e.run(SweepSeeds::new(0, 60), 20_000);
         assert!(r.passed, "{}", r.detail);
     }
 

@@ -8,6 +8,33 @@
 //! [`check_all_traces`] discharges the outer universal by exhaustive
 //! schedule exploration (small programs), and [`check_random`] /
 //! [`find_violation`] sample it with seeded-random schedules.
+//!
+//! ### Redundancy elimination
+//!
+//! Exhaustive store-buffer scheduling produces many instruction-level
+//! interleavings that collapse to the *same* operations with the same
+//! overlap structure — and the inner existential depends on nothing
+//! else. The sweeps therefore deduplicate completed traces by
+//! [`Trace::cache_key`] (skips counted as `McStats::dedup_hits`) and
+//! memoize per-history checker verdicts by
+//! [`History::cache_key`](jungle_core::history::History::cache_key)
+//! across all traces of a sweep (hits counted as `McStats::memo_hits`).
+//! Both keys are 64-bit structural fingerprints; a collision between
+//! distinct structures is possible in principle but vanishingly
+//! unlikely, and each sweep's memo is scoped to one (model, property)
+//! pair so keys never mix incompatible verdicts.
+//!
+//! [`check_all_traces_par`] additionally fans the per-trace checking
+//! over a scoped worker pool: the exploration cursor stays serial (it
+//! is cheap next to the exponential checker searches) and owns the
+//! dedup set, while workers drain a channel of `(sequence, trace)`
+//! pairs sharing the verdict memo. The reported violation is the one
+//! with the lowest sequence number — the first violating trace in
+//! serial exploration order — so the verdict *and* the violating trace
+//! match the serial path for every thread count. Exploration counters
+//! (`runs`, `schedules`) can exceed the serial early-stop values, since
+//! the cursor may produce a few more schedules before a worker's
+//! violation report reaches it.
 
 use crate::algos::TmAlgo;
 use crate::obs::tm_counts_from_trace;
@@ -15,10 +42,14 @@ use crate::program::Program;
 use jungle_core::ids::ProcId;
 use jungle_core::model::MemoryModel;
 use jungle_core::opacity::check_opacity;
+use jungle_core::par::ParallelConfig;
 use jungle_core::sgla::check_sgla;
 use jungle_isa::trace::Trace;
 use jungle_memsim::{explore, BurstyScheduler, HwModel, Machine, RandomScheduler, Scheduler};
 use jungle_obs::{McStats, TmSnapshot};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
 
 /// Which correctness property to check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,23 +60,55 @@ pub enum CheckKind {
     Sgla,
 }
 
+/// The seed range of a randomized sweep, with an **explicit** base so
+/// two sweeps over the same program are reproducibly identical iff
+/// their `(base, runs)` pairs are — there is no hidden default seed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SweepSeeds {
+    /// First seed used.
+    pub base: u64,
+    /// Number of consecutive seeds (`base, base+1, …, base+runs-1`).
+    pub runs: u64,
+}
+
+impl SweepSeeds {
+    /// The sweep over seeds `base, base+1, …, base+runs-1`.
+    pub fn new(base: u64, runs: u64) -> Self {
+        SweepSeeds { base, runs }
+    }
+
+    /// The seeds, in order.
+    pub fn iter(self) -> impl Iterator<Item = u64> {
+        self.base..self.base.saturating_add(self.runs)
+    }
+}
+
 /// Outcome of a multi-trace verification.
 #[derive(Debug)]
 pub struct Verdict {
     /// True if every checked trace had a satisfying corresponding
-    /// history.
+    /// history. Deterministic: independent of thread count and, for
+    /// randomized sweeps, fully determined by the explicit
+    /// [`SweepSeeds`].
     pub ok: bool,
-    /// A violating trace, if one was found.
+    /// A violating trace, if one was found — always the first violating
+    /// trace in exploration (or seed) order, even for parallel sweeps.
     pub violation: Option<Trace>,
-    /// Number of runs examined.
+    /// Number of runs examined. For a parallel exhaustive sweep this
+    /// may exceed the serial early-stop count (see module docs); it is
+    /// zero for a vacuously passing verdict.
     pub runs: usize,
-    /// Runs that hit the step bound before completing (skipped unless
-    /// `check_incomplete` was requested).
+    /// Runs that hit the step bound before completing. Completed-trace
+    /// checking never includes these; like `runs`, zero when nothing
+    /// was explored.
     pub truncated: usize,
-    /// Exploration counters: schedules, histories checked, and the
-    /// aggregated simulated-machine statistics.
+    /// Exploration counters: schedules, histories checked, dedup/memo
+    /// hits, worker threads, and the aggregated simulated-machine
+    /// statistics.
     pub stats: McStats,
-    /// TM runtime counters aggregated over every checked trace.
+    /// TM runtime counters aggregated over every completed trace
+    /// (including deduplicated ones — dedup skips the *checking*, not
+    /// the accounting).
     pub tm: TmSnapshot,
 }
 
@@ -60,22 +123,105 @@ impl Verdict {
             tm: TmSnapshot::default(),
         }
     }
+
+    /// Completed traces skipped because a structurally identical trace
+    /// was already checked in this sweep.
+    pub fn dedup_hits(&self) -> u64 {
+        self.stats.dedup_hits
+    }
+
+    /// Checker worker threads used (0 = serial sweep).
+    pub fn workers(&self) -> u64 {
+        self.stats.workers
+    }
+}
+
+/// Sweep-wide bounded memo of per-history checker verdicts, keyed by
+/// `History::cache_key`. Scoped to one (model, property) pair — the
+/// caller creates one per sweep — so a key can never replay a verdict
+/// computed under different parameters. Stops admitting entries when
+/// full rather than evicting.
+struct VerdictMemo {
+    cap: usize,
+    map: Mutex<HashMap<u64, bool>>,
+}
+
+impl VerdictMemo {
+    /// Entries admitted per sweep: enough for every distinct history
+    /// litmus-scale sweeps produce, with a hard memory ceiling.
+    const CAP: usize = 1 << 16;
+
+    fn new() -> Self {
+        VerdictMemo {
+            cap: Self::CAP,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<bool> {
+        self.map.lock().unwrap().get(&key).copied()
+    }
+
+    fn put(&self, key: u64, verdict: bool) {
+        let mut m = self.map.lock().unwrap();
+        if m.len() < self.cap {
+            m.insert(key, verdict);
+        }
+    }
 }
 
 /// Does some history corresponding to `trace` satisfy the property
 /// under `model`?
 pub fn trace_satisfies(trace: &Trace, model: &dyn MemoryModel, kind: CheckKind) -> bool {
-    let pass = |h: &jungle_core::history::History| match kind {
-        CheckKind::Opacity => check_opacity(h, model).is_opaque(),
-        CheckKind::Sgla => check_sgla(h, model).is_sgla(),
+    trace_satisfies_memo(trace, model, kind, None).0
+}
+
+/// [`trace_satisfies`] with an optional sweep-wide verdict memo;
+/// returns the verdict and the number of memo hits.
+fn trace_satisfies_memo(
+    trace: &Trace,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    memo: Option<&VerdictMemo>,
+) -> (bool, u64) {
+    let mut memo_hits = 0u64;
+    let mut pass = |h: &jungle_core::history::History| {
+        let key = memo.map(|_| h.cache_key());
+        if let (Some(m), Some(k)) = (memo, key) {
+            if let Some(v) = m.get(k) {
+                memo_hits += 1;
+                return v;
+            }
+        }
+        let v = match kind {
+            CheckKind::Opacity => check_opacity(h, model).is_opaque(),
+            CheckKind::Sgla => check_sgla(h, model).is_sgla(),
+        };
+        if let (Some(m), Some(k)) = (memo, key) {
+            m.put(k, v);
+        }
+        v
     };
     // Fast path: the canonical linearize-at-response history.
-    if let Ok(h) = trace.canonical_history() {
-        if pass(&h) {
-            return true;
+    let canonical = trace.canonical_history().ok();
+    if let Some(h) = &canonical {
+        if pass(h) {
+            return (true, memo_hits);
         }
     }
-    trace.exists_corresponding(|h| pass(h)).is_some()
+    // The canonical history failed (or was ill-formed); enumerate the
+    // rest, skipping the canonical order so it is not checked twice.
+    let canon_ids: Option<Vec<jungle_core::ids::OpId>> =
+        canonical.map(|h| h.ops().iter().map(|o| o.id).collect());
+    let found = trace.exists_corresponding(|h| {
+        if let Some(ids) = &canon_ids {
+            if h.ops().iter().map(|o| o.id).eq(ids.iter().copied()) {
+                return false; // already rejected above
+            }
+        }
+        pass(h)
+    });
+    (found.is_some(), memo_hits)
 }
 
 fn build_machine(program: &Program, algo: &dyn TmAlgo, hw: HwModel) -> Machine {
@@ -89,8 +235,9 @@ fn build_machine(program: &Program, algo: &dyn TmAlgo, hw: HwModel) -> Machine {
 }
 
 /// Exhaustively explore every schedule of `program` under `algo` and
-/// `hw`, checking each completed trace. Use only for litmus-sized
-/// programs (the schedule count is exponential).
+/// `hw`, checking each completed trace once per structural equivalence
+/// class (see the module docs on deduplication). Use only for
+/// litmus-sized programs (the schedule count is exponential).
 pub fn check_all_traces(
     program: &Program,
     algo: &dyn TmAlgo,
@@ -99,8 +246,128 @@ pub fn check_all_traces(
     kind: CheckKind,
     max_steps: usize,
 ) -> Verdict {
+    check_all_traces_serial(program, algo, hw, model, kind, max_steps)
+}
+
+/// Parallel variant of [`check_all_traces`]: the serial exploration
+/// cursor feeds deduplicated traces to `cfg.effective_threads()` scoped
+/// checker workers sharing the verdict memo. Verdict and violating
+/// trace are identical to the serial path (see module docs); falls back
+/// to it outright when the effective thread count is 1.
+pub fn check_all_traces_par(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    hw: HwModel,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    max_steps: usize,
+    cfg: &ParallelConfig,
+) -> Verdict {
+    let threads = cfg.effective_threads();
+    if threads <= 1 {
+        return check_all_traces_serial(program, algo, hw, model, kind, max_steps);
+    }
+
     let mut verdict = Verdict::passing();
+    let memo = VerdictMemo::new();
+    let (tx, rx) = mpsc::channel::<(u64, Trace)>();
+    let rx = Mutex::new(rx);
+    let violation: Mutex<Option<(u64, Trace)>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut memo_hits = 0u64;
+                    let mut checked = 0u64;
+                    loop {
+                        let msg = rx.lock().unwrap().recv();
+                        let Ok((seq, trace)) = msg else { break };
+                        // A violation earlier in exploration order has
+                        // already decided everything from `seq` on.
+                        if violation
+                            .lock()
+                            .unwrap()
+                            .as_ref()
+                            .is_some_and(|(vs, _)| *vs < seq)
+                        {
+                            continue;
+                        }
+                        checked += 1;
+                        let (ok, hits) = trace_satisfies_memo(&trace, model, kind, Some(&memo));
+                        memo_hits += hits;
+                        if !ok {
+                            let mut v = violation.lock().unwrap();
+                            if v.as_ref().is_none_or(|(vs, _)| seq < *vs) {
+                                *v = Some((seq, trace));
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    (checked, memo_hits)
+                })
+            })
+            .collect();
+
+        // The producer: serial exploration cursor + dedup set.
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seq = 0u64;
+        let out = explore(
+            || build_machine(program, algo, hw),
+            max_steps,
+            |r| {
+                if stop.load(Ordering::Relaxed) {
+                    return true; // a worker found a violation
+                }
+                if !r.completed {
+                    return false;
+                }
+                verdict.tm.absorb(&tm_counts_from_trace(&r.trace));
+                if !seen.insert(r.trace.cache_key()) {
+                    verdict.stats.dedup_hits += 1;
+                    return false;
+                }
+                tx.send((seq, r.trace.clone())).ok();
+                seq += 1;
+                false
+            },
+        );
+        drop(tx); // close the channel so idle workers exit
+
+        for h in handles {
+            let (checked, hits) = h.join().expect("checker worker panicked");
+            verdict.stats.histories_checked += checked;
+            verdict.stats.memo_hits += hits;
+        }
+        verdict.runs = out.runs;
+        verdict.truncated = out.truncated;
+        verdict.stats.schedules = out.runs as u64;
+        verdict.stats.truncated = out.truncated as u64;
+        verdict.stats.machine = out.stats;
+    });
+
+    verdict.stats.workers = threads as u64;
+    if let Some((_, trace)) = violation.into_inner().unwrap() {
+        verdict.ok = false;
+        verdict.violation = Some(trace);
+    }
+    verdict
+}
+
+fn check_all_traces_serial(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    hw: HwModel,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    max_steps: usize,
+) -> Verdict {
+    let mut verdict = Verdict::passing();
+    let memo = VerdictMemo::new();
+    let mut seen: HashSet<u64> = HashSet::new();
     let mut histories_checked = 0u64;
+    let mut memo_hits = 0u64;
     let mut tm = TmSnapshot::default();
     let out = explore(
         || build_machine(program, algo, hw),
@@ -109,9 +376,15 @@ pub fn check_all_traces(
             if !r.completed {
                 return false; // counted by explore; skip checking prefixes
             }
-            histories_checked += 1;
             tm.absorb(&tm_counts_from_trace(&r.trace));
-            if !trace_satisfies(&r.trace, model, kind) {
+            if !seen.insert(r.trace.cache_key()) {
+                verdict.stats.dedup_hits += 1;
+                return false;
+            }
+            histories_checked += 1;
+            let (ok, hits) = trace_satisfies_memo(&r.trace, model, kind, Some(&memo));
+            memo_hits += hits;
+            if !ok {
                 verdict.ok = false;
                 verdict.violation = Some(r.trace.clone());
                 return true;
@@ -124,24 +397,28 @@ pub fn check_all_traces(
     verdict.stats.schedules = out.runs as u64;
     verdict.stats.truncated = out.truncated as u64;
     verdict.stats.histories_checked = histories_checked;
+    verdict.stats.memo_hits = memo_hits;
     verdict.stats.machine = out.stats;
     verdict.tm = tm;
     verdict
 }
 
-/// Sample `seeds` random schedules of `program`, checking each completed
-/// trace.
+/// Sample random schedules of `program` over the explicit seed range,
+/// checking each completed trace. Two calls with equal [`SweepSeeds`]
+/// replay byte-identical schedules.
 pub fn check_random(
     program: &Program,
     algo: &dyn TmAlgo,
     hw: HwModel,
     model: &dyn MemoryModel,
     kind: CheckKind,
-    seeds: std::ops::Range<u64>,
+    seeds: SweepSeeds,
     max_steps: usize,
 ) -> Verdict {
     let mut verdict = Verdict::passing();
-    for seed in seeds {
+    let memo = VerdictMemo::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    for seed in seeds.iter() {
         // Alternate uniform and bursty schedules: uniform explores
         // diffuse interleavings, bursts hit the tight windows of the
         // Figure 5 constructions.
@@ -159,9 +436,15 @@ pub fn check_random(
             verdict.stats.truncated += 1;
             continue;
         }
-        verdict.stats.histories_checked += 1;
         verdict.tm.absorb(&tm_counts_from_trace(&r.trace));
-        if !trace_satisfies(&r.trace, model, kind) {
+        if !seen.insert(r.trace.cache_key()) {
+            verdict.stats.dedup_hits += 1;
+            continue;
+        }
+        verdict.stats.histories_checked += 1;
+        let (ok, hits) = trace_satisfies_memo(&r.trace, model, kind, Some(&memo));
+        verdict.stats.memo_hits += hits;
+        if !ok {
             verdict.ok = false;
             verdict.violation = Some(r.trace);
             return verdict;
@@ -170,16 +453,16 @@ pub fn check_random(
     verdict
 }
 
-/// Search random schedules for a trace with **no** satisfying
-/// corresponding history (a violation witness). Returns the first one
-/// found.
+/// Search random schedules over the explicit seed range for a trace
+/// with **no** satisfying corresponding history (a violation witness).
+/// Returns the first one found.
 pub fn find_violation(
     program: &Program,
     algo: &dyn TmAlgo,
     hw: HwModel,
     model: &dyn MemoryModel,
     kind: CheckKind,
-    seeds: std::ops::Range<u64>,
+    seeds: SweepSeeds,
     max_steps: usize,
 ) -> Option<Trace> {
     check_random(program, algo, hw, model, kind, seeds, max_steps).violation
@@ -251,7 +534,7 @@ mod tests {
             HwModel::Sc,
             &Sc,
             CheckKind::Opacity,
-            0..5,
+            SweepSeeds::new(0, 5),
             1_000,
         );
         assert!(good.ok);
@@ -262,9 +545,105 @@ mod tests {
             HwModel::Sc,
             &Sc,
             CheckKind::Opacity,
-            0..5,
+            SweepSeeds::new(0, 5),
             1_000,
         );
         assert!(bad.is_some());
+    }
+
+    #[test]
+    fn sweep_seeds_are_explicit_and_reproducible() {
+        assert_eq!(
+            SweepSeeds::new(7, 3).iter().collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        let p = Program(vec![
+            ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)]), Stmt::NtRead(X)]),
+            ThreadProg(vec![Stmt::NtRead(X)]),
+        ]);
+        let run = |seeds| {
+            check_random(
+                &p,
+                &GlobalLockTm,
+                HwModel::Tso,
+                &Sc,
+                CheckKind::Opacity,
+                seeds,
+                2_000,
+            )
+        };
+        let a = run(SweepSeeds::new(11, 6));
+        let b = run(SweepSeeds::new(11, 6));
+        assert_eq!(a.ok, b.ok);
+        assert_eq!(a.stats.dedup_hits, b.stats.dedup_hits);
+        assert_eq!(a.stats.machine.steps, b.stats.machine.steps);
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_serial() {
+        let two_thread = Program(vec![
+            ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)]), Stmt::NtRead(X)]),
+            ThreadProg(vec![Stmt::NtRead(X)]),
+        ]);
+        for (algo, expect_ok) in [
+            (&GlobalLockTm as &dyn TmAlgo, true),
+            (&SkipWriteTm as &dyn TmAlgo, false),
+        ] {
+            let serial = check_all_traces(
+                &two_thread,
+                algo,
+                HwModel::Tso,
+                &Sc,
+                CheckKind::Opacity,
+                4_000,
+            );
+            assert_eq!(serial.ok, expect_ok);
+            for threads in [2, 4] {
+                let par = check_all_traces_par(
+                    &two_thread,
+                    algo,
+                    HwModel::Tso,
+                    &Sc,
+                    CheckKind::Opacity,
+                    4_000,
+                    &ParallelConfig::with_threads(threads),
+                );
+                assert_eq!(par.ok, serial.ok, "threads={threads}");
+                assert_eq!(par.workers(), threads as u64);
+                assert_eq!(
+                    par.violation.as_ref().map(|t| t.cache_key()),
+                    serial.violation.as_ref().map(|t| t.cache_key()),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_skips_structurally_identical_traces() {
+        // Two threads racing on the TSO simulator produce many
+        // instruction interleavings that collapse to identical
+        // operation structures.
+        let p = Program(vec![
+            ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)]), Stmt::NtRead(X)]),
+            ThreadProg(vec![Stmt::NtRead(X)]),
+        ]);
+        let v = check_all_traces(
+            &p,
+            &GlobalLockTm,
+            HwModel::Tso,
+            &Sc,
+            CheckKind::Opacity,
+            4_000,
+        );
+        assert!(v.ok);
+        assert!(
+            v.dedup_hits() > 0,
+            "expected duplicate traces: {:?}",
+            v.stats
+        );
+        // Dedup means strictly fewer checker invocations than schedules.
+        assert!(v.stats.histories_checked + v.stats.dedup_hits <= v.stats.schedules);
+        assert_eq!(v.workers(), 0); // serial sweep
     }
 }

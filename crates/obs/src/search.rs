@@ -1,9 +1,10 @@
 //! Statistics for the opacity/SGLA backtracking searches.
 //!
-//! The checkers are single-threaded, so these are plain `u64` fields
-//! bumped inline — no atomics needed. Wall time is only filled by the
-//! `*_traced` checker entry points; the plain entry points skip the
-//! clock reads entirely.
+//! Each worker of a search bumps its own plain-`u64` copy inline — no
+//! atomics on the hot path; the parallel checker entry points merge the
+//! per-worker copies with [`SearchStats::absorb`] at the end. Wall time
+//! is only filled by the `*_traced` checker entry points; the plain
+//! entry points skip the clock reads entirely.
 
 use crate::json::{Json, ToJson};
 
@@ -28,6 +29,14 @@ pub struct SearchStats {
     pub wall_ns: u64,
     /// Searches folded into this value (1 for a single run).
     pub searches: u64,
+    /// Witness sub-searches answered from the per-worker memo of
+    /// already-solved edge sets instead of a fresh DFS.
+    pub cache_hits: u64,
+    /// Worker threads used (0 for the serial search paths).
+    pub workers: u64,
+    /// Serialization-order prefixes pulled from the shared work queue
+    /// by the parallel search's workers (0 for serial runs).
+    pub stolen_prefixes: u64,
 }
 
 impl SearchStats {
@@ -51,6 +60,9 @@ impl SearchStats {
         self.peak_depth = self.peak_depth.max(other.peak_depth);
         self.wall_ns += other.wall_ns;
         self.searches += other.searches;
+        self.cache_hits += other.cache_hits;
+        self.workers = self.workers.max(other.workers);
+        self.stolen_prefixes += other.stolen_prefixes;
     }
 
     /// Record that the DFS reached prefix length `depth`.
@@ -70,7 +82,10 @@ impl ToJson for SearchStats {
             .push("prune_hits", self.prune_hits.into())
             .push("peak_depth", self.peak_depth.into())
             .push("wall_ns", self.wall_ns.into())
-            .push("searches", self.searches.into());
+            .push("searches", self.searches.into())
+            .push("cache_hits", self.cache_hits.into())
+            .push("workers", self.workers.into())
+            .push("stolen_prefixes", self.stolen_prefixes.into());
         j
     }
 }
@@ -112,6 +127,9 @@ mod tests {
             "peak_depth",
             "wall_ns",
             "searches",
+            "cache_hits",
+            "workers",
+            "stolen_prefixes",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }

@@ -63,6 +63,15 @@ pub struct McStats {
     pub truncated: u64,
     /// Histories extracted from traces and fed to a checker.
     pub histories_checked: u64,
+    /// Completed traces skipped because a structurally identical trace
+    /// (same operations and same overlap relation, per
+    /// `Trace::cache_key`) was already checked in this sweep.
+    pub dedup_hits: u64,
+    /// Trace/history verdicts answered from the sweep-wide bounded
+    /// memo instead of re-running a checker search.
+    pub memo_hits: u64,
+    /// Checker worker threads used by the sweep (0 = serial).
+    pub workers: u64,
     /// Machine-level totals across all runs.
     pub machine: MachineStats,
 }
@@ -73,6 +82,9 @@ impl McStats {
         self.schedules += other.schedules;
         self.truncated += other.truncated;
         self.histories_checked += other.histories_checked;
+        self.dedup_hits += other.dedup_hits;
+        self.memo_hits += other.memo_hits;
+        self.workers = self.workers.max(other.workers);
         self.machine.absorb(&other.machine);
     }
 }
@@ -83,6 +95,9 @@ impl ToJson for McStats {
         j.push("schedules", self.schedules.into())
             .push("truncated", self.truncated.into())
             .push("histories_checked", self.histories_checked.into())
+            .push("dedup_hits", self.dedup_hits.into())
+            .push("memo_hits", self.memo_hits.into())
+            .push("workers", self.workers.into())
             .push("machine", self.machine.to_json());
         j
     }

@@ -7,7 +7,7 @@ use jungle::core::model::Sc;
 use jungle::core::opacity::check_opacity;
 use jungle::core::pretty::render_columns;
 use jungle::mc::theorems::{thm1_case1, thm3_litmus};
-use jungle::mc::verify::{find_violation, CheckKind};
+use jungle::mc::verify::{find_violation, CheckKind, SweepSeeds};
 use jungle::memsim::HwModel;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
         HwModel::Sc,
         e.model,
         CheckKind::Opacity,
-        0..4_000,
+        SweepSeeds::new(0, 4_000),
         8_000,
     )
     .expect("Theorem 1 guarantees a violating schedule exists");
@@ -46,7 +46,7 @@ fn main() {
     }
 
     println!("The same TM is correct for the fully relaxed model (Theorem 3):");
-    let r = thm3_litmus().run(0, 4_000);
+    let r = thm3_litmus().run(SweepSeeds::new(0, 0), 4_000);
     println!("  exhaustive sweep: {}", r.detail);
     assert!(r.passed);
 

@@ -13,9 +13,11 @@
 //!   (`{"benchmarks": [...], "metrics": {...}}`) goes to **stdout** so
 //!   `cargo bench --bench X > BENCH_X.json` captures a machine-readable
 //!   perf trajectory.
-//! * Under `cargo test` (no `--bench` argument) every benchmark runs a
-//!   single smoke iteration so the bench targets stay cheap correctness
-//!   checks, matching real criterion's test-mode behaviour.
+//! * Under `cargo test` (no `--bench` argument), or when `--test` is
+//!   passed explicitly (`cargo bench --bench X -- --test`), every
+//!   benchmark runs a single smoke iteration so the bench targets stay
+//!   cheap correctness checks, matching real criterion's test-mode
+//!   behaviour.
 //! * [`report_metrics`] lets bench code attach observability counters
 //!   (e.g. `jungle-obs` snapshots, pre-rendered as JSON) to the
 //!   `metrics` section of the JSON output.
@@ -90,9 +92,21 @@ pub fn report_metrics(key: impl Into<String>, json: impl Into<String>) {
     m.push((key, json.into()));
 }
 
-/// True when cargo invoked this binary via `cargo bench`.
+/// True when cargo invoked this binary via `cargo bench` — unless the
+/// user passed `--test` after `--`, which forces the cheap smoke mode
+/// (matching real criterion's `--test` flag; CI uses it to sanity-run
+/// bench targets without paying for full measurement).
 fn full_measurement() -> bool {
-    std::env::args().any(|a| a == "--bench")
+    let mut has_bench = false;
+    for a in std::env::args() {
+        if a == "--test" {
+            return false;
+        }
+        if a == "--bench" {
+            has_bench = true;
+        }
+    }
+    has_bench
 }
 
 fn escape(s: &str) -> String {

@@ -8,6 +8,7 @@ use jungle::mc::theorems::{
     privatization_unsafe_lazy_tl2,
 };
 use jungle::mc::verify::CheckKind;
+use jungle::mc::SweepSeeds;
 use jungle::stm::api::{atomically, Ctx};
 use jungle::stm::{StrongStm, TmAlgo};
 use jungle_core::ids::ProcId;
@@ -15,7 +16,7 @@ use std::sync::Arc;
 
 #[test]
 fn lazy_tl2_privatization_violation_found() {
-    let r = privatization_unsafe_lazy_tl2().run(4_000, 20_000);
+    let r = privatization_unsafe_lazy_tl2().run(SweepSeeds::new(0, 4_000), 20_000);
     assert!(r.passed, "{}", r.detail);
 }
 
@@ -23,7 +24,7 @@ fn lazy_tl2_privatization_violation_found() {
 fn lazy_tl2_privatization_violates_even_sgla() {
     // The delayed write-back history is not even SGLA: the violation is
     // not about transactional isolation at all.
-    use jungle::mc::verify::find_violation;
+    use jungle::mc::verify::{find_violation, SweepSeeds};
     use jungle::mc::LazyTl2Tm;
     let found = find_violation(
         &privatization_program(),
@@ -31,7 +32,7 @@ fn lazy_tl2_privatization_violates_even_sgla() {
         jungle::memsim::HwModel::Sc,
         &Relaxed,
         CheckKind::Sgla,
-        0..4_000,
+        SweepSeeds::new(0, 4_000),
         20_000,
     );
     assert!(found.is_some(), "expected an SGLA violation for lazy TL2");
@@ -39,9 +40,9 @@ fn lazy_tl2_privatization_violates_even_sgla() {
 
 #[test]
 fn strong_and_global_lock_privatization_safe() {
-    let r = privatization_safe_strong().run(400, 30_000);
+    let r = privatization_safe_strong().run(SweepSeeds::new(0, 400), 30_000);
     assert!(r.passed, "{}", r.detail);
-    let r = privatization_safe_global_lock().run(400, 30_000);
+    let r = privatization_safe_global_lock().run(SweepSeeds::new(0, 400), 30_000);
     assert!(r.passed, "{}", r.detail);
 }
 
@@ -108,7 +109,7 @@ fn sc_opacity_distinguishes_strong_from_global_lock_here() {
     // SGLA (its uninstrumented accesses admit SC-opacity violations in
     // principle — Theorem 1 — though this particular program may not
     // exhibit one; we only assert the strong TM's positive claim).
-    let r = privatization_safe_strong().run(200, 30_000);
+    let r = privatization_safe_strong().run(SweepSeeds::new(0, 200), 30_000);
     assert!(r.passed, "{}", r.detail);
     let _ = Sc; // (model referenced for documentation purposes)
 }

@@ -6,12 +6,13 @@ use jungle::core::model::{Alpha, Relaxed, Sc};
 use jungle::mc::program::GenConfig;
 use jungle::mc::theorems::{all_fixed_experiments, random_sweep};
 use jungle::mc::verify::CheckKind;
+use jungle::mc::SweepSeeds;
 use jungle::mc::{GlobalLockTm, VersionedTm, WriteTxnTm};
 
 #[test]
 fn all_fixed_experiments_pass() {
     for e in all_fixed_experiments() {
-        let r = e.run(2_000, 8_000);
+        let r = e.run(SweepSeeds::new(0, 2_000), 8_000);
         assert!(r.passed, "{} [{}]: {}", e.id, e.paper_ref, r.detail);
     }
 }
@@ -140,7 +141,7 @@ fn versioned_vs_naive_on_theorem2_scenario() {
     // fully relaxed model.
     use jungle::core::ids::X;
     use jungle::mc::program::{Program, Stmt, ThreadProg, TxOp};
-    use jungle::mc::verify::{check_random, find_violation};
+    use jungle::mc::verify::{check_random, find_violation, SweepSeeds};
     use jungle::mc::NaiveStoreTm;
 
     let program = Program(vec![
@@ -158,7 +159,7 @@ fn versioned_vs_naive_on_theorem2_scenario() {
         jungle::memsim::HwModel::Sc,
         &Relaxed,
         CheckKind::Opacity,
-        0..2_000,
+        SweepSeeds::new(0, 2_000),
         8_000,
     );
     assert!(
@@ -172,7 +173,7 @@ fn versioned_vs_naive_on_theorem2_scenario() {
         jungle::memsim::HwModel::Sc,
         &Relaxed,
         CheckKind::Opacity,
-        0..2_000,
+        SweepSeeds::new(0, 2_000),
         8_000,
     );
     assert!(
