@@ -504,17 +504,18 @@ mod tests {
 
     #[test]
     fn nested_start_rejected() {
-        let mut ops = Vec::new();
-        ops.push(OpInstance {
-            op: Op::Start,
-            proc: p(1),
-            id: OpId(1),
-        });
-        ops.push(OpInstance {
-            op: Op::Start,
-            proc: p(1),
-            id: OpId(2),
-        });
+        let ops = vec![
+            OpInstance {
+                op: Op::Start,
+                proc: p(1),
+                id: OpId(1),
+            },
+            OpInstance {
+                op: Op::Start,
+                proc: p(1),
+                id: OpId(2),
+            },
+        ];
         assert!(matches!(
             History::new(ops),
             Err(HistoryError::NestedStart { .. })

@@ -68,6 +68,7 @@ pub mod op;
 pub mod opacity;
 pub mod par;
 pub mod pretty;
+pub mod registry;
 pub mod sgla;
 pub mod spec;
 
@@ -84,6 +85,7 @@ pub mod prelude {
         OpacityVerdict,
     };
     pub use crate::par::ParallelConfig;
+    pub use crate::registry::{entry, registry, ExecSemantics, ModelEntry, StoreDiscipline};
     pub use crate::sgla::{
         check_sgla, check_sgla_par, check_sgla_par_traced, check_sgla_traced, SglaVerdict,
     };

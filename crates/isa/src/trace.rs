@@ -583,17 +583,18 @@ mod tests {
 
     #[test]
     fn incomplete_operation_allowed_at_end() {
-        let mut instrs = Vec::new();
-        instrs.push(InstrInstance {
-            instr: Instr::Inv(rd(0, 0)),
-            proc: p(1),
-            op: OpId(1),
-        });
-        instrs.push(InstrInstance {
-            instr: Instr::Load { addr: 0, val: 0 },
-            proc: p(1),
-            op: OpId(1),
-        });
+        let instrs = vec![
+            InstrInstance {
+                instr: Instr::Inv(rd(0, 0)),
+                proc: p(1),
+                op: OpId(1),
+            },
+            InstrInstance {
+                instr: Instr::Load { addr: 0, val: 0 },
+                proc: p(1),
+                op: OpId(1),
+            },
+        ];
         let r = Trace::new(instrs).unwrap();
         assert_eq!(r.ops().len(), 1);
         assert!(!r.ops()[0].complete);
@@ -601,17 +602,18 @@ mod tests {
 
     #[test]
     fn interleaved_ops_of_same_process_rejected() {
-        let mut instrs = Vec::new();
-        instrs.push(InstrInstance {
-            instr: Instr::Inv(rd(0, 0)),
-            proc: p(1),
-            op: OpId(1),
-        });
-        instrs.push(InstrInstance {
-            instr: Instr::Inv(rd(1, 0)),
-            proc: p(1),
-            op: OpId(2),
-        });
+        let instrs = vec![
+            InstrInstance {
+                instr: Instr::Inv(rd(0, 0)),
+                proc: p(1),
+                op: OpId(1),
+            },
+            InstrInstance {
+                instr: Instr::Inv(rd(1, 0)),
+                proc: p(1),
+                op: OpId(2),
+            },
+        ];
         assert!(matches!(
             Trace::new(instrs),
             Err(TraceError::InterleavedOperations { .. })
@@ -633,22 +635,23 @@ mod tests {
 
     #[test]
     fn duplicate_op_id_rejected() {
-        let mut instrs = Vec::new();
-        instrs.push(InstrInstance {
-            instr: Instr::Inv(rd(0, 0)),
-            proc: p(1),
-            op: OpId(1),
-        });
-        instrs.push(InstrInstance {
-            instr: Instr::Resp(rd(0, 0)),
-            proc: p(1),
-            op: OpId(1),
-        });
-        instrs.push(InstrInstance {
-            instr: Instr::Inv(rd(1, 0)),
-            proc: p(1),
-            op: OpId(1),
-        });
+        let instrs = vec![
+            InstrInstance {
+                instr: Instr::Inv(rd(0, 0)),
+                proc: p(1),
+                op: OpId(1),
+            },
+            InstrInstance {
+                instr: Instr::Resp(rd(0, 0)),
+                proc: p(1),
+                op: OpId(1),
+            },
+            InstrInstance {
+                instr: Instr::Inv(rd(1, 0)),
+                proc: p(1),
+                op: OpId(1),
+            },
+        ];
         assert!(matches!(
             Trace::new(instrs),
             Err(TraceError::DuplicateOperation { .. })

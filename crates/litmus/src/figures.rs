@@ -11,6 +11,7 @@ use jungle_core::history::History;
 use jungle_core::ids::{ProcId, Val, X, Y, Z};
 use jungle_core::model::{all_models, MemoryModel};
 use jungle_core::opacity::check_opacity;
+use jungle_core::registry::{registry, ModelEntry};
 
 fn p(n: u32) -> ProcId {
     ProcId(n)
@@ -58,6 +59,29 @@ impl Litmus {
             .iter()
             .find(|o| o.label == label)
             .map(|o| check_opacity(&o.history, model).is_opaque())
+    }
+
+    /// Judge one outcome under a registry entry's memory model (the
+    /// unified handle shared with the simulator and the model checker).
+    pub fn judge_entry(&self, label: &str, entry: &ModelEntry) -> Option<bool> {
+        self.judge(label, entry.model)
+    }
+
+    /// [`Litmus::table`] keyed by registry entries instead of raw
+    /// models: `(outcome label, registry key, opaque?)` triples over the
+    /// full executable zoo.
+    pub fn table_registry(&self) -> Vec<(String, &'static str, bool)> {
+        let mut rows = Vec::new();
+        for o in &self.outcomes {
+            for e in registry() {
+                rows.push((
+                    o.label.clone(),
+                    e.key,
+                    check_opacity(&o.history, e.model).is_opaque(),
+                ));
+            }
+        }
+        rows
     }
 }
 
@@ -292,6 +316,37 @@ pub fn iriw() -> Litmus {
     }
 }
 
+/// SB with interposed same-address reads (`SB+rfi`): `x:=1; r1:=x;
+/// r2:=y` ∥ `y:=1; r3:=y; r4:=x`. The weak outcome
+/// `r1=r3=1, r2=r4=0` requires the forwarded reads (`r1`, `r3` read the
+/// thread's own buffered store) to *not* order the later reads — it
+/// separates plain formal TSO (read→read always kept: forbidden) from
+/// TSO with visible store-to-load forwarding (allowed, as on x86).
+/// This is the litmus-level witness for the registry's distinction
+/// between the `"TSO"` and `"TSO+fwd"` entries — the pre-registry
+/// simulator always forwarded, so it executed `TSO+fwd` while the
+/// checker's plain `Tso` model forbade this shape.
+pub fn sb_forwarding() -> Litmus {
+    let mk = |r2: Val, r4: Val| {
+        let mut b = HistoryBuilder::new();
+        b.write(p(1), X, 1);
+        b.read(p(1), X, 1); // r1: forwarded from the own store
+        b.read(p(1), Y, r2);
+        b.write(p(2), Y, 1);
+        b.read(p(2), Y, 1); // r3: forwarded
+        b.read(p(2), X, r4);
+        Outcome {
+            label: format!("r2={r2} r4={r4}"),
+            history: b.build().unwrap(),
+        }
+    };
+    Litmus {
+        name: "sb+rfi",
+        question: "SB with forwarded reads interposed: r2 = r4 = 0 separates TSO from TSO+fwd.",
+        outcomes: vec![mk(0, 0), mk(1, 0), mk(1, 1)],
+    }
+}
+
 /// The transactional counterpart of SB: both threads' accesses wrapped
 /// in transactions — every anomaly vanishes under every model
 /// (transactional semantics are model-independent).
@@ -329,6 +384,7 @@ pub fn all_litmus() -> Vec<Litmus> {
         sb(),
         lb(),
         iriw(),
+        sb_forwarding(),
         sb_transactional(),
     ]
 }
@@ -449,10 +505,40 @@ mod tests {
     }
 
     #[test]
+    fn sb_forwarding_separates_the_two_tsos() {
+        use jungle_core::model::{Pso, Tso, TsoForwarding};
+        let t = sb_forwarding();
+        // The weak outcome: forbidden by plain formal TSO (read→read
+        // kept), allowed once forwarded reads stop ordering later reads.
+        assert_eq!(t.judge("r2=0 r4=0", &Sc), Some(false));
+        assert_eq!(t.judge("r2=0 r4=0", &Tso), Some(false));
+        assert_eq!(t.judge("r2=0 r4=0", &TsoForwarding), Some(true));
+        assert_eq!(t.judge("r2=0 r4=0", &Pso), Some(false)); // plain PSO keeps r→r too
+                                                             // The strong outcomes are fine everywhere.
+        assert_eq!(t.judge("r2=1 r4=1", &Sc), Some(true));
+        assert_eq!(t.judge("r2=1 r4=0", &Tso), Some(true));
+        // Same verdicts through the registry facade.
+        use jungle_core::registry::entry;
+        assert_eq!(
+            t.judge_entry("r2=0 r4=0", entry("TSO").unwrap()),
+            Some(false)
+        );
+        assert_eq!(
+            t.judge_entry("r2=0 r4=0", entry("TSO+fwd").unwrap()),
+            Some(true)
+        );
+    }
+
+    #[test]
     fn table_has_full_coverage() {
         for l in all_litmus() {
             let t = l.table();
             assert_eq!(t.len(), l.outcomes.len() * all_models().len());
+            let tr = l.table_registry();
+            assert_eq!(
+                tr.len(),
+                l.outcomes.len() * jungle_core::registry::registry().len()
+            );
         }
     }
 }

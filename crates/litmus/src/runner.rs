@@ -7,8 +7,10 @@
 //! the `jungle-core` checkers.
 
 use jungle_core::ids::ProcId;
+use jungle_core::registry::ModelEntry;
 use jungle_isa::trace::Trace;
 use jungle_mc::program::{Program, Stmt, TxOp};
+use jungle_mc::verify::{trace_satisfies, CheckKind};
 use jungle_stm::api::{Ctx, TmAlgo};
 use jungle_stm::recorder::Recorder;
 use std::collections::BTreeMap;
@@ -183,6 +185,26 @@ pub fn run_recorded<A: TmAlgo + Send + Sync + 'static>(
     (out, trace)
 }
 
+/// Run the program `iters` times on real OS threads with recording, and
+/// judge each recorded trace for opacity parametrized by the registry
+/// `entry`'s memory model. Returns `(outcome, opaque?)` pairs — the
+/// real-STM counterpart of the simulator sweeps, sharing the same
+/// unified model handle.
+pub fn run_judged<A: TmAlgo + Send + Sync + 'static>(
+    program: &Program,
+    mk_tm: impl Fn() -> A,
+    entry: &ModelEntry,
+    iters: usize,
+) -> Vec<(Vec<ThreadReads>, bool)> {
+    (0..iters)
+        .map(|_| {
+            let (out, trace) = run_recorded(program, &mk_tm);
+            let ok = trace_satisfies(&trace, entry.model, CheckKind::Opacity);
+            (out, ok)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,7 +217,7 @@ mod tests {
         // parametrized by SC).
         let program = fig1_program();
         let outcomes = sample_outcomes(&program, || StrongStm::new(2), 300);
-        for (out, _) in &outcomes {
+        for out in outcomes.keys() {
             let reads = &out[1]; // thread 2's [r1 (y), r2 (x)]
             assert!(
                 !(reads[0] == 1 && reads[1] == 0),
@@ -208,7 +230,7 @@ mod tests {
     fn fig1_outcomes_are_subset_of_domain() {
         let program = fig1_program();
         let outcomes = sample_outcomes(&program, || GlobalLockStm::new(2), 100);
-        for (out, _) in &outcomes {
+        for out in outcomes.keys() {
             for v in &out[1] {
                 assert!(*v <= 1);
             }
@@ -222,5 +244,16 @@ mod tests {
         // 4 ops in the txn thread (start, 2 writes, commit) + 2 reads.
         assert_eq!(trace.ops().len(), 6);
         assert!(trace.ops().iter().all(|o| o.complete));
+    }
+
+    #[test]
+    fn judged_runs_accept_strong_stm_under_sc_entry() {
+        // The strong STM is SC-opaque on the Figure 1 program; every
+        // real-thread run judged through the registry entry agrees.
+        let program = fig1_program();
+        let e = jungle_core::registry::entry("SC").unwrap();
+        for (out, ok) in run_judged(&program, || StrongStm::new(2), e, 25) {
+            assert!(ok, "non-opaque recorded trace for outcome {out:?}");
+        }
     }
 }

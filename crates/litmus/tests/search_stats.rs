@@ -3,7 +3,7 @@
 //! internally consistent and match the known structure of each figure.
 
 use jungle_core::builder::HistoryBuilder;
-use jungle_core::ids::{ProcId, Var, X, Y};
+use jungle_core::ids::{ProcId, X, Y};
 use jungle_core::model::{Rmo, Sc};
 use jungle_core::opacity::check_opacity_traced;
 use jungle_core::sgla::check_sgla_traced;

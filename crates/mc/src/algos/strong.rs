@@ -505,6 +505,7 @@ mod tests {
     use crate::verify::{check_random, CheckKind, SweepSeeds};
     use jungle_core::ids::{X, Y};
     use jungle_core::model::Sc;
+    use jungle_core::registry::ModelEntry;
     use jungle_memsim::{DirectedScheduler, HwModel, Machine};
 
     fn run_single(prog: ThreadProg) -> jungle_isa::Trace {
@@ -598,8 +599,7 @@ mod tests {
         let v = check_random(
             &program,
             &StrongTm::new(),
-            HwModel::Sc,
-            &Sc,
+            &ModelEntry::checker_game(&Sc),
             CheckKind::Opacity,
             SweepSeeds::new(0, 600),
             12_000,
@@ -621,8 +621,7 @@ mod tests {
         let bad = find_violation(
             &program,
             &StrongTm::optimized(),
-            HwModel::Sc,
-            &Sc,
+            &ModelEntry::checker_game(&Sc),
             CheckKind::Opacity,
             SweepSeeds::new(0, 2_000),
             8_000,
@@ -635,8 +634,7 @@ mod tests {
         let good = check_random(
             &program,
             &StrongTm::optimized(),
-            HwModel::Sc,
-            &Alpha,
+            &ModelEntry::checker_game(&Alpha),
             CheckKind::Opacity,
             SweepSeeds::new(0, 300),
             8_000,

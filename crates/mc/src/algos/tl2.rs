@@ -416,6 +416,7 @@ mod tests {
     use crate::verify::{check_random, CheckKind, SweepSeeds};
     use jungle_core::ids::{X, Y};
     use jungle_core::model::Sc;
+    use jungle_core::registry::ModelEntry;
     use jungle_memsim::{DirectedScheduler, HwModel, Machine, RandomScheduler};
 
     fn run_single(prog: ThreadProg) -> jungle_isa::Trace {
@@ -475,8 +476,7 @@ mod tests {
         let v = check_random(
             &program,
             &LazyTl2Tm,
-            HwModel::Sc,
-            &Sc,
+            &ModelEntry::checker_game(&Sc),
             CheckKind::Opacity,
             SweepSeeds::new(0, 150),
             50_000,

@@ -43,8 +43,10 @@ pub mod verify;
 pub use algos::{
     GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm,
 };
+pub use jungle_core::registry::{entry, registry, ExecSemantics, ModelEntry, StoreDiscipline};
 pub use program::{Program, Stmt, ThreadProg, TxOp};
 pub use verify::{
-    check_all_traces, check_all_traces_par, check_random, find_violation, trace_satisfies,
-    CheckKind, SweepSeeds, Verdict,
+    check_all_traces, check_all_traces_par, check_all_traces_shared, check_random,
+    check_random_par, check_random_shared, find_violation, find_violation_par, trace_satisfies,
+    CheckKind, SharedVerdictMemo, SweepSeeds, Verdict,
 };

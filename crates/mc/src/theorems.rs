@@ -15,10 +15,14 @@ use crate::algos::{
     GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm,
 };
 use crate::program::{generate, GenConfig, Program, Stmt, ThreadProg, TxOp};
-use crate::verify::{check_all_traces_par, check_random, CheckKind, SweepSeeds};
+use crate::verify::{
+    check_all_traces, check_all_traces_shared, check_random, check_random_shared, CheckKind,
+    SharedVerdictMemo, SweepSeeds,
+};
 use jungle_core::ids::{X, Y};
 use jungle_core::model::{Alpha, MemoryModel, Pso, Relaxed, Sc, Tso};
 use jungle_core::par::ParallelConfig;
+use jungle_core::registry::{registry, ModelEntry};
 use jungle_obs::{McStats, TmSnapshot};
 
 /// How an experiment establishes its claim.
@@ -40,8 +44,14 @@ pub struct Experiment {
     pub program: Program,
     /// The TM algorithm under test.
     pub algo: &'static dyn TmAlgo,
-    /// The memory model parametrizing the property.
-    pub model: &'static dyn MemoryModel,
+    /// The registry entry pairing the memory model that parametrizes
+    /// the property with the execution semantics the machine runs
+    /// under. The paper's fixed constructions use
+    /// [`ModelEntry::checker_game`] — SC execution, varying checker —
+    /// which is exactly the paper's setting (the constructions place
+    /// instructions by hand; the *model* decides which placements need
+    /// explaining).
+    pub entry: ModelEntry,
     /// Opacity or SGLA.
     pub kind: CheckKind,
     /// Expected outcome.
@@ -64,35 +74,53 @@ pub struct ExperimentResult {
 }
 
 impl Experiment {
-    /// Run the experiment on SC (linearizable) hardware — the paper's
-    /// baseline assumption for its constructions — with the default
-    /// parallel configuration (auto thread count for exhaustive
-    /// exploration, serial below the size threshold).
+    /// The memory model parametrizing the property.
+    pub fn model(&self) -> &'static dyn MemoryModel {
+        self.entry.model
+    }
+
+    /// Run the experiment with the default parallel configuration (auto
+    /// thread count for exhaustive exploration, serial below the size
+    /// threshold) and a private verdict memo.
     pub fn run(&self, seeds: SweepSeeds, max_steps: usize) -> ExperimentResult {
         self.run_with(seeds, max_steps, &ParallelConfig::default())
     }
 
-    /// [`Experiment::run`] with an explicit parallel configuration for
-    /// the exhaustive exploration path. The verdict is deterministic —
-    /// identical for every thread count and fully determined by the
-    /// explicit `seeds` on the randomized paths.
+    /// [`Experiment::run`] with an explicit parallel configuration. The
+    /// verdict is deterministic — identical for every thread count and
+    /// fully determined by the explicit `seeds` on the randomized paths.
     pub fn run_with(
         &self,
         seeds: SweepSeeds,
         max_steps: usize,
         cfg: &ParallelConfig,
     ) -> ExperimentResult {
-        let hw = jungle_memsim::HwModel::Sc;
+        self.run_shared(seeds, max_steps, cfg, &SharedVerdictMemo::new())
+    }
+
+    /// [`Experiment::run_with`] with a caller-owned [`SharedVerdictMemo`]
+    /// shared across experiments: many of the paper's constructions
+    /// reuse the same litmus programs under the same models, so a
+    /// report run over the whole suite answers repeated per-history
+    /// verdicts from the memo.
+    pub fn run_shared(
+        &self,
+        seeds: SweepSeeds,
+        max_steps: usize,
+        cfg: &ParallelConfig,
+        memo: &SharedVerdictMemo,
+    ) -> ExperimentResult {
         match self.expect {
             Expectation::ViolationExists => {
-                let v = check_random(
+                let v = check_random_shared(
                     &self.program,
                     self.algo,
-                    hw,
-                    self.model,
+                    &self.entry,
                     self.kind,
                     seeds,
                     max_steps,
+                    cfg,
+                    memo,
                 );
                 ExperimentResult {
                     passed: v.violation.is_some(),
@@ -109,24 +137,25 @@ impl Experiment {
             }
             Expectation::AllTracesSatisfy => {
                 let v = if self.exhaustive {
-                    check_all_traces_par(
+                    check_all_traces_shared(
                         &self.program,
                         self.algo,
-                        hw,
-                        self.model,
+                        &self.entry,
                         self.kind,
                         max_steps,
                         cfg,
+                        memo,
                     )
                 } else {
-                    check_random(
+                    check_random_shared(
                         &self.program,
                         self.algo,
-                        hw,
-                        self.model,
+                        &self.entry,
                         self.kind,
                         seeds,
                         max_steps,
+                        cfg,
+                        memo,
                     )
                 };
                 ExperimentResult {
@@ -156,7 +185,7 @@ pub fn lemma1() -> Experiment {
             Stmt::NtRead(X),
         ])]),
         algo: &SkipWriteTm,
-        model: &Relaxed,
+        entry: ModelEntry::checker_game(&Relaxed),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -176,7 +205,7 @@ pub fn thm1_case1(model: &'static dyn MemoryModel) -> Experiment {
             ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
         ]),
         algo: &GlobalLockTm,
-        model,
+        entry: ModelEntry::checker_game(model),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -195,7 +224,7 @@ pub fn thm1_case2(model: &'static dyn MemoryModel) -> Experiment {
             ThreadProg(vec![Stmt::NtWrite(X, 3), Stmt::NtRead(Y)]),
         ]),
         algo: &GlobalLockTm,
-        model,
+        entry: ModelEntry::checker_game(model),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -221,7 +250,7 @@ pub fn thm1_case3(model: &'static dyn MemoryModel) -> Experiment {
             ]),
         ]),
         algo: &GlobalLockTm,
-        model,
+        entry: ModelEntry::checker_game(model),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -251,7 +280,7 @@ pub fn thm1_case4(model: &'static dyn MemoryModel) -> Experiment {
             ]),
         ]),
         algo: &GlobalLockTm,
-        model,
+        entry: ModelEntry::checker_game(model),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -275,7 +304,7 @@ pub fn thm2() -> Experiment {
             ]),
         ]),
         algo: &NaiveStoreTm,
-        model: &Relaxed,
+        entry: ModelEntry::checker_game(&Relaxed),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -294,7 +323,7 @@ pub fn thm3_litmus() -> Experiment {
             ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
         ]),
         algo: &GlobalLockTm,
-        model: &Relaxed,
+        entry: ModelEntry::checker_game(&Relaxed),
         kind: CheckKind::Opacity,
         expect: Expectation::AllTracesSatisfy,
         exhaustive: true,
@@ -312,7 +341,7 @@ pub fn thm4_litmus() -> Experiment {
             ThreadProg(vec![Stmt::NtWrite(X, 3), Stmt::NtRead(Y), Stmt::NtRead(X)]),
         ]),
         algo: &WriteTxnTm,
-        model: &Alpha,
+        entry: ModelEntry::checker_game(&Alpha),
         kind: CheckKind::Opacity,
         expect: Expectation::AllTracesSatisfy,
         exhaustive: false, // lock spinning makes the schedule space unbounded
@@ -330,7 +359,7 @@ pub fn thm5_litmus() -> Experiment {
             ThreadProg(vec![Stmt::NtWrite(X, 3), Stmt::NtRead(Y), Stmt::NtRead(X)]),
         ]),
         algo: &VersionedTm,
-        model: &Alpha,
+        entry: ModelEntry::checker_game(&Alpha),
         kind: CheckKind::Opacity,
         expect: Expectation::AllTracesSatisfy,
         // Exhaustive exploration of this program visits ~800k schedules
@@ -352,7 +381,7 @@ pub fn thm5_tightness() -> Experiment {
             ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
         ]),
         algo: &VersionedTm,
-        model: &Sc,
+        entry: ModelEntry::checker_game(&Sc),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -370,7 +399,7 @@ pub fn thm7_litmus(model: &'static dyn MemoryModel) -> Experiment {
             ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
         ]),
         algo: &GlobalLockTm,
-        model,
+        entry: ModelEntry::checker_game(model),
         kind: CheckKind::Sgla,
         expect: Expectation::AllTracesSatisfy,
         exhaustive: true,
@@ -413,7 +442,7 @@ pub fn privatization_unsafe_lazy_tl2() -> Experiment {
         paper_ref: "§1 privatization motivation (delayed write-back)",
         program: privatization_program(),
         algo: &LazyTl2Tm,
-        model: &Relaxed,
+        entry: ModelEntry::checker_game(&Relaxed),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -429,7 +458,7 @@ pub fn privatization_safe_strong() -> Experiment {
         paper_ref: "§6.1 strong atomicity on the §1 idiom",
         program: privatization_program(),
         algo: &STRONG,
-        model: &Sc,
+        entry: ModelEntry::checker_game(&Sc),
         kind: CheckKind::Opacity,
         expect: Expectation::AllTracesSatisfy,
         exhaustive: false,
@@ -445,7 +474,7 @@ pub fn privatization_safe_global_lock() -> Experiment {
         paper_ref: "Theorem 7 on the §1 idiom",
         program: privatization_program(),
         algo: &GlobalLockTm,
-        model: &Sc,
+        entry: ModelEntry::checker_game(&Sc),
         kind: CheckKind::Sgla,
         expect: Expectation::AllTracesSatisfy,
         exhaustive: false,
@@ -464,7 +493,7 @@ pub fn strong_sc_opaque_litmus() -> Experiment {
             ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
         ]),
         algo: &STRONG,
-        model: &Sc,
+        entry: ModelEntry::checker_game(&Sc),
         kind: CheckKind::Opacity,
         expect: Expectation::AllTracesSatisfy,
         // The record protocol's spin loops make exhaustive exploration
@@ -484,7 +513,7 @@ pub fn strong_optimized_not_sc() -> Experiment {
             ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
         ]),
         algo: &OPT,
-        model: &Sc,
+        entry: ModelEntry::checker_game(&Sc),
         kind: CheckKind::Opacity,
         expect: Expectation::ViolationExists,
         exhaustive: false,
@@ -502,7 +531,7 @@ pub fn strong_optimized_alpha_ok() -> Experiment {
             ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
         ]),
         algo: &OPT,
-        model: &Alpha,
+        entry: ModelEntry::checker_game(&Alpha),
         kind: CheckKind::Opacity,
         expect: Expectation::AllTracesSatisfy,
         exhaustive: false,
@@ -572,7 +601,7 @@ pub fn enumerate_small_programs() -> Vec<Program> {
 /// pairs checked, or the first failing program.
 pub fn small_scope_sweep(
     algo: &dyn TmAlgo,
-    model: &dyn MemoryModel,
+    entry: &ModelEntry,
     kind: CheckKind,
     max_steps: usize,
 ) -> Result<usize, String> {
@@ -588,30 +617,22 @@ pub fn small_scope_sweep(
             .filter(|s| matches!(s, Stmt::Txn { .. } | Stmt::TxnGuard { .. }))
             .count();
         let v = if n_txns >= 2 {
-            crate::verify::check_random(
+            check_random(
                 program,
                 algo,
-                jungle_memsim::HwModel::Sc,
-                model,
+                entry,
                 kind,
                 SweepSeeds::new(0, 60),
                 max_steps,
             )
         } else {
-            crate::verify::check_all_traces(
-                program,
-                algo,
-                jungle_memsim::HwModel::Sc,
-                model,
-                kind,
-                max_steps,
-            )
+            check_all_traces(program, algo, entry, kind, max_steps)
         };
         if !v.ok {
             return Err(format!(
                 "small program #{i} failed under {}/{}: {:?}\nprogram: {:?}",
                 algo.name(),
-                model.name(),
+                entry.key,
                 v.violation,
                 program
             ));
@@ -626,7 +647,7 @@ pub fn small_scope_sweep(
 /// Returns the id of the first failing program, if any.
 pub fn random_sweep(
     algo: &dyn TmAlgo,
-    model: &dyn MemoryModel,
+    entry: &ModelEntry,
     kind: CheckKind,
     n_programs: u64,
     seeds_per_program: u64,
@@ -638,8 +659,7 @@ pub fn random_sweep(
         let v = check_random(
             &program,
             algo,
-            jungle_memsim::HwModel::Sc,
-            model,
+            entry,
             kind,
             SweepSeeds::new(0, seeds_per_program),
             20_000,
@@ -648,7 +668,7 @@ pub fn random_sweep(
             return Err(format!(
                 "program seed {pseed} under {} / {} violated {:?}:\nprogram: {:?}",
                 algo.name(),
-                model.name(),
+                entry.key,
                 kind,
                 program
             ));
@@ -656,6 +676,75 @@ pub fn random_sweep(
         checked += v.runs as u64;
     }
     Ok(checked)
+}
+
+/// One cell of the matched-model zoo: a TM algorithm sampled on the
+/// execution semantics of a registry entry and checked against that
+/// same entry's memory model.
+#[derive(Debug)]
+pub struct ZooVerdict {
+    /// TM algorithm name.
+    pub algo: &'static str,
+    /// Registry key of the model (checker *and* execution side).
+    pub model: &'static str,
+    /// Did every sampled trace have a satisfying corresponding history?
+    pub ok: bool,
+    /// Exploration counters.
+    pub stats: McStats,
+    /// TM runtime counters.
+    pub tm: TmSnapshot,
+}
+
+/// The matched-model zoo sweep: run the five positive-result STMs on the
+/// Figure 1 program under **every** registry entry, executing each
+/// entry's machine semantics and checking opacity parametrized by the
+/// same entry's model. Unlike the fixed experiments (SC execution by
+/// construction), this is the descriptive cross-validation table the
+/// registry makes possible: relaxed execution widens the trace set and
+/// the equally relaxed checker must still explain it. Verdicts are
+/// reported, not asserted — the standing property test over exhaustive
+/// small programs lives in `tests/registry_props.rs`.
+pub fn matched_zoo(
+    seeds: SweepSeeds,
+    max_steps: usize,
+    cfg: &ParallelConfig,
+    memo: &SharedVerdictMemo,
+) -> Vec<ZooVerdict> {
+    static STRONG: StrongTm = StrongTm::new();
+    let algos: [&'static dyn TmAlgo; 5] = [
+        &GlobalLockTm,
+        &WriteTxnTm,
+        &VersionedTm,
+        &STRONG,
+        &LazyTl2Tm,
+    ];
+    let program = Program(vec![
+        ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1), TxOp::Write(Y, 2)])]),
+        ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
+    ]);
+    let mut out = Vec::new();
+    for algo in algos {
+        for entry in registry() {
+            let v = check_random_shared(
+                &program,
+                algo,
+                entry,
+                CheckKind::Opacity,
+                seeds,
+                max_steps,
+                cfg,
+                memo,
+            );
+            out.push(ZooVerdict {
+                algo: algo.name(),
+                model: entry.key,
+                ok: v.ok,
+                stats: v.stats,
+                tm: v.tm,
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -714,8 +803,15 @@ mod tests {
             max_txn_ops: 2,
             ..GenConfig::default()
         };
-        let checked = random_sweep(&GlobalLockTm, &Relaxed, CheckKind::Opacity, 4, 6, &cfg)
-            .expect("global-lock TM must be opaque under the relaxed model");
+        let checked = random_sweep(
+            &GlobalLockTm,
+            &ModelEntry::checker_game(&Relaxed),
+            CheckKind::Opacity,
+            4,
+            6,
+            &cfg,
+        )
+        .expect("global-lock TM must be opaque under the relaxed model");
         assert!(checked > 0);
     }
 }

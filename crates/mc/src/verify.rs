@@ -9,6 +9,12 @@
 //! schedule exploration (small programs), and [`check_random`] /
 //! [`find_violation`] sample it with seeded-random schedules.
 //!
+//! Every sweep takes a [`ModelEntry`] — the unified handle from the
+//! model registry bundling the checker-side `MemoryModel` with the
+//! execution-side `ExecSemantics` the simulated machine runs under —
+//! instead of separate hardware/model arguments, so the two facades can
+//! never drift apart at a call site.
+//!
 //! ### Redundancy elimination
 //!
 //! Exhaustive store-buffer scheduling produces many instruction-level
@@ -16,25 +22,38 @@
 //! overlap structure — and the inner existential depends on nothing
 //! else. The sweeps therefore deduplicate completed traces by
 //! [`Trace::cache_key`] (skips counted as `McStats::dedup_hits`) and
-//! memoize per-history checker verdicts by
-//! [`History::cache_key`](jungle_core::history::History::cache_key)
-//! across all traces of a sweep (hits counted as `McStats::memo_hits`).
-//! Both keys are 64-bit structural fingerprints; a collision between
-//! distinct structures is possible in principle but vanishingly
-//! unlikely, and each sweep's memo is scoped to one (model, property)
-//! pair so keys never mix incompatible verdicts.
+//! memoize per-history checker verdicts in a [`SharedVerdictMemo`]
+//! keyed by `(model key, CheckKind, History::cache_key)` (hits counted
+//! as `McStats::memo_hits`). Because the key carries the model and the
+//! property, one memo can safely be **shared across sweeps** — the
+//! `_shared` sweep variants accept a caller-owned memo so a report run
+//! spanning many experiments reuses verdicts; the plain variants create
+//! a private one per sweep. History fingerprints are 64-bit structural
+//! hashes; a collision between distinct structures is possible in
+//! principle but vanishingly unlikely.
 //!
-//! [`check_all_traces_par`] additionally fans the per-trace checking
-//! over a scoped worker pool: the exploration cursor stays serial (it
-//! is cheap next to the exponential checker searches) and owns the
-//! dedup set, while workers drain a channel of `(sequence, trace)`
-//! pairs sharing the verdict memo. The reported violation is the one
-//! with the lowest sequence number — the first violating trace in
-//! serial exploration order — so the verdict *and* the violating trace
-//! match the serial path for every thread count. Exploration counters
-//! (`runs`, `schedules`) can exceed the serial early-stop values, since
-//! the cursor may produce a few more schedules before a worker's
-//! violation report reaches it.
+//! ### Parallel sweeps
+//!
+//! [`check_all_traces_par`] fans the per-trace checking over a scoped
+//! worker pool: the exploration cursor stays serial (it is cheap next
+//! to the exponential checker searches) and owns the dedup set, while
+//! workers drain a channel of `(sequence, trace)` pairs sharing the
+//! verdict memo. The reported violation is the one with the lowest
+//! sequence number — the first violating trace in serial exploration
+//! order — so the verdict *and* the violating trace match the serial
+//! path for every thread count. Exploration counters (`runs`,
+//! `schedules`) can exceed the serial early-stop values, since the
+//! cursor may produce a few more schedules before a worker's violation
+//! report reaches it.
+//!
+//! [`check_random_par`] stripes the seed range over the workers. The
+//! `ok` verdict is deterministic (dedup only ever skips a trace whose
+//! structural twin gets the same verdict), and the reported violation
+//! comes from the lowest violating seed: a worker never skips a seed
+//! smaller than the best violation found so far, only larger ones.
+//! As with the exhaustive pool, per-run counters (`runs`, `dedup_hits`,
+//! `memo_hits`) may differ from the serial sweep, which stops at the
+//! first violating seed.
 
 use crate::algos::TmAlgo;
 use crate::obs::tm_counts_from_trace;
@@ -43,16 +62,17 @@ use jungle_core::ids::ProcId;
 use jungle_core::model::MemoryModel;
 use jungle_core::opacity::check_opacity;
 use jungle_core::par::ParallelConfig;
+use jungle_core::registry::ModelEntry;
 use jungle_core::sgla::check_sgla;
 use jungle_isa::trace::Trace;
 use jungle_memsim::{explore, BurstyScheduler, HwModel, Machine, RandomScheduler, Scheduler};
 use jungle_obs::{McStats, TmSnapshot};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 
 /// Which correctness property to check.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CheckKind {
     /// Parametrized opacity (§3.3).
     Opacity,
@@ -91,20 +111,20 @@ pub struct Verdict {
     /// randomized sweeps, fully determined by the explicit
     /// [`SweepSeeds`].
     pub ok: bool,
-    /// A violating trace, if one was found — always the first violating
-    /// trace in exploration (or seed) order, even for parallel sweeps.
+    /// A violating trace, if one was found — the first violating trace
+    /// in exploration (or seed) order, even for parallel sweeps.
     pub violation: Option<Trace>,
-    /// Number of runs examined. For a parallel exhaustive sweep this
-    /// may exceed the serial early-stop count (see module docs); it is
-    /// zero for a vacuously passing verdict.
+    /// Number of runs examined. For a parallel sweep this may exceed
+    /// the serial early-stop count (see module docs); it is zero for a
+    /// vacuously passing verdict.
     pub runs: usize,
     /// Runs that hit the step bound before completing. Completed-trace
     /// checking never includes these; like `runs`, zero when nothing
     /// was explored.
     pub truncated: usize,
-    /// Exploration counters: schedules, histories checked, dedup/memo
-    /// hits, worker threads, and the aggregated simulated-machine
-    /// statistics.
+    /// Exploration counters: checked model key, schedules, histories
+    /// checked, dedup/memo hits, worker threads, and the aggregated
+    /// simulated-machine statistics.
     pub stats: McStats,
     /// TM runtime counters aggregated over every completed trace
     /// (including deduplicated ones — dedup skips the *checking*, not
@@ -113,13 +133,16 @@ pub struct Verdict {
 }
 
 impl Verdict {
-    fn passing() -> Self {
+    fn passing(entry: &ModelEntry) -> Self {
         Verdict {
             ok: true,
             violation: None,
             runs: 0,
             truncated: 0,
-            stats: McStats::default(),
+            stats: McStats {
+                model: entry.key,
+                ..McStats::default()
+            },
             tm: TmSnapshot::default(),
         }
     }
@@ -136,37 +159,84 @@ impl Verdict {
     }
 }
 
-/// Sweep-wide bounded memo of per-history checker verdicts, keyed by
-/// `History::cache_key`. Scoped to one (model, property) pair — the
-/// caller creates one per sweep — so a key can never replay a verdict
-/// computed under different parameters. Stops admitting entries when
-/// full rather than evicting.
-struct VerdictMemo {
+/// Bounded memo of per-history checker verdicts, keyed by
+/// `(model key, CheckKind, History::cache_key)`.
+///
+/// Because the model and the property are part of the key, a single
+/// memo is safe to share across sweeps with different parameters — the
+/// `_shared` sweep variants take one by reference, and a report run
+/// covering many experiments pays for each distinct (model, property,
+/// history) search only once. Stops admitting entries when full rather
+/// than evicting. [`SharedVerdictMemo::hits`] /
+/// [`SharedVerdictMemo::lookups`] expose lifetime counters for the
+/// report's memo-efficiency metrics.
+pub struct SharedVerdictMemo {
     cap: usize,
-    map: Mutex<HashMap<u64, bool>>,
+    map: Mutex<HashMap<(&'static str, CheckKind, u64), bool>>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
 }
 
-impl VerdictMemo {
-    /// Entries admitted per sweep: enough for every distinct history
+impl SharedVerdictMemo {
+    /// Default entry budget: enough for every distinct history that
     /// litmus-scale sweeps produce, with a hard memory ceiling.
-    const CAP: usize = 1 << 16;
+    pub const DEFAULT_CAP: usize = 1 << 16;
 
-    fn new() -> Self {
-        VerdictMemo {
-            cap: Self::CAP,
+    /// A memo with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    /// A memo admitting at most `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        SharedVerdictMemo {
+            cap,
             map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
         }
     }
 
-    fn get(&self, key: u64) -> Option<bool> {
-        self.map.lock().unwrap().get(&key).copied()
+    /// Lifetime count of lookups answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 
-    fn put(&self, key: u64, verdict: bool) {
+    /// Lifetime count of lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized verdicts.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when no verdict has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: (&'static str, CheckKind, u64)) -> Option<bool> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let v = self.map.lock().unwrap().get(&key).copied();
+        if v.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    fn put(&self, key: (&'static str, CheckKind, u64), verdict: bool) {
         let mut m = self.map.lock().unwrap();
         if m.len() < self.cap {
             m.insert(key, verdict);
         }
+    }
+}
+
+impl Default for SharedVerdictMemo {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -176,18 +246,19 @@ pub fn trace_satisfies(trace: &Trace, model: &dyn MemoryModel, kind: CheckKind) 
     trace_satisfies_memo(trace, model, kind, None).0
 }
 
-/// [`trace_satisfies`] with an optional sweep-wide verdict memo;
-/// returns the verdict and the number of memo hits.
+/// [`trace_satisfies`] with an optional verdict memo binding (the memo
+/// plus the model key to scope entries under); returns the verdict and
+/// the number of memo hits.
 fn trace_satisfies_memo(
     trace: &Trace,
     model: &dyn MemoryModel,
     kind: CheckKind,
-    memo: Option<&VerdictMemo>,
+    memo: Option<(&SharedVerdictMemo, &'static str)>,
 ) -> (bool, u64) {
     let mut memo_hits = 0u64;
     let mut pass = |h: &jungle_core::history::History| {
-        let key = memo.map(|_| h.cache_key());
-        if let (Some(m), Some(k)) = (memo, key) {
+        let key = memo.map(|(_, mk)| (mk, kind, h.cache_key()));
+        if let (Some((m, _)), Some(k)) = (memo, key) {
             if let Some(v) = m.get(k) {
                 memo_hits += 1;
                 return v;
@@ -197,7 +268,7 @@ fn trace_satisfies_memo(
             CheckKind::Opacity => check_opacity(h, model).is_opaque(),
             CheckKind::Sgla => check_sgla(h, model).is_sgla(),
         };
-        if let (Some(m), Some(k)) = (memo, key) {
+        if let (Some((m, _)), Some(k)) = (memo, key) {
             m.put(k, v);
         }
         v
@@ -234,42 +305,71 @@ fn build_machine(program: &Program, algo: &dyn TmAlgo, hw: HwModel) -> Machine {
     Machine::new(hw, procs)
 }
 
-/// Exhaustively explore every schedule of `program` under `algo` and
-/// `hw`, checking each completed trace once per structural equivalence
-/// class (see the module docs on deduplication). Use only for
-/// litmus-sized programs (the schedule count is exponential).
+/// Exhaustively explore every schedule of `program` under `algo` on
+/// `entry`'s execution semantics, checking each completed trace against
+/// `entry`'s memory model once per structural equivalence class (see
+/// the module docs on deduplication). Use only for litmus-sized
+/// programs (the schedule count is exponential).
 pub fn check_all_traces(
     program: &Program,
     algo: &dyn TmAlgo,
-    hw: HwModel,
-    model: &dyn MemoryModel,
+    entry: &ModelEntry,
     kind: CheckKind,
     max_steps: usize,
 ) -> Verdict {
-    check_all_traces_serial(program, algo, hw, model, kind, max_steps)
+    check_all_traces_serial(
+        program,
+        algo,
+        entry,
+        kind,
+        max_steps,
+        &SharedVerdictMemo::new(),
+    )
 }
 
 /// Parallel variant of [`check_all_traces`]: the serial exploration
 /// cursor feeds deduplicated traces to `cfg.effective_threads()` scoped
-/// checker workers sharing the verdict memo. Verdict and violating
+/// checker workers sharing a fresh verdict memo. Verdict and violating
 /// trace are identical to the serial path (see module docs); falls back
 /// to it outright when the effective thread count is 1.
 pub fn check_all_traces_par(
     program: &Program,
     algo: &dyn TmAlgo,
-    hw: HwModel,
-    model: &dyn MemoryModel,
+    entry: &ModelEntry,
     kind: CheckKind,
     max_steps: usize,
     cfg: &ParallelConfig,
 ) -> Verdict {
+    check_all_traces_shared(
+        program,
+        algo,
+        entry,
+        kind,
+        max_steps,
+        cfg,
+        &SharedVerdictMemo::new(),
+    )
+}
+
+/// [`check_all_traces_par`] with a caller-owned [`SharedVerdictMemo`],
+/// so several sweeps (across models, properties, and programs) reuse
+/// each other's per-history verdicts.
+pub fn check_all_traces_shared(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    max_steps: usize,
+    cfg: &ParallelConfig,
+    memo: &SharedVerdictMemo,
+) -> Verdict {
     let threads = cfg.effective_threads();
     if threads <= 1 {
-        return check_all_traces_serial(program, algo, hw, model, kind, max_steps);
+        return check_all_traces_serial(program, algo, entry, kind, max_steps, memo);
     }
 
-    let mut verdict = Verdict::passing();
-    let memo = VerdictMemo::new();
+    let mut verdict = Verdict::passing(entry);
+    let model = entry.model;
     let (tx, rx) = mpsc::channel::<(u64, Trace)>();
     let rx = Mutex::new(rx);
     let violation: Mutex<Option<(u64, Trace)>> = Mutex::new(None);
@@ -295,7 +395,8 @@ pub fn check_all_traces_par(
                             continue;
                         }
                         checked += 1;
-                        let (ok, hits) = trace_satisfies_memo(&trace, model, kind, Some(&memo));
+                        let (ok, hits) =
+                            trace_satisfies_memo(&trace, model, kind, Some((memo, entry.key)));
                         memo_hits += hits;
                         if !ok {
                             let mut v = violation.lock().unwrap();
@@ -314,7 +415,7 @@ pub fn check_all_traces_par(
         let mut seen: HashSet<u64> = HashSet::new();
         let mut seq = 0u64;
         let out = explore(
-            || build_machine(program, algo, hw),
+            || build_machine(program, algo, entry.exec),
             max_steps,
             |r| {
                 if stop.load(Ordering::Relaxed) {
@@ -358,19 +459,18 @@ pub fn check_all_traces_par(
 fn check_all_traces_serial(
     program: &Program,
     algo: &dyn TmAlgo,
-    hw: HwModel,
-    model: &dyn MemoryModel,
+    entry: &ModelEntry,
     kind: CheckKind,
     max_steps: usize,
+    memo: &SharedVerdictMemo,
 ) -> Verdict {
-    let mut verdict = Verdict::passing();
-    let memo = VerdictMemo::new();
+    let mut verdict = Verdict::passing(entry);
     let mut seen: HashSet<u64> = HashSet::new();
     let mut histories_checked = 0u64;
     let mut memo_hits = 0u64;
     let mut tm = TmSnapshot::default();
     let out = explore(
-        || build_machine(program, algo, hw),
+        || build_machine(program, algo, entry.exec),
         max_steps,
         |r| {
             if !r.completed {
@@ -382,7 +482,8 @@ fn check_all_traces_serial(
                 return false;
             }
             histories_checked += 1;
-            let (ok, hits) = trace_satisfies_memo(&r.trace, model, kind, Some(&memo));
+            let (ok, hits) =
+                trace_satisfies_memo(&r.trace, entry.model, kind, Some((memo, entry.key)));
             memo_hits += hits;
             if !ok {
                 verdict.ok = false;
@@ -405,18 +506,155 @@ fn check_all_traces_serial(
 
 /// Sample random schedules of `program` over the explicit seed range,
 /// checking each completed trace. Two calls with equal [`SweepSeeds`]
-/// replay byte-identical schedules.
+/// replay byte-identical schedules. Stops at the first violating seed.
 pub fn check_random(
     program: &Program,
     algo: &dyn TmAlgo,
-    hw: HwModel,
-    model: &dyn MemoryModel,
+    entry: &ModelEntry,
     kind: CheckKind,
     seeds: SweepSeeds,
     max_steps: usize,
 ) -> Verdict {
-    let mut verdict = Verdict::passing();
-    let memo = VerdictMemo::new();
+    check_random_serial(
+        program,
+        algo,
+        entry,
+        kind,
+        seeds,
+        max_steps,
+        &SharedVerdictMemo::new(),
+    )
+}
+
+/// Parallel variant of [`check_random`]: stripes the seed range over
+/// `cfg.effective_threads()` scoped workers with a fresh verdict memo.
+/// The `ok` verdict matches the serial sweep; the reported violation is
+/// the one from the lowest violating seed (see module docs). Falls back
+/// to the serial sweep at one effective thread.
+pub fn check_random_par(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    seeds: SweepSeeds,
+    max_steps: usize,
+    cfg: &ParallelConfig,
+) -> Verdict {
+    check_random_shared(
+        program,
+        algo,
+        entry,
+        kind,
+        seeds,
+        max_steps,
+        cfg,
+        &SharedVerdictMemo::new(),
+    )
+}
+
+/// [`check_random_par`] with a caller-owned [`SharedVerdictMemo`] for
+/// cross-sweep verdict reuse.
+#[allow(clippy::too_many_arguments)]
+pub fn check_random_shared(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    seeds: SweepSeeds,
+    max_steps: usize,
+    cfg: &ParallelConfig,
+    memo: &SharedVerdictMemo,
+) -> Verdict {
+    let threads = cfg.effective_threads().min(seeds.runs.max(1) as usize);
+    if threads <= 1 {
+        return check_random_serial(program, algo, entry, kind, seeds, max_steps, memo);
+    }
+
+    let mut verdict = Verdict::passing(entry);
+    let model = entry.model;
+    let seen: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+    // Lowest violating seed found so far; seeds above it are skipped
+    // (they can never lower the minimum), seeds below it never are.
+    let best_seed = AtomicU64::new(u64::MAX);
+    let violation: Mutex<Option<(u64, Trace)>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let seen = &seen;
+                let best_seed = &best_seed;
+                let violation = &violation;
+                s.spawn(move || {
+                    let mut local = Verdict::passing(entry);
+                    for seed in seeds.iter().skip(t).step_by(threads) {
+                        if seed > best_seed.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let mut sched: Box<dyn Scheduler> = if seed % 2 == 0 {
+                            Box::new(RandomScheduler::new(seed))
+                        } else {
+                            Box::new(BurstyScheduler::new(seed))
+                        };
+                        let r =
+                            build_machine(program, algo, entry.exec).run(sched.as_mut(), max_steps);
+                        local.runs += 1;
+                        local.stats.schedules += 1;
+                        local.stats.machine.absorb(&r.stats);
+                        if !r.completed {
+                            local.truncated += 1;
+                            local.stats.truncated += 1;
+                            continue;
+                        }
+                        local.tm.absorb(&tm_counts_from_trace(&r.trace));
+                        if !seen.lock().unwrap().insert(r.trace.cache_key()) {
+                            local.stats.dedup_hits += 1;
+                            continue;
+                        }
+                        local.stats.histories_checked += 1;
+                        let (ok, hits) =
+                            trace_satisfies_memo(&r.trace, model, kind, Some((memo, entry.key)));
+                        local.stats.memo_hits += hits;
+                        if !ok {
+                            best_seed.fetch_min(seed, Ordering::Relaxed);
+                            let mut v = violation.lock().unwrap();
+                            if v.as_ref().is_none_or(|(vs, _)| seed < *vs) {
+                                *v = Some((seed, r.trace));
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        for h in handles {
+            let local = h.join().expect("random-sweep worker panicked");
+            verdict.runs += local.runs;
+            verdict.truncated += local.truncated;
+            verdict.stats.absorb(&local.stats);
+            verdict.tm.absorb(&local.tm);
+        }
+    });
+
+    verdict.stats.workers = threads as u64;
+    if let Some((_, trace)) = violation.into_inner().unwrap() {
+        verdict.ok = false;
+        verdict.violation = Some(trace);
+    }
+    verdict
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_random_serial(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    seeds: SweepSeeds,
+    max_steps: usize,
+    memo: &SharedVerdictMemo,
+) -> Verdict {
+    let mut verdict = Verdict::passing(entry);
     let mut seen: HashSet<u64> = HashSet::new();
     for seed in seeds.iter() {
         // Alternate uniform and bursty schedules: uniform explores
@@ -427,7 +665,7 @@ pub fn check_random(
         } else {
             Box::new(BurstyScheduler::new(seed))
         };
-        let r = build_machine(program, algo, hw).run(sched.as_mut(), max_steps);
+        let r = build_machine(program, algo, entry.exec).run(sched.as_mut(), max_steps);
         verdict.runs += 1;
         verdict.stats.schedules += 1;
         verdict.stats.machine.absorb(&r.stats);
@@ -442,7 +680,7 @@ pub fn check_random(
             continue;
         }
         verdict.stats.histories_checked += 1;
-        let (ok, hits) = trace_satisfies_memo(&r.trace, model, kind, Some(&memo));
+        let (ok, hits) = trace_satisfies_memo(&r.trace, entry.model, kind, Some((memo, entry.key)));
         verdict.stats.memo_hits += hits;
         if !ok {
             verdict.ok = false;
@@ -459,13 +697,26 @@ pub fn check_random(
 pub fn find_violation(
     program: &Program,
     algo: &dyn TmAlgo,
-    hw: HwModel,
-    model: &dyn MemoryModel,
+    entry: &ModelEntry,
     kind: CheckKind,
     seeds: SweepSeeds,
     max_steps: usize,
 ) -> Option<Trace> {
-    check_random(program, algo, hw, model, kind, seeds, max_steps).violation
+    check_random(program, algo, entry, kind, seeds, max_steps).violation
+}
+
+/// Parallel variant of [`find_violation`] via [`check_random_par`]:
+/// returns the violation from the lowest violating seed.
+pub fn find_violation_par(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    seeds: SweepSeeds,
+    max_steps: usize,
+    cfg: &ParallelConfig,
+) -> Option<Trace> {
+    check_random_par(program, algo, entry, kind, seeds, max_steps, cfg).violation
 }
 
 #[cfg(test)]
@@ -475,6 +726,13 @@ mod tests {
     use crate::program::{Stmt, ThreadProg, TxOp};
     use jungle_core::ids::X;
     use jungle_core::model::{Relaxed, Sc};
+    use jungle_core::registry::{entry as registry_entry, ExecSemantics};
+
+    /// The old (hw = TSO machine, SC checker) pairing used by these
+    /// tests, as an explicit custom entry.
+    fn sc_on_tso() -> ModelEntry {
+        ModelEntry::new("SC", &Sc, ExecSemantics::Tso, "test pairing")
+    }
 
     #[test]
     fn single_thread_global_lock_always_opaque() {
@@ -485,8 +743,7 @@ mod tests {
         let v = check_all_traces(
             &p,
             &GlobalLockTm,
-            HwModel::Sc,
-            &Sc,
+            &ModelEntry::checker_game(&Sc),
             CheckKind::Opacity,
             1_000,
         );
@@ -495,6 +752,8 @@ mod tests {
                                // Exploration stats are recorded alongside the verdict.
         assert_eq!(v.stats.schedules, 1);
         assert_eq!(v.stats.histories_checked, 1);
+        assert_eq!(v.stats.model, "SC");
+        assert_eq!(v.stats.machine.model, "SC");
         assert!(v.stats.machine.steps > 0);
         assert_eq!(v.tm.commits, 1);
         assert_eq!(v.tm.txn_reads, 1);
@@ -513,8 +772,7 @@ mod tests {
         let v = check_all_traces(
             &p,
             &SkipWriteTm,
-            HwModel::Sc,
-            &Relaxed,
+            &ModelEntry::checker_game(&Relaxed),
             CheckKind::Opacity,
             1_000,
         );
@@ -531,8 +789,7 @@ mod tests {
         let good = check_random(
             &p,
             &GlobalLockTm,
-            HwModel::Sc,
-            &Sc,
+            &ModelEntry::checker_game(&Sc),
             CheckKind::Opacity,
             SweepSeeds::new(0, 5),
             1_000,
@@ -542,8 +799,7 @@ mod tests {
         let bad = find_violation(
             &p,
             &SkipWriteTm,
-            HwModel::Sc,
-            &Sc,
+            &ModelEntry::checker_game(&Sc),
             CheckKind::Opacity,
             SweepSeeds::new(0, 5),
             1_000,
@@ -565,8 +821,7 @@ mod tests {
             check_random(
                 &p,
                 &GlobalLockTm,
-                HwModel::Tso,
-                &Sc,
+                &sc_on_tso(),
                 CheckKind::Opacity,
                 seeds,
                 2_000,
@@ -589,21 +844,14 @@ mod tests {
             (&GlobalLockTm as &dyn TmAlgo, true),
             (&SkipWriteTm as &dyn TmAlgo, false),
         ] {
-            let serial = check_all_traces(
-                &two_thread,
-                algo,
-                HwModel::Tso,
-                &Sc,
-                CheckKind::Opacity,
-                4_000,
-            );
+            let serial =
+                check_all_traces(&two_thread, algo, &sc_on_tso(), CheckKind::Opacity, 4_000);
             assert_eq!(serial.ok, expect_ok);
             for threads in [2, 4] {
                 let par = check_all_traces_par(
                     &two_thread,
                     algo,
-                    HwModel::Tso,
-                    &Sc,
+                    &sc_on_tso(),
                     CheckKind::Opacity,
                     4_000,
                     &ParallelConfig::with_threads(threads),
@@ -620,6 +868,77 @@ mod tests {
     }
 
     #[test]
+    fn parallel_random_matches_serial_verdict() {
+        let p = Program(vec![
+            ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)]), Stmt::NtRead(X)]),
+            ThreadProg(vec![Stmt::NtRead(X)]),
+        ]);
+        let seeds = SweepSeeds::new(0, 24);
+        for (algo, expect_ok) in [
+            (&GlobalLockTm as &dyn TmAlgo, true),
+            (&SkipWriteTm as &dyn TmAlgo, false),
+        ] {
+            let serial = check_random(&p, algo, &sc_on_tso(), CheckKind::Opacity, seeds, 4_000);
+            assert_eq!(serial.ok, expect_ok);
+            for threads in [2, 4] {
+                let par = check_random_par(
+                    &p,
+                    algo,
+                    &sc_on_tso(),
+                    CheckKind::Opacity,
+                    seeds,
+                    4_000,
+                    &ParallelConfig::with_threads(threads),
+                );
+                assert_eq!(par.ok, serial.ok, "threads={threads}");
+                assert_eq!(par.workers(), threads as u64);
+                if !expect_ok {
+                    assert!(par.violation.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_memo_reuses_verdicts_across_sweeps() {
+        let p = Program(vec![
+            ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)]), Stmt::NtRead(X)]),
+            ThreadProg(vec![Stmt::NtRead(X)]),
+        ]);
+        let memo = SharedVerdictMemo::new();
+        let cfg = ParallelConfig::with_threads(1);
+        let e = sc_on_tso();
+        let a = check_all_traces_shared(
+            &p,
+            &GlobalLockTm,
+            &e,
+            CheckKind::Opacity,
+            4_000,
+            &cfg,
+            &memo,
+        );
+        assert!(a.ok);
+        assert!(!memo.is_empty());
+        let after_first = memo.hits();
+        // An identical second sweep answers every history from the memo.
+        let b = check_all_traces_shared(
+            &p,
+            &GlobalLockTm,
+            &e,
+            CheckKind::Opacity,
+            4_000,
+            &cfg,
+            &memo,
+        );
+        assert!(b.ok);
+        assert!(
+            memo.hits() > after_first,
+            "second sweep must hit the shared memo"
+        );
+        assert!(b.stats.memo_hits > 0);
+    }
+
+    #[test]
     fn dedup_skips_structurally_identical_traces() {
         // Two threads racing on the TSO simulator produce many
         // instruction interleavings that collapse to identical
@@ -628,14 +947,7 @@ mod tests {
             ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)]), Stmt::NtRead(X)]),
             ThreadProg(vec![Stmt::NtRead(X)]),
         ]);
-        let v = check_all_traces(
-            &p,
-            &GlobalLockTm,
-            HwModel::Tso,
-            &Sc,
-            CheckKind::Opacity,
-            4_000,
-        );
+        let v = check_all_traces(&p, &GlobalLockTm, &sc_on_tso(), CheckKind::Opacity, 4_000);
         assert!(v.ok);
         assert!(
             v.dedup_hits() > 0,
@@ -645,5 +957,26 @@ mod tests {
         // Dedup means strictly fewer checker invocations than schedules.
         assert!(v.stats.histories_checked + v.stats.dedup_hits <= v.stats.schedules);
         assert_eq!(v.workers(), 0); // serial sweep
+    }
+
+    #[test]
+    fn rmo_registry_sweep_smoke() {
+        // One matched-model sweep on the RMO registry entry: the
+        // global-lock TM stays RMO-opaque on the Figure 1 program even
+        // when the machine itself executes RMO (stale loads included).
+        let p = Program(vec![
+            ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)])]),
+            ThreadProg(vec![Stmt::NtRead(X)]),
+        ]);
+        let e = registry_entry("RMO").unwrap();
+        let v = check_all_traces(&p, &GlobalLockTm, e, CheckKind::Opacity, 6_000);
+        assert!(v.ok, "violation: {:?}", v.violation);
+        assert_eq!(v.stats.model, "RMO");
+        assert_eq!(v.stats.machine.model, "RMO");
+        assert!(
+            v.stats.machine.stale_loads > 0,
+            "RMO execution must have explored stale reads: {:?}",
+            v.stats.machine
+        );
     }
 }

@@ -1,30 +1,38 @@
-//! Simulated CPUs: store buffers and hardware memory models.
+//! Simulated CPUs: per-CPU reorder engines and versioned global memory.
 //!
-//! Each CPU owns a store buffer whose discipline depends on the
-//! [`HwModel`]:
+//! Each CPU owns a [`ReorderEngine`] — the generalization of the old
+//! store buffer — whose behaviour is driven entirely by the
+//! [`ExecSemantics`] fields of the machine's model (see
+//! [`jungle_core::registry`]):
 //!
-//! * **SC** — no buffering; stores apply to global memory immediately.
-//! * **TSO** — one FIFO buffer; loads forward from the youngest buffered
-//!   store to the same address; a CAS drains the buffer first and then
-//!   executes atomically.
-//! * **PSO** — the buffer keeps FIFO order only per address; stores to
-//!   *different* addresses may drain in any order (chosen by the
-//!   scheduler), which is what makes write→write reordering observable.
+//! * the **store discipline** decides which buffered stores may drain
+//!   next (none / FIFO / oldest-per-address);
+//! * **forwarding** decides whether a load may be served from the CPU's
+//!   own buffered store or must first drain it;
+//! * the **load window** lets a load observe one of the last few
+//!   overwritten values of an address (a load that *performed early*),
+//!   bounded by per-CPU **coherence floors** so a CPU never un-sees a
+//!   value it has already observed or written.
+//!
+//! [`GlobalMem`] keeps a short per-address version history (the last
+//! [`MAX_VERSIONS`] values with global sequence numbers) to make the
+//! load window explorable.
 
 use jungle_core::ids::Val;
+use jungle_core::registry::{ExecSemantics, StoreDiscipline};
 use jungle_isa::instr::Addr;
 use std::collections::HashMap;
 
-/// The hardware memory model the simulated machine executes.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum HwModel {
-    /// Linearizable memory (the paper's baseline hardware assumption).
-    Sc,
-    /// Total store order: FIFO store buffer + forwarding.
-    Tso,
-    /// Partial store order: per-address store queues.
-    Pso,
-}
+/// The hardware model the simulated machine executes. Since the model
+/// registry unification this *is* the execution-side semantics of a
+/// registry entry; the historical `HwModel::{Sc,Tso,Pso}` variants
+/// survive as the [`ExecSemantics::Sc`] / [`ExecSemantics::Tso`] /
+/// [`ExecSemantics::Pso`] compatibility constants.
+pub type HwModel = ExecSemantics;
+
+/// Number of versions [`GlobalMem`] retains per address: the newest
+/// plus the largest load window in the registry.
+pub const MAX_VERSIONS: usize = ExecSemantics::MAX_LOAD_WINDOW as usize + 1;
 
 /// A buffered (not yet globally visible) store.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,13 +43,24 @@ pub struct PendingStore {
     pub val: Val,
 }
 
-/// One simulated CPU's private state.
+/// One simulated CPU's private memory state: buffered stores plus the
+/// coherence floors that bound its load reorder window.
+///
+/// A floor records the newest global sequence number the CPU has
+/// *observed* for an address (by reading it, or by draining its own
+/// store to it); loads may never return a version older than the floor.
+/// A CAS raises the **global** floor (it acts as a full fence).
 #[derive(Clone, Debug, Default)]
-pub struct StoreBuffer {
+pub struct ReorderEngine {
     entries: Vec<PendingStore>,
+    global_floor: u64,
+    addr_floors: HashMap<Addr, u64>,
 }
 
-impl StoreBuffer {
+/// Backwards-compatible name for [`ReorderEngine`].
+pub type StoreBuffer = ReorderEngine;
+
+impl ReorderEngine {
     /// Enqueue a store.
     pub fn push(&mut self, addr: Addr, val: Val) {
         self.entries.push(PendingStore { addr, val });
@@ -67,20 +86,21 @@ impl StoreBuffer {
             .map(|e| e.val)
     }
 
-    /// The indices of entries that may drain next under `hw`:
-    /// TSO — only the oldest entry; PSO — the oldest entry *per
-    /// address*; SC — the buffer is never populated.
+    /// The indices of entries that may drain next under `hw`'s store
+    /// discipline: FIFO — only the oldest entry; per-address — the
+    /// oldest entry *per address*; immediate — the buffer is never
+    /// populated.
     pub fn drainable(&self, hw: HwModel) -> Vec<usize> {
-        match hw {
-            HwModel::Sc => Vec::new(),
-            HwModel::Tso => {
+        match hw.stores {
+            StoreDiscipline::Immediate => Vec::new(),
+            StoreDiscipline::Fifo => {
                 if self.entries.is_empty() {
                     Vec::new()
                 } else {
                     vec![0]
                 }
             }
-            HwModel::Pso => {
+            StoreDiscipline::PerAddress => {
                 let mut seen: HashMap<Addr, ()> = HashMap::new();
                 let mut out = Vec::new();
                 for (i, e) in self.entries.iter().enumerate() {
@@ -103,33 +123,132 @@ impl StoreBuffer {
     pub fn drain_all(&mut self) -> Vec<PendingStore> {
         std::mem::take(&mut self.entries)
     }
+
+    /// The stores that must drain (in order) before this CPU may *load*
+    /// `addr` on a machine **without** store-to-load forwarding: under
+    /// FIFO the whole prefix up to the youngest same-address entry
+    /// (TSO's load waits for its own store to become visible), under
+    /// per-address queues just that address's queue. Empty when no
+    /// same-address store is pending.
+    pub fn force_drain_for_load(&mut self, hw: HwModel, addr: Addr) -> Vec<PendingStore> {
+        let mut out = Vec::new();
+        match hw.stores {
+            StoreDiscipline::Immediate => {}
+            StoreDiscipline::Fifo => {
+                while self.entries.iter().any(|e| e.addr == addr) {
+                    out.push(self.entries.remove(0));
+                }
+            }
+            StoreDiscipline::PerAddress => {
+                let mut i = 0;
+                while i < self.entries.len() {
+                    if self.entries[i].addr == addr {
+                        out.push(self.entries.remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The effective coherence floor for `addr`: the newest sequence
+    /// number this CPU is known to have observed for it.
+    pub fn eff_floor(&self, addr: Addr) -> u64 {
+        self.addr_floors
+            .get(&addr)
+            .copied()
+            .unwrap_or(0)
+            .max(self.global_floor)
+    }
+
+    /// Record that this CPU observed version `seq` of `addr` (by
+    /// loading it or draining its own store to it). Floors only rise.
+    pub fn raise_addr_floor(&mut self, addr: Addr, seq: u64) {
+        let f = self.addr_floors.entry(addr).or_insert(0);
+        *f = (*f).max(seq);
+    }
+
+    /// Record a full fence (CAS): the CPU has observed global memory up
+    /// to `seq`; no later load of any address may return anything
+    /// older.
+    pub fn raise_global_floor(&mut self, seq: u64) {
+        self.global_floor = self.global_floor.max(seq);
+    }
 }
 
-/// Flat global memory (zero-initialized, sparse).
+/// Flat global memory (zero-initialized, sparse) with a short
+/// per-address version history.
+///
+/// Every store gets a fresh global sequence number; the last
+/// [`MAX_VERSIONS`] values of each address are retained so machines
+/// with a load reorder window can offer stale reads. The implicit
+/// initial value `0` counts as version `(0, 0)`.
 #[derive(Clone, Debug, Default)]
 pub struct GlobalMem {
-    cells: HashMap<Addr, Val>,
+    /// Versions per address, oldest → newest; always non-empty once
+    /// present (seeded with the initial `(0, 0)`).
+    cells: HashMap<Addr, Vec<(u64, Val)>>,
+    seq: u64,
 }
 
+/// The version list of a never-written address.
+static INITIAL_VERSION: [(u64, Val); 1] = [(0, 0)];
+
 impl GlobalMem {
-    /// Read an address (0 if never written).
+    /// Read the current value of an address (0 if never written).
     pub fn load(&self, addr: Addr) -> Val {
-        self.cells.get(&addr).copied().unwrap_or(0)
+        self.cells
+            .get(&addr)
+            .and_then(|vs| vs.last())
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
     }
 
-    /// Write an address.
-    pub fn store(&mut self, addr: Addr, val: Val) {
-        self.cells.insert(addr, val);
+    /// Write an address; returns the new version's global sequence
+    /// number.
+    pub fn store(&mut self, addr: Addr, val: Val) -> u64 {
+        self.seq += 1;
+        let vs = self
+            .cells
+            .entry(addr)
+            .or_insert_with(|| INITIAL_VERSION.to_vec());
+        vs.push((self.seq, val));
+        if vs.len() > MAX_VERSIONS {
+            let cut = vs.len() - MAX_VERSIONS;
+            vs.drain(..cut);
+        }
+        self.seq
     }
 
-    /// Snapshot of all written cells, sorted by address.
+    /// The current global sequence number (number of stores so far).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The retained versions of `addr`, oldest → newest (at least one
+    /// entry; `(0, 0)` for a never-written address).
+    pub fn versions(&self, addr: Addr) -> &[(u64, Val)] {
+        self.cells
+            .get(&addr)
+            .map(|vs| vs.as_slice())
+            .unwrap_or(&INITIAL_VERSION)
+    }
+
+    /// Snapshot of all written cells' current values, sorted by address.
     pub fn snapshot(&self) -> Vec<(Addr, Val)> {
-        let mut v: Vec<(Addr, Val)> = self.cells.iter().map(|(a, x)| (*a, *x)).collect();
+        let mut v: Vec<(Addr, Val)> = self
+            .cells
+            .iter()
+            .filter_map(|(a, vs)| vs.last().map(|&(_, x)| (*a, x)))
+            .collect();
         v.sort_unstable();
         v
     }
 
-    /// Atomic compare-and-swap; returns whether it succeeded.
+    /// Atomic compare-and-swap on the current value; returns whether it
+    /// succeeded.
     pub fn cas(&mut self, addr: Addr, expect: Val, new: Val) -> bool {
         if self.load(addr) == expect {
             self.store(addr, new);
@@ -146,7 +265,7 @@ mod tests {
 
     #[test]
     fn forwarding_returns_youngest() {
-        let mut b = StoreBuffer::default();
+        let mut b = ReorderEngine::default();
         b.push(0, 1);
         b.push(1, 9);
         b.push(0, 2);
@@ -157,7 +276,7 @@ mod tests {
 
     #[test]
     fn tso_drains_fifo_only() {
-        let mut b = StoreBuffer::default();
+        let mut b = ReorderEngine::default();
         b.push(0, 1);
         b.push(1, 2);
         assert_eq!(b.drainable(HwModel::Tso), vec![0]);
@@ -168,7 +287,7 @@ mod tests {
 
     #[test]
     fn pso_drains_per_address() {
-        let mut b = StoreBuffer::default();
+        let mut b = ReorderEngine::default();
         b.push(0, 1);
         b.push(0, 2);
         b.push(1, 9);
@@ -181,9 +300,69 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_models_drain_per_address_too() {
+        // Coherence is the machine's hard floor: even the fully relaxed
+        // model never inverts same-address stores.
+        let mut b = ReorderEngine::default();
+        b.push(0, 1);
+        b.push(0, 2);
+        b.push(1, 9);
+        for hw in [HwModel::RMO, HwModel::ALPHA, HwModel::RELAXED] {
+            assert_eq!(b.drainable(hw), vec![0, 2], "{}", hw.name);
+        }
+    }
+
+    #[test]
     fn sc_never_buffers() {
-        let b = StoreBuffer::default();
+        let b = ReorderEngine::default();
         assert_eq!(b.drainable(HwModel::Sc), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn forced_drain_fifo_takes_whole_prefix() {
+        // Plain TSO: a load of addr 0 with [1:=9, 0:=1, 2:=3, 0:=2]
+        // pending must drain the prefix through the *last* store to 0.
+        let mut b = ReorderEngine::default();
+        b.push(1, 9);
+        b.push(0, 1);
+        b.push(2, 3);
+        b.push(0, 2);
+        let drained = b.force_drain_for_load(HwModel::TSO, 0);
+        assert_eq!(
+            drained.iter().map(|e| (e.addr, e.val)).collect::<Vec<_>>(),
+            vec![(1, 9), (0, 1), (2, 3), (0, 2)]
+        );
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn forced_drain_per_address_takes_only_that_queue() {
+        let mut b = ReorderEngine::default();
+        b.push(1, 9);
+        b.push(0, 1);
+        b.push(0, 2);
+        let drained = b.force_drain_for_load(HwModel::PSO, 0);
+        assert_eq!(
+            drained.iter().map(|e| (e.addr, e.val)).collect::<Vec<_>>(),
+            vec![(0, 1), (0, 2)]
+        );
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.forward(1), Some(9));
+    }
+
+    #[test]
+    fn floors_rise_monotonically() {
+        let mut b = ReorderEngine::default();
+        assert_eq!(b.eff_floor(0), 0);
+        b.raise_addr_floor(0, 5);
+        b.raise_addr_floor(0, 3); // no-op
+        assert_eq!(b.eff_floor(0), 5);
+        assert_eq!(b.eff_floor(1), 0);
+        b.raise_global_floor(7);
+        assert_eq!(b.eff_floor(0), 7);
+        assert_eq!(b.eff_floor(1), 7);
+        b.raise_global_floor(2); // no-op
+        assert_eq!(b.eff_floor(1), 7);
     }
 
     #[test]
@@ -195,5 +374,25 @@ mod tests {
         assert_eq!(m.load(3), 7);
         m.store(3, 1);
         assert_eq!(m.load(3), 1);
+    }
+
+    #[test]
+    fn memory_retains_bounded_version_history() {
+        let mut m = GlobalMem::default();
+        assert_eq!(m.versions(0), &[(0, 0)]);
+        let s1 = m.store(0, 10);
+        let s2 = m.store(0, 20);
+        assert!(s1 < s2);
+        assert_eq!(m.versions(0), &[(0, 0), (s1, 10), (s2, 20)]);
+        for v in 3..10 {
+            m.store(0, v * 10);
+        }
+        let vs = m.versions(0);
+        assert_eq!(vs.len(), MAX_VERSIONS);
+        assert_eq!(vs.last().unwrap().1, 90);
+        // Stores to other addresses advance the shared sequence.
+        let before = m.seq();
+        m.store(1, 1);
+        assert_eq!(m.seq(), before + 1);
     }
 }

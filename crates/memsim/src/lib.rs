@@ -5,15 +5,31 @@
 //! the constructions on, so this crate provides the substitute: a small,
 //! deterministic multiprocessor simulator that executes the instruction
 //! alphabet of `jungle-isa` (`load`/`store`/`cas` plus operation
-//! markers) under a pluggable **hardware** memory model:
+//! markers) under a pluggable **hardware** memory model.
 //!
-//! * [`HwModel::Sc`] — linearizable memory, the paper's baseline
-//!   assumption ("we assume that the underlying hardware guarantees a
-//!   strong memory model equivalent to linearizability");
-//! * [`HwModel::Tso`] — per-CPU FIFO store buffers with store-to-load
-//!   forwarding; CAS drains the buffer (x86-style `lock` semantics);
-//! * [`HwModel::Pso`] — per-address store queues (write→write
-//!   reordering in addition to write→read).
+//! The hardware model is an execution discipline
+//! ([`ExecSemantics`](jungle_core::registry::ExecSemantics), aliased as
+//! [`HwModel`]) drawn from the model registry in `jungle_core`, which
+//! pairs it with the matching checker-side `MemoryModel`. The full
+//! registry zoo is executable:
+//!
+//! * **SC** — linearizable memory, the paper's baseline assumption
+//!   ("we assume that the underlying hardware guarantees a strong
+//!   memory model equivalent to linearizability");
+//! * **TSO** / **TSO+fwd** — per-CPU FIFO store buffers, without /
+//!   with store-to-load forwarding; CAS drains the buffer (x86-style
+//!   `lock` semantics);
+//! * **PSO** — per-address store queues (write→write reordering in
+//!   addition to write→read);
+//! * **RMO**, **Alpha**, **Relaxed** — per-address store queues plus a
+//!   bounded *load reorder window*: a load may observe one of the last
+//!   few overwritten values of an address (a load performed early),
+//!   bounded by per-CPU coherence floors; RMO keeps dependent loads
+//!   ([`PInstr::LoadDep`]) ordered, Alpha and Relaxed do not.
+//!
+//! The historical enum variants survive as compatibility constants
+//! (`HwModel::Sc`, `HwModel::Tso` = TSO+fwd, `HwModel::Pso` = PSO+fwd —
+//! the pre-registry machine always forwarded).
 //!
 //! Programs are *reactive* ([`Process`]): the simulator feeds each
 //! completed instruction's result back to the process, which decides its
@@ -36,7 +52,8 @@ pub mod machine;
 pub mod process;
 pub mod sched;
 
-pub use cpu::HwModel;
+pub use cpu::{GlobalMem, HwModel, PendingStore, ReorderEngine, StoreBuffer, MAX_VERSIONS};
+pub use jungle_core::registry::{ExecSemantics, StoreDiscipline};
 pub use machine::{explore, ExploreOutcome, Machine, RunResult};
 pub use process::{PInstr, Process, Step};
 pub use sched::{BurstyScheduler, DirectedScheduler, ExhaustiveCursor, RandomScheduler, Scheduler};

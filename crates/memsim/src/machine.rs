@@ -5,10 +5,12 @@
 //! completion (or a step bound) under a [`Scheduler`]; [`explore`]
 //! enumerates every schedule exhaustively with an [`ExhaustiveCursor`].
 
-use crate::cpu::{GlobalMem, HwModel, StoreBuffer};
+use crate::cpu::{GlobalMem, HwModel, ReorderEngine};
 use crate::process::{PInstr, Process, Resume, Step};
 use crate::sched::{Action, ExhaustiveCursor, Scheduler};
 use jungle_core::ids::{OpId, ProcId, Val};
+use jungle_core::registry::StoreDiscipline;
+use jungle_isa::instr::Addr;
 use jungle_isa::instr::{Instr, InstrInstance};
 use jungle_isa::trace::Trace;
 use jungle_obs::MachineStats;
@@ -33,7 +35,7 @@ pub struct RunResult {
 
 struct CpuState {
     proc: Box<dyn Process>,
-    buffer: StoreBuffer,
+    buffer: ReorderEngine,
     resume: Resume,
     done: bool,
     /// Currently open operation id and the trace index of its
@@ -59,7 +61,7 @@ impl Machine {
             .into_iter()
             .map(|proc| CpuState {
                 proc,
-                buffer: StoreBuffer::default(),
+                buffer: ReorderEngine::default(),
                 resume: None,
                 done: false,
                 current_op: None,
@@ -71,7 +73,10 @@ impl Machine {
             cpus,
             instrs: Vec::new(),
             next_op: 1,
-            stats: MachineStats::default(),
+            stats: MachineStats {
+                model: hw.name,
+                ..MachineStats::default()
+            },
         }
     }
 
@@ -112,7 +117,95 @@ impl Machine {
         self.instrs.len() - 1
     }
 
-    fn exec(&mut self, cpu: usize) {
+    /// Apply a drained store to memory and record that this CPU has
+    /// observed it (its own write raises the address's coherence
+    /// floor).
+    fn apply_drain(&mut self, cpu: usize, addr: Addr, val: Val) {
+        let seq = self.mem.store(addr, val);
+        self.cpus[cpu].buffer.raise_addr_floor(addr, seq);
+    }
+
+    /// The memory versions a load of `addr` on `cpu` may observe,
+    /// newest first: the current value plus up to `load_window` older
+    /// ones, cut off at the CPU's coherence floor. A stale version is
+    /// admissible only while the CPU has not yet observed the write
+    /// that overwrote it (i.e. the next-newer version's sequence number
+    /// is above the floor).
+    fn admissible_versions(&self, cpu: usize, addr: Addr) -> Vec<(u64, Val)> {
+        let vs = self.mem.versions(addr);
+        let floor = self.cpus[cpu].buffer.eff_floor(addr);
+        let n = vs.len();
+        let window = (self.hw.load_window as usize).min(n - 1);
+        let mut out = Vec::with_capacity(window + 1);
+        for d in 0..=window {
+            let i = n - 1 - d;
+            if d > 0 && vs[i + 1].0 <= floor {
+                break; // older versions are below the floor too
+            }
+            out.push(vs[i]);
+        }
+        out
+    }
+
+    /// Perform a load of `addr` against global memory (the forwarding
+    /// fast path has already been tried). With more than one admissible
+    /// version the scheduler picks which one the load observes, via a
+    /// synthetic [`Action::ReadVersion`] choice list; the observed
+    /// version raises the address's floor (reads are monotone).
+    fn versioned_load(
+        &mut self,
+        cpu: usize,
+        addr: Addr,
+        dep_ordered: bool,
+        sched: &mut dyn Scheduler,
+    ) -> Val {
+        let mut options = self.admissible_versions(cpu, addr);
+        if dep_ordered {
+            options.truncate(1);
+        }
+        let (seq, val) = if options.len() > 1 {
+            let actions: Vec<Action> = (0..options.len())
+                .map(|version| Action::ReadVersion { cpu, version })
+                .collect();
+            let c = sched.choose(&actions).min(options.len() - 1);
+            if c > 0 {
+                self.stats.stale_loads += 1;
+            }
+            options[c]
+        } else {
+            options[0]
+        };
+        self.cpus[cpu].buffer.raise_addr_floor(addr, seq);
+        val
+    }
+
+    /// Execute a load instruction: forward from the CPU's own buffer if
+    /// the model permits, otherwise (on non-forwarding models) drain
+    /// pending same-address stores first, then read a memory version.
+    fn exec_load(
+        &mut self,
+        cpu: usize,
+        addr: Addr,
+        dep_ordered: bool,
+        sched: &mut dyn Scheduler,
+    ) -> Val {
+        if self.hw.forwarding {
+            if let Some(v) = self.cpus[cpu].buffer.forward(addr) {
+                return v;
+            }
+        } else {
+            // The load must wait for the CPU's own pending stores to
+            // `addr` to become globally visible.
+            let drained = self.cpus[cpu].buffer.force_drain_for_load(self.hw, addr);
+            for e in drained {
+                self.stats.flushes += 1;
+                self.apply_drain(cpu, e.addr, e.val);
+            }
+        }
+        self.versioned_load(cpu, addr, dep_ordered, sched)
+    }
+
+    fn exec(&mut self, cpu: usize, sched: &mut dyn Scheduler) {
         let resume = self.cpus[cpu].resume.take();
         let step = self.cpus[cpu].proc.next(resume);
         match step {
@@ -148,23 +241,18 @@ impl Machine {
                 });
             }
             Step::Instr(pi) => match pi {
-                PInstr::Load(addr) => {
+                PInstr::Load(addr) | PInstr::LoadDep(addr) => {
                     self.stats.loads += 1;
-                    let val = match self.hw {
-                        HwModel::Sc => self.mem.load(addr),
-                        _ => self.cpus[cpu]
-                            .buffer
-                            .forward(addr)
-                            .unwrap_or_else(|| self.mem.load(addr)),
-                    };
+                    let dep_ordered = matches!(pi, PInstr::LoadDep(_)) && self.hw.order_dep_loads;
+                    let val = self.exec_load(cpu, addr, dep_ordered, sched);
                     self.record(cpu, Instr::Load { addr, val });
                     self.cpus[cpu].resume = Some(val);
                 }
                 PInstr::Store(addr, val) => {
                     self.stats.stores += 1;
-                    match self.hw {
-                        HwModel::Sc => self.mem.store(addr, val),
-                        _ => {
+                    match self.hw.stores {
+                        StoreDiscipline::Immediate => self.apply_drain(cpu, addr, val),
+                        StoreDiscipline::Fifo | StoreDiscipline::PerAddress => {
                             self.cpus[cpu].buffer.push(addr, val);
                             self.stats.note_occupancy(self.cpus[cpu].buffer.len());
                         }
@@ -174,13 +262,18 @@ impl Machine {
                 }
                 PInstr::Cas(addr, expect, new) => {
                     self.stats.cas_ops += 1;
-                    // A CAS acts like a fence: drain the CPU's own
-                    // buffer before executing atomically.
+                    // A CAS acts like a full fence: drain the CPU's own
+                    // buffer before executing atomically…
                     for e in self.cpus[cpu].buffer.drain_all() {
                         self.stats.flushes += 1;
-                        self.mem.store(e.addr, e.val);
+                        self.apply_drain(cpu, e.addr, e.val);
                     }
                     let ok = self.mem.cas(addr, expect, new);
+                    // …and synchronize with global memory: no later
+                    // load on this CPU may observe anything older than
+                    // the CAS point.
+                    let seq = self.mem.seq();
+                    self.cpus[cpu].buffer.raise_global_floor(seq);
                     self.record(
                         cpu,
                         Instr::Cas {
@@ -217,11 +310,14 @@ impl Machine {
             }
             let choice = sched.choose(&actions);
             match actions[choice] {
-                Action::Exec { cpu } => self.exec(cpu),
+                Action::Exec { cpu } => self.exec(cpu, sched),
                 Action::Drain { cpu, idx } => {
                     self.stats.flushes += 1;
                     let e = self.cpus[cpu].buffer.take(idx);
-                    self.mem.store(e.addr, e.val);
+                    self.apply_drain(cpu, e.addr, e.val);
+                }
+                Action::ReadVersion { .. } => {
+                    unreachable!("ReadVersion appears only in synthetic mid-load choice lists")
                 }
             }
             steps += 1;
@@ -315,16 +411,12 @@ mod tests {
     fn two_reads(v1: Var, a1: u32, v2: Var, a2: u32) -> Box<dyn Process> {
         use crate::process::FnProcess;
         let mut state = 0;
-        let mut seen = 0;
         Box::new(FnProcess::new(move |last| {
             state += 1;
             match state {
                 1 => Step::Inv(rd_op(v1, 0)),
                 2 => Step::Instr(PInstr::Load(a1)),
-                3 => {
-                    seen = last.unwrap();
-                    Step::Resp(rd_op(v1, seen))
-                }
+                3 => Step::Resp(rd_op(v1, last.unwrap())),
                 4 => Step::Inv(rd_op(v2, 0)),
                 5 => Step::Instr(PInstr::Load(a2)),
                 6 => Step::Resp(rd_op(v2, last.unwrap())),
@@ -578,6 +670,154 @@ mod tests {
         assert_eq!(r.stats.flushes, 1, "buffered store must flush exactly once");
         assert_eq!(r.stats.max_buffer_occupancy, 1);
         assert_eq!(r.stats.steps as usize, r.steps);
+    }
+
+    /// A reader of a single address as one operation, using `LoadDep`
+    /// when `dep` is set.
+    fn one_read(var: Var, addr: u32, dep: bool) -> Box<dyn Process> {
+        use crate::process::FnProcess;
+        let mut st = 0;
+        Box::new(FnProcess::new(move |last| {
+            st += 1;
+            match st {
+                1 => Step::Inv(rd_op(var, 0)),
+                2 => Step::Instr(if dep {
+                    PInstr::LoadDep(addr)
+                } else {
+                    PInstr::Load(addr)
+                }),
+                3 => Step::Resp(rd_op(var, last.unwrap())),
+                _ => Step::Done,
+            }
+        }))
+    }
+
+    #[test]
+    fn admissible_versions_respect_window_and_floors() {
+        let mut m = Machine::new(HwModel::RMO, vec![one_read(X, 0, false)]);
+        let s1 = m.mem.store(0, 1);
+        let s2 = m.mem.store(0, 2);
+        let s3 = m.mem.store(0, 3);
+        let s4 = m.mem.store(0, 4);
+        // RMO's window of 2: the newest three versions are admissible.
+        assert_eq!(m.admissible_versions(0, 0), vec![(s4, 4), (s3, 3), (s2, 2)]);
+        // Once the CPU observed version s3, version s2 is gone (its
+        // overwriter s3 is at or below the floor).
+        m.cpus[0].buffer.raise_addr_floor(0, s3);
+        assert_eq!(m.admissible_versions(0, 0), vec![(s4, 4), (s3, 3)]);
+        // A full fence pins the load to the current value.
+        m.cpus[0].buffer.raise_global_floor(s4);
+        assert_eq!(m.admissible_versions(0, 0), vec![(s4, 4)]);
+
+        let mut m = Machine::new(HwModel::RELAXED, vec![one_read(X, 0, false)]);
+        let s1b = m.mem.store(0, 1);
+        assert_eq!(s1b, s1);
+        let s2 = m.mem.store(0, 2);
+        let s3 = m.mem.store(0, 3);
+        let s4 = m.mem.store(0, 4);
+        // Relaxed's window of 3 reaches one version further back.
+        assert_eq!(
+            m.admissible_versions(0, 0),
+            vec![(s4, 4), (s3, 3), (s2, 2), (s1, 1)]
+        );
+    }
+
+    #[test]
+    fn stale_loads_only_on_windowed_models() {
+        let run = |hw: HwModel| {
+            let factory = move || Machine::new(hw, vec![writer(X, 0, 1), one_read(X, 0, false)]);
+            explore(factory, 64, |_| false).stats.stale_loads
+        };
+        for hw in [
+            HwModel::Sc,
+            HwModel::TSO,
+            HwModel::Tso,
+            HwModel::PSO,
+            HwModel::Pso,
+        ] {
+            assert_eq!(run(hw), 0, "{} must not read stale values", hw.name);
+        }
+        for hw in [HwModel::RMO, HwModel::ALPHA, HwModel::RELAXED] {
+            assert!(run(hw) > 0, "{} must offer stale reads", hw.name);
+        }
+    }
+
+    #[test]
+    fn same_address_reads_are_monotone_under_relaxed() {
+        // Coherence: a CPU that read x = 1 can never read x = 0 after,
+        // even on the fully relaxed machine.
+        let factory = || {
+            Machine::new(
+                HwModel::RELAXED,
+                vec![writer(X, 0, 1), two_reads(X, 0, X, 0)],
+            )
+        };
+        explore(factory, 96, |r| {
+            let reads: Vec<Val> = r
+                .trace
+                .instrs()
+                .iter()
+                .filter(|i| i.proc == ProcId(1))
+                .filter_map(|i| match i.instr {
+                    Instr::Load { val, .. } => Some(val),
+                    _ => None,
+                })
+                .collect();
+            assert_ne!(reads, vec![1, 0], "monotone-read violation");
+            false
+        });
+    }
+
+    #[test]
+    fn dep_loads_ordered_on_rmo_but_not_alpha() {
+        let run = |hw: HwModel| {
+            let factory = move || Machine::new(hw, vec![writer(X, 0, 1), one_read(X, 0, true)]);
+            explore(factory, 64, |_| false).stats.stale_loads
+        };
+        // RMO orders dependent loads: a LoadDep always reads the
+        // current value. Alpha does not.
+        assert_eq!(run(HwModel::RMO), 0);
+        assert!(run(HwModel::ALPHA) > 0);
+        assert!(run(HwModel::RELAXED) > 0);
+    }
+
+    #[test]
+    fn plain_tso_load_drains_own_store() {
+        // Without forwarding, a load of an address with a pending own
+        // store must first make the store globally visible.
+        use crate::process::FnProcess;
+        let mut st = 0;
+        let p = Box::new(FnProcess::new(move |last| {
+            st += 1;
+            match st {
+                1 => Step::Inv(wr_op(X, 7)),
+                2 => Step::Instr(PInstr::Store(0, 7)),
+                3 => Step::Resp(wr_op(X, 7)),
+                4 => Step::Inv(rd_op(X, 0)),
+                5 => Step::Instr(PInstr::Load(0)),
+                6 => {
+                    assert_eq!(last, Some(7), "load must see own drained store");
+                    Step::Resp(rd_op(X, 7))
+                }
+                _ => Step::Done,
+            }
+        })) as Box<dyn Process>;
+        let m = Machine::new(HwModel::TSO, vec![p]);
+        // Only ever pick Exec (never a scheduled drain): the forced
+        // drain happens inside the load itself.
+        let mut s = DirectedScheduler::new(vec![0; 32]);
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+        assert_eq!(r.stats.flushes, 1);
+        assert_eq!(r.final_mem, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn machine_stats_carry_model_name() {
+        let m = Machine::new(HwModel::RMO, vec![writer(X, 0, 1)]);
+        let mut s = DirectedScheduler::default();
+        let r = m.run(&mut s, 100);
+        assert_eq!(r.stats.model, "RMO");
     }
 
     #[test]

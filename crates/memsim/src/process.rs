@@ -18,6 +18,12 @@ use jungle_isa::instr::Addr;
 pub enum PInstr {
     /// Load from an address; the machine returns the observed value.
     Load(Addr),
+    /// A load that is data/control **dependent** on an earlier load of
+    /// the same process. On models whose execution semantics order
+    /// dependent loads (`order_dep_loads`, e.g. RMO) it always observes
+    /// the current value; on models that relax even dependent loads
+    /// (Alpha, Relaxed) it behaves exactly like [`PInstr::Load`].
+    LoadDep(Addr),
     /// Store a value to an address.
     Store(Addr, Val),
     /// Compare-and-swap `addr: expect → new`; the machine returns 1 if

@@ -23,6 +23,21 @@ pub enum Action {
         /// Index into the CPU's store buffer.
         idx: usize,
     },
+    /// Have the load currently executing on CPU `cpu` observe the
+    /// memory version at `version` (0 = newest) of its admissible
+    /// staleness window.
+    ///
+    /// Never part of the machine's `enabled()` set: when a load on a
+    /// model with a non-zero load window has more than one admissible
+    /// version, the machine makes a *second* `choose` call mid-step
+    /// with a synthetic list of these actions. The [`ExhaustiveCursor`]
+    /// enumerates them like any other choice point.
+    ReadVersion {
+        /// CPU index.
+        cpu: usize,
+        /// Index into the admissible version list (0 = newest).
+        version: usize,
+    },
 }
 
 /// Chooses among enabled actions.
@@ -113,7 +128,13 @@ impl Scheduler for BurstyScheduler {
             .iter()
             .enumerate()
             .filter(|(_, a)| {
-                matches!(a, Action::Exec { cpu } | Action::Drain { cpu, .. } if *cpu == self.target)
+                matches!(
+                    a,
+                    Action::Exec { cpu }
+                        | Action::Drain { cpu, .. }
+                        | Action::ReadVersion { cpu, .. }
+                    if *cpu == self.target
+                )
             })
             .map(|(i, _)| i)
             .collect();

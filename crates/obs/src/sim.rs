@@ -7,6 +7,9 @@ use crate::json::{Json, ToJson};
 /// see [`MachineStats::absorb`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MachineStats {
+    /// Execution-semantics name the machine ran under (e.g. `"RMO"`);
+    /// empty until a machine sets it.
+    pub model: &'static str,
     /// Scheduler steps executed (instruction executions + drains).
     pub steps: u64,
     /// Load instructions executed.
@@ -17,6 +20,9 @@ pub struct MachineStats {
     pub cas_ops: u64,
     /// Store-buffer entries flushed to memory.
     pub flushes: u64,
+    /// Loads that observed a stale (overwritten) value through the
+    /// model's load reorder window.
+    pub stale_loads: u64,
     /// Largest store-buffer occupancy observed on any CPU (the
     /// reorder-window high-water mark).
     pub max_buffer_occupancy: u64,
@@ -26,11 +32,15 @@ impl MachineStats {
     /// Fold another run's stats in. Counters add;
     /// `max_buffer_occupancy` takes the max.
     pub fn absorb(&mut self, other: &MachineStats) {
+        if self.model.is_empty() {
+            self.model = other.model;
+        }
         self.steps += other.steps;
         self.loads += other.loads;
         self.stores += other.stores;
         self.cas_ops += other.cas_ops;
         self.flushes += other.flushes;
+        self.stale_loads += other.stale_loads;
         self.max_buffer_occupancy = self.max_buffer_occupancy.max(other.max_buffer_occupancy);
     }
 
@@ -44,11 +54,13 @@ impl MachineStats {
 impl ToJson for MachineStats {
     fn to_json(&self) -> Json {
         let mut j = Json::obj();
-        j.push("steps", self.steps.into())
+        j.push("model", self.model.into())
+            .push("steps", self.steps.into())
             .push("loads", self.loads.into())
             .push("stores", self.stores.into())
             .push("cas_ops", self.cas_ops.into())
             .push("flushes", self.flushes.into())
+            .push("stale_loads", self.stale_loads.into())
             .push("max_buffer_occupancy", self.max_buffer_occupancy.into());
         j
     }
@@ -57,6 +69,9 @@ impl ToJson for MachineStats {
 /// Totals for a model-checking pass (exhaustive or randomized).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct McStats {
+    /// Registry key of the checker-side memory model the sweep verified
+    /// against (e.g. `"RMO"`); empty until a sweep sets it.
+    pub model: &'static str,
     /// Schedules explored (machine runs).
     pub schedules: u64,
     /// Runs cut off by the step bound before completing.
@@ -79,6 +94,9 @@ pub struct McStats {
 impl McStats {
     /// Fold another pass's totals in.
     pub fn absorb(&mut self, other: &McStats) {
+        if self.model.is_empty() {
+            self.model = other.model;
+        }
         self.schedules += other.schedules;
         self.truncated += other.truncated;
         self.histories_checked += other.histories_checked;
@@ -92,7 +110,8 @@ impl McStats {
 impl ToJson for McStats {
     fn to_json(&self) -> Json {
         let mut j = Json::obj();
-        j.push("schedules", self.schedules.into())
+        j.push("model", self.model.into())
+            .push("schedules", self.schedules.into())
             .push("truncated", self.truncated.into())
             .push("histories_checked", self.histories_checked.into())
             .push("dedup_hits", self.dedup_hits.into())

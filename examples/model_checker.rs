@@ -8,7 +8,6 @@ use jungle::core::opacity::check_opacity;
 use jungle::core::pretty::render_columns;
 use jungle::mc::theorems::{thm1_case1, thm3_litmus};
 use jungle::mc::verify::{find_violation, CheckKind, SweepSeeds};
-use jungle::memsim::HwModel;
 
 fn main() {
     println!("Theorem 1, case 1: no uninstrumented TM guarantees opacity");
@@ -19,8 +18,7 @@ fn main() {
     let trace = find_violation(
         &e.program,
         e.algo,
-        HwModel::Sc,
-        e.model,
+        &e.entry,
         CheckKind::Opacity,
         SweepSeeds::new(0, 4_000),
         8_000,

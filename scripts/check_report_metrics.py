@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regression floors for the report's redundancy-elimination metrics.
+
+Reads the ``report --json`` output on stdin and asserts that the
+model-checking sweeps keep eliminating redundant work:
+
+* trace dedup rate  = dedup_hits / schedules        (observed ~0.98)
+* memo hit rate     = shared_memo.hits / lookups    (observed ~0.50)
+* the matched-model zoo covers >= 6 registry models x 5 STMs
+
+Floors are committed at roughly half the observed rates so routine
+drift doesn't flake CI, while a broken dedup key or an unshared memo
+(both of which drop a rate to ~0) fails loudly.
+"""
+
+import json
+import sys
+
+DEDUP_RATE_FLOOR = 0.50
+MEMO_HIT_RATE_FLOOR = 0.25
+MIN_ZOO_MODELS = 6
+MIN_ZOO_ALGOS = 5
+
+
+def fail(msg: str) -> None:
+    print(f"check_report_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    report = json.load(sys.stdin)
+
+    mc = report["metrics"]["mc"]
+    schedules = mc["schedules"]
+    dedup = mc["dedup_hits"]
+    if schedules == 0:
+        fail("no schedules explored")
+    dedup_rate = dedup / schedules
+    if dedup_rate < DEDUP_RATE_FLOOR:
+        fail(
+            f"trace dedup rate {dedup_rate:.3f} below floor {DEDUP_RATE_FLOOR}"
+            f" ({dedup}/{schedules})"
+        )
+
+    memo = report["shared_memo"]
+    if memo["lookups"] == 0:
+        fail("shared verdict memo was never consulted")
+    memo_rate = memo["hits"] / memo["lookups"]
+    if memo_rate < MEMO_HIT_RATE_FLOOR:
+        fail(
+            f"memo hit rate {memo_rate:.3f} below floor {MEMO_HIT_RATE_FLOOR}"
+            f" ({memo['hits']}/{memo['lookups']})"
+        )
+
+    zoo = [r for r in report["rows"] if r["section"] == "zoo"]
+    models = {r["id"].split("/")[2] for r in zoo}
+    algos = {r["id"].split("/")[1] for r in zoo}
+    if len(models) < MIN_ZOO_MODELS:
+        fail(f"zoo covers {len(models)} models, need >= {MIN_ZOO_MODELS}: {sorted(models)}")
+    if len(algos) < MIN_ZOO_ALGOS:
+        fail(f"zoo covers {len(algos)} STMs, need >= {MIN_ZOO_ALGOS}: {sorted(algos)}")
+
+    print(
+        "check_report_metrics: OK "
+        f"(dedup {dedup_rate:.3f} >= {DEDUP_RATE_FLOOR}, "
+        f"memo {memo_rate:.3f} >= {MEMO_HIT_RATE_FLOOR}, "
+        f"zoo {len(algos)} STMs x {len(models)} models)"
+    )
+
+
+if __name__ == "__main__":
+    main()

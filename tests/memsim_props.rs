@@ -6,6 +6,19 @@ use jungle::core::op::{Command, Op};
 use jungle::isa::instr::Instr;
 use jungle::memsim::process::{FnProcess, PInstr, Process, Step};
 use jungle::memsim::{explore, HwModel, Machine, RandomScheduler};
+
+/// Every executable discipline in the registry zoo (the old Sc/Tso/Pso
+/// trio plus the no-forwarding and windowed-load variants).
+const ALL_EXEC: [HwModel; 8] = [
+    HwModel::SC,
+    HwModel::TSO,
+    HwModel::TSO_FWD,
+    HwModel::PSO,
+    HwModel::PSO_FWD,
+    HwModel::RMO,
+    HwModel::ALPHA,
+    HwModel::RELAXED,
+];
 use proptest::prelude::*;
 
 fn wr_op(var: Var, val: Val) -> Op {
@@ -22,41 +35,39 @@ fn straightline(ops: Vec<(bool, u32, Val)>) -> Box<dyn Process> {
     let mut queue = ops.into_iter();
     let mut pending: Option<(bool, u32, Val)> = None;
     let mut phase = 0u8;
-    Box::new(FnProcess::new(move |last| loop {
-        match phase {
-            0 => match queue.next() {
-                None => return Step::Done,
-                Some(op) => {
-                    pending = Some(op);
-                    phase = 1;
-                    let (is_read, a, v) = op;
-                    return Step::Inv(if is_read {
-                        rd_op(Var(a), 0)
-                    } else {
-                        wr_op(Var(a), v)
-                    });
-                }
-            },
-            1 => {
-                let (is_read, a, v) = pending.unwrap();
-                phase = 2;
-                return Step::Instr(if is_read {
-                    PInstr::Load(a)
-                } else {
-                    PInstr::Store(a, v)
-                });
-            }
-            2 => {
-                let (is_read, a, v) = pending.unwrap();
-                phase = 0;
-                return Step::Resp(if is_read {
-                    rd_op(Var(a), last.unwrap())
+    Box::new(FnProcess::new(move |last| match phase {
+        0 => match queue.next() {
+            None => Step::Done,
+            Some(op) => {
+                pending = Some(op);
+                phase = 1;
+                let (is_read, a, v) = op;
+                Step::Inv(if is_read {
+                    rd_op(Var(a), 0)
                 } else {
                     wr_op(Var(a), v)
-                });
+                })
             }
-            _ => unreachable!(),
+        },
+        1 => {
+            let (is_read, a, v) = pending.unwrap();
+            phase = 2;
+            Step::Instr(if is_read {
+                PInstr::Load(a)
+            } else {
+                PInstr::Store(a, v)
+            })
         }
+        2 => {
+            let (is_read, a, v) = pending.unwrap();
+            phase = 0;
+            Step::Resp(if is_read {
+                rd_op(Var(a), last.unwrap())
+            } else {
+                wr_op(Var(a), v)
+            })
+        }
+        _ => unreachable!(),
     }))
 }
 
@@ -69,7 +80,7 @@ proptest! {
     #[test]
     fn single_thread_reads_latest_write(
         ops in prop::collection::vec((any::<bool>(), 0..3u32, 1..9u64), 1..12),
-        hw in prop_oneof![Just(HwModel::Sc), Just(HwModel::Tso), Just(HwModel::Pso)],
+        hw in (0..ALL_EXEC.len()).prop_map(|i| ALL_EXEC[i]),
         seed in 0..50u64,
     ) {
         let m = Machine::new(hw, vec![straightline(ops.clone())]);
@@ -104,7 +115,7 @@ proptest! {
 /// hardware models.
 #[test]
 fn same_address_writes_stay_ordered() {
-    for hw in [HwModel::Sc, HwModel::Tso, HwModel::Pso] {
+    for hw in ALL_EXEC {
         let factory = move || {
             Machine::new(
                 hw,
@@ -140,7 +151,7 @@ fn same_address_writes_stay_ordered() {
 fn buffers_fully_drain_at_termination() {
     // After a completed run, every buffered store must be globally
     // visible in the final memory snapshot.
-    for hw in [HwModel::Sc, HwModel::Tso, HwModel::Pso] {
+    for hw in ALL_EXEC {
         let mut m = Machine::new(hw, vec![straightline(vec![(false, 0, 7), (false, 1, 8)])]);
         m.poke(2, 99);
         let mut sched = RandomScheduler::new(3);

@@ -8,7 +8,7 @@ use jungle::mc::theorems::{
     privatization_unsafe_lazy_tl2,
 };
 use jungle::mc::verify::CheckKind;
-use jungle::mc::SweepSeeds;
+use jungle::mc::{ModelEntry, SweepSeeds};
 use jungle::stm::api::{atomically, Ctx};
 use jungle::stm::{StrongStm, TmAlgo};
 use jungle_core::ids::ProcId;
@@ -29,8 +29,7 @@ fn lazy_tl2_privatization_violates_even_sgla() {
     let found = find_violation(
         &privatization_program(),
         &LazyTl2Tm,
-        jungle::memsim::HwModel::Sc,
-        &Relaxed,
+        &ModelEntry::checker_game(&Relaxed),
         CheckKind::Sgla,
         SweepSeeds::new(0, 4_000),
         20_000,

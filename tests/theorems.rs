@@ -6,8 +6,8 @@ use jungle::core::model::{Alpha, Relaxed, Sc};
 use jungle::mc::program::GenConfig;
 use jungle::mc::theorems::{all_fixed_experiments, random_sweep};
 use jungle::mc::verify::CheckKind;
-use jungle::mc::SweepSeeds;
 use jungle::mc::{GlobalLockTm, VersionedTm, WriteTxnTm};
+use jungle::mc::{ModelEntry, SweepSeeds};
 
 #[test]
 fn all_fixed_experiments_pass() {
@@ -34,7 +34,7 @@ fn thm3_random_program_sweep() {
     // relaxed model, over randomly generated programs and schedules.
     let checked = random_sweep(
         &GlobalLockTm,
-        &Relaxed,
+        &ModelEntry::checker_game(&Relaxed),
         CheckKind::Opacity,
         25,
         12,
@@ -49,7 +49,7 @@ fn thm4_random_program_sweep() {
     // Theorem 4: writes-as-transactions, opaque for M ∉ Mrr (Alpha).
     let checked = random_sweep(
         &WriteTxnTm,
-        &Alpha,
+        &ModelEntry::checker_game(&Alpha),
         CheckKind::Opacity,
         20,
         10,
@@ -65,7 +65,7 @@ fn thm5_random_program_sweep() {
     // M ∉ Mrr ∪ Mwr (Alpha).
     let checked = random_sweep(
         &VersionedTm,
-        &Alpha,
+        &ModelEntry::checker_game(&Alpha),
         CheckKind::Opacity,
         20,
         10,
@@ -79,8 +79,15 @@ fn thm5_random_program_sweep() {
 fn thm7_sgla_random_program_sweep_under_sc() {
     // Theorem 7: the global-lock TM guarantees SGLA for *every* model;
     // SC is the strongest, so it is the binding case.
-    let checked = random_sweep(&GlobalLockTm, &Sc, CheckKind::Sgla, 20, 10, &sweep_cfg())
-        .unwrap_or_else(|e| panic!("Theorem 7 sweep failed: {e}"));
+    let checked = random_sweep(
+        &GlobalLockTm,
+        &ModelEntry::checker_game(&Sc),
+        CheckKind::Sgla,
+        20,
+        10,
+        &sweep_cfg(),
+    )
+    .unwrap_or_else(|e| panic!("Theorem 7 sweep failed: {e}"));
     assert!(checked > 0);
 }
 
@@ -102,8 +109,7 @@ fn thm3_exhaustive_on_aborting_program() {
     let v = check_all_traces(
         &program,
         &GlobalLockTm,
-        jungle::memsim::HwModel::Sc,
-        &Relaxed,
+        &ModelEntry::checker_game(&Relaxed),
         CheckKind::Opacity,
         4_000,
     );
@@ -117,20 +123,35 @@ fn small_scope_exhaustive_thm3_and_thm7() {
     use jungle::mc::theorems::small_scope_sweep;
     // Theorem 3: every tiny two-thread program, every schedule (random
     // sampling only for the lock-contended txn×txn pairs).
-    let runs = small_scope_sweep(&GlobalLockTm, &Relaxed, CheckKind::Opacity, 4_000)
-        .unwrap_or_else(|e| panic!("Theorem 3 small-scope sweep failed: {e}"));
+    let runs = small_scope_sweep(
+        &GlobalLockTm,
+        &ModelEntry::checker_game(&Relaxed),
+        CheckKind::Opacity,
+        4_000,
+    )
+    .unwrap_or_else(|e| panic!("Theorem 3 small-scope sweep failed: {e}"));
     assert!(runs > 1_000, "suspiciously few runs: {runs}");
     // Theorem 7 under SC (the strongest SGLA case).
-    let runs = small_scope_sweep(&GlobalLockTm, &Sc, CheckKind::Sgla, 4_000)
-        .unwrap_or_else(|e| panic!("Theorem 7 small-scope sweep failed: {e}"));
+    let runs = small_scope_sweep(
+        &GlobalLockTm,
+        &ModelEntry::checker_game(&Sc),
+        CheckKind::Sgla,
+        4_000,
+    )
+    .unwrap_or_else(|e| panic!("Theorem 7 small-scope sweep failed: {e}"));
     assert!(runs > 1_000);
 }
 
 #[test]
 fn small_scope_exhaustive_thm5() {
     use jungle::mc::theorems::small_scope_sweep;
-    let runs = small_scope_sweep(&VersionedTm, &Alpha, CheckKind::Opacity, 4_000)
-        .unwrap_or_else(|e| panic!("Theorem 5 small-scope sweep failed: {e}"));
+    let runs = small_scope_sweep(
+        &VersionedTm,
+        &ModelEntry::checker_game(&Alpha),
+        CheckKind::Opacity,
+        4_000,
+    )
+    .unwrap_or_else(|e| panic!("Theorem 5 small-scope sweep failed: {e}"));
     assert!(runs > 1_000);
 }
 
@@ -156,8 +177,7 @@ fn versioned_vs_naive_on_theorem2_scenario() {
     let naive = find_violation(
         &program,
         &NaiveStoreTm,
-        jungle::memsim::HwModel::Sc,
-        &Relaxed,
+        &ModelEntry::checker_game(&Relaxed),
         CheckKind::Opacity,
         SweepSeeds::new(0, 2_000),
         8_000,
@@ -170,8 +190,7 @@ fn versioned_vs_naive_on_theorem2_scenario() {
     let versioned = check_random(
         &program,
         &VersionedTm,
-        jungle::memsim::HwModel::Sc,
-        &Relaxed,
+        &ModelEntry::checker_game(&Relaxed),
         CheckKind::Opacity,
         SweepSeeds::new(0, 2_000),
         8_000,
