@@ -16,6 +16,7 @@ use jungle_core::opacity::{check_opacity, check_opacity_par, check_opacity_par_t
 use jungle_core::par::ParallelConfig;
 use jungle_core::sgla::{check_sgla, check_sgla_par};
 use jungle_litmus::stress::{wide_history, wide_unsat_history};
+use jungle_obs::ledger::{self, LedgerEntry};
 use jungle_obs::{MetricsSnapshot, ToJson};
 use std::hint::black_box;
 use std::time::Duration;
@@ -100,6 +101,7 @@ fn bench_sgla(c: &mut Criterion) {
 fn report_counters(_c: &mut Criterion) {
     // Untimed traced pass: cross-check verdicts and surface the
     // parallel counters in the JSON report.
+    let t_start = std::time::Instant::now();
     let mut snap = MetricsSnapshot::new();
     for p in [4usize, 6] {
         let h = wide_unsat_history(p);
@@ -115,6 +117,54 @@ fn report_counters(_c: &mut Criterion) {
         }
     }
     criterion::report_metrics("E5_par_checker", snap.to_json().to_string());
+
+    // Append the traced pass to the run ledger so bench invocations
+    // leave the same audit trail as `report` (the headline sweep
+    // counters stay zero: this source only carries checker metrics —
+    // `report --compare` filters on source and skips these entries).
+    let entry = LedgerEntry {
+        ts_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        git_rev: git_rev(),
+        source: "bench/par_checker".into(),
+        wall_ms: t_start.elapsed().as_millis() as u64,
+        schedules: 0,
+        dedup_hits: 0,
+        memo_hits: 0,
+        memo_lookups: 0,
+        zoo_models: 0,
+        zoo_algos: 0,
+        metrics: snap.to_json(),
+    };
+    // Bench binaries run with the package as CWD; anchor the default
+    // ledger at the workspace root so bench and report share one file.
+    let path = std::env::var("JUNGLE_LEDGER")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(".jungle/ledger.jsonl")
+        });
+    if let Err(e) = ledger::append(&path, &entry) {
+        eprintln!(
+            "warning: could not append to ledger {}: {e}",
+            path.display()
+        );
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 criterion_group!(

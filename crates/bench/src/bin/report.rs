@@ -9,9 +9,23 @@
 //! figure, per-STM runtime counters from the theorem sweeps, and the
 //! model-checker exploration totals.
 //!
+//! Further flags:
+//!
+//! * `--trace <out.json>` — install the flight recorder for the whole
+//!   run (plus a small concurrent STM smoke so the `stm` category has
+//!   events) and export a Chrome-trace-event file loadable in Perfetto.
+//! * `--explain` — re-find each Theorem 1 counterexample and print the
+//!   explainer narrative: timeline, irreconcilable pair, class.
+//! * `--compare` — diff this run's headline counters against the last
+//!   ledger entry and exit nonzero on regressions beyond tolerances.
+//! * `--ledger <path>` — ledger location (default
+//!   `.jungle/ledger.jsonl`). Every run appends one entry.
+//! * `--memo-dir <path>` — verdict-memo persistence directory (default
+//!   `.jungle/memo`), preloaded on start and rewritten on exit.
+//!
 //! Run with: `cargo run --release -p jungle-bench --bin report`
 
-use jungle_core::model::all_models;
+use jungle_core::model::{all_models, Pso, Sc, Tso};
 use jungle_core::opacity::check_opacity_traced;
 use jungle_core::par::ParallelConfig;
 use jungle_core::registry::registry;
@@ -20,9 +34,17 @@ use jungle_mc::algos::{
     GlobalLockTm, LazyTl2Tm, StrongTm, TmAlgo as McAlgo, VersionedTm, WriteTxnTm,
 };
 use jungle_mc::cost::measure;
-use jungle_mc::theorems::{all_fixed_experiments, matched_zoo};
+use jungle_mc::explain::explain_experiment;
+use jungle_mc::theorems::{
+    all_fixed_experiments, matched_zoo, thm1_case1, thm1_case2, thm1_case3, thm1_case4, Experiment,
+};
 use jungle_mc::{SharedVerdictMemo, SweepSeeds};
+use jungle_obs::ledger::{self, LedgerEntry, Tolerances};
+use jungle_obs::trace::{self as flight, FlightRecorder};
 use jungle_obs::{Json, MetricsSnapshot, ToJson};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 struct Row {
     section: &'static str,
@@ -44,10 +66,122 @@ impl ToJson for Row {
     }
 }
 
+struct Args {
+    json: bool,
+    explain: bool,
+    compare: bool,
+    trace: Option<PathBuf>,
+    ledger: PathBuf,
+    memo_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json: false,
+        explain: false,
+        compare: false,
+        trace: None,
+        ledger: PathBuf::from(".jungle/ledger.jsonl"),
+        memo_dir: PathBuf::from(".jungle/memo"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a path argument");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--explain" => args.explain = true,
+            "--compare" => args.compare = true,
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
+            "--ledger" => args.ledger = PathBuf::from(value("--ledger")),
+            "--memo-dir" => args.memo_dir = PathBuf::from(value("--memo-dir")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// A short concurrent run of two real STMs so a traced report records
+/// `stm`-category events (txn begin/commit/abort, CAS failures). The
+/// strong STM's encounter-time locking under contention produces aborts
+/// and CAS failures reliably at this iteration count.
+fn stm_smoke() {
+    use jungle_core::ids::ProcId;
+    use jungle_stm::{atomically, Ctx, GlobalLockStm, StrongStm};
+    const VARS: usize = 4;
+    const THREADS: u32 = 4;
+    const ITERS: u64 = 200;
+    let global = GlobalLockStm::new(VARS);
+    let strong = StrongStm::new(VARS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (global, strong) = (&global, &strong);
+            s.spawn(move || {
+                let mut cx = Ctx::new(ProcId(t), None);
+                for i in 0..ITERS {
+                    let var = (i as usize + t as usize) % VARS;
+                    atomically(global, &mut cx, |tx| {
+                        let v = tx.read(var)?;
+                        tx.write(var, v + 1)
+                    });
+                    atomically(strong, &mut cx, |tx| {
+                        let v = tx.read(var)?;
+                        tx.write((var + 1) % VARS, v + 1)
+                    });
+                }
+            });
+        }
+    });
+}
+
+/// The four Theorem 1 constructions, each with the model its class
+/// membership makes irreconcilable.
+fn thm1_suite() -> Vec<Experiment> {
+    vec![
+        thm1_case1(&Sc),
+        thm1_case2(&Sc),
+        thm1_case3(&Pso),
+        thm1_case4(&Tso),
+    ]
+}
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = parse_args();
+    let json = args.json;
+    let t_start = std::time::Instant::now();
+
+    let recorder = args.trace.as_ref().map(|_| {
+        // A bigger ring than the default: the report's sweeps emit
+        // millions of events and the exported window should still hold
+        // a representative tail of every layer.
+        let r = Arc::new(FlightRecorder::with_capacity(1 << 16));
+        flight::install(r.clone());
+        r
+    });
+
     let mut rows: Vec<Row> = Vec::new();
     let mut metrics = MetricsSnapshot::new();
+    let mut schedules = 0u64;
+    let mut dedup_hits = 0u64;
 
     // ── Figures 1–2: litmus verdict tables ────────────────────────
     if !json {
@@ -128,10 +262,25 @@ fn main() {
     }
 
     // ── Lemma 1 / Theorems 1–5, 7 on the simulator ────────────────
-    // One verdict memo shared across every sweep in the report: the
+    // One verdict memo shared across every sweep in the report,
+    // preloaded from the previous run's persisted verdicts: the
     // constructions reuse the same litmus programs under the same
-    // models, so repeated per-history verdicts come from the memo.
+    // models, so repeated per-history verdicts come from the memo —
+    // within the run and across runs.
     let memo = SharedVerdictMemo::new();
+    match memo.load_dir(&args.memo_dir) {
+        Ok(n) if n > 0 && !json => {
+            println!(
+                "(preloaded {n} memoized verdicts from {})\n",
+                args.memo_dir.display()
+            );
+        }
+        Ok(_) => {}
+        Err(e) => eprintln!(
+            "warning: could not preload memo from {}: {e}",
+            args.memo_dir.display()
+        ),
+    }
     let cfg = ParallelConfig::default();
     if !json {
         println!("════ Lemma 1 & Theorems (simulator experiments) ════\n");
@@ -142,6 +291,8 @@ fn main() {
         let dt = t0.elapsed();
         metrics.record_stm(e.algo.name(), &r.tm);
         metrics.record_mc(&r.stats);
+        schedules += r.stats.schedules;
+        dedup_hits += r.stats.dedup_hits;
         if !json {
             println!(
                 "  {:<22} {:<36} {:>6} ({:.0?})",
@@ -175,10 +326,16 @@ fn main() {
         println!();
     }
     let zoo = matched_zoo(SweepSeeds::new(0, 30), 8_000, &cfg, &memo);
+    let mut zoo_models: BTreeSet<&'static str> = BTreeSet::new();
+    let mut zoo_algos: BTreeSet<&'static str> = BTreeSet::new();
     {
         let mut last_algo = "";
         for z in &zoo {
             metrics.record_mc(&z.stats);
+            schedules += z.stats.schedules;
+            dedup_hits += z.stats.dedup_hits;
+            zoo_models.insert(z.model);
+            zoo_algos.insert(z.algo);
             if !json {
                 if z.algo != last_algo {
                     if !last_algo.is_empty() {
@@ -206,6 +363,147 @@ fn main() {
         }
     }
 
+    // ── Counterexample explanations (--explain) ───────────────────
+    let mut explanations: Vec<Json> = Vec::new();
+    if args.explain {
+        if !json {
+            println!("\n════ Theorem 1 counterexamples, explained ════\n");
+        }
+        for e in thm1_suite() {
+            match explain_experiment(&e, SweepSeeds::new(0, 2_000), 8_000) {
+                Some(ex) => {
+                    if !json {
+                        println!("── {} ({}) ──", e.id, e.paper_ref);
+                        println!("{}", ex.render());
+                    }
+                    let mut j = Json::obj();
+                    j.push("id", e.id.as_str().into())
+                        .push("model", ex.model.into())
+                        .push(
+                            "class",
+                            match ex.class {
+                                Some(c) => c.name().into(),
+                                None => Json::Null,
+                            },
+                        )
+                        .push("rendered", ex.render().as_str().into());
+                    explanations.push(j);
+                }
+                None => {
+                    if !json {
+                        println!("── {} — no violation found (unexpected)", e.id);
+                    }
+                    rows.push(Row {
+                        section: "explain",
+                        id: e.id.clone(),
+                        expected: "violating trace",
+                        observed: "none found".into(),
+                        pass: false,
+                    });
+                }
+            }
+        }
+    }
+
+    // ── STM smoke under the flight recorder ───────────────────────
+    if recorder.is_some() {
+        // The checker events from the opening figures loop wrapped out
+        // of the ring during the sweeps above; re-check one figure per
+        // model so the exported window carries the `checker` layer too.
+        if let Some(l) = all_litmus().first() {
+            for o in &l.outcomes {
+                for m in all_models() {
+                    let _ = check_opacity_traced(&o.history, m);
+                }
+            }
+        }
+        stm_smoke();
+    }
+
+    // ── Persist the memo for the next run ─────────────────────────
+    if let Err(e) = memo.save_dir(&args.memo_dir) {
+        eprintln!(
+            "warning: could not persist memo to {}: {e}",
+            args.memo_dir.display()
+        );
+    }
+
+    // ── Ledger: append this run; --compare gates on the previous ──
+    let prev = ledger::last_from(&args.ledger, "report");
+    let entry = LedgerEntry {
+        ts_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        git_rev: git_rev(),
+        source: "report".into(),
+        wall_ms: t_start.elapsed().as_millis() as u64,
+        schedules,
+        dedup_hits,
+        memo_hits: memo.hits(),
+        memo_lookups: memo.lookups(),
+        zoo_models: zoo_models.len() as u64,
+        zoo_algos: zoo_algos.len() as u64,
+        metrics: metrics.to_json(),
+    };
+    if let Err(e) = ledger::append(&args.ledger, &entry) {
+        eprintln!(
+            "warning: could not append to ledger {}: {e}",
+            args.ledger.display()
+        );
+    }
+    let mut regressions: Vec<String> = Vec::new();
+    if args.compare {
+        match &prev {
+            Some(prev) => {
+                regressions = ledger::compare(prev, &entry, &Tolerances::default());
+                if !json {
+                    if regressions.is_empty() {
+                        println!(
+                            "\nledger compare vs {} ({}): no regressions",
+                            prev.git_rev, prev.source
+                        );
+                    } else {
+                        println!("\nledger compare vs {} ({}):", prev.git_rev, prev.source);
+                        for r in &regressions {
+                            println!("  REGRESSION: {r}");
+                        }
+                    }
+                }
+            }
+            None => {
+                if !json {
+                    println!(
+                        "\nledger compare: no previous entry in {} (first run passes vacuously)",
+                        args.ledger.display()
+                    );
+                }
+            }
+        }
+    }
+
+    // ── Flight-recorder export ────────────────────────────────────
+    if let (Some(rec), Some(path)) = (&recorder, &args.trace) {
+        flight::uninstall();
+        let trace_json = rec.chrome_trace();
+        match std::fs::write(path, format!("{trace_json}\n")) {
+            Ok(()) => {
+                if !json {
+                    println!(
+                        "\nflight recording: {} events ({} dropped) -> {}",
+                        rec.recorded(),
+                        rec.dropped(),
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("could not write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
     let failed: Vec<&Row> = rows.iter().filter(|r| !r.pass).collect();
     if json {
         let mut out = Json::obj();
@@ -213,13 +511,26 @@ fn main() {
         memo_j
             .push("hits", memo.hits().into())
             .push("lookups", memo.lookups().into())
-            .push("entries", (memo.len() as u64).into());
+            .push("entries", (memo.len() as u64).into())
+            .push("cross_run_hits", memo.cross_run_hits().into())
+            .push("in_run_hits", (memo.hits() - memo.cross_run_hits()).into())
+            .push("preloaded_entries", memo.preloaded_entries().into());
         out.push(
             "rows",
             Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
         )
         .push("metrics", metrics.to_json())
-        .push("shared_memo", memo_j);
+        .push("shared_memo", memo_j)
+        .push("ledger_entry", entry.to_json());
+        if args.explain {
+            out.push("explanations", Json::Arr(explanations));
+        }
+        if args.compare {
+            out.push(
+                "regressions",
+                Json::Arr(regressions.iter().map(|r| Json::from(r.as_str())).collect()),
+            );
+        }
         println!("{out}");
         if !failed.is_empty() {
             eprintln!("{} report checks failed", failed.len());
@@ -236,5 +547,9 @@ fn main() {
             }
             std::process::exit(1);
         }
+    }
+    if !regressions.is_empty() {
+        eprintln!("{} ledger regressions", regressions.len());
+        std::process::exit(3);
     }
 }

@@ -38,6 +38,7 @@ use crate::par::{
     run_prefix_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP, PREFIXES_PER_WORKER,
 };
 use crate::spec::SpecRegistry;
+use jungle_obs::trace::{self, EventKind};
 use jungle_obs::{SearchStats, Span};
 
 /// A found serialization order plus per-viewer witness sequences, or
@@ -256,6 +257,7 @@ impl<'a> Search<'a> {
     }
 
     fn run(&self, stats: &mut SearchStats) -> OpacityVerdict {
+        trace::emit(EventKind::SearchBegin, self.units.len() as u64, 0);
         stats.units += self.units.len() as u64;
         let ctx = self.view_ctx();
         let n_txn = self.h.txns().len();
@@ -271,6 +273,7 @@ impl<'a> Search<'a> {
             &Cancel::never(),
             &mut OpacityMemo::disabled(),
         );
+        trace::emit(EventKind::SearchEnd, stats.nodes, result.is_some() as u64);
         Self::verdict(result)
     }
 
@@ -283,6 +286,11 @@ impl<'a> Search<'a> {
             return self.run(stats);
         }
         let threads = cfg.effective_threads();
+        trace::emit(
+            EventKind::SearchBegin,
+            self.units.len() as u64,
+            threads as u64,
+        );
         stats.units += self.units.len() as u64;
         stats.workers = stats.workers.max(threads as u64);
         let ctx = self.view_ctx();
@@ -312,6 +320,7 @@ impl<'a> Search<'a> {
             },
             stats,
         );
+        trace::emit(EventKind::SearchEnd, stats.nodes, result.is_some() as u64);
         Self::verdict(result)
     }
 
@@ -517,6 +526,7 @@ impl<'a> Search<'a> {
     ) -> Option<Vec<OpId>> {
         if let Some(hit) = memo.get(edges) {
             stats.cache_hits += 1;
+            trace::emit(EventKind::WitnessMemoHit, edges.len() as u64, 0);
             return hit.clone();
         }
         let n = self.units.len();
@@ -581,6 +591,7 @@ impl<'a> Search<'a> {
             }
             // Apply unit `u` to a snapshot of the checker.
             stats.nodes += 1;
+            trace::emit(EventKind::NodeEnter, seq.len() as u64, u as u64);
             let mut c = checker.clone();
             let ok = match &self.units[u] {
                 Unit::NonTxn(i) => c.step(&self.h.ops()[*i].op, false),
@@ -601,6 +612,7 @@ impl<'a> Search<'a> {
             };
             if !ok {
                 stats.prune_hits += 1;
+                trace::emit(EventKind::Prune, seq.len() as u64, u as u64);
                 continue;
             }
             for &s in &succs[u] {
@@ -613,10 +625,12 @@ impl<'a> Search<'a> {
             }
             seq.pop();
             stats.backtracks += 1;
+            trace::emit(EventKind::NodeLeave, seq.len() as u64, u as u64);
             for &s in &succs[u] {
                 indeg[s] += 1;
             }
         }
+        trace::emit(EventKind::Backtrack, seq.len() as u64, 0);
         false
     }
 }

@@ -38,6 +38,7 @@
 //! so borrowing the search state from the caller's stack is safe and
 //! the whole machinery is dependency-free.
 
+use jungle_obs::trace::{self, EventKind};
 use jungle_obs::SearchStats;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -208,9 +209,11 @@ where
                             break;
                         }
                         if found_at.load(Ordering::Relaxed) < i {
+                            trace::emit(EventKind::PrefixCancel, i as u64, 0);
                             continue; // a lower prefix already won
                         }
                         local.stolen_prefixes += 1;
+                        trace::emit(EventKind::PrefixClaim, i as u64, prefixes[i].len() as u64);
                         let cancel = Cancel::below(&found_at, i);
                         if let Some(r) = work(i, &prefixes[i], &cancel, &mut state, &mut local) {
                             *slots[i].lock().unwrap() = Some(r);

@@ -50,6 +50,55 @@ pub fn render_columns(h: &History) -> String {
     out
 }
 
+/// Render a history as a horizontal timeline: one row per process, one
+/// column per history index, reads left to right in history order.
+/// Transactional operations are bracketed (`[wr,x,1]`), non-transactional
+/// ones plain (`(rd,x,0)`), so interleavings and txn boundaries are
+/// visible at a glance:
+///
+/// ```text
+/// p1 | start  [wr,x,1]  commit  .         .
+/// p2 | .      .         .       (rd,y,1)  (rd,x,0)
+/// ```
+pub fn render_timeline(h: &History) -> String {
+    let procs: Vec<ProcId> = h.procs();
+    if procs.is_empty() {
+        return String::from("(empty history)\n");
+    }
+    let cells: Vec<(usize, String)> = h
+        .ops()
+        .iter()
+        .enumerate()
+        .map(|(i, oi)| {
+            let row = procs.iter().position(|&q| q == oi.proc).unwrap();
+            let body = match oi.op.command() {
+                Some(c) if h.is_transactional(i) => {
+                    let s = c.to_string(); // "(wr,x,1)" → "[wr,x,1]"
+                    format!("[{}]", &s[1..s.len() - 1])
+                }
+                _ => oi.op.to_string(),
+            };
+            (row, body)
+        })
+        .collect();
+    let widths: Vec<usize> = cells.iter().map(|(_, s)| s.len().max(1)).collect();
+    let label_w = procs.iter().map(|p| p.to_string().len()).max().unwrap_or(2);
+
+    let mut out = String::new();
+    for (row, p) in procs.iter().enumerate() {
+        out.push_str(&format!("{:<label_w$} |", p.to_string()));
+        for (i, (r, s)) in cells.iter().enumerate() {
+            let cell = if *r == row { s.as_str() } else { "." };
+            out.push_str(&format!(" {cell:<w$}", w = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Render a history as a single line, e.g. for test failure messages:
 /// `p1:start p1:(wr,x,1) p1:commit p2:(rd,x,1)`.
 pub fn render_line(h: &History) -> String {
@@ -88,5 +137,26 @@ mod tests {
         let h = HistoryBuilder::new().build().unwrap();
         assert_eq!(render_columns(&h), "(empty history)\n");
         assert_eq!(render_line(&h), "");
+        assert_eq!(render_timeline(&h), "(empty history)\n");
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_process_and_one_column_per_op() {
+        let mut b = HistoryBuilder::new();
+        b.start(ProcId(1));
+        b.write(ProcId(1), X, 1);
+        b.commit(ProcId(1));
+        b.read(ProcId(2), X, 1);
+        let h = b.build().unwrap();
+        let t = render_timeline(&h);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2, "{t}");
+        assert!(lines[0].starts_with("p1 |"), "{t}");
+        assert!(lines[1].starts_with("p2 |"), "{t}");
+        // Transactional write bracketed; non-transactional read plain.
+        assert!(lines[0].contains("[wr,x,1]"), "{t}");
+        assert!(lines[1].contains("(rd,x,1)"), "{t}");
+        // Each row has a cell (op or ".") for every history index.
+        assert!(lines[1].contains('.'), "{t}");
     }
 }

@@ -34,6 +34,7 @@
 
 pub mod algos;
 pub mod cost;
+pub mod explain;
 pub mod layout;
 pub mod obs;
 pub mod program;
@@ -43,6 +44,7 @@ pub mod verify;
 pub use algos::{
     GlobalLockTm, LazyTl2Tm, NaiveStoreTm, SkipWriteTm, StrongTm, TmAlgo, VersionedTm, WriteTxnTm,
 };
+pub use explain::{explain_experiment, explain_history, explain_trace, Explanation, TheoremClass};
 pub use jungle_core::registry::{entry, registry, ExecSemantics, ModelEntry, StoreDiscipline};
 pub use program::{Program, Stmt, ThreadProg, TxOp};
 pub use verify::{

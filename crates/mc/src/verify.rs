@@ -66,8 +66,11 @@ use jungle_core::registry::ModelEntry;
 use jungle_core::sgla::check_sgla;
 use jungle_isa::trace::Trace;
 use jungle_memsim::{explore, BurstyScheduler, HwModel, Machine, RandomScheduler, Scheduler};
+use jungle_obs::trace::{self as flight, EventKind};
 use jungle_obs::{McStats, TmSnapshot};
 use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 
@@ -78,6 +81,25 @@ pub enum CheckKind {
     Opacity,
     /// Single global lock atomicity (§6.2).
     Sgla,
+}
+
+impl CheckKind {
+    /// Stable on-disk tag, used in persisted memo file names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CheckKind::Opacity => "opacity",
+            CheckKind::Sgla => "sgla",
+        }
+    }
+
+    /// Inverse of [`CheckKind::tag`].
+    pub fn from_tag(tag: &str) -> Option<CheckKind> {
+        match tag {
+            "opacity" => Some(CheckKind::Opacity),
+            "sgla" => Some(CheckKind::Sgla),
+            _ => None,
+        }
+    }
 }
 
 /// The seed range of a randomized sweep, with an **explicit** base so
@@ -159,6 +181,14 @@ impl Verdict {
     }
 }
 
+/// One memoized verdict with its provenance (computed this run vs
+/// preloaded from a previous run's persisted memo).
+#[derive(Clone, Copy)]
+struct MemoVerdict {
+    ok: bool,
+    from_disk: bool,
+}
+
 /// Bounded memo of per-history checker verdicts, keyed by
 /// `(model key, CheckKind, History::cache_key)`.
 ///
@@ -170,11 +200,24 @@ impl Verdict {
 /// than evicting. [`SharedVerdictMemo::hits`] /
 /// [`SharedVerdictMemo::lookups`] expose lifetime counters for the
 /// report's memo-efficiency metrics.
+///
+/// The memo also **persists across runs**: [`SharedVerdictMemo::save_dir`]
+/// writes one file per `(model, property)` under a directory (the
+/// report uses `.jungle/memo/`), and [`SharedVerdictMemo::load_dir`]
+/// preloads them on start. Preloaded entries are tracked separately —
+/// [`SharedVerdictMemo::cross_run_hits`] counts lookups answered by a
+/// *previous* run's search, so the report can surface cross-run vs
+/// in-run reuse as distinct rates. Persistence is sound for the same
+/// reason sharing is: the key carries the model and the property, and
+/// the checker verdict for a history fingerprint is a pure function of
+/// both.
 pub struct SharedVerdictMemo {
     cap: usize,
-    map: Mutex<HashMap<(&'static str, CheckKind, u64), bool>>,
+    map: Mutex<HashMap<(&'static str, CheckKind, u64), MemoVerdict>>,
     hits: AtomicU64,
     lookups: AtomicU64,
+    cross_hits: AtomicU64,
+    preloaded: AtomicU64,
 }
 
 impl SharedVerdictMemo {
@@ -194,6 +237,8 @@ impl SharedVerdictMemo {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
+            cross_hits: AtomicU64::new(0),
+            preloaded: AtomicU64::new(0),
         }
     }
 
@@ -205,6 +250,17 @@ impl SharedVerdictMemo {
     /// Lifetime count of lookups (hits + misses).
     pub fn lookups(&self) -> u64 {
         self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Hits answered by an entry preloaded from a previous run (a
+    /// subset of [`SharedVerdictMemo::hits`]).
+    pub fn cross_run_hits(&self) -> u64 {
+        self.cross_hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries preloaded from disk by [`SharedVerdictMemo::load_dir`].
+    pub fn preloaded_entries(&self) -> u64 {
+        self.preloaded.load(Ordering::Relaxed)
     }
 
     /// Number of memoized verdicts.
@@ -220,17 +276,117 @@ impl SharedVerdictMemo {
     fn get(&self, key: (&'static str, CheckKind, u64)) -> Option<bool> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let v = self.map.lock().unwrap().get(&key).copied();
-        if v.is_some() {
+        if let Some(e) = v {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if e.from_disk {
+                self.cross_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            flight::emit(EventKind::McMemoHit, key.2, u64::from(e.from_disk));
+            return Some(e.ok);
         }
-        v
+        None
     }
 
     fn put(&self, key: (&'static str, CheckKind, u64), verdict: bool) {
+        self.insert(
+            key,
+            MemoVerdict {
+                ok: verdict,
+                from_disk: false,
+            },
+        );
+    }
+
+    fn insert(&self, key: (&'static str, CheckKind, u64), v: MemoVerdict) {
         let mut m = self.map.lock().unwrap();
         if m.len() < self.cap {
-            m.insert(key, verdict);
+            m.insert(key, v);
         }
+    }
+
+    /// Preload one verdict from a previous run. The model key must be
+    /// `'static` (callers resolve names through the
+    /// [registry](jungle_core::registry::registry)).
+    pub fn preload(&self, model: &'static str, kind: CheckKind, fingerprint: u64, verdict: bool) {
+        self.insert(
+            (model, kind, fingerprint),
+            MemoVerdict {
+                ok: verdict,
+                from_disk: true,
+            },
+        );
+        self.preloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Persist every memoized verdict under `dir`, one
+    /// `<model>.<property>.memo` file per `(model, property)` pair with
+    /// `fingerprint verdict` lines. Returns the number of entries
+    /// written. Files are rewritten whole, so stale verdicts never
+    /// accumulate.
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let map = self.map.lock().unwrap();
+        let mut by_file: HashMap<(&'static str, CheckKind), Vec<(u64, bool)>> = HashMap::new();
+        for (&(model, kind, fp), v) in map.iter() {
+            by_file.entry((model, kind)).or_default().push((fp, v.ok));
+        }
+        let mut written = 0;
+        for ((model, kind), mut entries) in by_file {
+            entries.sort_unstable();
+            let path = dir.join(format!("{model}.{}.memo", kind.tag()));
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            for (fp, ok) in entries {
+                writeln!(f, "{fp} {}", u64::from(ok))?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Preload every persisted verdict found under `dir` (files written
+    /// by [`SharedVerdictMemo::save_dir`]). Model names are resolved
+    /// through the canonical registry; files for unknown models or
+    /// properties are skipped, as are unparseable lines. Returns the
+    /// number of entries loaded. A missing directory is not an error.
+    pub fn load_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        let rd = match std::fs::read_dir(dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut loaded = 0;
+        for entry in rd {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = name.strip_suffix(".memo") else {
+                continue;
+            };
+            let Some((model_name, kind_tag)) = stem.rsplit_once('.') else {
+                continue;
+            };
+            let Some(kind) = CheckKind::from_tag(kind_tag) else {
+                continue;
+            };
+            // Resolve the on-disk name to the registry's 'static key.
+            let Some(model) = jungle_core::registry::entry(model_name).map(|e| e.key) else {
+                continue;
+            };
+            let text = std::fs::read_to_string(&path)?;
+            for line in text.lines() {
+                let mut it = line.split_ascii_whitespace();
+                let (Some(fp), Some(v)) = (it.next(), it.next()) else {
+                    continue;
+                };
+                let (Ok(fp), Ok(v)) = (fp.parse::<u64>(), v.parse::<u64>()) else {
+                    continue;
+                };
+                self.preload(model, kind, fp, v != 0);
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
     }
 }
 
@@ -395,10 +551,12 @@ pub fn check_all_traces_shared(
                             continue;
                         }
                         checked += 1;
+                        flight::emit(EventKind::McHistoryChecked, seq, 0);
                         let (ok, hits) =
                             trace_satisfies_memo(&trace, model, kind, Some((memo, entry.key)));
                         memo_hits += hits;
                         if !ok {
+                            flight::emit(EventKind::McViolation, seq, 0);
                             let mut v = violation.lock().unwrap();
                             if v.as_ref().is_none_or(|(vs, _)| seq < *vs) {
                                 *v = Some((seq, trace));
@@ -421,12 +579,14 @@ pub fn check_all_traces_shared(
                 if stop.load(Ordering::Relaxed) {
                     return true; // a worker found a violation
                 }
+                flight::emit(EventKind::McSchedule, seq, u64::from(r.completed));
                 if !r.completed {
                     return false;
                 }
                 verdict.tm.absorb(&tm_counts_from_trace(&r.trace));
                 if !seen.insert(r.trace.cache_key()) {
                     verdict.stats.dedup_hits += 1;
+                    flight::emit(EventKind::McDedupHit, r.trace.cache_key(), 0);
                     return false;
                 }
                 tx.send((seq, r.trace.clone())).ok();
@@ -473,21 +633,29 @@ fn check_all_traces_serial(
         || build_machine(program, algo, entry.exec),
         max_steps,
         |r| {
+            flight::emit(
+                EventKind::McSchedule,
+                histories_checked,
+                u64::from(r.completed),
+            );
             if !r.completed {
                 return false; // counted by explore; skip checking prefixes
             }
             tm.absorb(&tm_counts_from_trace(&r.trace));
             if !seen.insert(r.trace.cache_key()) {
                 verdict.stats.dedup_hits += 1;
+                flight::emit(EventKind::McDedupHit, r.trace.cache_key(), 0);
                 return false;
             }
             histories_checked += 1;
+            flight::emit(EventKind::McHistoryChecked, histories_checked, 0);
             let (ok, hits) =
                 trace_satisfies_memo(&r.trace, entry.model, kind, Some((memo, entry.key)));
             memo_hits += hits;
             if !ok {
                 verdict.ok = false;
                 verdict.violation = Some(r.trace.clone());
+                flight::emit(EventKind::McViolation, histories_checked, 0);
                 return true;
             }
             false
@@ -600,6 +768,7 @@ pub fn check_random_shared(
                         local.runs += 1;
                         local.stats.schedules += 1;
                         local.stats.machine.absorb(&r.stats);
+                        flight::emit(EventKind::McSchedule, seed, u64::from(r.completed));
                         if !r.completed {
                             local.truncated += 1;
                             local.stats.truncated += 1;
@@ -608,13 +777,16 @@ pub fn check_random_shared(
                         local.tm.absorb(&tm_counts_from_trace(&r.trace));
                         if !seen.lock().unwrap().insert(r.trace.cache_key()) {
                             local.stats.dedup_hits += 1;
+                            flight::emit(EventKind::McDedupHit, r.trace.cache_key(), 0);
                             continue;
                         }
                         local.stats.histories_checked += 1;
+                        flight::emit(EventKind::McHistoryChecked, seed, 0);
                         let (ok, hits) =
                             trace_satisfies_memo(&r.trace, model, kind, Some((memo, entry.key)));
                         local.stats.memo_hits += hits;
                         if !ok {
+                            flight::emit(EventKind::McViolation, seed, 0);
                             best_seed.fetch_min(seed, Ordering::Relaxed);
                             let mut v = violation.lock().unwrap();
                             if v.as_ref().is_none_or(|(vs, _)| seed < *vs) {
@@ -669,6 +841,7 @@ fn check_random_serial(
         verdict.runs += 1;
         verdict.stats.schedules += 1;
         verdict.stats.machine.absorb(&r.stats);
+        flight::emit(EventKind::McSchedule, seed, u64::from(r.completed));
         if !r.completed {
             verdict.truncated += 1;
             verdict.stats.truncated += 1;
@@ -677,14 +850,17 @@ fn check_random_serial(
         verdict.tm.absorb(&tm_counts_from_trace(&r.trace));
         if !seen.insert(r.trace.cache_key()) {
             verdict.stats.dedup_hits += 1;
+            flight::emit(EventKind::McDedupHit, r.trace.cache_key(), 0);
             continue;
         }
         verdict.stats.histories_checked += 1;
+        flight::emit(EventKind::McHistoryChecked, seed, 0);
         let (ok, hits) = trace_satisfies_memo(&r.trace, entry.model, kind, Some((memo, entry.key)));
         verdict.stats.memo_hits += hits;
         if !ok {
             verdict.ok = false;
             verdict.violation = Some(r.trace);
+            flight::emit(EventKind::McViolation, seed, 0);
             return verdict;
         }
     }
@@ -936,6 +1112,58 @@ mod tests {
             "second sweep must hit the shared memo"
         );
         assert!(b.stats.memo_hits > 0);
+    }
+
+    #[test]
+    fn memo_persists_and_preloads_across_runs() {
+        let p = Program(vec![
+            ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)]), Stmt::NtRead(X)]),
+            ThreadProg(vec![Stmt::NtRead(X)]),
+        ]);
+        let e = registry_entry("SC").unwrap();
+        let cfg = ParallelConfig::with_threads(1);
+        let memo = SharedVerdictMemo::new();
+        let a =
+            check_all_traces_shared(&p, &GlobalLockTm, e, CheckKind::Opacity, 4_000, &cfg, &memo);
+        assert!(a.ok);
+        assert!(!memo.is_empty());
+        assert_eq!(memo.cross_run_hits(), 0, "nothing preloaded yet");
+
+        let dir = std::env::temp_dir().join(format!("jungle-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = memo.save_dir(&dir).unwrap();
+        assert_eq!(written, memo.len());
+
+        // A fresh memo in a "new run" preloads the verdicts and answers
+        // every history from disk.
+        let fresh = SharedVerdictMemo::new();
+        let loaded = fresh.load_dir(&dir).unwrap();
+        assert_eq!(loaded, written);
+        assert_eq!(fresh.preloaded_entries(), loaded as u64);
+        let b = check_all_traces_shared(
+            &p,
+            &GlobalLockTm,
+            e,
+            CheckKind::Opacity,
+            4_000,
+            &cfg,
+            &fresh,
+        );
+        assert!(b.ok);
+        assert!(
+            fresh.cross_run_hits() > 0,
+            "second run must hit the preloaded verdicts"
+        );
+        assert_eq!(fresh.cross_run_hits(), fresh.hits());
+
+        // A missing directory is a clean no-op.
+        assert_eq!(
+            SharedVerdictMemo::new()
+                .load_dir(&dir.join("missing"))
+                .unwrap(),
+            0
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -13,6 +13,7 @@ use jungle_core::registry::StoreDiscipline;
 use jungle_isa::instr::Addr;
 use jungle_isa::instr::{Instr, InstrInstance};
 use jungle_isa::trace::Trace;
+use jungle_obs::trace::{self, EventKind};
 use jungle_obs::MachineStats;
 
 /// The outcome of one simulated run.
@@ -170,6 +171,7 @@ impl Machine {
             let c = sched.choose(&actions).min(options.len() - 1);
             if c > 0 {
                 self.stats.stale_loads += 1;
+                trace::emit(EventKind::StaleLoad, addr as u64, c as u64);
             }
             options[c]
         } else {
@@ -191,6 +193,7 @@ impl Machine {
     ) -> Val {
         if self.hw.forwarding {
             if let Some(v) = self.cpus[cpu].buffer.forward(addr) {
+                trace::emit(EventKind::StoreForward, addr as u64, v);
                 return v;
             }
         } else {
@@ -274,6 +277,7 @@ impl Machine {
                     // the CAS point.
                     let seq = self.mem.seq();
                     self.cpus[cpu].buffer.raise_global_floor(seq);
+                    trace::emit(EventKind::CasFence, addr as u64, ok as u64);
                     self.record(
                         cpu,
                         Instr::Cas {
@@ -314,6 +318,7 @@ impl Machine {
                 Action::Drain { cpu, idx } => {
                     self.stats.flushes += 1;
                     let e = self.cpus[cpu].buffer.take(idx);
+                    trace::emit(EventKind::StoreDrain, e.addr as u64, e.val);
                     self.apply_drain(cpu, e.addr, e.val);
                 }
                 Action::ReadVersion { .. } => {

@@ -1,0 +1,343 @@
+//! Persistent run ledger with regression gates.
+//!
+//! Every `report` (and bench) invocation appends one [`LedgerEntry`] —
+//! headline exploration counters, wall time, git revision, and the
+//! full [`MetricsSnapshot`](crate::MetricsSnapshot) JSON — as a single
+//! line to `.jungle/ledger.jsonl`. The file is append-only JSONL so
+//! entries from concurrent or crashed runs never corrupt each other,
+//! and the history of a working tree accumulates across sessions.
+//!
+//! [`compare`] diffs a fresh entry against the previous one and
+//! reports regressions beyond [`Tolerances`]: collapsed schedule
+//! exploration, dropped dedup/memo hit-rates, shrunk zoo coverage.
+//! `report --compare` turns any such finding into a nonzero exit, and
+//! CI runs it against a committed seed entry so a change that quietly
+//! destroys the redundancy elimination fails the build.
+
+use crate::json::{Json, ToJson};
+use std::io::Write;
+use std::path::Path;
+
+/// One ledger line: the durable summary of a report or bench run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerEntry {
+    /// Seconds since the Unix epoch at the end of the run.
+    pub ts_unix: u64,
+    /// `git rev-parse --short HEAD` of the working tree (or
+    /// `"unknown"`).
+    pub git_rev: String,
+    /// What produced the entry, e.g. `"report"` or `"bench/par_checker"`.
+    pub source: String,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: u64,
+    /// Schedules explored by the model-checking sweeps.
+    pub schedules: u64,
+    /// Structurally duplicate traces skipped.
+    pub dedup_hits: u64,
+    /// Shared verdict-memo hits.
+    pub memo_hits: u64,
+    /// Shared verdict-memo lookups.
+    pub memo_lookups: u64,
+    /// Distinct memory models covered by the matched zoo.
+    pub zoo_models: u64,
+    /// Distinct STM algorithms covered by the matched zoo.
+    pub zoo_algos: u64,
+    /// The run's full metrics snapshot (or `Json::Null` for sources
+    /// that only report headline counters).
+    pub metrics: Json,
+}
+
+impl LedgerEntry {
+    /// Trace dedup rate (`dedup_hits / schedules`), 0 when nothing ran.
+    pub fn dedup_rate(&self) -> f64 {
+        rate(self.dedup_hits, self.schedules)
+    }
+
+    /// Verdict-memo hit rate (`memo_hits / memo_lookups`).
+    pub fn memo_rate(&self) -> f64 {
+        rate(self.memo_hits, self.memo_lookups)
+    }
+
+    /// Rebuild an entry from a parsed ledger line. Missing fields are
+    /// an error naming the field, so schema drift is diagnosed rather
+    /// than silently zeroed.
+    pub fn from_json(j: &Json) -> Result<LedgerEntry, String> {
+        let num = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("ledger entry missing numeric field '{key}'"))
+        };
+        let text = |key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("ledger entry missing string field '{key}'"))
+        };
+        Ok(LedgerEntry {
+            ts_unix: num("ts_unix")?,
+            git_rev: text("git_rev")?,
+            source: text("source")?,
+            wall_ms: num("wall_ms")?,
+            schedules: num("schedules")?,
+            dedup_hits: num("dedup_hits")?,
+            memo_hits: num("memo_hits")?,
+            memo_lookups: num("memo_lookups")?,
+            zoo_models: num("zoo_models")?,
+            zoo_algos: num("zoo_algos")?,
+            metrics: j.get("metrics").cloned().unwrap_or(Json::Null),
+        })
+    }
+}
+
+impl ToJson for LedgerEntry {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("ts_unix", self.ts_unix.into())
+            .push("git_rev", self.git_rev.as_str().into())
+            .push("source", self.source.as_str().into())
+            .push("wall_ms", self.wall_ms.into())
+            .push("schedules", self.schedules.into())
+            .push("dedup_hits", self.dedup_hits.into())
+            .push("memo_hits", self.memo_hits.into())
+            .push("memo_lookups", self.memo_lookups.into())
+            .push("zoo_models", self.zoo_models.into())
+            .push("zoo_algos", self.zoo_algos.into())
+            .push("metrics", self.metrics.clone());
+        j
+    }
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Append `entry` as one JSONL line, creating the parent directory and
+/// file as needed.
+pub fn append(path: &Path, entry: &LedgerEntry) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", entry.to_json())
+}
+
+/// The last parseable entry of the ledger at `path`, or `None` when
+/// the file is missing or holds no valid line. Unparseable lines are
+/// skipped (append-only files survive crashes mid-write).
+pub fn last(path: &Path) -> Option<LedgerEntry> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .rev()
+        .filter(|l| !l.trim().is_empty())
+        .find_map(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|j| LedgerEntry::from_json(&j).ok())
+        })
+}
+
+/// Like [`last`], but restricted to entries whose `source` matches —
+/// so a `report --compare` gates against the previous *report* run even
+/// when bench invocations appended entries in between.
+pub fn last_from(path: &Path, source: &str) -> Option<LedgerEntry> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .rev()
+        .filter(|l| !l.trim().is_empty())
+        .find_map(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|j| LedgerEntry::from_json(&j).ok())
+                .filter(|e| e.source == source)
+        })
+}
+
+/// Acceptable run-to-run slack before [`compare`] calls a regression.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Fractional drop in explored schedules that is still fine (e.g.
+    /// `0.5` = current may explore as little as half the previous run).
+    pub schedules_frac: f64,
+    /// Absolute drop in the dedup / memo hit *rates* that is still
+    /// fine (rates live in `[0, 1]`).
+    pub rate_drop: f64,
+}
+
+impl Default for Tolerances {
+    /// Loose defaults: halved exploration or a 20-point rate drop is a
+    /// regression, anything subtler is noise.
+    fn default() -> Self {
+        Tolerances {
+            schedules_frac: 0.5,
+            rate_drop: 0.20,
+        }
+    }
+}
+
+/// Compare `cur` against `prev`; each returned string names one
+/// regression beyond `tol`. Empty means the gate passes. Zoo coverage
+/// has no tolerance: dropping a model or an STM from the matrix is
+/// always a regression.
+pub fn compare(prev: &LedgerEntry, cur: &LedgerEntry, tol: &Tolerances) -> Vec<String> {
+    let mut out = Vec::new();
+    let floor = prev.schedules as f64 * (1.0 - tol.schedules_frac);
+    if (cur.schedules as f64) < floor {
+        out.push(format!(
+            "schedules explored fell {} -> {} (floor {:.0})",
+            prev.schedules, cur.schedules, floor
+        ));
+    }
+    if cur.dedup_rate() < prev.dedup_rate() - tol.rate_drop {
+        out.push(format!(
+            "dedup rate fell {:.3} -> {:.3} (tolerance {:.2})",
+            prev.dedup_rate(),
+            cur.dedup_rate(),
+            tol.rate_drop
+        ));
+    }
+    if cur.memo_rate() < prev.memo_rate() - tol.rate_drop {
+        out.push(format!(
+            "memo hit rate fell {:.3} -> {:.3} (tolerance {:.2})",
+            prev.memo_rate(),
+            cur.memo_rate(),
+            tol.rate_drop
+        ));
+    }
+    if cur.zoo_models < prev.zoo_models {
+        out.push(format!(
+            "zoo model coverage fell {} -> {}",
+            prev.zoo_models, cur.zoo_models
+        ));
+    }
+    if cur.zoo_algos < prev.zoo_algos {
+        out.push(format!(
+            "zoo STM coverage fell {} -> {}",
+            prev.zoo_algos, cur.zoo_algos
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> LedgerEntry {
+        LedgerEntry {
+            ts_unix: 1_700_000_000,
+            git_rev: "abc1234".into(),
+            source: "report".into(),
+            wall_ms: 1234,
+            schedules: 40_000,
+            dedup_hits: 39_000,
+            memo_hits: 500,
+            memo_lookups: 1_000,
+            zoo_models: 8,
+            zoo_algos: 5,
+            metrics: Json::Null,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_json() {
+        let e = entry();
+        let line = e.to_json().to_string();
+        let back = LedgerEntry::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn from_json_names_missing_field() {
+        let mut j = entry().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "schedules");
+        }
+        let err = LedgerEntry::from_json(&j).unwrap_err();
+        assert!(err.contains("'schedules'"), "{err}");
+    }
+
+    #[test]
+    fn append_and_last_round_trip() {
+        let dir = std::env::temp_dir().join(format!("jungle-ledger-{}", std::process::id()));
+        let path = dir.join("nested").join("ledger.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(last(&path).is_none());
+        let mut a = entry();
+        append(&path, &a).unwrap();
+        a.schedules += 1;
+        append(&path, &a).unwrap();
+        // A torn trailing line must be skipped, not fatal.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"ts_unix\":12").unwrap();
+        }
+        let got = last(&path).expect("two valid lines present");
+        assert_eq!(got, a, "last valid line wins");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn last_from_filters_by_source() {
+        let dir = std::env::temp_dir().join(format!("jungle-ledger-src-{}", std::process::id()));
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut report = entry();
+        report.schedules = 111;
+        append(&path, &report).unwrap();
+        let mut bench = entry();
+        bench.source = "bench/par_checker".into();
+        bench.schedules = 0;
+        append(&path, &bench).unwrap();
+        // Plain `last` sees the bench entry; the filter skips past it.
+        assert_eq!(last(&path).unwrap().source, "bench/par_checker");
+        let got = last_from(&path, "report").expect("report entry present");
+        assert_eq!(got.schedules, 111);
+        assert!(last_from(&path, "nonesuch").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identical_runs_pass_compare() {
+        let e = entry();
+        assert!(compare(&e, &e, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_each_regression() {
+        let prev = entry();
+        let mut cur = entry();
+        cur.schedules = 10_000; // below half
+        cur.dedup_hits = 1_000; // rate collapses
+        cur.memo_hits = 0;
+        cur.zoo_models = 6;
+        cur.zoo_algos = 4;
+        let regs = compare(&prev, &cur, &Tolerances::default());
+        assert_eq!(regs.len(), 5, "{regs:?}");
+        assert!(regs.iter().any(|r| r.contains("schedules")));
+        assert!(regs.iter().any(|r| r.contains("dedup")));
+        assert!(regs.iter().any(|r| r.contains("memo")));
+        assert!(regs.iter().any(|r| r.contains("model coverage")));
+        assert!(regs.iter().any(|r| r.contains("STM coverage")));
+    }
+
+    #[test]
+    fn tolerances_absorb_small_drift() {
+        let prev = entry();
+        let mut cur = entry();
+        cur.schedules = (prev.schedules as f64 * 0.6) as u64;
+        cur.dedup_hits = (cur.schedules as f64 * 0.9) as u64; // ~0.9 vs ~0.975
+        let regs = compare(&prev, &cur, &Tolerances::default());
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+}

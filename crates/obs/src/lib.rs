@@ -17,27 +17,38 @@
 //!   store-buffer flushes and occupancy, schedules explored.
 //! * [`snapshot::MetricsSnapshot`] — the serializable aggregate the
 //!   report binary emits.
+//! * [`trace`] — the flight recorder: per-thread lock-free ring
+//!   buffers of structured events from every layer, exported as
+//!   Chrome-trace-event JSON.
+//! * [`ledger`] — the persistent run ledger (`.jungle/ledger.jsonl`)
+//!   and its regression gates.
 //!
 //! Collection is **off by default** in the hot paths: the STMs take an
 //! `Option<Arc<TmMetrics>>` and skip all counting when it is `None`,
-//! and wall-clock timing only happens in explicit `*_traced` checker
-//! entry points. The build is fully offline, so serialization is a
-//! small hand-rolled JSON model ([`json`]) rather than `serde`.
+//! wall-clock timing only happens in explicit `*_traced` checker
+//! entry points, and flight-recorder event sites reduce to a single
+//! relaxed load unless a recorder is [`trace::install`]ed. The build
+//! is fully offline, so serialization is a small hand-rolled JSON
+//! model ([`json`]) rather than `serde`.
 
 #![warn(missing_docs)]
 
 pub mod counter;
 pub mod json;
+pub mod ledger;
 pub mod search;
 pub mod sim;
 pub mod snapshot;
 pub mod span;
 pub mod tm;
+pub mod trace;
 
 pub use counter::{CachePadded, Counter, SHARDS};
 pub use json::{Json, ToJson};
+pub use ledger::{LedgerEntry, Tolerances};
 pub use search::SearchStats;
 pub use sim::{MachineStats, McStats};
 pub use snapshot::MetricsSnapshot;
 pub use span::Span;
 pub use tm::{TmMetrics, TmSnapshot};
+pub use trace::{EventKind, FlightRecorder};

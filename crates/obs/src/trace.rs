@@ -1,0 +1,563 @@
+//! Flight recorder: per-thread lock-free ring buffers of structured
+//! events, exported as Chrome-trace-event JSON (loadable in Perfetto).
+//!
+//! Every layer of the workspace can narrate what it is doing — the
+//! checkers (node enter/leave, backtrack, prune, memo hits, prefix
+//! claims, cancellation), the model-checking sweeps (dedup and verdict
+//! memo hits, schedules), the simulated machine (store drains, stale
+//! loads, forwarding, CAS fences) and the executable STMs (begin /
+//! commit / abort / CAS failure). Recording follows the same
+//! zero-cost-when-off discipline as the `Option<Arc<TmMetrics>>`
+//! counters: event sites call [`emit`], which is a single relaxed
+//! atomic load returning immediately unless a [`FlightRecorder`] has
+//! been [`install`]ed. No recorder, no work — not even a timestamp
+//! read.
+//!
+//! When a recorder *is* installed, an event is one monotonic clock
+//! read plus four relaxed atomic stores into a fixed ring buffer slot:
+//! no locks, no allocation, wait-free. Each thread writes to its own
+//! shard (chosen by a thread-local id), so writers never contend; a
+//! full ring wraps and overwrites its oldest events, keeping memory
+//! flat and counting the overwritten events in
+//! [`FlightRecorder::dropped`].
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of ring-buffer shards. Threads map to shards by a
+/// process-unique thread id modulo this count, so runs with up to this
+/// many recording threads have fully private shards.
+pub const TRACE_SHARDS: usize = 32;
+
+/// Default ring capacity (events) per shard. Must be a power of two.
+pub const DEFAULT_RING_CAP: usize = 1 << 12;
+
+/// Chrome-trace phase of an event kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// `"B"` — opens a duration span.
+    Begin,
+    /// `"E"` — closes the innermost open span of the same thread.
+    End,
+    /// `"i"` — instant event.
+    Instant,
+}
+
+/// The event taxonomy, one variant per narrated happening.
+///
+/// Discriminants start at 1 so a zeroed ring slot is recognizably
+/// empty.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum EventKind {
+    // ── checker layer ────────────────────────────────────────────
+    /// A witness search started (`a` = schedulable units).
+    SearchBegin = 1,
+    /// The witness search finished (`a` = nodes, `b` = 1 if satisfied).
+    SearchEnd = 2,
+    /// The DFS expanded a node (`a` = depth).
+    NodeEnter = 3,
+    /// The DFS returned from a node (`a` = depth).
+    NodeLeave = 4,
+    /// The DFS exhausted a node's candidates and backtracked.
+    Backtrack = 5,
+    /// Incremental prefix legality pruned a subtree (`a` = depth).
+    Prune = 6,
+    /// A per-worker witness memo answered an inner search (`a` = prefix).
+    WitnessMemoHit = 7,
+    /// A pool worker claimed serialization-order prefix `a`.
+    PrefixClaim = 8,
+    /// Prefix `a` was cancelled by a lower-indexed success.
+    PrefixCancel = 9,
+    // ── model-checking layer ─────────────────────────────────────
+    /// A schedule finished (`a` = sequence number, `b` = 1 if completed).
+    McSchedule = 10,
+    /// A structurally identical trace was skipped (`a` = fingerprint).
+    McDedupHit = 11,
+    /// The shared verdict memo answered a history (`a` = fingerprint).
+    McMemoHit = 12,
+    /// A history went through the full checker (`a` = fingerprint).
+    McHistoryChecked = 13,
+    /// A violating trace was found (`a` = schedule sequence number).
+    McViolation = 14,
+    // ── simulated-machine layer ──────────────────────────────────
+    /// A buffered store drained to global memory (`a` = addr, `b` = val).
+    StoreDrain = 15,
+    /// A load observed an older admissible version (`a` = addr).
+    StaleLoad = 16,
+    /// A load was served from the CPU's own store buffer (`a` = addr).
+    StoreForward = 17,
+    /// A CAS drained the buffer and raised the global floor (`a` = addr).
+    CasFence = 18,
+    // ── STM layer ────────────────────────────────────────────────
+    /// A transaction attempt started (`a` = process id).
+    TxnBegin = 19,
+    /// The attempt committed (`a` = process id).
+    TxnCommit = 20,
+    /// The attempt aborted and will retry (`a` = process id).
+    TxnAbort = 21,
+    /// A CAS inside an STM operation lost its race (`a` = process id).
+    StmCasFail = 22,
+}
+
+impl EventKind {
+    /// Layer category, one of `"checker"`, `"mc"`, `"memsim"`, `"stm"`.
+    pub fn cat(self) -> &'static str {
+        use EventKind::*;
+        match self {
+            SearchBegin | SearchEnd | NodeEnter | NodeLeave | Backtrack | Prune
+            | WitnessMemoHit | PrefixClaim | PrefixCancel => "checker",
+            McSchedule | McDedupHit | McMemoHit | McHistoryChecked | McViolation => "mc",
+            StoreDrain | StaleLoad | StoreForward | CasFence => "memsim",
+            TxnBegin | TxnCommit | TxnAbort | StmCasFail => "stm",
+        }
+    }
+
+    /// Chrome-trace event name. Span pairs share one name so Perfetto
+    /// nests them ("search" for begin/end, "txn" for begin/commit/abort).
+    pub fn name(self) -> &'static str {
+        use EventKind::*;
+        match self {
+            SearchBegin | SearchEnd => "search",
+            NodeEnter => "node_enter",
+            NodeLeave => "node_leave",
+            Backtrack => "backtrack",
+            Prune => "prune",
+            WitnessMemoHit => "witness_memo_hit",
+            PrefixClaim => "prefix_claim",
+            PrefixCancel => "prefix_cancel",
+            McSchedule => "schedule",
+            McDedupHit => "dedup_hit",
+            McMemoHit => "verdict_memo_hit",
+            McHistoryChecked => "history_checked",
+            McViolation => "violation",
+            StoreDrain => "store_drain",
+            StaleLoad => "stale_load",
+            StoreForward => "store_forward",
+            CasFence => "cas_fence",
+            TxnBegin | TxnCommit | TxnAbort => "txn",
+            StmCasFail => "cas_fail",
+        }
+    }
+
+    /// The Chrome-trace phase this kind exports as.
+    pub fn phase(self) -> Phase {
+        use EventKind::*;
+        match self {
+            SearchBegin | TxnBegin => Phase::Begin,
+            SearchEnd | TxnCommit | TxnAbort => Phase::End,
+            _ => Phase::Instant,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<EventKind> {
+        use EventKind::*;
+        Some(match v {
+            1 => SearchBegin,
+            2 => SearchEnd,
+            3 => NodeEnter,
+            4 => NodeLeave,
+            5 => Backtrack,
+            6 => Prune,
+            7 => WitnessMemoHit,
+            8 => PrefixClaim,
+            9 => PrefixCancel,
+            10 => McSchedule,
+            11 => McDedupHit,
+            12 => McMemoHit,
+            13 => McHistoryChecked,
+            14 => McViolation,
+            15 => StoreDrain,
+            16 => StaleLoad,
+            17 => StoreForward,
+            18 => CasFence,
+            19 => TxnBegin,
+            20 => TxnCommit,
+            21 => TxnAbort,
+            22 => StmCasFail,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded event read back out of the rings.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Nanoseconds since the recorder was created (monotonic clock).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Recording thread (process-unique small integer).
+    pub tid: u32,
+    /// First kind-specific argument.
+    pub a: u64,
+    /// Second kind-specific argument.
+    pub b: u64,
+}
+
+/// One ring slot: four relaxed atomics. `meta == 0` marks a
+/// never-written slot (event kinds start at 1).
+struct Slot {
+    ts: AtomicU64,
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+struct Shard {
+    /// Monotonic write cursor; the slot index is `head & (cap - 1)`.
+    head: AtomicUsize,
+    slots: Box<[Slot]>,
+}
+
+/// The flight recorder: [`TRACE_SHARDS`] single-writer ring buffers.
+///
+/// Writers are wait-free (a clock read and four relaxed stores). A
+/// shard is owned by the threads whose ids map to it; with more
+/// recording threads than shards two writers can race on a wrapped
+/// slot and record a torn event — acceptable for diagnostics, and
+/// impossible below [`TRACE_SHARDS`] concurrent threads.
+pub struct FlightRecorder {
+    epoch: Instant,
+    cap: usize,
+    shards: Box<[Shard]>,
+}
+
+impl FlightRecorder {
+    /// A recorder with the default per-shard capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAP)
+    }
+
+    /// A recorder with `cap` slots per shard (rounded up to a power of
+    /// two, minimum 8).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(8).next_power_of_two();
+        let shards = (0..TRACE_SHARDS)
+            .map(|_| Shard {
+                head: AtomicUsize::new(0),
+                slots: (0..cap)
+                    .map(|_| Slot {
+                        ts: AtomicU64::new(0),
+                        meta: AtomicU64::new(0),
+                        a: AtomicU64::new(0),
+                        b: AtomicU64::new(0),
+                    })
+                    .collect(),
+            })
+            .collect();
+        FlightRecorder {
+            epoch: Instant::now(),
+            cap,
+            shards,
+        }
+    }
+
+    /// Record one event. Wait-free; wraps (overwriting the shard's
+    /// oldest event) when the ring is full.
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        let tid = thread_id();
+        let ts = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let shard = &self.shards[(tid as usize) % TRACE_SHARDS];
+        let i = shard.head.fetch_add(1, Ordering::Relaxed) & (self.cap - 1);
+        let slot = &shard.slots[i];
+        slot.ts.store(ts, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.meta
+            .store((kind as u64) | (u64::from(tid) << 8), Ordering::Release);
+    }
+
+    /// Total events recorded (including any since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.head.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.head.load(Ordering::Relaxed).saturating_sub(self.cap) as u64)
+            .sum()
+    }
+
+    /// Snapshot every surviving event, sorted by timestamp. Intended
+    /// for export after the recorded work has quiesced; concurrent
+    /// writers may leave a torn final event per shard.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let filled = shard.head.load(Ordering::Acquire).min(self.cap);
+            for slot in &shard.slots[..filled] {
+                let meta = slot.meta.load(Ordering::Acquire);
+                if meta == 0 {
+                    continue;
+                }
+                let Some(kind) = EventKind::from_u8((meta & 0xff) as u8) else {
+                    continue;
+                };
+                out.push(Event {
+                    ts_ns: slot.ts.load(Ordering::Relaxed),
+                    kind,
+                    tid: (meta >> 8) as u32,
+                    a: slot.a.load(Ordering::Relaxed),
+                    b: slot.b.load(Ordering::Relaxed),
+                });
+            }
+        }
+        out.sort_by_key(|e| e.ts_ns);
+        out
+    }
+
+    /// Export as a Chrome trace-event JSON object
+    /// (`{"traceEvents": [...], "displayTimeUnit": "ns"}`), loadable in
+    /// Perfetto or `chrome://tracing`.
+    ///
+    /// Span events (`"B"`/`"E"`) are emitted only as matched, properly
+    /// nested per-thread pairs; orphans from ring wrap-around are
+    /// demoted out of the export so the file always balances.
+    pub fn chrome_trace(&self) -> Json {
+        let events = self.events();
+        // Balance pass: per tid, stack-match Begin/End events by index.
+        let mut keep = vec![true; events.len()];
+        let mut stacks: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            match e.kind.phase() {
+                Phase::Begin => stacks.entry(e.tid).or_default().push(i),
+                Phase::End => {
+                    let stack = stacks.entry(e.tid).or_default();
+                    if stack.pop().is_none() {
+                        keep[i] = false; // End without a recorded Begin
+                    }
+                }
+                Phase::Instant => {}
+            }
+        }
+        for stack in stacks.values() {
+            for &i in stack {
+                keep[i] = false; // Begin whose End was overwritten
+            }
+        }
+
+        let mut arr = Vec::with_capacity(events.len());
+        for (i, e) in events.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let mut j = Json::obj();
+            j.push("name", e.kind.name().into())
+                .push("cat", e.kind.cat().into())
+                .push(
+                    "ph",
+                    match e.kind.phase() {
+                        Phase::Begin => "B",
+                        Phase::End => "E",
+                        Phase::Instant => "i",
+                    }
+                    .into(),
+                )
+                .push("ts", Json::F64(e.ts_ns as f64 / 1000.0))
+                .push("pid", 1u64.into())
+                .push("tid", u64::from(e.tid).into());
+            if e.kind.phase() == Phase::Instant {
+                j.push("s", "t".into());
+            }
+            let mut args = Json::obj();
+            args.push("a", e.a.into()).push("b", e.b.into());
+            j.push("args", args);
+            arr.push(j);
+        }
+        let mut out = Json::obj();
+        out.push("traceEvents", Json::Arr(arr))
+            .push("displayTimeUnit", "ns".into())
+            .push("recorded", self.recorded().into())
+            .push("dropped", self.dropped().into());
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ── global installation ──────────────────────────────────────────────
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicPtr<FlightRecorder> = AtomicPtr::new(std::ptr::null_mut());
+/// Every recorder ever installed, kept alive for the process lifetime
+/// so pointers loaded from [`INSTALLED`] can never dangle. Installs
+/// happen a handful of times per process (report start, tests), so the
+/// leak is bounded and deliberate.
+static KEEP: Mutex<Vec<Arc<FlightRecorder>>> = Mutex::new(Vec::new());
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u32 = (NEXT_TID.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff) as u32;
+}
+
+/// Process-unique id of the calling thread (small, assigned on first
+/// use).
+pub fn thread_id() -> u32 {
+    TID.with(|t| *t)
+}
+
+/// Install `recorder` as the process-global flight recorder; event
+/// sites start recording into it immediately. Replaces any previous
+/// recorder (which stays alive but stops receiving events).
+pub fn install(recorder: Arc<FlightRecorder>) {
+    let raw = Arc::as_ptr(&recorder) as *mut FlightRecorder;
+    KEEP.lock().unwrap().push(recorder);
+    INSTALLED.store(raw, Ordering::Release);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Stop recording. The last installed recorder remains readable via
+/// the caller's own `Arc`.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    INSTALLED.store(std::ptr::null_mut(), Ordering::Release);
+}
+
+/// Is a recorder currently installed?
+pub fn recording() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record an event on the installed recorder, if any. This is the hook
+/// the hot paths call: with no recorder installed it is one relaxed
+/// load and a predictable branch.
+#[inline]
+pub fn emit(kind: EventKind, a: u64, b: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_installed(kind, a, b);
+}
+
+#[cold]
+fn emit_installed(kind: EventKind, a: u64, b: u64) {
+    let p = INSTALLED.load(Ordering::Acquire);
+    if p.is_null() {
+        return;
+    }
+    // SAFETY: every pointer stored into INSTALLED comes from an Arc
+    // pushed into KEEP, which is never drained, so the allocation
+    // outlives the process.
+    unsafe { (*p).record(kind, a, b) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_exports_no_events() {
+        let r = FlightRecorder::new();
+        assert_eq!(r.recorded(), 0);
+        assert_eq!(r.dropped(), 0);
+        assert!(r.events().is_empty());
+        let j = r.chrome_trace();
+        match j.get("traceEvents") {
+            Some(Json::Arr(a)) => assert!(a.is_empty()),
+            other => panic!("bad traceEvents: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_and_sort_monotonic() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(EventKind::SearchBegin, 5, 0);
+        r.record(EventKind::NodeEnter, 1, 0);
+        r.record(EventKind::Backtrack, 0, 0);
+        r.record(EventKind::SearchEnd, 9, 1);
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        assert!(evs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(evs[0].kind, EventKind::SearchBegin);
+        assert_eq!(evs[0].a, 5);
+        assert_eq!(evs[3].b, 1);
+        // All on the same thread.
+        assert!(evs.iter().all(|e| e.tid == evs[0].tid));
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let r = FlightRecorder::with_capacity(8);
+        for i in 0..20 {
+            r.record(EventKind::Prune, i, 0);
+        }
+        assert_eq!(r.recorded(), 20);
+        assert_eq!(r.dropped(), 12);
+        assert_eq!(r.events().len(), 8);
+    }
+
+    #[test]
+    fn chrome_trace_balances_spans() {
+        let r = FlightRecorder::with_capacity(64);
+        // An End with no Begin (simulating wrap), then a good pair,
+        // then an unclosed Begin.
+        r.record(EventKind::SearchEnd, 0, 0);
+        r.record(EventKind::TxnBegin, 1, 0);
+        r.record(EventKind::TxnCommit, 1, 0);
+        r.record(EventKind::SearchBegin, 2, 0);
+        let j = r.chrome_trace();
+        let Some(Json::Arr(evs)) = j.get("traceEvents") else {
+            panic!("no traceEvents")
+        };
+        let phases: Vec<String> = evs
+            .iter()
+            .map(|e| match e.get("ph") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => panic!("missing ph"),
+            })
+            .collect();
+        assert_eq!(phases, vec!["B", "E"], "only the matched pair survives");
+    }
+
+    #[test]
+    fn every_category_is_exported() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(EventKind::NodeEnter, 0, 0);
+        r.record(EventKind::McDedupHit, 0, 0);
+        r.record(EventKind::StoreDrain, 0, 0);
+        r.record(EventKind::StmCasFail, 0, 0);
+        let cats: std::collections::HashSet<&'static str> =
+            r.events().iter().map(|e| e.kind.cat()).collect();
+        assert_eq!(cats.len(), 4);
+        for c in ["checker", "mc", "memsim", "stm"] {
+            assert!(cats.contains(c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn install_gates_emit() {
+        // Uninstalled: emit is a no-op (cannot observe directly, but
+        // must not crash), and recording() reflects state transitions.
+        emit(EventKind::Prune, 0, 0);
+        let r = Arc::new(FlightRecorder::with_capacity(256));
+        install(r.clone());
+        assert!(recording());
+        emit(EventKind::CasFence, 0xfeed, 1);
+        uninstall();
+        assert!(!recording());
+        emit(EventKind::CasFence, 0xdead, 2); // dropped
+        let evs = r.events();
+        assert!(
+            evs.iter()
+                .any(|e| e.kind == EventKind::CasFence && e.a == 0xfeed),
+            "installed emit must reach the recorder"
+        );
+        assert!(
+            !evs.iter().any(|e| e.a == 0xdead),
+            "uninstalled emit must not"
+        );
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::recorder::Recorder;
 use jungle_core::ids::ProcId;
+use jungle_obs::trace::{self, EventKind};
 use jungle_obs::TmMetrics;
 use std::sync::Arc;
 
@@ -204,7 +205,9 @@ pub fn atomically<R>(
     mut body: impl FnMut(&mut Tx<'_>) -> Result<R, Aborted>,
 ) -> R {
     let mut attempt = 0u32;
+    let pid = u64::from(cx.pid.0);
     loop {
+        trace::emit(EventKind::TxnBegin, pid, u64::from(attempt));
         tm.txn_start(cx);
         let out = {
             let mut tx = Tx { tm, cx };
@@ -214,6 +217,7 @@ pub fn atomically<R>(
             Ok(r) => {
                 if tm.txn_commit(cx).is_ok() {
                     cx.commits += 1;
+                    trace::emit(EventKind::TxnCommit, pid, u64::from(attempt));
                     return r;
                 }
             }
@@ -224,6 +228,7 @@ pub fn atomically<R>(
             }
         }
         cx.aborts += 1;
+        trace::emit(EventKind::TxnAbort, pid, u64::from(attempt));
         attempt = attempt.saturating_add(1);
         backoff(cx, attempt);
     }

@@ -16,6 +16,7 @@ use crate::recorder::{rd_op, wr_op};
 use jungle_core::ids::{ProcId, Var};
 use jungle_core::op::Op;
 use jungle_isa::tm::Instrumentation;
+use jungle_obs::trace::{self, EventKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Value/word codec: how program values map to heap words. The plain
@@ -154,6 +155,7 @@ impl<C: Codec> Fig6Core<C> {
                 if let Some(m) = cx.met() {
                     m.cas_failures.inc(cx.shard());
                 }
+                trace::emit(EventKind::StmCasFail, u64::from(cx.pid.0), var as u64);
             }
         }
         self.release();

@@ -30,6 +30,7 @@ use crate::recorder::{rd_op, wr_op};
 use jungle_core::ids::Var;
 use jungle_core::op::Op;
 use jungle_isa::tm::Instrumentation;
+use jungle_obs::trace::{self, EventKind};
 
 const TAG_SHIFT: u32 = 62;
 const TAG_SHARED: u64 = 0;
@@ -178,6 +179,7 @@ impl StrongStm {
                     if let Some(m) = cx.met() {
                         m.cas_failures.inc(cx.shard());
                     }
+                    trace::emit(EventKind::StmCasFail, u64::from(cx.pid.0), var as u64);
                 }
                 // Anonymous owners finish in O(1); exclusive owners may
                 // hold until commit — spin a bounded amount for both.
@@ -219,6 +221,7 @@ impl StrongStm {
                         if let Some(m) = cx.met() {
                             m.cas_failures.inc(cx.shard());
                         }
+                        trace::emit(EventKind::StmCasFail, u64::from(cx.pid.0), var as u64);
                     } else {
                         if let Some(m) = cx.met() {
                             m.lock_spins.inc(cx.shard());

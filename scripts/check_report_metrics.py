@@ -11,6 +11,23 @@ model-checking sweeps keep eliminating redundant work:
 Floors are committed at roughly half the observed rates so routine
 drift doesn't flake CI, while a broken dedup key or an unshared memo
 (both of which drop a rate to ~0) fails loudly.
+
+Extra modes:
+
+* ``--trace-file out.json`` additionally validates a Chrome-trace-event
+  file written by ``report --trace``: parseable JSON, a non-empty
+  ``traceEvents`` array whose events carry the required fields, with
+  per-thread timestamps sorted and B/E duration events balanced, and
+  all four instrumentation layers (checker / mc / memsim / stm)
+  represented.
+* ``--self-test`` runs the checker against built-in golden inputs (one
+  passing, several failing with a *named* key or floor) and exits 0 iff
+  every case behaves as expected. No stdin is read.
+
+A missing key anywhere in the expected schema fails with a message that
+names both the key and the section it was expected in, e.g.
+``missing key 'dedup_hits' in section 'metrics.mc'`` — never a bare
+KeyError traceback.
 """
 
 import json
@@ -20,19 +37,32 @@ DEDUP_RATE_FLOOR = 0.50
 MEMO_HIT_RATE_FLOOR = 0.25
 MIN_ZOO_MODELS = 6
 MIN_ZOO_ALGOS = 5
+TRACE_CATEGORIES = {"checker", "mc", "memsim", "stm"}
+TRACE_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+class CheckFailure(Exception):
+    """A named, human-readable check failure."""
 
 
 def fail(msg: str) -> None:
-    print(f"check_report_metrics: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise CheckFailure(msg)
 
 
-def main() -> None:
-    report = json.load(sys.stdin)
+def need(obj: dict, key: str, section: str):
+    """``obj[key]``, failing with the key *and* section named."""
+    if not isinstance(obj, dict):
+        fail(f"section '{section}' is {type(obj).__name__}, expected object")
+    if key not in obj:
+        fail(f"missing key '{key}' in section '{section}'")
+    return obj[key]
 
-    mc = report["metrics"]["mc"]
-    schedules = mc["schedules"]
-    dedup = mc["dedup_hits"]
+
+def check_report(report: dict) -> str:
+    metrics = need(report, "metrics", "report")
+    mc = need(metrics, "mc", "metrics")
+    schedules = need(mc, "schedules", "metrics.mc")
+    dedup = need(mc, "dedup_hits", "metrics.mc")
     if schedules == 0:
         fail("no schedules explored")
     dedup_rate = dedup / schedules
@@ -42,30 +72,177 @@ def main() -> None:
             f" ({dedup}/{schedules})"
         )
 
-    memo = report["shared_memo"]
-    if memo["lookups"] == 0:
+    memo = need(report, "shared_memo", "report")
+    lookups = need(memo, "lookups", "shared_memo")
+    hits = need(memo, "hits", "shared_memo")
+    if lookups == 0:
         fail("shared verdict memo was never consulted")
-    memo_rate = memo["hits"] / memo["lookups"]
+    memo_rate = hits / lookups
     if memo_rate < MEMO_HIT_RATE_FLOOR:
         fail(
             f"memo hit rate {memo_rate:.3f} below floor {MEMO_HIT_RATE_FLOOR}"
-            f" ({memo['hits']}/{memo['lookups']})"
+            f" ({hits}/{lookups})"
         )
+    # Cross-run provenance, when present, must be consistent: every
+    # cross-run hit is a hit, and in-run + cross-run = hits.
+    if "cross_run_hits" in memo:
+        cross = memo["cross_run_hits"]
+        in_run = need(memo, "in_run_hits", "shared_memo")
+        if cross + in_run != hits:
+            fail(
+                f"memo hit provenance inconsistent: cross {cross} + in-run"
+                f" {in_run} != hits {hits}"
+            )
 
-    zoo = [r for r in report["rows"] if r["section"] == "zoo"]
-    models = {r["id"].split("/")[2] for r in zoo}
-    algos = {r["id"].split("/")[1] for r in zoo}
+    rows = need(report, "rows", "report")
+    zoo = [r for r in rows if need(r, "section", "rows[]") == "zoo"]
+    models = {need(r, "id", "rows[]").split("/")[2] for r in zoo}
+    algos = {need(r, "id", "rows[]").split("/")[1] for r in zoo}
     if len(models) < MIN_ZOO_MODELS:
         fail(f"zoo covers {len(models)} models, need >= {MIN_ZOO_MODELS}: {sorted(models)}")
     if len(algos) < MIN_ZOO_ALGOS:
         fail(f"zoo covers {len(algos)} STMs, need >= {MIN_ZOO_ALGOS}: {sorted(algos)}")
 
-    print(
-        "check_report_metrics: OK "
-        f"(dedup {dedup_rate:.3f} >= {DEDUP_RATE_FLOOR}, "
+    return (
+        f"dedup {dedup_rate:.3f} >= {DEDUP_RATE_FLOOR}, "
         f"memo {memo_rate:.3f} >= {MEMO_HIT_RATE_FLOOR}, "
-        f"zoo {len(algos)} STMs x {len(models)} models)"
+        f"zoo {len(algos)} STMs x {len(models)} models"
     )
+
+
+def check_trace(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except OSError as e:
+        fail(f"cannot read trace file {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"trace file {path} is not valid JSON: {e}")
+    events = need(trace, "traceEvents", "trace")
+    if not isinstance(events, list) or not events:
+        fail("trace 'traceEvents' is empty — recorder captured nothing")
+
+    last_ts = {}
+    depth = {}
+    cats = set()
+    for i, ev in enumerate(events):
+        for field in TRACE_EVENT_FIELDS:
+            if field not in ev:
+                fail(f"missing key '{field}' in section 'traceEvents[{i}]'")
+        tid = ev["tid"]
+        if ev["ts"] < last_ts.get(tid, 0):
+            fail(f"traceEvents[{i}]: ts {ev['ts']} not sorted within tid {tid}")
+        last_ts[tid] = ev["ts"]
+        ph = ev["ph"]
+        if ph == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+        elif ph == "E":
+            if depth.get(tid, 0) == 0:
+                fail(f"traceEvents[{i}]: E without matching B on tid {tid}")
+            depth[tid] -= 1
+        elif ph != "i":
+            fail(f"traceEvents[{i}]: unexpected phase {ph!r}")
+        cats.add(ev["cat"])
+    open_tids = sorted(t for t, d in depth.items() if d != 0)
+    if open_tids:
+        fail(f"unbalanced B/E durations left open on tids {open_tids}")
+    missing = TRACE_CATEGORIES - cats
+    if missing:
+        fail(f"trace is missing event categories: {sorted(missing)}")
+    return f"trace {len(events)} events, layers {sorted(cats)}"
+
+
+# ── self-test golden inputs ──────────────────────────────────────────
+
+def golden_report() -> dict:
+    return {
+        "rows": [
+            {"section": "zoo", "id": f"zoo/{a}/{m}", "pass": True}
+            for a in ["gl", "wt", "v", "s", "tl2"]
+            for m in ["SC", "TSO", "TSO+fwd", "PSO", "RMO", "Alpha", "Relaxed", "Junk-SC"]
+        ],
+        "metrics": {"mc": {"schedules": 1000, "dedup_hits": 980}},
+        "shared_memo": {
+            "hits": 500,
+            "lookups": 1000,
+            "cross_run_hits": 200,
+            "in_run_hits": 300,
+        },
+    }
+
+
+def self_test() -> int:
+    cases = []
+
+    ok = golden_report()
+    cases.append(("golden passes", ok, None))
+
+    broken = golden_report()
+    del broken["metrics"]["mc"]["dedup_hits"]
+    cases.append(
+        ("missing dedup_hits named", broken, "missing key 'dedup_hits' in section 'metrics.mc'")
+    )
+
+    broken = golden_report()
+    del broken["shared_memo"]
+    cases.append(
+        ("missing shared_memo named", broken, "missing key 'shared_memo' in section 'report'")
+    )
+
+    broken = golden_report()
+    broken["metrics"]["mc"]["dedup_hits"] = 10
+    cases.append(("low dedup rate fails", broken, "trace dedup rate"))
+
+    broken = golden_report()
+    broken["shared_memo"]["in_run_hits"] = 999
+    cases.append(("provenance mismatch fails", broken, "provenance inconsistent"))
+
+    broken = golden_report()
+    broken["rows"] = broken["rows"][:8]  # one algo only
+    cases.append(("zoo coverage fails", broken, "zoo covers"))
+
+    failures = 0
+    for name, report, want in cases:
+        try:
+            check_report(report)
+            got = None
+        except CheckFailure as e:
+            got = str(e)
+        if want is None:
+            if got is not None:
+                print(f"self-test: {name}: unexpected failure: {got}", file=sys.stderr)
+                failures += 1
+        elif got is None or want not in got:
+            print(f"self-test: {name}: wanted {want!r} in message, got {got!r}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"check_report_metrics: self-test FAILED ({failures} cases)", file=sys.stderr)
+        return 1
+    print(f"check_report_metrics: self-test OK ({len(cases)} cases)")
+    return 0
+
+
+def main() -> None:
+    argv = sys.argv[1:]
+    if "--self-test" in argv:
+        sys.exit(self_test())
+
+    trace_file = None
+    if "--trace-file" in argv:
+        i = argv.index("--trace-file")
+        if i + 1 >= len(argv):
+            print("check_report_metrics: --trace-file requires a path", file=sys.stderr)
+            sys.exit(2)
+        trace_file = argv[i + 1]
+
+    try:
+        summary = check_report(json.load(sys.stdin))
+        if trace_file is not None:
+            summary += "; " + check_trace(trace_file)
+    except CheckFailure as e:
+        print(f"check_report_metrics: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_report_metrics: OK ({summary})")
 
 
 if __name__ == "__main__":
