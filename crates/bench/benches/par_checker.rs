@@ -136,6 +136,8 @@ fn report_counters(_c: &mut Criterion) {
         memo_lookups: 0,
         zoo_models: 0,
         zoo_algos: 0,
+        replay_logs: 0,
+        shrink_rounds: 0,
         metrics: snap.to_json(),
     };
     // Bench binaries run with the package as CWD; anchor the default

@@ -14,8 +14,18 @@
 //! * `--trace <out.json>` — install the flight recorder for the whole
 //!   run (plus a small concurrent STM smoke so the `stm` category has
 //!   events) and export a Chrome-trace-event file loadable in Perfetto.
-//! * `--explain` — re-find each Theorem 1 counterexample and print the
-//!   explainer narrative: timeline, irreconcilable pair, class.
+//! * `--explain [id]` — re-find each Theorem 1 counterexample (or just
+//!   the experiment named by `id`) and print the explainer narrative:
+//!   timeline, irreconcilable pair, class. An unknown id is a named
+//!   error listing the valid experiment ids.
+//! * `--record <dir>` — capture one deterministic schedule log per
+//!   Theorem 1 construction (`<dir>/<id>.json`), delta-debug it to a
+//!   minimal still-violating log (`<dir>/<id>.min.json`), and
+//!   replay-verify both. Adds a `replay` section to `--json` output.
+//! * `--replay <file>` — re-execute a saved schedule log, verify the
+//!   recorded history fingerprint, and exit nonzero on divergence (a
+//!   focused mode: the full report is skipped). With `--explain`, also
+//!   narrate the replayed counterexample.
 //! * `--compare` — diff this run's headline counters against the last
 //!   ledger entry and exit nonzero on regressions beyond tolerances.
 //! * `--ledger <path>` — ledger location (default
@@ -25,7 +35,7 @@
 //!
 //! Run with: `cargo run --release -p jungle-bench --bin report`
 
-use jungle_core::model::{all_models, Pso, Sc, Tso};
+use jungle_core::model::all_models;
 use jungle_core::opacity::check_opacity_traced;
 use jungle_core::par::ParallelConfig;
 use jungle_core::registry::registry;
@@ -34,14 +44,15 @@ use jungle_mc::algos::{
     GlobalLockTm, LazyTl2Tm, StrongTm, TmAlgo as McAlgo, VersionedTm, WriteTxnTm,
 };
 use jungle_mc::cost::measure;
-use jungle_mc::explain::explain_experiment;
+use jungle_mc::explain::{explain_experiment, explain_trace};
 use jungle_mc::theorems::{
-    all_fixed_experiments, matched_zoo, thm1_case1, thm1_case2, thm1_case3, thm1_case4, Experiment,
+    all_fixed_experiments, experiment_by_id, experiment_ids, matched_zoo, thm1_suite, Experiment,
 };
 use jungle_mc::{SharedVerdictMemo, SweepSeeds};
 use jungle_obs::ledger::{self, LedgerEntry, Tolerances};
 use jungle_obs::trace::{self as flight, FlightRecorder};
 use jungle_obs::{Json, MetricsSnapshot, ToJson};
+use jungle_replay::{record_experiment, replay, shrink, ScheduleLog};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -69,8 +80,14 @@ impl ToJson for Row {
 struct Args {
     json: bool,
     explain: bool,
+    /// `--explain <id>`: narrate only this bundled experiment.
+    explain_id: Option<String>,
     compare: bool,
     trace: Option<PathBuf>,
+    /// `--record <dir>`: capture + shrink Theorem 1 schedule logs.
+    record: Option<PathBuf>,
+    /// `--replay <file>`: focused replay mode, skipping the report.
+    replay: Option<PathBuf>,
     ledger: PathBuf,
     memo_dir: PathBuf,
 }
@@ -79,12 +96,15 @@ fn parse_args() -> Args {
     let mut args = Args {
         json: false,
         explain: false,
+        explain_id: None,
         compare: false,
         trace: None,
+        record: None,
+        replay: None,
         ledger: PathBuf::from(".jungle/ledger.jsonl"),
         memo_dir: PathBuf::from(".jungle/memo"),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
             it.next().unwrap_or_else(|| {
@@ -94,9 +114,19 @@ fn parse_args() -> Args {
         };
         match a.as_str() {
             "--json" => args.json = true,
-            "--explain" => args.explain = true,
+            "--explain" => {
+                args.explain = true;
+                // Optional value: the id of one bundled experiment.
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        args.explain_id = it.next();
+                    }
+                }
+            }
             "--compare" => args.compare = true,
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
+            "--record" => args.record = Some(PathBuf::from(value("--record"))),
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
             "--ledger" => args.ledger = PathBuf::from(value("--ledger")),
             "--memo-dir" => args.memo_dir = PathBuf::from(value("--memo-dir")),
             other => {
@@ -106,6 +136,107 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Resolve an `--explain`/`--replay` experiment id, or exit with a
+/// named error listing every valid id.
+fn resolve_experiment(id: &str) -> Experiment {
+    experiment_by_id(id).unwrap_or_else(|| {
+        eprintln!("error: no bundled experiment with id '{id}'");
+        eprintln!("valid ids:");
+        for valid in experiment_ids() {
+            eprintln!("  {valid}");
+        }
+        std::process::exit(2);
+    })
+}
+
+/// `report --replay <file>`: re-execute a saved schedule log on the
+/// experiment it was recorded against, verify the recorded history
+/// fingerprint, and (with `--explain`) narrate the replayed
+/// counterexample. Exits nonzero on divergence or a fingerprint
+/// mismatch.
+fn replay_mode(args: &Args, path: &std::path::Path) -> ! {
+    let log = ScheduleLog::load(path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let Some(id) = log.experiment.clone() else {
+        eprintln!(
+            "error: {} names no bundled experiment; cannot resolve a program to replay on",
+            path.display()
+        );
+        std::process::exit(2);
+    };
+    let exp = resolve_experiment(&id);
+    let out = replay(&log, &exp);
+    let mut j = Json::obj();
+    j.push("file", path.display().to_string().as_str().into())
+        .push("experiment", id.as_str().into())
+        .push("model", log.model.as_str().into())
+        .push("decisions", log.decisions.len().into())
+        .push("recorded_fingerprint", log.fingerprint.into())
+        .push("replayed_fingerprint", out.fingerprint.into())
+        .push("completed", out.completed.into())
+        .push("matches", out.matches.into())
+        .push("violating", out.violating.into())
+        .push("steps", out.steps.into());
+    if let Some(d) = out.divergence {
+        let mut dj = Json::obj();
+        dj.push("step", d.step.into())
+            .push("expected_options", d.expected_options.into())
+            .push("actual_options", d.actual_options.into())
+            .push("expected_action", d.expected_action.into())
+            .push("actual_action", d.actual_action.into());
+        j.push("divergence", dj);
+    }
+    let explanation = if args.explain {
+        out.trace
+            .as_ref()
+            .and_then(|t| explain_trace(t, exp.entry.model, exp.kind).ok())
+    } else {
+        None
+    };
+    if let Some(ex) = &explanation {
+        j.push(
+            "class",
+            match ex.class {
+                Some(c) => c.name().into(),
+                None => Json::Null,
+            },
+        );
+    }
+    if args.json {
+        println!("{j}");
+    } else {
+        println!(
+            "replayed {} on {} ({} decisions): {}",
+            path.display(),
+            id,
+            log.decisions.len(),
+            if out.matches {
+                "fingerprint reproduced"
+            } else if !out.completed {
+                "run truncated"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if let Some(d) = out.divergence {
+            println!(
+                "  first divergence at step {}: expected action {:#x} of {} options, got {:#x} of {}",
+                d.step, d.expected_action, d.expected_options, d.actual_action, d.actual_options
+            );
+        }
+        println!(
+            "  recorded fingerprint {:#x}, replayed {:#x}, violating: {}",
+            log.fingerprint, out.fingerprint, out.violating
+        );
+        if let Some(ex) = &explanation {
+            println!("\n{}", ex.render());
+        }
+    }
+    std::process::exit(if out.matches { 0 } else { 1 });
 }
 
 fn git_rev() -> String {
@@ -153,19 +284,17 @@ fn stm_smoke() {
     });
 }
 
-/// The four Theorem 1 constructions, each with the model its class
-/// membership makes irreconcilable.
-fn thm1_suite() -> Vec<Experiment> {
-    vec![
-        thm1_case1(&Sc),
-        thm1_case2(&Sc),
-        thm1_case3(&Pso),
-        thm1_case4(&Tso),
-    ]
-}
-
 fn main() {
     let args = parse_args();
+    if let Some(path) = args.replay.clone() {
+        replay_mode(&args, &path);
+    }
+    // Validate `--explain <id>` up front so a typo fails before the
+    // multi-second report run, with the valid ids listed.
+    let explain_targets: Option<Vec<Experiment>> = args.explain.then(|| match &args.explain_id {
+        Some(id) => vec![resolve_experiment(id)],
+        None => thm1_suite(),
+    });
     let json = args.json;
     let t_start = std::time::Instant::now();
 
@@ -365,12 +494,12 @@ fn main() {
 
     // ── Counterexample explanations (--explain) ───────────────────
     let mut explanations: Vec<Json> = Vec::new();
-    if args.explain {
+    if let Some(targets) = &explain_targets {
         if !json {
             println!("\n════ Theorem 1 counterexamples, explained ════\n");
         }
-        for e in thm1_suite() {
-            match explain_experiment(&e, SweepSeeds::new(0, 2_000), 8_000) {
+        for e in targets {
+            match explain_experiment(e, SweepSeeds::new(0, 2_000), 8_000) {
                 Some(ex) => {
                     if !json {
                         println!("── {} ({}) ──", e.id, e.paper_ref);
@@ -403,6 +532,110 @@ fn main() {
                 }
             }
         }
+    }
+
+    // ── Schedule capture → shrink → replay (--record) ─────────────
+    let mut replay_section: Option<Json> = None;
+    let mut replay_logs = 0u64;
+    let mut shrink_rounds_total = 0u64;
+    if let Some(dir) = &args.record {
+        if !json {
+            println!("\n════ Recorded schedules: capture → shrink → replay ════\n");
+        }
+        let mut log_entries: Vec<Json> = Vec::new();
+        for e in thm1_suite() {
+            let Some(rec) = record_experiment(&e, SweepSeeds::new(0, 2_000), 8_000) else {
+                rows.push(Row {
+                    section: "replay",
+                    id: e.id.clone(),
+                    expected: "violating schedule recorded",
+                    observed: "no violation within sweep".into(),
+                    pass: false,
+                });
+                continue;
+            };
+            let (min, stats) = shrink(&rec.log, &e);
+            let raw_out = replay(&rec.log, &e);
+            let min_out = replay(&min, &e);
+            let class_matches = rec.log.class.is_some() && rec.log.class == min.class;
+            let stem = e.id.replace('/', "-");
+            let raw_path = dir.join(format!("{stem}.json"));
+            let min_path = dir.join(format!("{stem}.min.json"));
+            for (path, log) in [(&raw_path, &rec.log), (&min_path, &min)] {
+                if let Err(err) = log.save(path) {
+                    eprintln!("could not write schedule log {}: {err}", path.display());
+                    std::process::exit(1);
+                }
+            }
+            replay_logs += 1;
+            shrink_rounds_total += stats.rounds;
+            let pass = raw_out.matches
+                && raw_out.violating
+                && min_out.matches
+                && min_out.violating
+                && class_matches;
+            if !json {
+                println!(
+                    "  {:<22} {:>5} decisions → {:>4} ({} rounds, {} candidates), class {} → {}: {}",
+                    e.id,
+                    stats.initial_decisions,
+                    stats.final_decisions,
+                    stats.rounds,
+                    stats.candidates,
+                    rec.log.class.as_deref().unwrap_or("?"),
+                    min.class.as_deref().unwrap_or("?"),
+                    if pass { "replay OK" } else { "FAIL" },
+                );
+            }
+            let mut j = Json::obj();
+            j.push("id", e.id.as_str().into())
+                .push("model", min.model.as_str().into())
+                .push(
+                    "seed",
+                    match rec.log.seed {
+                        Some(s) => s.into(),
+                        None => Json::Null,
+                    },
+                )
+                .push("decisions", rec.log.decisions.len().into())
+                .push("shrunk_decisions", min.decisions.len().into())
+                .push("fingerprint", rec.log.fingerprint.into())
+                .push("shrunk_fingerprint", min.fingerprint.into())
+                .push("replay_matches", raw_out.matches.into())
+                .push("shrunk_replay_matches", min_out.matches.into())
+                .push("shrunk_violating", min_out.violating.into())
+                .push("shrink_rounds", stats.rounds.into())
+                .push("shrink_candidates", stats.candidates.into())
+                .push(
+                    "class",
+                    match &rec.log.class {
+                        Some(c) => c.as_str().into(),
+                        None => Json::Null,
+                    },
+                )
+                .push("class_matches", class_matches.into())
+                .push("file", raw_path.display().to_string().as_str().into())
+                .push("min_file", min_path.display().to_string().as_str().into());
+            log_entries.push(j);
+            rows.push(Row {
+                section: "replay",
+                id: e.id.clone(),
+                expected: "replay reproduces; shrunk log keeps class",
+                observed: format!(
+                    "{} → {} decisions, class {}",
+                    stats.initial_decisions,
+                    stats.final_decisions,
+                    min.class.as_deref().unwrap_or("?")
+                ),
+                pass,
+            });
+        }
+        let mut sec = Json::obj();
+        sec.push("dir", dir.display().to_string().as_str().into())
+            .push("recorded", replay_logs.into())
+            .push("shrink_rounds", shrink_rounds_total.into())
+            .push("logs", Json::Arr(log_entries));
+        replay_section = Some(sec);
     }
 
     // ── STM smoke under the flight recorder ───────────────────────
@@ -444,6 +677,8 @@ fn main() {
         memo_lookups: memo.lookups(),
         zoo_models: zoo_models.len() as u64,
         zoo_algos: zoo_algos.len() as u64,
+        replay_logs,
+        shrink_rounds: shrink_rounds_total,
         metrics: metrics.to_json(),
     };
     if let Err(e) = ledger::append(&args.ledger, &entry) {
@@ -524,6 +759,9 @@ fn main() {
         .push("ledger_entry", entry.to_json());
         if args.explain {
             out.push("explanations", Json::Arr(explanations));
+        }
+        if let Some(sec) = replay_section {
+            out.push("replay", sec);
         }
         if args.compare {
             out.push(

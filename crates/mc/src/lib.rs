@@ -47,8 +47,9 @@ pub use algos::{
 pub use explain::{explain_experiment, explain_history, explain_trace, Explanation, TheoremClass};
 pub use jungle_core::registry::{entry, registry, ExecSemantics, ModelEntry, StoreDiscipline};
 pub use program::{Program, Stmt, ThreadProg, TxOp};
+pub use theorems::{experiment_by_id, experiment_ids, thm1_suite, Expectation, Experiment};
 pub use verify::{
     check_all_traces, check_all_traces_par, check_all_traces_shared, check_random,
-    check_random_par, check_random_shared, find_violation, find_violation_par, trace_satisfies,
-    CheckKind, SharedVerdictMemo, SweepSeeds, Verdict,
+    check_random_par, check_random_shared, find_violation, find_violation_par, machine_for,
+    scheduler_for_seed, trace_satisfies, CheckKind, SharedVerdictMemo, SweepSeeds, Verdict,
 };

@@ -565,6 +565,34 @@ pub fn all_fixed_experiments() -> Vec<Experiment> {
     ]
 }
 
+/// The four Theorem 1 constructions, each paired with the model whose
+/// restriction-class membership makes the construction irreconcilable:
+/// Mrr under SC, Mwr under SC, Mrw under PSO, Mww under TSO. This is
+/// the suite `report --explain` narrates and `report --record`
+/// captures.
+pub fn thm1_suite() -> Vec<Experiment> {
+    vec![
+        thm1_case1(&Sc),
+        thm1_case2(&Sc),
+        thm1_case3(&Pso),
+        thm1_case4(&Tso),
+    ]
+}
+
+/// Look up a bundled fixed experiment by its `id` (e.g.
+/// `"thm1-case1/SC"`). This is how `report --replay` resolves the
+/// experiment a schedule log was recorded against back to a concrete
+/// program/algorithm/model triple.
+pub fn experiment_by_id(id: &str) -> Option<Experiment> {
+    all_fixed_experiments().into_iter().find(|e| e.id == id)
+}
+
+/// The ids of every bundled fixed experiment, for error messages that
+/// must list the valid keys.
+pub fn experiment_ids() -> Vec<String> {
+    all_fixed_experiments().into_iter().map(|e| e.id).collect()
+}
+
 /// Enumerate *all* two-thread programs where each thread runs one
 /// statement drawn from a small grammar (non-transactional read/write
 /// of x or y, or a one/two-operation committing transaction). Small-
@@ -794,6 +822,19 @@ mod tests {
         e.exhaustive = false;
         let r = e.run(SweepSeeds::new(0, 60), 20_000);
         assert!(r.passed, "{}", r.detail);
+    }
+
+    #[test]
+    fn experiment_lookup_by_id() {
+        let e = experiment_by_id("thm1-case1/SC").expect("bundled id resolves");
+        assert_eq!(e.id, "thm1-case1/SC");
+        assert!(experiment_by_id("nonesuch").is_none());
+        let ids = experiment_ids();
+        assert_eq!(ids.len(), all_fixed_experiments().len());
+        // Every thm1_suite experiment is resolvable by id.
+        for e in thm1_suite() {
+            assert!(ids.contains(&e.id), "{} not in fixed ids", e.id);
+        }
     }
 
     #[test]

@@ -461,6 +461,26 @@ fn build_machine(program: &Program, algo: &dyn TmAlgo, hw: HwModel) -> Machine {
     Machine::new(hw, procs)
 }
 
+/// Build the simulated machine for `program` under `algo` on `hw` —
+/// the exact construction every sweep in this module uses. Public so
+/// the record/replay engine (`jungle-replay`) re-executes schedule logs
+/// on machines identical to the ones that produced them.
+pub fn machine_for(program: &Program, algo: &dyn TmAlgo, hw: HwModel) -> Machine {
+    build_machine(program, algo, hw)
+}
+
+/// The scheduler the randomized sweeps use for `seed`: even seeds get a
+/// uniform [`RandomScheduler`], odd seeds a [`BurstyScheduler`] (bursts
+/// hit the paper's tight Figure 5 windows). Public so a recording run
+/// can reconstruct the exact sweep schedule for any seed.
+pub fn scheduler_for_seed(seed: u64) -> Box<dyn Scheduler> {
+    if seed.is_multiple_of(2) {
+        Box::new(RandomScheduler::new(seed))
+    } else {
+        Box::new(BurstyScheduler::new(seed))
+    }
+}
+
 /// Exhaustively explore every schedule of `program` under `algo` on
 /// `entry`'s execution semantics, checking each completed trace against
 /// `entry`'s memory model once per structural equivalence class (see
@@ -758,11 +778,7 @@ pub fn check_random_shared(
                         if seed > best_seed.load(Ordering::Relaxed) {
                             continue;
                         }
-                        let mut sched: Box<dyn Scheduler> = if seed % 2 == 0 {
-                            Box::new(RandomScheduler::new(seed))
-                        } else {
-                            Box::new(BurstyScheduler::new(seed))
-                        };
+                        let mut sched = scheduler_for_seed(seed);
                         let r =
                             build_machine(program, algo, entry.exec).run(sched.as_mut(), max_steps);
                         local.runs += 1;
@@ -832,11 +848,7 @@ fn check_random_serial(
         // Alternate uniform and bursty schedules: uniform explores
         // diffuse interleavings, bursts hit the tight windows of the
         // Figure 5 constructions.
-        let mut sched: Box<dyn Scheduler> = if seed % 2 == 0 {
-            Box::new(RandomScheduler::new(seed))
-        } else {
-            Box::new(BurstyScheduler::new(seed))
-        };
+        let mut sched = scheduler_for_seed(seed);
         let r = build_machine(program, algo, entry.exec).run(sched.as_mut(), max_steps);
         verdict.runs += 1;
         verdict.stats.schedules += 1;

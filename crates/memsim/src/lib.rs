@@ -56,4 +56,7 @@ pub use cpu::{GlobalMem, HwModel, PendingStore, ReorderEngine, StoreBuffer, MAX_
 pub use jungle_core::registry::{ExecSemantics, StoreDiscipline};
 pub use machine::{explore, ExploreOutcome, Machine, RunResult};
 pub use process::{PInstr, Process, Step};
-pub use sched::{BurstyScheduler, DirectedScheduler, ExhaustiveCursor, RandomScheduler, Scheduler};
+pub use sched::{
+    Action, BurstyScheduler, ChoicePoint, DirectedScheduler, Divergence, ExhaustiveCursor,
+    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler,
+};

@@ -4,6 +4,7 @@
 //! enabled [`Action`]s (execute a CPU's next program step, or drain one
 //! of its buffered stores) and asks the scheduler to pick one.
 
+use jungle_obs::trace::{self, EventKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,6 +39,20 @@ pub enum Action {
         /// Index into the admissible version list (0 = newest).
         version: usize,
     },
+}
+
+impl Action {
+    /// Pack the action into one `u64` for portable schedule logs and
+    /// flight-recorder arguments: `kind << 32 | cpu << 16 | arg`, where
+    /// `arg` is the drain buffer index or the read-version index.
+    pub fn encode(self) -> u64 {
+        let (kind, cpu, arg) = match self {
+            Action::Exec { cpu } => (1u64, cpu, 0),
+            Action::Drain { cpu, idx } => (2u64, cpu, idx),
+            Action::ReadVersion { cpu, version } => (3u64, cpu, version),
+        };
+        (kind << 32) | ((cpu as u64 & 0xffff) << 16) | (arg as u64 & 0xffff)
+    }
 }
 
 /// Chooses among enabled actions.
@@ -189,6 +204,142 @@ impl Scheduler for ExhaustiveCursor {
     }
 }
 
+// ── record / replay ──────────────────────────────────────────────────
+
+/// One recorded scheduler decision: which index was chosen out of how
+/// many options, and the [`Action::encode`]d action it selected.
+///
+/// The `options` count and encoded `action` are redundant with `chosen`
+/// for the run that produced them — they exist so a replay on a changed
+/// machine can detect *where* the choice lists stopped matching instead
+/// of silently taking a different schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChoicePoint {
+    /// Index chosen from the action list.
+    pub chosen: usize,
+    /// Length of the action list at this choose point.
+    pub options: usize,
+    /// [`Action::encode`] of the chosen action.
+    pub action: u64,
+}
+
+/// Transparent wrapper that forwards every `choose` to an inner
+/// scheduler while logging a [`ChoicePoint`] per call. The recorded
+/// log replayed through a [`ReplayScheduler`] on the same machine
+/// reproduces the run exactly.
+pub struct RecordingScheduler<'a> {
+    inner: &'a mut dyn Scheduler,
+    log: Vec<ChoicePoint>,
+}
+
+impl<'a> RecordingScheduler<'a> {
+    /// Wrap `inner`, recording every decision it makes.
+    pub fn new(inner: &'a mut dyn Scheduler) -> Self {
+        RecordingScheduler {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The decisions recorded so far.
+    pub fn log(&self) -> &[ChoicePoint] {
+        &self.log
+    }
+
+    /// Consume the wrapper, returning the recorded decisions.
+    pub fn into_log(self) -> Vec<ChoicePoint> {
+        self.log
+    }
+}
+
+impl Scheduler for RecordingScheduler<'_> {
+    fn choose(&mut self, actions: &[Action]) -> usize {
+        let chosen = self.inner.choose(actions).min(actions.len() - 1);
+        self.log.push(ChoicePoint {
+            chosen,
+            options: actions.len(),
+            action: actions[chosen].encode(),
+        });
+        chosen
+    }
+}
+
+/// The first point where a replayed run stopped matching its recording.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Divergence {
+    /// Index of the diverging choose point (0-based).
+    pub step: usize,
+    /// Option count the recording saw at this point.
+    pub expected_options: usize,
+    /// Option count the replayed machine offered.
+    pub actual_options: usize,
+    /// Encoded action the recording chose.
+    pub expected_action: u64,
+    /// Encoded action the replay ended up taking.
+    pub actual_action: u64,
+}
+
+/// Deterministically re-executes a recorded decision sequence.
+///
+/// Each `choose` plays the next recorded index (clamped to the offered
+/// list); past the end of the script it picks 0, so shrunk logs — which
+/// are *prefixes with holes* of the original — still drive a complete
+/// run. The first choose point whose offered option count or selected
+/// action encoding differs from the recording is captured in
+/// [`divergence`](Self::divergence); the replay continues past it (the
+/// caller decides whether a diverged run is still useful).
+pub struct ReplayScheduler {
+    script: Vec<ChoicePoint>,
+    pos: usize,
+    divergence: Option<Divergence>,
+}
+
+impl ReplayScheduler {
+    /// A scheduler that replays `script`.
+    pub fn new(script: Vec<ChoicePoint>) -> Self {
+        ReplayScheduler {
+            script,
+            pos: 0,
+            divergence: None,
+        }
+    }
+
+    /// The first mismatch between the recording and this replay, if any.
+    pub fn divergence(&self) -> Option<Divergence> {
+        self.divergence
+    }
+
+    /// How many choose points have been served (scripted or default).
+    pub fn steps_replayed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn choose(&mut self, actions: &[Action]) -> usize {
+        let step = self.pos;
+        self.pos += 1;
+        let Some(cp) = self.script.get(step).copied() else {
+            // Past the recorded tail: deterministic default.
+            return 0;
+        };
+        let chosen = cp.chosen.min(actions.len() - 1);
+        let actual = actions[chosen].encode();
+        trace::emit(EventKind::ReplayStep, step as u64, actual);
+        if self.divergence.is_none() && (cp.options != actions.len() || cp.action != actual) {
+            self.divergence = Some(Divergence {
+                step,
+                expected_options: cp.options,
+                actual_options: actions.len(),
+                expected_action: cp.action,
+                actual_action: actual,
+            });
+            trace::emit(EventKind::ReplayDivergence, step as u64, cp.action);
+        }
+        chosen
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +364,77 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(a.choose(&acts(4)), b.choose(&acts(4)));
         }
+    }
+
+    #[test]
+    fn action_encodings_are_distinct() {
+        let all = [
+            Action::Exec { cpu: 0 },
+            Action::Exec { cpu: 1 },
+            Action::Drain { cpu: 0, idx: 0 },
+            Action::Drain { cpu: 0, idx: 1 },
+            Action::Drain { cpu: 1, idx: 0 },
+            Action::ReadVersion { cpu: 0, version: 0 },
+            Action::ReadVersion { cpu: 0, version: 1 },
+        ];
+        let codes: std::collections::HashSet<u64> = all.iter().map(|a| a.encode()).collect();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn recording_is_transparent_and_replays_identically() {
+        let mut base = RandomScheduler::new(7);
+        let mut rec = RecordingScheduler::new(&mut base);
+        let picks: Vec<usize> = (0..16).map(|i| rec.choose(&acts(2 + i % 3))).collect();
+        let log = rec.into_log();
+        assert_eq!(log.len(), 16);
+        // The recording must match what the bare scheduler would do.
+        let mut bare = RandomScheduler::new(7);
+        let bare_picks: Vec<usize> = (0..16).map(|i| bare.choose(&acts(2 + i % 3))).collect();
+        assert_eq!(picks, bare_picks);
+        // And a replay of the log reproduces the same picks.
+        let mut rep = ReplayScheduler::new(log);
+        let rep_picks: Vec<usize> = (0..16).map(|i| rep.choose(&acts(2 + i % 3))).collect();
+        assert_eq!(picks, rep_picks);
+        assert!(rep.divergence().is_none());
+        assert_eq!(rep.steps_replayed(), 16);
+    }
+
+    #[test]
+    fn replay_defaults_to_zero_past_script_end() {
+        let mut rep = ReplayScheduler::new(vec![ChoicePoint {
+            chosen: 1,
+            options: 3,
+            action: Action::Exec { cpu: 1 }.encode(),
+        }]);
+        assert_eq!(rep.choose(&acts(3)), 1);
+        assert_eq!(rep.choose(&acts(3)), 0);
+        assert!(rep.divergence().is_none());
+    }
+
+    #[test]
+    fn replay_detects_first_divergence() {
+        let log = vec![
+            ChoicePoint {
+                chosen: 0,
+                options: 2,
+                action: Action::Exec { cpu: 0 }.encode(),
+            },
+            ChoicePoint {
+                chosen: 1,
+                options: 4, // recording saw 4 options; replay will offer 2
+                action: Action::Exec { cpu: 3 }.encode(),
+            },
+        ];
+        let mut rep = ReplayScheduler::new(log);
+        rep.choose(&acts(2));
+        rep.choose(&acts(2));
+        let d = rep.divergence().expect("must diverge at step 1");
+        assert_eq!(d.step, 1);
+        assert_eq!(d.expected_options, 4);
+        assert_eq!(d.actual_options, 2);
+        assert_eq!(d.expected_action, Action::Exec { cpu: 3 }.encode());
+        assert_eq!(d.actual_action, Action::Exec { cpu: 1 }.encode());
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct LedgerEntry {
     pub zoo_models: u64,
     /// Distinct STM algorithms covered by the matched zoo.
     pub zoo_algos: u64,
+    /// Schedule logs recorded and replay-verified this run (0 when the
+    /// run did not record).
+    pub replay_logs: u64,
+    /// Total shrinker rounds spent minimizing recorded logs.
+    pub shrink_rounds: u64,
     /// The run's full metrics snapshot (or `Json::Null` for sources
     /// that only report headline counters).
     pub metrics: Json,
@@ -84,6 +89,10 @@ impl LedgerEntry {
             memo_lookups: num("memo_lookups")?,
             zoo_models: num("zoo_models")?,
             zoo_algos: num("zoo_algos")?,
+            // Added after the first ledger format: default to 0 so
+            // entries written before record/replay existed still parse.
+            replay_logs: j.get("replay_logs").and_then(Json::as_u64).unwrap_or(0),
+            shrink_rounds: j.get("shrink_rounds").and_then(Json::as_u64).unwrap_or(0),
             metrics: j.get("metrics").cloned().unwrap_or(Json::Null),
         })
     }
@@ -102,6 +111,8 @@ impl ToJson for LedgerEntry {
             .push("memo_lookups", self.memo_lookups.into())
             .push("zoo_models", self.zoo_models.into())
             .push("zoo_algos", self.zoo_algos.into())
+            .push("replay_logs", self.replay_logs.into())
+            .push("shrink_rounds", self.shrink_rounds.into())
             .push("metrics", self.metrics.clone());
         j
     }
@@ -241,6 +252,8 @@ mod tests {
             memo_lookups: 1_000,
             zoo_models: 8,
             zoo_algos: 5,
+            replay_logs: 4,
+            shrink_rounds: 12,
             metrics: Json::Null,
         }
     }
@@ -261,6 +274,20 @@ mod tests {
         }
         let err = LedgerEntry::from_json(&j).unwrap_err();
         assert!(err.contains("'schedules'"), "{err}");
+    }
+
+    #[test]
+    fn pre_replay_entries_still_parse() {
+        // Entries written before the replay fields existed must load
+        // with the fields defaulted, not error.
+        let mut j = entry().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "replay_logs" && k != "shrink_rounds");
+        }
+        let back = LedgerEntry::from_json(&j).unwrap();
+        assert_eq!(back.replay_logs, 0);
+        assert_eq!(back.shrink_rounds, 0);
+        assert_eq!(back.schedules, entry().schedules);
     }
 
     #[test]

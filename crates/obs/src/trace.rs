@@ -5,8 +5,10 @@
 //! checkers (node enter/leave, backtrack, prune, memo hits, prefix
 //! claims, cancellation), the model-checking sweeps (dedup and verdict
 //! memo hits, schedules), the simulated machine (store drains, stale
-//! loads, forwarding, CAS fences) and the executable STMs (begin /
-//! commit / abort / CAS failure). Recording follows the same
+//! loads, forwarding, CAS fences), the executable STMs (begin /
+//! commit / abort / CAS failure) and the record/replay engine (replay
+//! begin, replayed steps, divergence, shrinker rounds). Recording
+//! follows the same
 //! zero-cost-when-off discipline as the `Option<Arc<TmMetrics>>`
 //! counters: event sites call [`emit`], which is a single relaxed
 //! atomic load returning immediately unless a [`FlightRecorder`] has
@@ -100,10 +102,24 @@ pub enum EventKind {
     TxnAbort = 21,
     /// A CAS inside an STM operation lost its race (`a` = process id).
     StmCasFail = 22,
+    // ── replay layer ─────────────────────────────────────────────
+    /// A schedule-log replay started (`a` = decision count, `b` =
+    /// recorded fingerprint).
+    ReplayBegin = 23,
+    /// A replayed choose point was served (`a` = step index, `b` =
+    /// encoded action taken).
+    ReplayStep = 24,
+    /// The replay stopped matching its recording (`a` = step index,
+    /// `b` = encoded action the recording expected).
+    ReplayDivergence = 25,
+    /// A shrinker round finished (`a` = round, `b` = surviving
+    /// decision count).
+    ShrinkRound = 26,
 }
 
 impl EventKind {
-    /// Layer category, one of `"checker"`, `"mc"`, `"memsim"`, `"stm"`.
+    /// Layer category, one of `"checker"`, `"mc"`, `"memsim"`, `"stm"`,
+    /// `"replay"`.
     pub fn cat(self) -> &'static str {
         use EventKind::*;
         match self {
@@ -112,6 +128,7 @@ impl EventKind {
             McSchedule | McDedupHit | McMemoHit | McHistoryChecked | McViolation => "mc",
             StoreDrain | StaleLoad | StoreForward | CasFence => "memsim",
             TxnBegin | TxnCommit | TxnAbort | StmCasFail => "stm",
+            ReplayBegin | ReplayStep | ReplayDivergence | ShrinkRound => "replay",
         }
     }
 
@@ -139,6 +156,10 @@ impl EventKind {
             CasFence => "cas_fence",
             TxnBegin | TxnCommit | TxnAbort => "txn",
             StmCasFail => "cas_fail",
+            ReplayBegin => "replay_begin",
+            ReplayStep => "replay_step",
+            ReplayDivergence => "replay_divergence",
+            ShrinkRound => "shrink_round",
         }
     }
 
@@ -177,6 +198,10 @@ impl EventKind {
             20 => TxnCommit,
             21 => TxnAbort,
             22 => StmCasFail,
+            23 => ReplayBegin,
+            24 => ReplayStep,
+            25 => ReplayDivergence,
+            26 => ShrinkRound,
             _ => return None,
         })
     }
@@ -529,10 +554,11 @@ mod tests {
         r.record(EventKind::McDedupHit, 0, 0);
         r.record(EventKind::StoreDrain, 0, 0);
         r.record(EventKind::StmCasFail, 0, 0);
+        r.record(EventKind::ReplayStep, 0, 0);
         let cats: std::collections::HashSet<&'static str> =
             r.events().iter().map(|e| e.kind.cat()).collect();
-        assert_eq!(cats.len(), 4);
-        for c in ["checker", "mc", "memsim", "stm"] {
+        assert_eq!(cats.len(), 5);
+        for c in ["checker", "mc", "memsim", "stm", "replay"] {
             assert!(cats.contains(c), "missing {c}");
         }
     }

@@ -1,0 +1,170 @@
+//! Replay determinism and shrinker correctness.
+//!
+//! The core contract: recording any machine run and replaying the log
+//! on the same program/model must reproduce the *identical* trace —
+//! same structural fingerprint, no divergence — for every entry in the
+//! model registry and any process count. The shrinker's contract: the
+//! minimized log still replays to a violating run, is never longer
+//! than the original, and classifies under the same Theorem 1 class.
+
+use jungle_core::ids::{X, Y};
+use jungle_mc::algos::GlobalLockTm;
+use jungle_mc::theorems::{lemma1, thm1_case1, thm1_case3};
+use jungle_mc::{machine_for, registry, CheckKind, Program, Stmt, SweepSeeds, ThreadProg, TxOp};
+use jungle_memsim::{RandomScheduler, RecordingScheduler};
+use jungle_replay::{record_experiment, replay, replay_on, shrink, ScheduleLog, FORMAT_VERSION};
+use proptest::prelude::*;
+
+const MAX_STEPS: usize = 20_000;
+
+/// A small program with `procs` simulated processes mixing
+/// transactional and plain accesses.
+fn program(procs: usize) -> Program {
+    let threads = (0..procs)
+        .map(|i| match i % 4 {
+            0 => ThreadProg(vec![
+                Stmt::txn(vec![TxOp::Write(X, 1), TxOp::Write(Y, 2)]),
+                Stmt::NtRead(X),
+            ]),
+            1 => ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(Y)]),
+            2 => ThreadProg(vec![Stmt::NtWrite(Y, 7), Stmt::NtRead(Y)]),
+            _ => ThreadProg(vec![Stmt::txn(vec![TxOp::Read(X)])]),
+        })
+        .collect();
+    Program(threads)
+}
+
+/// Record one seeded run of `program` on a registry entry and wrap the
+/// decisions into a log.
+fn record_run(p: &Program, entry: &jungle_mc::ModelEntry, seed: u64) -> Option<ScheduleLog> {
+    let mut base = RandomScheduler::new(seed);
+    let mut rec = RecordingScheduler::new(&mut base);
+    let r = machine_for(p, &GlobalLockTm, entry.exec).run(&mut rec, MAX_STEPS);
+    if !r.completed {
+        return None;
+    }
+    Some(ScheduleLog {
+        version: FORMAT_VERSION,
+        experiment: None,
+        model: entry.key.to_string(),
+        kind: CheckKind::Opacity,
+        seed: Some(seed),
+        max_steps: MAX_STEPS,
+        fingerprint: r.trace.cache_key(),
+        violating: false,
+        class: None,
+        decisions: rec.into_log(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Record → replay reproduces the identical history fingerprint for
+    /// all 8 registry entries at 1, 2 and 4 simulated procs.
+    #[test]
+    fn record_replay_fingerprints_agree(seed in 0u64..1_000) {
+        prop_assert_eq!(registry().len(), 8, "registry grew; extend this sweep");
+        for entry in registry() {
+            for procs in [1usize, 2, 4] {
+                let p = program(procs);
+                let Some(log) = record_run(&p, entry, seed) else { continue };
+                let out = replay_on(&log, &p, &GlobalLockTm, entry, CheckKind::Opacity);
+                prop_assert!(
+                    out.completed,
+                    "replay truncated under {} at {} procs", entry.key, procs
+                );
+                prop_assert!(
+                    out.divergence.is_none(),
+                    "replay diverged under {} at {} procs: {:?}",
+                    entry.key, procs, out.divergence
+                );
+                prop_assert_eq!(
+                    out.fingerprint, log.fingerprint,
+                    "fingerprint changed under {} at {} procs", entry.key, procs
+                );
+                prop_assert!(out.matches);
+            }
+        }
+    }
+}
+
+#[test]
+fn tampered_log_reports_divergence() {
+    let e = registry().iter().find(|e| e.key == "SC").unwrap();
+    let p = program(2);
+    let log = record_run(&p, e, 3).expect("SC runs complete");
+    assert!(log.decisions.len() > 4, "need a mid-run decision to tamper");
+    let mut tampered = log.clone();
+    let mid = tampered.decisions.len() / 2;
+    tampered.decisions[mid].action ^= 0xffff_0000_0000; // impossible encoding
+    let out = replay_on(&tampered, &p, &GlobalLockTm, e, CheckKind::Opacity);
+    let d = out.divergence.expect("tampered action must be flagged");
+    assert_eq!(d.step, mid);
+    assert!(!out.matches);
+    // The untampered log still matches.
+    assert!(replay_on(&log, &p, &GlobalLockTm, e, CheckKind::Opacity).matches);
+}
+
+#[test]
+fn recorded_violation_replays_and_shrinks() {
+    // Lemma 1 violates on nearly every schedule, so recording is cheap.
+    let exp = lemma1();
+    let rec = record_experiment(&exp, SweepSeeds::new(0, 50), 4_000)
+        .expect("lemma1 must violate within 50 seeds");
+    assert!(rec.log.violating);
+    assert_eq!(rec.log.fingerprint, rec.trace.cache_key());
+    assert_eq!(rec.log.experiment.as_deref(), Some("lemma1"));
+
+    // Replaying the raw log reproduces the identical violating history.
+    let out = replay(&rec.log, &exp);
+    assert!(out.matches, "divergence: {:?}", out.divergence);
+    assert!(out.violating);
+
+    // The minimized log still violates and is no longer than the
+    // original.
+    let (min, stats) = shrink(&rec.log, &exp);
+    assert!(min.decisions.len() <= rec.log.decisions.len());
+    assert_eq!(stats.final_decisions, min.decisions.len());
+    assert!(stats.rounds >= 1);
+    let min_out = replay(&min, &exp);
+    assert!(min_out.completed);
+    assert!(min_out.violating, "shrunk log must still violate");
+    assert!(
+        min_out.divergence.is_none(),
+        "normalized shrunk logs replay divergence-free: {:?}",
+        min_out.divergence
+    );
+    assert_eq!(min_out.fingerprint, min.fingerprint);
+}
+
+#[test]
+fn shrunk_thm1_log_keeps_its_class() {
+    // The Mrr construction under SC (Figure 5(b)).
+    let exp = thm1_case1(&jungle_core::model::Sc);
+    let rec = record_experiment(&exp, SweepSeeds::new(0, 2_000), 8_000)
+        .expect("thm1-case1/SC must violate within the sweep");
+    assert_eq!(rec.log.class.as_deref(), Some("Mrr"));
+    let (min, _) = shrink(&rec.log, &exp);
+    assert_eq!(
+        min.class.as_deref(),
+        Some("Mrr"),
+        "minimization must not change the Theorem 1 class"
+    );
+    assert!(replay(&min, &exp).violating);
+}
+
+#[test]
+fn shrunk_mrw_log_keeps_its_class() {
+    // The Mrw construction under PSO (Figure 5(d)) — the EXPERIMENTS.md
+    // walkthrough case.
+    let exp = thm1_case3(&jungle_core::model::Pso);
+    let rec = record_experiment(&exp, SweepSeeds::new(0, 2_000), 8_000)
+        .expect("thm1-case3/PSO must violate within the sweep");
+    assert_eq!(rec.log.class.as_deref(), Some("Mrw"));
+    let (min, stats) = shrink(&rec.log, &exp);
+    assert!(stats.final_decisions <= stats.initial_decisions);
+    assert_eq!(min.class.as_deref(), Some("Mrw"));
+    let out = replay(&min, &exp);
+    assert!(out.violating && out.divergence.is_none());
+}

@@ -12,6 +12,12 @@ Floors are committed at roughly half the observed rates so routine
 drift doesn't flake CI, while a broken dedup key or an unshared memo
 (both of which drop a rate to ~0) fails loudly.
 
+When the report carries a ``replay`` section (``report --record``), it
+is validated too: every recorded schedule log must replay to the
+recorded fingerprint, every shrunk log must still violate with no more
+decisions than the original, and the Theorem 1 class must survive
+minimization.
+
 Extra modes:
 
 * ``--trace-file out.json`` additionally validates a Chrome-trace-event
@@ -20,6 +26,8 @@ Extra modes:
   per-thread timestamps sorted and B/E duration events balanced, and
   all four instrumentation layers (checker / mc / memsim / stm)
   represented.
+* ``--require-replay`` makes a missing ``replay`` section an error
+  (use in CI after ``report --record``).
 * ``--self-test`` runs the checker against built-in golden inputs (one
   passing, several failing with a *named* key or floor) and exits 0 iff
   every case behaves as expected. No stdin is read.
@@ -37,6 +45,7 @@ DEDUP_RATE_FLOOR = 0.50
 MEMO_HIT_RATE_FLOOR = 0.25
 MIN_ZOO_MODELS = 6
 MIN_ZOO_ALGOS = 5
+THEOREM1_CLASSES = {"Mrr", "Mrw", "Mwr", "Mww"}
 TRACE_CATEGORIES = {"checker", "mc", "memsim", "stm"}
 TRACE_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
 
@@ -56,6 +65,46 @@ def need(obj: dict, key: str, section: str):
     if key not in obj:
         fail(f"missing key '{key}' in section '{section}'")
     return obj[key]
+
+
+def check_replay(report: dict) -> str:
+    """Validate the ``replay`` section written by ``report --record``."""
+    replay = need(report, "replay", "report")
+    recorded = need(replay, "recorded", "replay")
+    logs = need(replay, "logs", "replay")
+    if not isinstance(logs, list) or recorded == 0 or not logs:
+        fail("replay section recorded no schedule logs")
+    if recorded != len(logs):
+        fail(f"replay 'recorded' {recorded} != {len(logs)} log entries")
+    rounds_total = 0
+    for i, log in enumerate(logs):
+        section = f"replay.logs[{i}]"
+        log_id = need(log, "id", section)
+        decisions = need(log, "decisions", section)
+        shrunk = need(log, "shrunk_decisions", section)
+        if shrunk > decisions:
+            fail(f"{log_id}: shrunk log has {shrunk} decisions, original {decisions}")
+        if not need(log, "replay_matches", section):
+            fail(f"{log_id}: recorded log did not replay to its fingerprint")
+        if not need(log, "shrunk_replay_matches", section):
+            fail(f"{log_id}: shrunk log did not replay to its fingerprint")
+        if not need(log, "shrunk_violating", section):
+            fail(f"{log_id}: shrunk log no longer violates")
+        if not need(log, "class_matches", section):
+            fail(f"{log_id}: minimization changed the Theorem 1 class")
+        cls = need(log, "class", section)
+        if cls not in THEOREM1_CLASSES:
+            fail(f"{log_id}: class {cls!r} is not a Theorem 1 class")
+        rounds_total += need(log, "shrink_rounds", section)
+    if need(replay, "shrink_rounds", "replay") != rounds_total:
+        fail(f"replay 'shrink_rounds' disagrees with per-log sum {rounds_total}")
+    ledger = report.get("ledger_entry")
+    if isinstance(ledger, dict) and ledger.get("replay_logs") != recorded:
+        fail(
+            f"ledger replay_logs {ledger.get('replay_logs')} != "
+            f"recorded {recorded}"
+        )
+    return f"replay {recorded} logs verified, {rounds_total} shrink rounds"
 
 
 def check_report(report: dict) -> str:
@@ -103,11 +152,14 @@ def check_report(report: dict) -> str:
     if len(algos) < MIN_ZOO_ALGOS:
         fail(f"zoo covers {len(algos)} STMs, need >= {MIN_ZOO_ALGOS}: {sorted(algos)}")
 
-    return (
+    summary = (
         f"dedup {dedup_rate:.3f} >= {DEDUP_RATE_FLOOR}, "
         f"memo {memo_rate:.3f} >= {MEMO_HIT_RATE_FLOOR}, "
         f"zoo {len(algos)} STMs x {len(models)} models"
     )
+    if "replay" in report:
+        summary += "; " + check_replay(report)
+    return summary
 
 
 def check_trace(path: str) -> str:
@@ -168,6 +220,26 @@ def golden_report() -> dict:
             "cross_run_hits": 200,
             "in_run_hits": 300,
         },
+        "ledger_entry": {"replay_logs": 1, "shrink_rounds": 2},
+        "replay": {
+            "dir": "/tmp/schedules",
+            "recorded": 1,
+            "shrink_rounds": 2,
+            "logs": [
+                {
+                    "id": "thm1-case3/PSO",
+                    "model": "PSO",
+                    "decisions": 37,
+                    "shrunk_decisions": 19,
+                    "replay_matches": True,
+                    "shrunk_replay_matches": True,
+                    "shrunk_violating": True,
+                    "class_matches": True,
+                    "class": "Mrw",
+                    "shrink_rounds": 2,
+                }
+            ],
+        },
     }
 
 
@@ -200,6 +272,32 @@ def self_test() -> int:
     broken = golden_report()
     broken["rows"] = broken["rows"][:8]  # one algo only
     cases.append(("zoo coverage fails", broken, "zoo covers"))
+
+    broken = golden_report()
+    del broken["replay"]["logs"][0]["shrunk_decisions"]
+    cases.append(
+        (
+            "missing shrunk_decisions named",
+            broken,
+            "missing key 'shrunk_decisions' in section 'replay.logs[0]'",
+        )
+    )
+
+    broken = golden_report()
+    broken["replay"]["logs"][0]["shrunk_decisions"] = 99
+    cases.append(("grown shrunk log fails", broken, "shrunk log has 99 decisions"))
+
+    broken = golden_report()
+    broken["replay"]["logs"][0]["shrunk_violating"] = False
+    cases.append(("non-violating shrunk log fails", broken, "no longer violates"))
+
+    broken = golden_report()
+    broken["replay"]["logs"][0]["class_matches"] = False
+    cases.append(("changed class fails", broken, "changed the Theorem 1 class"))
+
+    broken = golden_report()
+    broken["ledger_entry"]["replay_logs"] = 7
+    cases.append(("ledger replay count mismatch fails", broken, "ledger replay_logs"))
 
     failures = 0
     for name, report, want in cases:
@@ -236,7 +334,10 @@ def main() -> None:
         trace_file = argv[i + 1]
 
     try:
-        summary = check_report(json.load(sys.stdin))
+        report = json.load(sys.stdin)
+        if "--require-replay" in argv and "replay" not in report:
+            fail("missing key 'replay' in section 'report' (--require-replay)")
+        summary = check_report(report)
         if trace_file is not None:
             summary += "; " + check_trace(trace_file)
     except CheckFailure as e:

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Trend report over the persistent run ledger.
+
+Reads ``.jungle/ledger.jsonl`` (one JSON object per ``report`` run,
+appended by the ``report`` binary) and renders the headline counters as
+trends across runs:
+
+* wall-clock per run (``wall_ms``)
+* trace dedup rate (``dedup_hits / schedules``)
+* verdict-memo hit rate (``memo_hits / memo_lookups``)
+
+Output is a single self-contained SVG (hand-rolled polylines — no
+plotting dependency) plus a text summary table on stdout, so CI can
+upload the SVG as an artifact and the log still tells the story.
+
+Usage::
+
+    python3 scripts/ledger_trends.py [--ledger .jungle/ledger.jsonl]
+                                     [--out ledger-trends.svg]
+                                     [--source report]
+
+Entries that fail to parse are skipped with a warning (the ledger is
+append-only across versions; old entries may predate newer fields).
+"""
+
+import json
+import sys
+
+WIDTH = 720
+PANEL_H = 150
+PAD_L, PAD_R, PAD_T, PAD_B = 60, 20, 28, 20
+COLORS = {"wall_ms": "#d62728", "dedup_rate": "#1f77b4", "memo_rate": "#2ca02c"}
+
+
+def load_entries(path, source):
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        print(f"ledger_trends: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as err:
+            print(f"ledger_trends: skipping line {i + 1}: {err}", file=sys.stderr)
+            continue
+        if source and e.get("source") != source:
+            continue
+        entries.append(e)
+    return entries
+
+
+def series(entries):
+    """Extract the three plotted series, one point per ledger entry."""
+    out = {"wall_ms": [], "dedup_rate": [], "memo_rate": []}
+    for e in entries:
+        out["wall_ms"].append(float(e.get("wall_ms", 0)))
+        sched = e.get("schedules", 0)
+        out["dedup_rate"].append(e.get("dedup_hits", 0) / sched if sched else 0.0)
+        lookups = e.get("memo_lookups", 0)
+        out["memo_rate"].append(e.get("memo_hits", 0) / lookups if lookups else 0.0)
+    return out
+
+
+def polyline(values, y_off, vmax):
+    """SVG points string for one panel, x spread over the plot width."""
+    n = len(values)
+    plot_w = WIDTH - PAD_L - PAD_R
+    plot_h = PANEL_H - PAD_T - PAD_B
+    pts = []
+    for i, v in enumerate(values):
+        x = PAD_L + (plot_w * i / (n - 1) if n > 1 else plot_w / 2)
+        frac = v / vmax if vmax else 0.0
+        y = y_off + PAD_T + plot_h * (1.0 - frac)
+        pts.append(f"{x:.1f},{y:.1f}")
+    return " ".join(pts)
+
+
+def fmt(key, v):
+    return f"{v:.0f} ms" if key == "wall_ms" else f"{v:.3f}"
+
+
+def render_svg(entries, data):
+    labels = {
+        "wall_ms": "wall-clock per run",
+        "dedup_rate": "trace dedup rate",
+        "memo_rate": "memo hit rate",
+    }
+    panels = []
+    for p, key in enumerate(["wall_ms", "dedup_rate", "memo_rate"]):
+        values = data[key]
+        y_off = p * PANEL_H
+        vmax = max(values) or 1.0
+        # Rates get a fixed 0..1 axis so runs are comparable at a glance.
+        if key != "wall_ms":
+            vmax = 1.0
+        first, last = values[0], values[-1]
+        panels.append(
+            f'<rect x="{PAD_L}" y="{y_off + PAD_T}" '
+            f'width="{WIDTH - PAD_L - PAD_R}" height="{PANEL_H - PAD_T - PAD_B}" '
+            f'fill="none" stroke="#ccc"/>'
+            f'<text x="{PAD_L}" y="{y_off + PAD_T - 8}" font-size="13" '
+            f'fill="#333">{labels[key]}: {fmt(key, first)} → {fmt(key, last)} '
+            f"({len(values)} runs)</text>"
+            f'<text x="{PAD_L - 6}" y="{y_off + PAD_T + 10}" font-size="10" '
+            f'fill="#666" text-anchor="end">{fmt(key, vmax)}</text>'
+            f'<text x="{PAD_L - 6}" y="{y_off + PANEL_H - PAD_B}" font-size="10" '
+            f'fill="#666" text-anchor="end">0</text>'
+            f'<polyline points="{polyline(values, y_off, vmax)}" fill="none" '
+            f'stroke="{COLORS[key]}" stroke-width="2"/>'
+        )
+        for i, v in enumerate(values):
+            x = PAD_L + (
+                (WIDTH - PAD_L - PAD_R) * i / (len(values) - 1)
+                if len(values) > 1
+                else (WIDTH - PAD_L - PAD_R) / 2
+            )
+            frac = (v / vmax) if vmax else 0.0
+            y = y_off + PAD_T + (PANEL_H - PAD_T - PAD_B) * (1.0 - frac)
+            rev = entries[i].get("git_rev", "?")
+            panels.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{COLORS[key]}">'
+                f"<title>{rev}: {fmt(key, v)}</title></circle>"
+            )
+    height = 3 * PANEL_H
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" font-family="sans-serif">'
+        f'<rect width="{WIDTH}" height="{height}" fill="white"/>'
+        + "".join(panels)
+        + "</svg>\n"
+    )
+
+
+def arg_value(argv, flag, default):
+    if flag in argv:
+        i = argv.index(flag)
+        if i + 1 >= len(argv):
+            print(f"ledger_trends: {flag} requires a value", file=sys.stderr)
+            sys.exit(2)
+        return argv[i + 1]
+    return default
+
+
+def main():
+    argv = sys.argv[1:]
+    ledger = arg_value(argv, "--ledger", ".jungle/ledger.jsonl")
+    out = arg_value(argv, "--out", "ledger-trends.svg")
+    source = arg_value(argv, "--source", "report")
+
+    entries = load_entries(ledger, source)
+    if not entries:
+        print(f"ledger_trends: no '{source}' entries in {ledger}", file=sys.stderr)
+        sys.exit(1)
+    data = series(entries)
+
+    print(f"ledger trends over {len(entries)} '{source}' runs from {ledger}:")
+    print(f"  {'rev':<10} {'wall_ms':>8} {'dedup':>7} {'memo':>7} {'replay':>7} {'shrink':>7}")
+    for e, w, d, m in zip(entries, data["wall_ms"], data["dedup_rate"], data["memo_rate"]):
+        print(
+            f"  {e.get('git_rev', '?'):<10} {w:>8.0f} {d:>7.3f} {m:>7.3f}"
+            f" {e.get('replay_logs', 0):>7} {e.get('shrink_rounds', 0):>7}"
+        )
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(render_svg(entries, data))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@
 //! | [`isa`] | `jungle-isa` | `load`/`store`/`cas` instructions, traces, trace↔history correspondence, instrumentation taxonomy (§4) |
 //! | [`memsim`] | `jungle-memsim` | the simulated multiprocessor (SC/TSO/PSO hardware) with directed, random, bursty and exhaustive schedulers |
 //! | [`mc`] | `jungle-mc` | the paper's TM algorithms as interpreters + every lemma/theorem as a checkable experiment (§5) |
+//! | [`replay`] | `jungle-replay` | deterministic schedule record/replay (portable `ScheduleLog`, divergence detection) and delta-debugging counterexample shrinking |
 //! | [`stm`] | `jungle-stm` | five executable STMs over real atomics with typed `TVar`s and online trace recording |
 //! | [`litmus`] | `jungle-litmus` | the figures as litmus tests, workload generators, real-STM program runner |
 //!
@@ -36,4 +37,5 @@ pub use jungle_isa as isa;
 pub use jungle_litmus as litmus;
 pub use jungle_mc as mc;
 pub use jungle_memsim as memsim;
+pub use jungle_replay as replay;
 pub use jungle_stm as stm;
