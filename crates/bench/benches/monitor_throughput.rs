@@ -1,0 +1,243 @@
+//! Experiment M1: streaming-monitor throughput.
+//!
+//! Three questions, three groups:
+//!
+//! * `M1_ring` — raw tap cost: how much does publishing an event into
+//!   the bounded ring add to an STM operation?
+//! * `M1_ingest` — monitor cost per event as a function of window
+//!   size: the triage tier runs once per window, so larger windows
+//!   amortize its (polynomial) cost over more events.
+//! * `M1_escalate` — the tier gap: a window the triage tier clears vs.
+//!   the same-size window that escalates to the batch checker.
+//!
+//! An untimed counted pass at the end drives real threaded STM traffic
+//! through the tap, asserts the stream is clean (no drops, no
+//! violations), and attaches the monitor counters to the JSON report
+//! and the run ledger (source `bench/monitor_throughput`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jungle_core::ids::ProcId;
+use jungle_monitor::{Monitor, MonitorConfig};
+use jungle_obs::ledger::{self, LedgerEntry};
+use jungle_obs::{Backpressure, EventRing, MetricsSnapshot, MonitorStats, ToJson};
+use jungle_stm::{atomically, Ctx, GlobalLockStm, StmTap, TapEvent, TapOp};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic committed-transaction stream: `txns` read-modify-
+/// write transactions round-robined over `pids` processes on disjoint
+/// variables — the monitor's best case (every window triage-clears).
+fn synthetic_stream(pids: u32, txns: u64) -> Vec<TapEvent> {
+    let mut out = Vec::with_capacity(txns as usize * 4);
+    let mut counters = vec![0u64; pids as usize];
+    for i in 0..txns {
+        let p = (i % u64::from(pids)) as u32;
+        let var = u64::from(p);
+        let old = counters[p as usize];
+        counters[p as usize] = old + 1;
+        let pid = ProcId(p);
+        out.push(TapEvent {
+            pid,
+            op: TapOp::Begin,
+        });
+        out.push(TapEvent {
+            pid,
+            op: TapOp::Read { var, val: old },
+        });
+        out.push(TapEvent {
+            pid,
+            op: TapOp::Write { var, val: old + 1 },
+        });
+        out.push(TapEvent {
+            pid,
+            op: TapOp::Commit { ticket: i },
+        });
+    }
+    out
+}
+
+/// Like [`synthetic_stream`] but with a trailing transaction that reads
+/// a value nobody wrote: the final window can never triage-clear, so
+/// it escalates to the full checker (and is a real violation).
+fn poisoned_stream(pids: u32, txns: u64) -> Vec<TapEvent> {
+    let mut out = synthetic_stream(pids, txns);
+    let pid = ProcId(pids);
+    out.push(TapEvent {
+        pid,
+        op: TapOp::Begin,
+    });
+    out.push(TapEvent {
+        pid,
+        op: TapOp::Read {
+            var: 0,
+            val: 999_999_999,
+        },
+    });
+    out.push(TapEvent {
+        pid,
+        op: TapOp::Commit { ticket: txns },
+    });
+    out
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("M1_ring");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+    let ring: EventRing<u64> = EventRing::new(1 << 10, Backpressure::Drop);
+    g.bench_function(BenchmarkId::new("push_pop", 1), |b| {
+        b.iter(|| {
+            ring.push(black_box(7));
+            black_box(ring.pop())
+        })
+    });
+    let tap = StmTap::new(1 << 10, Backpressure::Drop);
+    g.bench_function(BenchmarkId::new("tap_publish", 1), |b| {
+        b.iter(|| {
+            black_box(tap.publish(ProcId(0), TapOp::Write { var: 0, val: 1 }));
+            black_box(tap.pop())
+        })
+    });
+    g.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("M1_ingest");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let stream = synthetic_stream(4, 1024);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for window in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("window", window), &window, |b, &window| {
+            b.iter(|| {
+                let mut mon = Monitor::new(MonitorConfig::new().window(window));
+                for ev in &stream {
+                    mon.ingest(*ev);
+                }
+                black_box(mon.finish())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_escalate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("M1_escalate");
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let clean = synthetic_stream(4, 64);
+    let poisoned = poisoned_stream(4, 64);
+    for (name, stream) in [("triage_clear", &clean), ("escalated", &poisoned)] {
+        g.bench_with_input(BenchmarkId::new(name, 64), stream, |b, stream| {
+            b.iter(|| {
+                // One window covering the whole stream: the tier
+                // decision happens exactly once.
+                let mut mon = Monitor::new(MonitorConfig::new().window(1 << 20));
+                for ev in stream {
+                    mon.ingest(*ev);
+                }
+                black_box(mon.finish())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn report_counters(_c: &mut Criterion) {
+    // Untimed counted pass: real threads, real STM, blocking tap.
+    let t_start = std::time::Instant::now();
+    const THREADS: u32 = 4;
+    const TXNS: u64 = 5_000;
+    let tap = Arc::new(StmTap::new(1 << 14, Backpressure::Block));
+    let tm = Arc::new(GlobalLockStm::new(THREADS as usize));
+    let mut mon = Monitor::new(MonitorConfig::new().window(64));
+    let consumer = {
+        let tap = tap.clone();
+        std::thread::spawn(move || mon.run(&tap))
+    };
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tap = tap.clone();
+            let tm = tm.clone();
+            s.spawn(move || {
+                let mut cx = Ctx::new(ProcId(t), None).with_tap(tap);
+                for _ in 0..TXNS {
+                    atomically(&*tm, &mut cx, |tx| {
+                        let v = tx.read(t as usize)?;
+                        tx.write(t as usize, v + 1)
+                    });
+                }
+            });
+        }
+    });
+    tap.close();
+    let stats: MonitorStats = consumer.join().expect("monitor consumer");
+    assert_eq!(stats.events_dropped, 0, "blocking tap must not drop");
+    assert_eq!(stats.violations, 0, "disjoint workload must be clean");
+    assert_eq!(stats.ops_ingested, tap.published());
+
+    let mut snap = MetricsSnapshot::new();
+    snap.record_monitor(&stats);
+    criterion::report_metrics("M1_monitor", snap.to_json().to_string());
+
+    let entry = LedgerEntry {
+        ts_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        git_rev: git_rev(),
+        source: "bench/monitor_throughput".into(),
+        wall_ms: t_start.elapsed().as_millis() as u64,
+        schedules: 0,
+        dedup_hits: 0,
+        memo_hits: stats.memo_hits,
+        memo_lookups: 0,
+        zoo_models: 0,
+        zoo_algos: 0,
+        replay_logs: 0,
+        shrink_rounds: 0,
+        monitor_ops: stats.ops_ingested,
+        monitor_windows: stats.windows_sealed,
+        monitor_escalated: stats.escalated,
+        metrics: snap.to_json(),
+    };
+    let path = std::env::var("JUNGLE_LEDGER")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(".jungle/ledger.jsonl")
+        });
+    if let Err(e) = ledger::append(&path, &entry) {
+        eprintln!(
+            "warning: could not append to ledger {}: {e}",
+            path.display()
+        );
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+criterion_group!(
+    benches,
+    bench_ring,
+    bench_ingest,
+    bench_escalate,
+    report_counters
+);
+criterion_main!(benches);

@@ -138,6 +138,9 @@ fn report_counters(_c: &mut Criterion) {
         zoo_algos: 0,
         replay_logs: 0,
         shrink_rounds: 0,
+        monitor_ops: 0,
+        monitor_windows: 0,
+        monitor_escalated: 0,
         metrics: snap.to_json(),
     };
     // Bench binaries run with the package as CWD; anchor the default

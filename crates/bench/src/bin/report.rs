@@ -18,10 +18,17 @@
 //!   the experiment named by `id`) and print the explainer narrative:
 //!   timeline, irreconcilable pair, class. An unknown id is a named
 //!   error listing the valid experiment ids.
-//! * `--record <dir>` — capture one deterministic schedule log per
+//! * `--record <dir> [id]` — capture one deterministic schedule log per
 //!   Theorem 1 construction (`<dir>/<id>.json`), delta-debug it to a
 //!   minimal still-violating log (`<dir>/<id>.min.json`), and
-//!   replay-verify both. Adds a `replay` section to `--json` output.
+//!   replay-verify both. With an optional experiment `id`, record just
+//!   that experiment; an unknown id is a named error listing the valid
+//!   ids. Adds a `replay` section to `--json` output.
+//! * `--monitor` — drive every STM with live transactional traffic
+//!   through the event tap while a streaming monitor thread checks the
+//!   stream with the tiered (triage → escalate) pipeline. Prints the
+//!   per-STM ingest/triage/escalation table, adds a `monitor` section
+//!   to `--json` output, and records totals in the ledger entry.
 //! * `--replay <file>` — re-execute a saved schedule log, verify the
 //!   recorded history fingerprint, and exit nonzero on divergence (a
 //!   focused mode: the full report is skipped). With `--explain`, also
@@ -49,10 +56,12 @@ use jungle_mc::theorems::{
     all_fixed_experiments, experiment_by_id, experiment_ids, matched_zoo, thm1_suite, Experiment,
 };
 use jungle_mc::{SharedVerdictMemo, SweepSeeds};
+use jungle_monitor::{Monitor, MonitorConfig};
 use jungle_obs::ledger::{self, LedgerEntry, Tolerances};
 use jungle_obs::trace::{self as flight, FlightRecorder};
-use jungle_obs::{Json, MetricsSnapshot, ToJson};
+use jungle_obs::{Backpressure, Json, MetricsSnapshot, MonitorStats, ToJson};
 use jungle_replay::{record_experiment, replay, shrink, ScheduleLog};
+use jungle_stm::StmTap;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -83,9 +92,12 @@ struct Args {
     /// `--explain <id>`: narrate only this bundled experiment.
     explain_id: Option<String>,
     compare: bool,
+    monitor: bool,
     trace: Option<PathBuf>,
     /// `--record <dir>`: capture + shrink Theorem 1 schedule logs.
     record: Option<PathBuf>,
+    /// `--record <dir> <id>`: record only this bundled experiment.
+    record_id: Option<String>,
     /// `--replay <file>`: focused replay mode, skipping the report.
     replay: Option<PathBuf>,
     ledger: PathBuf,
@@ -98,8 +110,10 @@ fn parse_args() -> Args {
         explain: false,
         explain_id: None,
         compare: false,
+        monitor: false,
         trace: None,
         record: None,
+        record_id: None,
         replay: None,
         ledger: PathBuf::from(".jungle/ledger.jsonl"),
         memo_dir: PathBuf::from(".jungle/memo"),
@@ -124,8 +138,17 @@ fn parse_args() -> Args {
                 }
             }
             "--compare" => args.compare = true,
+            "--monitor" => args.monitor = true,
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
-            "--record" => args.record = Some(PathBuf::from(value("--record"))),
+            "--record" => {
+                args.record = Some(PathBuf::from(value("--record")));
+                // Optional second value: one bundled experiment id.
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        args.record_id = it.next();
+                    }
+                }
+            }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
             "--ledger" => args.ledger = PathBuf::from(value("--ledger")),
             "--memo-dir" => args.memo_dir = PathBuf::from(value("--memo-dir")),
@@ -284,17 +307,121 @@ fn stm_smoke() {
     });
 }
 
+/// `--monitor`: drive every STM with live transactional traffic (4
+/// threads, each running read-modify-write transactions on its own
+/// variable) through a blocking event tap while a monitor thread
+/// checks the stream online. Returns the per-STM JSON entries and the
+/// aggregate stats.
+///
+/// The disjoint per-thread footprint makes every window provably
+/// opaque, so this sweep measures the monitor's steady state: the
+/// triage tier should clear (nearly) everything, and violations or
+/// drops are hard failures.
+fn monitor_sweep(json: bool, rows: &mut Vec<Row>) -> (Vec<Json>, MonitorStats) {
+    use jungle_core::ids::ProcId;
+    use jungle_stm::{atomically, Ctx};
+    const THREADS: u32 = 4;
+    const TXNS: u64 = 11_000;
+    const WINDOW: usize = 64;
+
+    if !json {
+        println!("\n════ Streaming monitor: live traffic through the tiered checker ════\n");
+        println!(
+            "  {:<18} {:>9} {:>8} {:>9} {:>6} {:>5} {:>6} {:>8}",
+            "algorithm", "ops", "windows", "cleared%", "escal", "viol", "drops", "Mops/s"
+        );
+    }
+    let memo = Arc::new(SharedVerdictMemo::new());
+    let mut total = MonitorStats::default();
+    let mut entries = Vec::new();
+    for tm in jungle_bench::all_stms(64) {
+        let tap = Arc::new(StmTap::new(1 << 14, Backpressure::Block));
+        let mut mon = Monitor::new(MonitorConfig::new().window(WINDOW)).with_memo(memo.clone());
+        let consumer = {
+            let tap = tap.clone();
+            std::thread::spawn(move || mon.run(&tap))
+        };
+        let tm_ref: &dyn jungle_stm::TmAlgo = tm.as_ref();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let tap = tap.clone();
+                s.spawn(move || {
+                    let mut cx = Ctx::new(ProcId(t), None).with_tap(tap);
+                    for _ in 0..TXNS {
+                        atomically(tm_ref, &mut cx, |tx| {
+                            let v = tx.read(t as usize)?;
+                            tx.write(t as usize, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        tap.close();
+        let stats = consumer.join().expect("monitor consumer thread");
+        let cleared_pct = if stats.windows_sealed == 0 {
+            100.0
+        } else {
+            100.0 * stats.triage_cleared as f64 / stats.windows_sealed as f64
+        };
+        if !json {
+            println!(
+                "  {:<18} {:>9} {:>8} {:>8.1}% {:>6} {:>5} {:>6} {:>8.2}",
+                tm.name(),
+                stats.ops_ingested,
+                stats.windows_sealed,
+                cleared_pct,
+                stats.escalated,
+                stats.violations,
+                stats.events_dropped,
+                stats.ops_per_sec() / 1e6,
+            );
+        }
+        let pass = stats.violations == 0 && stats.events_dropped == 0;
+        rows.push(Row {
+            section: "monitor",
+            id: format!("monitor/{}", tm.name()),
+            expected: "0 violations, 0 drops",
+            observed: format!(
+                "{} ops, {} windows, {} escalated, {} violations, {} dropped",
+                stats.ops_ingested,
+                stats.windows_sealed,
+                stats.escalated,
+                stats.violations,
+                stats.events_dropped
+            ),
+            pass,
+        });
+        let mut j = Json::obj();
+        j.push("stm", tm.name().into())
+            .push("stats", stats.to_json());
+        entries.push(j);
+        total.absorb(&stats);
+    }
+    if !json {
+        println!(
+            "  (4 threads × {TXNS} disjoint read-modify-write txns per STM, window {WINDOW}, blocking tap)"
+        );
+    }
+    (entries, total)
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = args.replay.clone() {
         replay_mode(&args, &path);
     }
-    // Validate `--explain <id>` up front so a typo fails before the
-    // multi-second report run, with the valid ids listed.
+    // Validate `--explain <id>` / `--record <dir> <id>` up front so a
+    // typo fails before the multi-second report run, with the valid
+    // ids listed.
     let explain_targets: Option<Vec<Experiment>> = args.explain.then(|| match &args.explain_id {
         Some(id) => vec![resolve_experiment(id)],
         None => thm1_suite(),
     });
+    let record_targets: Option<Vec<Experiment>> =
+        args.record.is_some().then(|| match &args.record_id {
+            Some(id) => vec![resolve_experiment(id)],
+            None => thm1_suite(),
+        });
     let json = args.json;
     let t_start = std::time::Instant::now();
 
@@ -543,7 +670,7 @@ fn main() {
             println!("\n════ Recorded schedules: capture → shrink → replay ════\n");
         }
         let mut log_entries: Vec<Json> = Vec::new();
-        for e in thm1_suite() {
+        for e in record_targets.unwrap_or_default() {
             let Some(rec) = record_experiment(&e, SweepSeeds::new(0, 2_000), 8_000) else {
                 rows.push(Row {
                     section: "replay",
@@ -638,6 +765,16 @@ fn main() {
         replay_section = Some(sec);
     }
 
+    // ── Streaming monitor over live STM traffic (--monitor) ───────
+    let mut monitor_entries: Vec<Json> = Vec::new();
+    let mut monitor_total: Option<MonitorStats> = None;
+    if args.monitor {
+        let (entries, total) = monitor_sweep(json, &mut rows);
+        metrics.record_monitor(&total);
+        monitor_entries = entries;
+        monitor_total = Some(total);
+    }
+
     // ── STM smoke under the flight recorder ───────────────────────
     if recorder.is_some() {
         // The checker events from the opening figures loop wrapped out
@@ -679,6 +816,9 @@ fn main() {
         zoo_algos: zoo_algos.len() as u64,
         replay_logs,
         shrink_rounds: shrink_rounds_total,
+        monitor_ops: monitor_total.as_ref().map_or(0, |s| s.ops_ingested),
+        monitor_windows: monitor_total.as_ref().map_or(0, |s| s.windows_sealed),
+        monitor_escalated: monitor_total.as_ref().map_or(0, |s| s.escalated),
         metrics: metrics.to_json(),
     };
     if let Err(e) = ledger::append(&args.ledger, &entry) {
@@ -762,6 +902,12 @@ fn main() {
         }
         if let Some(sec) = replay_section {
             out.push("replay", sec);
+        }
+        if let Some(total) = &monitor_total {
+            let mut sec = Json::obj();
+            sec.push("stms", Json::Arr(monitor_entries))
+                .push("total", total.to_json());
+            out.push("monitor", sec);
         }
         if args.compare {
             out.push(

@@ -71,6 +71,7 @@ pub mod pretty;
 pub mod registry;
 pub mod sgla;
 pub mod spec;
+pub mod triage;
 
 /// Convenient glob-import of the most frequently used items.
 pub mod prelude {
@@ -90,6 +91,7 @@ pub mod prelude {
         check_sgla, check_sgla_par, check_sgla_par_traced, check_sgla_traced, SglaVerdict,
     };
     pub use crate::spec::{Spec, SpecRegistry};
+    pub use crate::triage::{triage_opacity, triage_opacity_with, Triage};
     pub use jungle_obs::SearchStats;
 }
 

@@ -1,0 +1,273 @@
+//! Polynomial triage tier for the streaming opacity monitor.
+//!
+//! The full parametrized-opacity checker ([`check_opacity`]) is an
+//! exponential backtracking search — exact, but far too expensive to
+//! run on every window of a live event stream. This module provides a
+//! **sound fast path**: a polynomial check that either *clears* a
+//! history (proving it opaque) or *abstains* (the caller escalates to
+//! the full checker). It never claims a violation, so a streaming
+//! monitor built on it reports exactly the verdicts the batch checker
+//! would.
+//!
+//! ### Why the fast path is sound for every bundled model
+//!
+//! The checker's witness is a permutation of *units* (one per
+//! transaction, one per non-transactional operation) that respects the
+//! generating relation of `≺h`, one viewer's minimal view edges, and a
+//! real-time-consistent transaction serialization order — with every
+//! operation prefix-legal. Triage proposes two *candidate* unit
+//! orders and replays each through the same incremental
+//! [`PrefixChecker`] the search uses:
+//!
+//! 1. units sorted by the history index of their **first** operation;
+//! 2. units sorted by the history index of their **last** operation.
+//!
+//! Both candidates provably respect every constraint edge the search
+//! would impose, for *any* of the bundled memory models:
+//!
+//! * **`≺h` case 1** (completed `T` wholly before `T'`): then
+//!   `T.last < T'.first ≤ T'.last` and `T.first < T'.first`, so both
+//!   sorts place `T` first.
+//! * **`≺h` case 2** (same-process program order, one side
+//!   transactional): same-process spans never interleave — a
+//!   transaction's span contains no other unit of its process — so the
+//!   spans are disjoint and both sorts preserve their order.
+//! * **View edges**: [`MemoryModel::required_in_view`] only relates
+//!   same-process *non-transactional* command pairs `i < j`; those
+//!   units are single operations with `first = last = index`, kept in
+//!   index order by both sorts.
+//! * **Serialization order**: the transaction order induced by either
+//!   sort satisfies the checker's real-time placement rule (a
+//!   completed transaction ending before another begins sorts first
+//!   under both keys).
+//!
+//! So if either replay is fully legal, the candidate order *is* a
+//! witness for every viewer simultaneously, and [`check_opacity`]
+//! would return opaque. By Theorem 6 (parametrized opacity implies
+//! SGLA) a cleared history also satisfies SGLA, so one triage pass
+//! serves both properties.
+//!
+//! Cost: `O(n log n)` for the sorts plus two linear [`PrefixChecker`]
+//! replays — polynomial, allocation-light, and independent of the
+//! model's view structure. On conflict-serializable traffic (what
+//! correct STMs produce) the commit-time order is almost always
+//! legal, so the monitor's escalation rate stays near zero.
+
+use crate::history::{History, TxnStatus};
+use crate::legal::PrefixChecker;
+use crate::model::MemoryModel;
+use crate::spec::SpecRegistry;
+
+/// Outcome of the polynomial triage tier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Triage {
+    /// The history is opaque (and, by Theorem 6, SGLA); proved by a
+    /// linear witness, no full search needed.
+    Cleared,
+    /// The fast path could not decide; escalate to the full checker.
+    Escalate,
+}
+
+impl Triage {
+    /// Did triage prove the history opaque?
+    pub fn cleared(self) -> bool {
+        matches!(self, Triage::Cleared)
+    }
+}
+
+/// Triage `h` against `model` with register semantics (the paper's
+/// default object semantics).
+pub fn triage_opacity(h: &History, model: &dyn MemoryModel) -> Triage {
+    triage_opacity_with(h, model, &SpecRegistry::registers())
+}
+
+/// Triage `h` against `model` under explicit sequential
+/// specifications. [`Triage::Cleared`] guarantees
+/// `check_opacity_with(h, model, specs).is_opaque()`; see the module
+/// docs for the argument.
+pub fn triage_opacity_with(h: &History, model: &dyn MemoryModel, specs: &SpecRegistry) -> Triage {
+    let th = model.transform(h);
+    // Units in history order: transactions (by txn index, which is
+    // start-op order) then non-transactional operations.
+    let mut by_first: Vec<UnitSpan> = Vec::with_capacity(th.txns().len());
+    for (ti, t) in th.txns().iter().enumerate() {
+        by_first.push(UnitSpan {
+            txn: Some(ti),
+            first: t.first(),
+            last: t.last(),
+        });
+    }
+    for i in 0..th.len() {
+        if th.txn_of(i).is_none() {
+            by_first.push(UnitSpan {
+                txn: None,
+                first: i,
+                last: i,
+            });
+        }
+    }
+    let mut by_last = by_first.clone();
+    by_first.sort_by_key(|u| u.first);
+    by_last.sort_by_key(|u| u.last);
+    if replay_legal(&th, specs, &by_first) || replay_legal(&th, specs, &by_last) {
+        Triage::Cleared
+    } else {
+        Triage::Escalate
+    }
+}
+
+/// One schedulable unit with its history-index span: a transaction
+/// (`txn = Some(index into th.txns())`) or a single non-transactional
+/// operation (`first == last` = its history index).
+#[derive(Clone, Copy, Debug)]
+struct UnitSpan {
+    txn: Option<usize>,
+    first: usize,
+    last: usize,
+}
+
+/// Replay `order` through a fresh [`PrefixChecker`], exactly as the
+/// full search applies units: non-transactional operations step with
+/// `transactional = false`, a transaction's operations step in program
+/// order with `transactional = true`, and a live transaction is
+/// suspended after its last operation.
+fn replay_legal(th: &History, specs: &SpecRegistry, order: &[UnitSpan]) -> bool {
+    let mut c = PrefixChecker::new(specs);
+    for u in order {
+        match u.txn {
+            None => {
+                if !c.step(&th.ops()[u.first].op, false) {
+                    return false;
+                }
+            }
+            Some(ti) => {
+                let t = &th.txns()[ti];
+                for &i in &t.op_indices {
+                    if !c.step(&th.ops()[i].op, true) {
+                        return false;
+                    }
+                }
+                if t.status == TxnStatus::Live {
+                    c.suspend_live();
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::ids::{ProcId, X, Y};
+    use crate::model::{all_models, Rmo, Sc};
+    use crate::opacity::check_opacity;
+
+    fn p(n: u32) -> ProcId {
+        ProcId(n)
+    }
+
+    /// A clean serializable exchange: triage must clear it.
+    #[test]
+    fn serial_commits_clear() {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.write(p(1), X, 1);
+        b.commit(p(1));
+        b.start(p(2));
+        b.read(p(2), X, 1);
+        b.commit(p(2));
+        let h = b.build().unwrap();
+        assert_eq!(triage_opacity(&h, &Sc), Triage::Cleared);
+    }
+
+    /// Overlapping transactions whose only legal serialization inverts
+    /// start order: the by-last candidate finds it.
+    #[test]
+    fn inverted_serialization_clears() {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.start(p(2));
+        b.write(p(1), X, 1);
+        b.read(p(2), X, 0); // T2 must serialize before T1
+        b.commit(p(2));
+        b.commit(p(1));
+        let h = b.build().unwrap();
+        assert!(check_opacity(&h, &Sc).is_opaque());
+        assert_eq!(triage_opacity(&h, &Sc), Triage::Cleared);
+    }
+
+    /// A genuine violation must never be cleared.
+    #[test]
+    fn violations_escalate() {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.write(p(1), X, 1);
+        b.write(p(1), Y, 1);
+        b.commit(p(1));
+        b.read(p(2), Y, 1);
+        b.read(p(2), X, 0);
+        let h = b.build().unwrap();
+        assert!(!check_opacity(&h, &Sc).is_opaque());
+        assert_eq!(triage_opacity(&h, &Sc), Triage::Escalate);
+        // RMO allows this outcome but only via a reordered view the
+        // linear candidates don't model — abstaining is fine (sound),
+        // clearing would also be fine; either way no false verdict.
+        if triage_opacity(&h, &Rmo).cleared() {
+            assert!(check_opacity(&h, &Rmo).is_opaque());
+        }
+    }
+
+    /// Live transactions replay with suspension, like the full search.
+    #[test]
+    fn live_txn_clears() {
+        let mut b = HistoryBuilder::new();
+        b.write(p(1), X, 1);
+        b.start(p(2));
+        b.read(p(2), X, 1);
+        let h = b.build().unwrap();
+        assert_eq!(triage_opacity(&h, &Sc), Triage::Cleared);
+    }
+
+    /// Soundness: on a brute-force corpus of small histories, a triage
+    /// clear always agrees with the full checker, for every model.
+    #[test]
+    fn cleared_implies_opaque_exhaustive() {
+        let mut checked = 0u32;
+        for wv in [0u64, 1] {
+            for r1 in [0u64, 1] {
+                for r2 in [0u64, 1] {
+                    for commit2 in [true, false] {
+                        let mut b = HistoryBuilder::new();
+                        b.start(p(1));
+                        b.write(p(1), X, 1);
+                        b.write(p(1), Y, wv);
+                        b.commit(p(1));
+                        b.start(p(2));
+                        b.read(p(2), Y, r1);
+                        b.read(p(2), X, r2);
+                        if commit2 {
+                            b.commit(p(2));
+                        } else {
+                            b.abort(p(2));
+                        }
+                        b.read(p(3), X, r2);
+                        let h = b.build().unwrap();
+                        for m in all_models() {
+                            if triage_opacity(&h, m).cleared() {
+                                assert!(
+                                    check_opacity(&h, m).is_opaque(),
+                                    "triage cleared a non-opaque history under {}",
+                                    m.name()
+                                );
+                                checked += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "corpus never exercised the cleared path");
+    }
+}

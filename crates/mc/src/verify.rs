@@ -273,6 +273,21 @@ impl SharedVerdictMemo {
         self.len() == 0
     }
 
+    /// Look up a memoized verdict for `(model, kind, fingerprint)`.
+    /// Public entry point for external consumers (e.g. the streaming
+    /// monitor's escalation path); counts as a lookup and, on success,
+    /// a hit.
+    pub fn lookup(&self, model: &'static str, kind: CheckKind, fingerprint: u64) -> Option<bool> {
+        self.get((model, kind, fingerprint))
+    }
+
+    /// Record a freshly computed verdict for `(model, kind,
+    /// fingerprint)`. Sound for any caller because the verdict for a
+    /// history fingerprint is a pure function of the key.
+    pub fn record(&self, model: &'static str, kind: CheckKind, fingerprint: u64, verdict: bool) {
+        self.put((model, kind, fingerprint), verdict);
+    }
+
     fn get(&self, key: (&'static str, CheckKind, u64)) -> Option<bool> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let v = self.map.lock().unwrap().get(&key).copied();

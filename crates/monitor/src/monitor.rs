@@ -1,0 +1,258 @@
+//! The streaming monitor: ingest → window → triage → (maybe) escalate.
+//!
+//! Checking parametrized opacity is NP-hard in general — the batch
+//! checkers ([`check_opacity`] / [`check_sgla`]) enumerate transaction
+//! serialization orders. Running them on every window of a live stream
+//! would cap throughput at the checker's worst case. The monitor is
+//! therefore **tiered**:
+//!
+//! 1. **Triage** (polynomial, every window): [`triage_opacity`] replays
+//!    two candidate serialization orders — sorted by first and by last
+//!    operation index — through the incremental legality checker. The
+//!    construction in `jungle_core::triage` proves a cleared window is
+//!    opaque under the window's model (and, via the paper's Theorem 6,
+//!    SGLA too), so triage **never produces a verdict the batch checker
+//!    would contradict**: it only ever says "provably fine" or "don't
+//!    know".
+//! 2. **Escalation** (exponential, rare): un-cleared windows go to the
+//!    full batch checker, through the [`SharedVerdictMemo`] so repeated
+//!    window shapes (fingerprinted by [`History::cache_key`]) are
+//!    checked once.
+//! 3. **Second chance** (see [`SealedWindow::reseeded`]): a window that
+//!    fails the full check is re-checked with its initializer re-seeded
+//!    from first-observed reads before being declared a violation,
+//!    absorbing commit-publish races at window boundaries.
+//!
+//! Under well-behaved traffic the triage tier clears the overwhelming
+//! majority of windows, so the monitor's steady-state cost is the
+//! polynomial tier plus ring traffic.
+//!
+//! Every stage emits flight-recorder events under the `monitor`
+//! category (`MonitorIngest`, `WindowSeal`, `TriageClear`, `Escalate`,
+//! `MonitorViolation`), so `--trace` sessions show the tier decisions
+//! inline with the STM events that caused them.
+
+use crate::window::{SealedWindow, WindowBuilder};
+use jungle_core::history::History;
+use jungle_core::opacity::check_opacity;
+use jungle_core::registry::{entry, ModelEntry};
+use jungle_core::sgla::check_sgla;
+use jungle_core::triage::triage_opacity;
+use jungle_mc::{CheckKind, SharedVerdictMemo};
+use jungle_obs::trace::{self, EventKind};
+use jungle_obs::MonitorStats;
+use jungle_stm::{StmTap, TapEvent};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monitor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Completed transaction attempts per window.
+    pub window_txns: usize,
+    /// Which property to enforce on escalation.
+    pub kind: CheckKind,
+    /// The memory model parametrizing the property.
+    pub model: &'static ModelEntry,
+}
+
+impl MonitorConfig {
+    /// Defaults: 64-transaction windows, opacity, SC.
+    pub fn new() -> Self {
+        MonitorConfig {
+            window_txns: 64,
+            kind: CheckKind::Opacity,
+            model: entry("SC").expect("SC is always registered"),
+        }
+    }
+
+    /// Set the window size (builder style).
+    pub fn window(mut self, txns: usize) -> Self {
+        self.window_txns = txns;
+        self
+    }
+
+    /// Set the property kind (builder style).
+    pub fn kind(mut self, kind: CheckKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Set the memory model (builder style).
+    pub fn model(mut self, model: &'static ModelEntry) -> Self {
+        self.model = model;
+        self
+    }
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig::new()
+    }
+}
+
+/// The online checker. Feed it events ([`Monitor::ingest`]) or let it
+/// consume a tap ([`Monitor::run`]); read the verdicts off
+/// [`Monitor::stats`].
+pub struct Monitor {
+    cfg: MonitorConfig,
+    builder: WindowBuilder,
+    memo: Option<Arc<SharedVerdictMemo>>,
+    stats: MonitorStats,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .field("memo", &self.memo.is_some())
+            .finish()
+    }
+}
+
+impl Monitor {
+    /// A monitor with the given configuration.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Monitor {
+            builder: WindowBuilder::new(cfg.window_txns),
+            cfg,
+            memo: None,
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// Share a verdict memo (typically across monitors / with the model
+    /// checker) so identical window fingerprints escalate once.
+    pub fn with_memo(mut self, memo: Arc<SharedVerdictMemo>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Counters so far. Final numbers require [`Monitor::finish`].
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// Ingest one event, sealing and checking a window when full.
+    pub fn ingest(&mut self, ev: TapEvent) {
+        self.stats.ops_ingested += 1;
+        trace::emit(EventKind::MonitorIngest, u64::from(ev.pid.0), 0);
+        if self.builder.push(ev) {
+            let sealed = self.builder.seal();
+            if let Some(w) = sealed {
+                self.check_window(&w);
+            }
+        }
+    }
+
+    /// Flush the final (partial) window and return the totals.
+    pub fn finish(&mut self) -> MonitorStats {
+        if let Some(w) = self.builder.flush() {
+            self.check_window(&w);
+        }
+        self.stats
+    }
+
+    /// Consume `tap` until it is closed **and** drained, then flush.
+    /// Returns the totals; `events_dropped` is taken from the tap's
+    /// exact drop counter, `wall_ns` covers the whole consumption.
+    pub fn run(&mut self, tap: &StmTap) -> MonitorStats {
+        let t0 = Instant::now();
+        let mut buf: Vec<TapEvent> = Vec::with_capacity(4096);
+        loop {
+            let depth = tap.queue_depth() as u64;
+            if depth > self.stats.max_queue_depth {
+                self.stats.max_queue_depth = depth;
+            }
+            if tap.drain_into(&mut buf, 4096) == 0 {
+                if tap.is_closed() && tap.queue_depth() == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+            for ev in buf.drain(..) {
+                self.ingest(ev);
+            }
+        }
+        self.stats.events_dropped = tap.dropped();
+        self.finish();
+        self.stats.wall_ns = t0.elapsed().as_nanos() as u64;
+        self.stats
+    }
+
+    /// One-shot mode: run the tiered pipeline on a ready-made history,
+    /// returning the verdict (`true` = property holds). Used by the
+    /// corpus-agreement tests; counters update as for a sealed window,
+    /// but no second chance applies (there is no raced initializer to
+    /// blame).
+    pub fn check_history(&mut self, h: &History) -> bool {
+        self.stats.windows_sealed += 1;
+        trace::emit(EventKind::WindowSeal, h.len() as u64, 0);
+        let t0 = Instant::now();
+        let cleared = triage_opacity(h, self.cfg.model.model).cleared();
+        self.stats.triage_ns += t0.elapsed().as_nanos() as u64;
+        if cleared {
+            self.stats.triage_cleared += 1;
+            trace::emit(EventKind::TriageClear, h.len() as u64, 0);
+            return true;
+        }
+        self.escalate(h)
+    }
+
+    fn check_window(&mut self, w: &SealedWindow) {
+        self.stats.windows_sealed += 1;
+        trace::emit(
+            EventKind::WindowSeal,
+            w.history.len() as u64,
+            w.completed as u64,
+        );
+        let t0 = Instant::now();
+        let cleared = triage_opacity(&w.history, self.cfg.model.model).cleared();
+        self.stats.triage_ns += t0.elapsed().as_nanos() as u64;
+        if cleared {
+            self.stats.triage_cleared += 1;
+            trace::emit(EventKind::TriageClear, w.history.len() as u64, 0);
+            return;
+        }
+        let mut ok = self.escalate(&w.history);
+        if !ok {
+            if let Some(h2) = w.reseeded() {
+                ok = self.escalate(&h2);
+            }
+        }
+        if !ok {
+            self.stats.violations += 1;
+            trace::emit(
+                EventKind::MonitorViolation,
+                w.history.len() as u64,
+                self.stats.windows_sealed,
+            );
+        }
+    }
+
+    /// Tier 2: the full batch checker, through the shared memo.
+    fn escalate(&mut self, h: &History) -> bool {
+        self.stats.escalated += 1;
+        let fp = h.cache_key();
+        trace::emit(EventKind::Escalate, fp, h.len() as u64);
+        let t0 = Instant::now();
+        if let Some(memo) = &self.memo {
+            if let Some(v) = memo.lookup(self.cfg.model.key, self.cfg.kind, fp) {
+                self.stats.memo_hits += 1;
+                self.stats.escalate_ns += t0.elapsed().as_nanos() as u64;
+                return v;
+            }
+        }
+        let v = match self.cfg.kind {
+            CheckKind::Opacity => check_opacity(h, self.cfg.model.model).is_opaque(),
+            CheckKind::Sgla => check_sgla(h, self.cfg.model.model).is_sgla(),
+        };
+        if let Some(memo) = &self.memo {
+            memo.record(self.cfg.model.key, self.cfg.kind, fp, v);
+        }
+        self.stats.escalate_ns += t0.elapsed().as_nanos() as u64;
+        v
+    }
+}

@@ -1,0 +1,484 @@
+//! Windowing: turn the tap's flat event stream into checkable
+//! [`History`] values.
+//!
+//! The monitor cannot check an unbounded stream at once, so it cuts the
+//! stream into **windows of `K` completed transaction attempts**
+//! (commits and aborts both count — an attempt that finished is an
+//! attempt the checker can place). Transactions still open when a
+//! window fills are **carried over**: their events (from their `Begin`)
+//! move wholesale into the next window, so no transaction is ever split
+//! across two checked histories.
+//!
+//! ## Cross-window value continuity
+//!
+//! A read in window `n+1` may observe a value committed in window `n`,
+//! which the checker — seeing only window `n+1` — could not justify.
+//! The builder therefore tracks the **latest committed value per
+//! variable** (in commit-ticket order, see
+//! [`TapOp::Commit`](jungle_stm::TapOp::Commit)) and prepends each
+//! window with a synthetic committed *initializer transaction* on the
+//! reserved process [`INIT_PID`] that writes those values. The
+//! initializer precedes every real event of the window in real time,
+//! so any serialization order the checker finds places it first: it
+//! plays the role of "the state the previous windows left behind".
+//!
+//! Ticket order is the *publish* order of commits, which can lag the
+//! true commit order (the tap publishes `Commit` after the algorithm
+//! finished). A raced seed can therefore be stale; the monitor gives
+//! such windows a **second chance** with the initializer re-seeded from
+//! the first value each variable was actually *read* to contain
+//! ([`SealedWindow::reseeded`]) before declaring a violation. What the
+//! window model inherently cannot see is an anomaly whose every witness
+//! spans two windows (e.g. a stale read in window `n+1` of a variable
+//! whose overwrite committed in window `n`): the initializer collapses
+//! the previous windows into a single final state. This is the standard
+//! precision/throughput trade of windowed runtime verification — the
+//! monitor is sound for everything in one window and best-effort
+//! across.
+//!
+//! ## Dropped events
+//!
+//! Under [`Backpressure::Drop`](jungle_obs::Backpressure) the stream may
+//! have counted gaps. Rather than panic on a now-malformed per-process
+//! sequence, [`build_history`] sanitizes: a `Begin` while the same
+//! process is already open synthesizes a closing `Abort` first; a
+//! `Commit`/`Abort` with no open transaction is skipped. Every such
+//! repair is counted in [`SealedWindow::repaired`]. Under
+//! `Backpressure::Block` no event is ever lost and no repair ever
+//! fires; that is the policy to use when verdicts matter.
+
+use jungle_core::builder::HistoryBuilder;
+use jungle_core::history::History;
+use jungle_core::ids::{ProcId, Var};
+use jungle_stm::{TapEvent, TapOp};
+use std::collections::BTreeMap;
+
+/// Reserved process id for the synthetic initializer transaction. Real
+/// STM threads are numbered from 0, so the all-ones id never collides.
+pub const INIT_PID: u32 = u32::MAX;
+
+/// Convert a tap variable index (widened to `u64` at the publish site)
+/// back to a history [`Var`]. Checked: a heap with more than `u32::MAX`
+/// variables cannot occur, and silently truncating would alias
+/// distinct variables in the checked history.
+fn var(raw: u64) -> Var {
+    Var(u32::try_from(raw).expect("tap variable index exceeds u32: would alias in the history"))
+}
+
+/// A sealed window: the checkable history plus enough residue to build
+/// the second-chance variant.
+#[derive(Debug)]
+pub struct SealedWindow {
+    /// The window's history: initializer transaction (if any seed is
+    /// nonzero) followed by the window's events in arrival order.
+    pub history: History,
+    /// Completed transaction attempts inside this window.
+    pub completed: usize,
+    /// Sanitization repairs performed while building the history
+    /// (always 0 under `Backpressure::Block`).
+    pub repaired: u64,
+    events: Vec<TapEvent>,
+    init_writes: Vec<(u64, u64)>,
+}
+
+impl SealedWindow {
+    /// The second-chance history: the same window re-seeded so that
+    /// every variable whose **first in-window access is a read** is
+    /// initialized to the value that read observed. Returns `None`
+    /// when re-seeding changes nothing (the re-check would repeat the
+    /// same verdict).
+    pub fn reseeded(&self) -> Option<History> {
+        let mut first_read: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        for ev in &self.events {
+            match ev.op {
+                TapOp::Read { var, val } => {
+                    first_read.entry(var).or_insert(Some(val));
+                }
+                TapOp::Write { var, .. } => {
+                    // First access is a write: the tracked seed stands.
+                    first_read.entry(var).or_insert(None);
+                }
+                _ => {}
+            }
+        }
+        let mut seeds = self.init_writes.clone();
+        let mut changed = false;
+        for (v, val) in &mut seeds {
+            if let Some(Some(seen)) = first_read.get(v) {
+                if *seen != *val {
+                    *val = *seen;
+                    changed = true;
+                }
+            }
+        }
+        // A read of a variable with no tracked seed at all (implicit 0)
+        // also needs a seed if it observed something else.
+        for (v, fr) in &first_read {
+            if let Some(seen) = fr {
+                if *seen != 0 && !seeds.iter().any(|(sv, _)| sv == v) {
+                    seeds.push((*v, *seen));
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return None;
+        }
+        Some(build_history(&self.events, &seeds).0)
+    }
+}
+
+/// Build a window history: synthetic initializer transaction writing
+/// `init_writes` (zero-valued seeds are omitted — histories read 0 as
+/// the implicit initial value), then `events` in arrival order, with
+/// the drop-gap sanitization described in the module docs. Returns the
+/// history and the repair count.
+pub fn build_history(events: &[TapEvent], init_writes: &[(u64, u64)]) -> (History, u64) {
+    let mut b = HistoryBuilder::new();
+    let init: Vec<&(u64, u64)> = init_writes.iter().filter(|(_, val)| *val != 0).collect();
+    if !init.is_empty() {
+        let ip = ProcId(INIT_PID);
+        b.start(ip);
+        for (v, val) in init {
+            b.write(ip, var(*v), *val);
+        }
+        b.commit(ip);
+    }
+    let mut open: BTreeMap<u32, bool> = BTreeMap::new();
+    let mut repaired = 0u64;
+    for ev in events {
+        let p = ev.pid;
+        let is_open = open.get(&p.0).copied().unwrap_or(false);
+        match ev.op {
+            TapOp::Begin => {
+                if is_open {
+                    // A Commit/Abort was dropped from the stream: close
+                    // the phantom attempt before opening the new one.
+                    b.abort(p);
+                    repaired += 1;
+                }
+                b.start(p);
+                open.insert(p.0, true);
+            }
+            TapOp::Read { var: v, val } => {
+                b.read(p, var(v), val);
+            }
+            TapOp::Write { var: v, val } => {
+                b.write(p, var(v), val);
+            }
+            TapOp::Commit { .. } => {
+                if is_open {
+                    b.commit(p);
+                    open.insert(p.0, false);
+                } else {
+                    repaired += 1; // Begin was dropped: nothing to close.
+                }
+            }
+            TapOp::Abort => {
+                if is_open {
+                    b.abort(p);
+                    open.insert(p.0, false);
+                } else {
+                    repaired += 1;
+                }
+            }
+        }
+    }
+    let h = b
+        .build()
+        .expect("sanitized window event sequence is well-formed");
+    (h, repaired)
+}
+
+/// Accumulates tap events and seals them into windows of
+/// `window_txns` completed transaction attempts.
+#[derive(Debug)]
+pub struct WindowBuilder {
+    window_txns: usize,
+    pending: Vec<TapEvent>,
+    completed: usize,
+    /// Latest committed value per variable, with the commit ticket that
+    /// wrote it (max ticket wins across windows).
+    tracked: BTreeMap<u64, (u64, u64)>,
+}
+
+impl WindowBuilder {
+    /// A builder sealing after `window_txns` completed attempts (min 1).
+    pub fn new(window_txns: usize) -> Self {
+        WindowBuilder {
+            window_txns: window_txns.max(1),
+            pending: Vec::new(),
+            completed: 0,
+            tracked: BTreeMap::new(),
+        }
+    }
+
+    /// Buffer one event; returns `true` when the window is ready to
+    /// [`seal`](WindowBuilder::seal).
+    pub fn push(&mut self, ev: TapEvent) -> bool {
+        if matches!(ev.op, TapOp::Commit { .. } | TapOp::Abort) {
+            self.completed += 1;
+        }
+        self.pending.push(ev);
+        self.completed >= self.window_txns
+    }
+
+    /// Events buffered but not yet sealed (including carried-over open
+    /// transactions).
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Seal the current window. Events of transactions still open move
+    /// to the next window; everything else becomes the window history,
+    /// prefixed by the initializer transaction. Returns `None` when
+    /// nothing would be checked (no events beyond carried prefixes).
+    pub fn seal(&mut self) -> Option<SealedWindow> {
+        // A transaction is open iff its process has an unmatched Begin;
+        // find, per process, the index of that Begin.
+        let mut open_from: BTreeMap<u32, usize> = BTreeMap::new();
+        for (i, ev) in self.pending.iter().enumerate() {
+            match ev.op {
+                TapOp::Begin => {
+                    open_from.insert(ev.pid.0, i);
+                }
+                TapOp::Commit { .. } | TapOp::Abort => {
+                    open_from.remove(&ev.pid.0);
+                }
+                _ => {}
+            }
+        }
+        let mut window = Vec::with_capacity(self.pending.len());
+        let mut carried = Vec::new();
+        for (i, ev) in self.pending.drain(..).enumerate() {
+            let carry = open_from.get(&ev.pid.0).is_some_and(|&from| i >= from);
+            if carry {
+                carried.push(ev);
+            } else {
+                window.push(ev);
+            }
+        }
+        self.pending = carried;
+        self.completed = 0;
+        if window.is_empty() {
+            return None;
+        }
+
+        // Seed: the tracked committed value of every variable the
+        // window touches (missing entries are the implicit initial 0).
+        let mut init_writes = Vec::new();
+        let mut seen = BTreeMap::new();
+        for ev in &window {
+            if let TapOp::Read { var, .. } | TapOp::Write { var, .. } = ev.op {
+                if seen.insert(var, ()).is_none() {
+                    let seed = self.tracked.get(&var).map_or(0, |&(_, val)| val);
+                    init_writes.push((var, seed));
+                }
+            }
+        }
+
+        // Fold this window's committed write sets into the tracked
+        // state, in ticket order (max ticket wins, so a commit whose
+        // publish raced past a later one cannot clobber it).
+        let mut ws: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+        for ev in &window {
+            match ev.op {
+                TapOp::Begin => {
+                    ws.insert(ev.pid.0, Vec::new());
+                }
+                TapOp::Write { var, val } => {
+                    if let Some(w) = ws.get_mut(&ev.pid.0) {
+                        w.push((var, val));
+                    }
+                }
+                TapOp::Commit { ticket } => {
+                    for (var, val) in ws.remove(&ev.pid.0).unwrap_or_default() {
+                        let e = self.tracked.entry(var).or_insert((ticket, val));
+                        if ticket >= e.0 {
+                            *e = (ticket, val);
+                        }
+                    }
+                }
+                TapOp::Abort => {
+                    ws.remove(&ev.pid.0);
+                }
+                TapOp::Read { .. } => {}
+            }
+        }
+
+        let completed = window
+            .iter()
+            .filter(|e| matches!(e.op, TapOp::Commit { .. } | TapOp::Abort))
+            .count();
+        let (history, repaired) = build_history(&window, &init_writes);
+        Some(SealedWindow {
+            history,
+            completed,
+            repaired,
+            events: window,
+            init_writes,
+        })
+    }
+
+    /// Final flush: seal everything buffered, **including** still-open
+    /// transactions (they appear as live transactions in the history).
+    pub fn flush(&mut self) -> Option<SealedWindow> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        // Force every pending event into the window by pretending no
+        // transaction is open: steal the buffer, seal, then restore
+        // nothing (flush ends the stream).
+        let window = std::mem::take(&mut self.pending);
+        self.completed = 0;
+        let mut init_writes = Vec::new();
+        let mut seen = BTreeMap::new();
+        for ev in &window {
+            if let TapOp::Read { var, .. } | TapOp::Write { var, .. } = ev.op {
+                if seen.insert(var, ()).is_none() {
+                    let seed = self.tracked.get(&var).map_or(0, |&(_, val)| val);
+                    init_writes.push((var, seed));
+                }
+            }
+        }
+        let completed = window
+            .iter()
+            .filter(|e| matches!(e.op, TapOp::Commit { .. } | TapOp::Abort))
+            .count();
+        let (history, repaired) = build_history(&window, &init_writes);
+        Some(SealedWindow {
+            history,
+            completed,
+            repaired,
+            events: window,
+            init_writes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jungle_core::history::TxnStatus;
+    use jungle_core::model::Sc;
+    use jungle_core::opacity::check_opacity;
+
+    fn ev(pid: u32, op: TapOp) -> TapEvent {
+        TapEvent {
+            pid: ProcId(pid),
+            op,
+        }
+    }
+
+    #[test]
+    fn seals_after_k_completed_attempts() {
+        let mut wb = WindowBuilder::new(2);
+        assert!(!wb.push(ev(0, TapOp::Begin)));
+        assert!(!wb.push(ev(0, TapOp::Write { var: 0, val: 1 })));
+        assert!(!wb.push(ev(0, TapOp::Commit { ticket: 0 })));
+        assert!(!wb.push(ev(1, TapOp::Begin)));
+        assert!(wb.push(ev(1, TapOp::Abort)));
+        let w = wb.seal().unwrap();
+        assert_eq!(w.completed, 2);
+        assert_eq!(w.repaired, 0);
+        assert_eq!(w.history.txns().len(), 2);
+        assert!(check_opacity(&w.history, &Sc).is_opaque());
+    }
+
+    #[test]
+    fn open_txns_carry_over_whole() {
+        let mut wb = WindowBuilder::new(1);
+        wb.push(ev(0, TapOp::Begin));
+        wb.push(ev(1, TapOp::Begin));
+        wb.push(ev(1, TapOp::Write { var: 3, val: 9 }));
+        wb.push(ev(0, TapOp::Commit { ticket: 0 }));
+        let w = wb.seal().unwrap();
+        // Pid 1's open transaction moved wholesale to the next window.
+        assert_eq!(w.history.txns().len(), 1);
+        assert_eq!(wb.backlog(), 2);
+        wb.push(ev(1, TapOp::Commit { ticket: 1 }));
+        let w2 = wb.flush().unwrap();
+        assert_eq!(w2.history.txns().len(), 1);
+        assert_eq!(w2.history.txns()[0].status, TxnStatus::Committed);
+    }
+
+    #[test]
+    fn tracked_values_seed_next_window() {
+        let mut wb = WindowBuilder::new(1);
+        wb.push(ev(0, TapOp::Begin));
+        wb.push(ev(0, TapOp::Write { var: 7, val: 42 }));
+        wb.push(ev(0, TapOp::Commit { ticket: 0 }));
+        wb.seal().unwrap();
+        // Window 2 reads the value committed in window 1.
+        wb.push(ev(1, TapOp::Begin));
+        wb.push(ev(1, TapOp::Read { var: 7, val: 42 }));
+        wb.push(ev(1, TapOp::Commit { ticket: 1 }));
+        let w = wb.seal().unwrap();
+        // Initializer (INIT_PID) + the real transaction.
+        assert_eq!(w.history.txns().len(), 2);
+        assert!(
+            check_opacity(&w.history, &Sc).is_opaque(),
+            "cross-window read must be justified by the initializer"
+        );
+    }
+
+    #[test]
+    fn ticket_order_wins_over_arrival_order() {
+        let mut wb = WindowBuilder::new(2);
+        // Publish order inverted relative to tickets: ticket 1 arrives
+        // first. The tracked value must be ticket 1's, not ticket 0's.
+        wb.push(ev(0, TapOp::Begin));
+        wb.push(ev(0, TapOp::Write { var: 0, val: 200 }));
+        wb.push(ev(1, TapOp::Begin));
+        wb.push(ev(1, TapOp::Write { var: 0, val: 100 }));
+        wb.push(ev(0, TapOp::Commit { ticket: 1 }));
+        wb.push(ev(1, TapOp::Commit { ticket: 0 }));
+        wb.seal().unwrap();
+        wb.push(ev(2, TapOp::Begin));
+        wb.push(ev(2, TapOp::Read { var: 0, val: 200 }));
+        wb.push(ev(2, TapOp::Commit { ticket: 2 }));
+        let w = wb.flush().unwrap();
+        assert!(check_opacity(&w.history, &Sc).is_opaque());
+    }
+
+    #[test]
+    fn drop_gaps_are_repaired_not_fatal() {
+        // Begin, (dropped Commit), Begin again; and a Commit with a
+        // dropped Begin on another process.
+        let events = vec![
+            ev(0, TapOp::Begin),
+            ev(0, TapOp::Write { var: 0, val: 1 }),
+            ev(0, TapOp::Begin),
+            ev(0, TapOp::Commit { ticket: 0 }),
+            ev(1, TapOp::Commit { ticket: 1 }),
+        ];
+        let (h, repaired) = build_history(&events, &[]);
+        assert_eq!(repaired, 2);
+        assert_eq!(h.txns().len(), 2); // phantom aborted + real committed
+    }
+
+    #[test]
+    fn reseeded_replaces_stale_seeds_with_first_reads() {
+        let mut wb = WindowBuilder::new(1);
+        wb.push(ev(0, TapOp::Begin));
+        wb.push(ev(0, TapOp::Write { var: 0, val: 5 }));
+        wb.push(ev(0, TapOp::Commit { ticket: 0 }));
+        wb.seal().unwrap();
+        // The next window reads 6 — a value the tracker never saw
+        // (e.g. its commit publish raced past the seal).
+        wb.push(ev(1, TapOp::Begin));
+        wb.push(ev(1, TapOp::Read { var: 0, val: 6 }));
+        wb.push(ev(1, TapOp::Commit { ticket: 1 }));
+        let w = wb.flush().unwrap();
+        assert!(!check_opacity(&w.history, &Sc).is_opaque());
+        let h2 = w.reseeded().expect("seed changed");
+        assert!(check_opacity(&h2, &Sc).is_opaque());
+        // A window whose seeds already match has no second chance.
+        let mut wb2 = WindowBuilder::new(1);
+        wb2.push(ev(0, TapOp::Begin));
+        wb2.push(ev(0, TapOp::Read { var: 0, val: 0 }));
+        wb2.push(ev(0, TapOp::Commit { ticket: 0 }));
+        let w2 = wb2.flush().unwrap();
+        assert!(w2.reseeded().is_none());
+    }
+}

@@ -47,6 +47,14 @@ pub struct LedgerEntry {
     pub replay_logs: u64,
     /// Total shrinker rounds spent minimizing recorded logs.
     pub shrink_rounds: u64,
+    /// Operation events ingested by the streaming monitor (0 when the
+    /// run did not monitor).
+    pub monitor_ops: u64,
+    /// Windows the streaming monitor sealed and checked.
+    pub monitor_windows: u64,
+    /// Monitor windows escalated past the triage tier to the full
+    /// checker.
+    pub monitor_escalated: u64,
     /// The run's full metrics snapshot (or `Json::Null` for sources
     /// that only report headline counters).
     pub metrics: Json,
@@ -61,6 +69,11 @@ impl LedgerEntry {
     /// Verdict-memo hit rate (`memo_hits / memo_lookups`).
     pub fn memo_rate(&self) -> f64 {
         rate(self.memo_hits, self.memo_lookups)
+    }
+
+    /// Monitor escalation rate (`monitor_escalated / monitor_windows`).
+    pub fn monitor_escalation_rate(&self) -> f64 {
+        rate(self.monitor_escalated, self.monitor_windows)
     }
 
     /// Rebuild an entry from a parsed ledger line. Missing fields are
@@ -93,6 +106,13 @@ impl LedgerEntry {
             // entries written before record/replay existed still parse.
             replay_logs: j.get("replay_logs").and_then(Json::as_u64).unwrap_or(0),
             shrink_rounds: j.get("shrink_rounds").and_then(Json::as_u64).unwrap_or(0),
+            // Added with the streaming monitor: same defaulting rule.
+            monitor_ops: j.get("monitor_ops").and_then(Json::as_u64).unwrap_or(0),
+            monitor_windows: j.get("monitor_windows").and_then(Json::as_u64).unwrap_or(0),
+            monitor_escalated: j
+                .get("monitor_escalated")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             metrics: j.get("metrics").cloned().unwrap_or(Json::Null),
         })
     }
@@ -113,6 +133,9 @@ impl ToJson for LedgerEntry {
             .push("zoo_algos", self.zoo_algos.into())
             .push("replay_logs", self.replay_logs.into())
             .push("shrink_rounds", self.shrink_rounds.into())
+            .push("monitor_ops", self.monitor_ops.into())
+            .push("monitor_windows", self.monitor_windows.into())
+            .push("monitor_escalated", self.monitor_escalated.into())
             .push("metrics", self.metrics.clone());
         j
     }
@@ -233,6 +256,25 @@ pub fn compare(prev: &LedgerEntry, cur: &LedgerEntry, tol: &Tolerances) -> Vec<S
             prev.zoo_algos, cur.zoo_algos
         ));
     }
+    // Monitor gates apply only when both runs monitored: a run without
+    // `--monitor` legitimately reports zeros.
+    if prev.monitor_ops > 0 && cur.monitor_ops > 0 {
+        let floor = prev.monitor_ops as f64 * (1.0 - tol.schedules_frac);
+        if (cur.monitor_ops as f64) < floor {
+            out.push(format!(
+                "monitor ops ingested fell {} -> {} (floor {:.0})",
+                prev.monitor_ops, cur.monitor_ops, floor
+            ));
+        }
+        if cur.monitor_escalation_rate() > prev.monitor_escalation_rate() + tol.rate_drop {
+            out.push(format!(
+                "monitor escalation rate rose {:.3} -> {:.3} (tolerance {:.2})",
+                prev.monitor_escalation_rate(),
+                cur.monitor_escalation_rate(),
+                tol.rate_drop
+            ));
+        }
+    }
     out
 }
 
@@ -254,6 +296,9 @@ mod tests {
             zoo_algos: 5,
             replay_logs: 4,
             shrink_rounds: 12,
+            monitor_ops: 1_000_000,
+            monitor_windows: 2_000,
+            monitor_escalated: 10,
             metrics: Json::Null,
         }
     }
@@ -288,6 +333,44 @@ mod tests {
         assert_eq!(back.replay_logs, 0);
         assert_eq!(back.shrink_rounds, 0);
         assert_eq!(back.schedules, entry().schedules);
+    }
+
+    #[test]
+    fn pre_monitor_entries_still_parse() {
+        let mut j = entry().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| !k.starts_with("monitor_"));
+        }
+        let back = LedgerEntry::from_json(&j).unwrap();
+        assert_eq!(back.monitor_ops, 0);
+        assert_eq!(back.monitor_windows, 0);
+        assert_eq!(back.monitor_escalated, 0);
+        assert_eq!(back.monitor_escalation_rate(), 0.0);
+    }
+
+    #[test]
+    fn monitor_gates_apply_only_when_both_monitored() {
+        let prev = entry();
+        // Current run skipped monitoring entirely: no regression.
+        let mut cur = entry();
+        cur.monitor_ops = 0;
+        cur.monitor_windows = 0;
+        cur.monitor_escalated = 0;
+        assert!(compare(&prev, &cur, &Tolerances::default()).is_empty());
+        // Both monitored, throughput collapsed and escalation spiked.
+        let mut cur = entry();
+        cur.monitor_ops = 100;
+        cur.monitor_windows = 10;
+        cur.monitor_escalated = 10; // rate 1.0 vs 0.005
+        let regs = compare(&prev, &cur, &Tolerances::default());
+        assert!(
+            regs.iter().any(|r| r.contains("monitor ops ingested")),
+            "{regs:?}"
+        );
+        assert!(
+            regs.iter().any(|r| r.contains("escalation rate rose")),
+            "{regs:?}"
+        );
     }
 
     #[test]

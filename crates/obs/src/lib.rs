@@ -22,6 +22,11 @@
 //!   Chrome-trace-event JSON.
 //! * [`ledger`] — the persistent run ledger (`.jungle/ledger.jsonl`)
 //!   and its regression gates.
+//! * [`ring::EventRing`] — a bounded MPSC event ring with an explicit
+//!   backpressure policy (block vs drop-with-exact-counter), the
+//!   channel between live STM taps and the streaming monitor.
+//! * [`monitor::MonitorStats`] — per-run counters of the streaming
+//!   opacity monitor (ingest, windows, triage/escalation, violations).
 //!
 //! Collection is **off by default** in the hot paths: the STMs take an
 //! `Option<Arc<TmMetrics>>` and skip all counting when it is `None`,
@@ -36,6 +41,8 @@
 pub mod counter;
 pub mod json;
 pub mod ledger;
+pub mod monitor;
+pub mod ring;
 pub mod search;
 pub mod sim;
 pub mod snapshot;
@@ -46,6 +53,8 @@ pub mod trace;
 pub use counter::{CachePadded, Counter, SHARDS};
 pub use json::{Json, ToJson};
 pub use ledger::{LedgerEntry, Tolerances};
+pub use monitor::MonitorStats;
+pub use ring::{Backpressure, EventRing};
 pub use search::SearchStats;
 pub use sim::{MachineStats, McStats};
 pub use snapshot::MetricsSnapshot;

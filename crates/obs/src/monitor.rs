@@ -1,0 +1,153 @@
+//! Counters for the streaming opacity monitor.
+//!
+//! One [`MonitorStats`] block summarizes a monitoring run: how many
+//! operation events were ingested (and how many the tap dropped, which
+//! is always *counted*, never silent), how many windows were sealed,
+//! how the triage tier did (cleared vs escalated to the full checker,
+//! memo hits among escalations), violations found, the deepest queue
+//! backlog observed, and where the time went. The monitor crate fills
+//! it in; [`MetricsSnapshot`](crate::MetricsSnapshot) carries it into
+//! the report JSON and the run ledger.
+
+use crate::json::{Json, ToJson};
+
+/// Aggregated counters of one streaming-monitor run.
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+pub struct MonitorStats {
+    /// Operation events ingested from the tap ring.
+    pub ops_ingested: u64,
+    /// Events the tap ring dropped under [`Backpressure::Drop`]
+    /// (exact; `0` under `Block`).
+    ///
+    /// [`Backpressure::Drop`]: crate::ring::Backpressure::Drop
+    pub events_dropped: u64,
+    /// Windows sealed and checked.
+    pub windows_sealed: u64,
+    /// Windows the polynomial triage tier proved opaque.
+    pub triage_cleared: u64,
+    /// Windows escalated to the full backtracking checker.
+    pub escalated: u64,
+    /// Escalations answered by the shared verdict memo instead of a
+    /// fresh search (subset of `escalated`).
+    pub memo_hits: u64,
+    /// Windows the full checker found in violation.
+    pub violations: u64,
+    /// Deepest tap-ring backlog observed at a window seal.
+    pub max_queue_depth: u64,
+    /// Nanoseconds spent in the triage tier.
+    pub triage_ns: u64,
+    /// Nanoseconds spent in escalated full checks.
+    pub escalate_ns: u64,
+    /// Wall-clock nanoseconds of the whole monitoring run.
+    pub wall_ns: u64,
+}
+
+impl MonitorStats {
+    /// Fraction of sealed windows that escaped the triage tier
+    /// (`escalated / windows_sealed`), `0` when nothing was sealed.
+    pub fn escalation_rate(&self) -> f64 {
+        if self.windows_sealed == 0 {
+            0.0
+        } else {
+            self.escalated as f64 / self.windows_sealed as f64
+        }
+    }
+
+    /// Ingested operations per second, `0` when no time was measured.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.ops_ingested as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Fold `other` into `self` (sums, except `max_queue_depth` which
+    /// takes the max).
+    pub fn absorb(&mut self, other: &MonitorStats) {
+        self.ops_ingested += other.ops_ingested;
+        self.events_dropped += other.events_dropped;
+        self.windows_sealed += other.windows_sealed;
+        self.triage_cleared += other.triage_cleared;
+        self.escalated += other.escalated;
+        self.memo_hits += other.memo_hits;
+        self.violations += other.violations;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.triage_ns += other.triage_ns;
+        self.escalate_ns += other.escalate_ns;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+impl ToJson for MonitorStats {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("ops_ingested", self.ops_ingested.into())
+            .push("events_dropped", self.events_dropped.into())
+            .push("windows_sealed", self.windows_sealed.into())
+            .push("triage_cleared", self.triage_cleared.into())
+            .push("escalated", self.escalated.into())
+            .push("memo_hits", self.memo_hits.into())
+            .push("violations", self.violations.into())
+            .push("escalation_rate", Json::F64(self.escalation_rate()))
+            .push("max_queue_depth", self.max_queue_depth.into())
+            .push("triage_ns", self.triage_ns.into())
+            .push("escalate_ns", self.escalate_ns.into())
+            .push("wall_ns", self.wall_ns.into());
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = MonitorStats::default();
+        assert_eq!(s.escalation_rate(), 0.0);
+        assert_eq!(s.ops_per_sec(), 0.0);
+        s.windows_sealed = 100;
+        s.escalated = 3;
+        s.ops_ingested = 1_000;
+        s.wall_ns = 500_000_000; // 0.5 s
+        assert!((s.escalation_rate() - 0.03).abs() < 1e-12);
+        assert!((s.ops_per_sec() - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = MonitorStats {
+            ops_ingested: 10,
+            windows_sealed: 2,
+            max_queue_depth: 5,
+            ..Default::default()
+        };
+        let b = MonitorStats {
+            ops_ingested: 7,
+            windows_sealed: 1,
+            escalated: 1,
+            max_queue_depth: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.ops_ingested, 17);
+        assert_eq!(a.windows_sealed, 3);
+        assert_eq!(a.escalated, 1);
+        assert_eq!(a.max_queue_depth, 5);
+    }
+
+    #[test]
+    fn json_has_rate_and_counters() {
+        let s = MonitorStats {
+            ops_ingested: 4,
+            windows_sealed: 2,
+            escalated: 1,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("ops_ingested"), Some(&Json::U64(4)));
+        assert_eq!(j.get("escalation_rate"), Some(&Json::F64(0.5)));
+        assert_eq!(j.get("events_dropped"), Some(&Json::U64(0)));
+    }
+}

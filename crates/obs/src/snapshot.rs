@@ -1,6 +1,7 @@
 //! The top-level serializable metrics aggregate.
 
 use crate::json::{Json, ToJson};
+use crate::monitor::MonitorStats;
 use crate::search::SearchStats;
 use crate::sim::McStats;
 use crate::tm::TmSnapshot;
@@ -21,6 +22,8 @@ pub struct MetricsSnapshot {
     pub stms: Vec<(String, TmSnapshot)>,
     /// Model-checking totals, if a verification pass ran.
     pub mc: Option<McStats>,
+    /// Streaming-monitor totals, if a monitoring run happened.
+    pub monitor: Option<MonitorStats>,
 }
 
 impl MetricsSnapshot {
@@ -51,6 +54,13 @@ impl MetricsSnapshot {
     pub fn record_mc(&mut self, stats: &McStats) {
         self.mc.get_or_insert_with(McStats::default).absorb(stats);
     }
+
+    /// Fold streaming-monitor totals into the `monitor` section.
+    pub fn record_monitor(&mut self, stats: &MonitorStats) {
+        self.monitor
+            .get_or_insert_with(MonitorStats::default)
+            .absorb(stats);
+    }
 }
 
 impl ToJson for MetricsSnapshot {
@@ -64,13 +74,22 @@ impl ToJson for MetricsSnapshot {
             stms.push(algo, snap.to_json());
         }
         let mut j = Json::obj();
-        j.push("checker", checker).push("stms", stms).push(
-            "mc",
-            match &self.mc {
-                Some(mc) => mc.to_json(),
-                None => Json::Null,
-            },
-        );
+        j.push("checker", checker)
+            .push("stms", stms)
+            .push(
+                "mc",
+                match &self.mc {
+                    Some(mc) => mc.to_json(),
+                    None => Json::Null,
+                },
+            )
+            .push(
+                "monitor",
+                match &self.monitor {
+                    Some(m) => m.to_json(),
+                    None => Json::Null,
+                },
+            );
         j
     }
 }
@@ -136,6 +155,27 @@ mod tests {
         );
         // Empty sections serialize as {} / null, still valid JSON.
         let text = MetricsSnapshot::new().to_json().to_string();
-        assert_eq!(text, r#"{"checker":{},"stms":{},"mc":null}"#);
+        assert_eq!(text, r#"{"checker":{},"stms":{},"mc":null,"monitor":null}"#);
+    }
+
+    #[test]
+    fn monitor_section_folds_and_serializes() {
+        let mut m = MetricsSnapshot::new();
+        m.record_monitor(&MonitorStats {
+            ops_ingested: 10,
+            windows_sealed: 2,
+            ..Default::default()
+        });
+        m.record_monitor(&MonitorStats {
+            ops_ingested: 5,
+            escalated: 1,
+            windows_sealed: 1,
+            ..Default::default()
+        });
+        let j = m.to_json();
+        let mon = j.get("monitor").expect("monitor section");
+        assert_eq!(mon.get("ops_ingested"), Some(&Json::U64(15)));
+        assert_eq!(mon.get("windows_sealed"), Some(&Json::U64(3)));
+        assert_eq!(mon.get("escalated"), Some(&Json::U64(1)));
     }
 }

@@ -115,11 +115,27 @@ pub enum EventKind {
     /// A shrinker round finished (`a` = round, `b` = surviving
     /// decision count).
     ShrinkRound = 26,
+    // ── streaming-monitor layer ──────────────────────────────────
+    /// The monitor ingested a batch of tap events (`a` = batch size,
+    /// `b` = ring depth after the drain).
+    MonitorIngest = 27,
+    /// A window sealed for checking (`a` = window sequence number,
+    /// `b` = operation count).
+    WindowSeal = 28,
+    /// The polynomial triage tier proved a window opaque (`a` = window
+    /// sequence number).
+    TriageClear = 29,
+    /// A window escaped triage and went to the full checker (`a` =
+    /// window sequence number, `b` = history fingerprint).
+    Escalate = 30,
+    /// The full checker found a window in violation (`a` = window
+    /// sequence number, `b` = history fingerprint).
+    MonitorViolation = 31,
 }
 
 impl EventKind {
     /// Layer category, one of `"checker"`, `"mc"`, `"memsim"`, `"stm"`,
-    /// `"replay"`.
+    /// `"replay"`, `"monitor"`.
     pub fn cat(self) -> &'static str {
         use EventKind::*;
         match self {
@@ -129,6 +145,7 @@ impl EventKind {
             StoreDrain | StaleLoad | StoreForward | CasFence => "memsim",
             TxnBegin | TxnCommit | TxnAbort | StmCasFail => "stm",
             ReplayBegin | ReplayStep | ReplayDivergence | ShrinkRound => "replay",
+            MonitorIngest | WindowSeal | TriageClear | Escalate | MonitorViolation => "monitor",
         }
     }
 
@@ -160,6 +177,11 @@ impl EventKind {
             ReplayStep => "replay_step",
             ReplayDivergence => "replay_divergence",
             ShrinkRound => "shrink_round",
+            MonitorIngest => "monitor_ingest",
+            WindowSeal => "window_seal",
+            TriageClear => "triage_clear",
+            Escalate => "escalate",
+            MonitorViolation => "monitor_violation",
         }
     }
 
@@ -202,6 +224,11 @@ impl EventKind {
             24 => ReplayStep,
             25 => ReplayDivergence,
             26 => ShrinkRound,
+            27 => MonitorIngest,
+            28 => WindowSeal,
+            29 => TriageClear,
+            30 => Escalate,
+            31 => MonitorViolation,
             _ => return None,
         })
     }
@@ -555,10 +582,11 @@ mod tests {
         r.record(EventKind::StoreDrain, 0, 0);
         r.record(EventKind::StmCasFail, 0, 0);
         r.record(EventKind::ReplayStep, 0, 0);
+        r.record(EventKind::WindowSeal, 0, 0);
         let cats: std::collections::HashSet<&'static str> =
             r.events().iter().map(|e| e.kind.cat()).collect();
-        assert_eq!(cats.len(), 5);
-        for c in ["checker", "mc", "memsim", "stm", "replay"] {
+        assert_eq!(cats.len(), 6);
+        for c in ["checker", "mc", "memsim", "stm", "replay", "monitor"] {
             assert!(cats.contains(c), "missing {c}");
         }
     }

@@ -8,6 +8,7 @@
 //! global-lock family never aborts spontaneously.
 
 use crate::recorder::Recorder;
+use crate::tap::{StmTap, TapOp};
 use jungle_core::ids::ProcId;
 use jungle_obs::trace::{self, EventKind};
 use jungle_obs::TmMetrics;
@@ -42,6 +43,9 @@ pub struct Ctx {
     /// Optional shared runtime metrics. `None` (the default) keeps
     /// every operation on the bare, uncounted path.
     pub metrics: Option<Arc<TmMetrics>>,
+    /// Optional live event tap feeding the streaming monitor. `None`
+    /// (the default) keeps operations on the unpublished path.
+    pub tap: Option<Arc<StmTap>>,
     /// Scratch RNG state for backoff (xorshift).
     pub rng: u64,
     /// Committed transactions on this thread (via [`atomically`]).
@@ -63,6 +67,7 @@ impl Ctx {
             shared: Vec::new(),
             rec,
             metrics: None,
+            tap: None,
             rng: 0x9E37_79B9_7F4A_7C15 ^ (u64::from(pid.0) << 17 | 1),
             commits: 0,
             aborts: 0,
@@ -73,6 +78,21 @@ impl Ctx {
     pub fn with_metrics(mut self, metrics: Arc<TmMetrics>) -> Self {
         self.metrics = Some(metrics);
         self
+    }
+
+    /// Attach a live event tap (builder style). Every subsequent
+    /// begin/read/write/commit/abort on this context is published.
+    pub fn with_tap(mut self, tap: Arc<StmTap>) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Publish `op` to the tap, if one is attached.
+    #[inline]
+    pub fn tap_publish(&self, op: TapOp) {
+        if let Some(t) = &self.tap {
+            t.publish(self.pid, op);
+        }
     }
 
     /// Borrow the recorder, if recording is enabled.
@@ -182,12 +202,22 @@ pub struct Tx<'a> {
 impl<'a> Tx<'a> {
     /// Read variable `var`.
     pub fn read(&mut self, var: usize) -> Result<u64, Aborted> {
-        self.tm.txn_read(self.cx, var)
+        let val = self.tm.txn_read(self.cx, var)?;
+        self.cx.tap_publish(TapOp::Read {
+            var: var as u64,
+            val,
+        });
+        Ok(val)
     }
 
     /// Write `val` to variable `var`.
     pub fn write(&mut self, var: usize, val: u64) -> Result<(), Aborted> {
-        self.tm.txn_write(self.cx, var, val)
+        self.tm.txn_write(self.cx, var, val)?;
+        self.cx.tap_publish(TapOp::Write {
+            var: var as u64,
+            val,
+        });
+        Ok(())
     }
 
     /// This thread's process id.
@@ -208,6 +238,11 @@ pub fn atomically<R>(
     let pid = u64::from(cx.pid.0);
     loop {
         trace::emit(EventKind::TxnBegin, pid, u64::from(attempt));
+        // Tap ordering: `Begin` goes out *before* the algorithm starts
+        // and `Commit`/`Abort` *after* it finishes, so the ring's
+        // arrival order under-approximates the true real-time order
+        // (see the `tap` module docs).
+        cx.tap_publish(TapOp::Begin);
         tm.txn_start(cx);
         let out = {
             let mut tx = Tx { tm, cx };
@@ -218,6 +253,9 @@ pub fn atomically<R>(
                 if tm.txn_commit(cx).is_ok() {
                     cx.commits += 1;
                     trace::emit(EventKind::TxnCommit, pid, u64::from(attempt));
+                    if let Some(t) = &cx.tap {
+                        t.publish_commit(cx.pid);
+                    }
                     return r;
                 }
             }
@@ -229,6 +267,7 @@ pub fn atomically<R>(
         }
         cx.aborts += 1;
         trace::emit(EventKind::TxnAbort, pid, u64::from(attempt));
+        cx.tap_publish(TapOp::Abort);
         attempt = attempt.saturating_add(1);
         backoff(cx, attempt);
     }

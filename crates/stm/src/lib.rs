@@ -5,7 +5,10 @@
 //! implementations over a shared heap of `AtomicU64` cells, exercised by
 //! actual threads, with an optional [`recorder::Recorder`] that captures
 //! the execution as a `jungle-core` history for online opacity/SGLA
-//! checking. The implementations reproduce the paper's design points:
+//! checking, and an optional live [`tap::StmTap`] that streams every
+//! transactional operation into a bounded ring for the
+//! `jungle-monitor` crate. The implementations reproduce the paper's
+//! design points:
 //!
 //! | STM | paper artifact | non-txn reads | non-txn writes |
 //! |---|---|---|---|
@@ -34,6 +37,7 @@ pub mod collections;
 pub mod global_lock;
 pub mod recorder;
 pub mod strong;
+pub mod tap;
 pub mod tl2;
 pub mod tvar;
 pub mod versioned;
@@ -47,6 +51,7 @@ pub use global_lock::GlobalLockStm;
 pub use jungle_obs::{TmMetrics, TmSnapshot};
 pub use recorder::Recorder;
 pub use strong::StrongStm;
+pub use tap::{StmTap, TapEvent, TapOp};
 pub use tl2::Tl2Stm;
 pub use tvar::{TVar, TVarSpace};
 pub use versioned::VersionedStm;

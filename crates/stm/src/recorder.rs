@@ -17,6 +17,14 @@
 //! validation fails, aborting the transaction) simply never calls
 //! `finish`: per the paper's trace grammar the operation instance does
 //! not exist, and the abort that follows is the next operation.
+//!
+//! Loss accounting audit: the recorder itself **never drops** events —
+//! its buffer is unbounded and the only narrowing conversion
+//! ([`Recorder::begin`]'s op-id allocation) is checked, panicking
+//! rather than aliasing ids on overflow. Bounded buffering (with its
+//! explicit block-vs-drop-with-exact-counter policy, surfaced through
+//! `MonitorStats::events_dropped` in the metrics snapshot) lives in
+//! the online [`tap`](crate::tap) instead.
 
 use jungle_core::ids::{OpId, ProcId, Val, Var};
 use jungle_core::op::{Command, Op};

@@ -28,9 +28,21 @@ Extra modes:
   represented.
 * ``--require-replay`` makes a missing ``replay`` section an error
   (use in CI after ``report --record``).
+* ``--require-monitor`` makes a missing ``monitor`` section an error
+  (use in CI after ``report --monitor``).
 * ``--self-test`` runs the checker against built-in golden inputs (one
   passing, several failing with a *named* key or floor) and exits 0 iff
   every case behaves as expected. No stdin is read.
+
+When the report carries a ``monitor`` section (``report --monitor``),
+the streaming monitor's invariants are enforced: at least
+``MONITOR_OPS_FLOOR`` operations ingested, tier accounting exact
+(``triage_cleared + escalated == windows_sealed``), the escalation rate
+under ``MONITOR_ESCALATION_CEILING`` (the triage tier must carry the
+stream), **zero silent loss** (the report's sweep uses the blocking
+tap, so ``events_dropped`` must be exactly 0 — any nonzero value means
+backpressure accounting broke), no violations, and the ledger entry's
+``monitor_*`` fields mirroring the section totals.
 
 A missing key anywhere in the expected schema fails with a message that
 names both the key and the section it was expected in, e.g.
@@ -45,6 +57,8 @@ DEDUP_RATE_FLOOR = 0.50
 MEMO_HIT_RATE_FLOOR = 0.25
 MIN_ZOO_MODELS = 6
 MIN_ZOO_ALGOS = 5
+MONITOR_OPS_FLOOR = 1_000_000
+MONITOR_ESCALATION_CEILING = 0.05
 THEOREM1_CLASSES = {"Mrr", "Mrw", "Mwr", "Mww"}
 TRACE_CATEGORIES = {"checker", "mc", "memsim", "stm"}
 TRACE_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
@@ -107,6 +121,72 @@ def check_replay(report: dict) -> str:
     return f"replay {recorded} logs verified, {rounds_total} shrink rounds"
 
 
+def check_monitor(report: dict) -> str:
+    """Validate the ``monitor`` section written by ``report --monitor``."""
+    monitor = need(report, "monitor", "report")
+    total = need(monitor, "total", "monitor")
+    ops = need(total, "ops_ingested", "monitor.total")
+    dropped = need(total, "events_dropped", "monitor.total")
+    sealed = need(total, "windows_sealed", "monitor.total")
+    cleared = need(total, "triage_cleared", "monitor.total")
+    escalated = need(total, "escalated", "monitor.total")
+    violations = need(total, "violations", "monitor.total")
+    if ops < MONITOR_OPS_FLOOR:
+        fail(f"monitor ingested {ops} ops, floor is {MONITOR_OPS_FLOOR}")
+    if dropped != 0:
+        fail(
+            f"monitor dropped {dropped} events under the blocking tap —"
+            " silent loss is forbidden"
+        )
+    if violations != 0:
+        fail(f"monitor reported {violations} violations on a clean workload")
+    if sealed == 0:
+        fail("monitor sealed no windows")
+    if cleared + escalated != sealed:
+        fail(
+            f"monitor tier accounting broken: cleared {cleared} +"
+            f" escalated {escalated} != sealed {sealed}"
+        )
+    rate = escalated / sealed
+    if rate > MONITOR_ESCALATION_CEILING:
+        fail(
+            f"monitor escalation rate {rate:.4f} above ceiling"
+            f" {MONITOR_ESCALATION_CEILING} ({escalated}/{sealed})"
+        )
+    stms = need(monitor, "stms", "monitor")
+    if not isinstance(stms, list) or not stms:
+        fail("monitor section lists no per-STM entries")
+    for i, entry in enumerate(stms):
+        section = f"monitor.stms[{i}]"
+        stm = need(entry, "stm", section)
+        stats = need(entry, "stats", section)
+        if need(stats, "events_dropped", section) != 0:
+            fail(f"monitor/{stm}: dropped events under the blocking tap")
+        if need(stats, "violations", section) != 0:
+            fail(f"monitor/{stm}: violations on a clean workload")
+    # The aggregate in metrics.monitor and the ledger fields must
+    # mirror the section totals — three views of one run.
+    metrics_mon = need(report, "metrics", "report").get("monitor")
+    if isinstance(metrics_mon, dict) and metrics_mon.get("ops_ingested") != ops:
+        fail(
+            f"metrics.monitor ops_ingested {metrics_mon.get('ops_ingested')}"
+            f" != monitor.total {ops}"
+        )
+    ledger = report.get("ledger_entry")
+    if isinstance(ledger, dict):
+        for key, want in [
+            ("monitor_ops", ops),
+            ("monitor_windows", sealed),
+            ("monitor_escalated", escalated),
+        ]:
+            if key in ledger and ledger[key] != want:
+                fail(f"ledger {key} {ledger[key]} != monitor section {want}")
+    return (
+        f"monitor {ops} ops, {sealed} windows,"
+        f" escalation {rate:.4f} <= {MONITOR_ESCALATION_CEILING}, 0 dropped"
+    )
+
+
 def check_report(report: dict) -> str:
     metrics = need(report, "metrics", "report")
     mc = need(metrics, "mc", "metrics")
@@ -159,6 +239,8 @@ def check_report(report: dict) -> str:
     )
     if "replay" in report:
         summary += "; " + check_replay(report)
+    if "monitor" in report:
+        summary += "; " + check_monitor(report)
     return summary
 
 
@@ -220,7 +302,37 @@ def golden_report() -> dict:
             "cross_run_hits": 200,
             "in_run_hits": 300,
         },
-        "ledger_entry": {"replay_logs": 1, "shrink_rounds": 2},
+        "ledger_entry": {
+            "replay_logs": 1,
+            "shrink_rounds": 2,
+            "monitor_ops": 1_056_000,
+            "monitor_windows": 4_128,
+            "monitor_escalated": 0,
+        },
+        "monitor": {
+            "stms": [
+                {
+                    "stm": name,
+                    "stats": {
+                        "ops_ingested": 176_000,
+                        "events_dropped": 0,
+                        "windows_sealed": 688,
+                        "triage_cleared": 688,
+                        "escalated": 0,
+                        "violations": 0,
+                    },
+                }
+                for name in ["gl", "wt", "v", "s", "tl2", "strong"]
+            ],
+            "total": {
+                "ops_ingested": 1_056_000,
+                "events_dropped": 0,
+                "windows_sealed": 4_128,
+                "triage_cleared": 4_128,
+                "escalated": 0,
+                "violations": 0,
+            },
+        },
         "replay": {
             "dir": "/tmp/schedules",
             "recorded": 1,
@@ -299,6 +411,42 @@ def self_test() -> int:
     broken["ledger_entry"]["replay_logs"] = 7
     cases.append(("ledger replay count mismatch fails", broken, "ledger replay_logs"))
 
+    broken = golden_report()
+    broken["monitor"]["total"]["ops_ingested"] = 999
+    cases.append(("monitor ops below floor fails", broken, "floor is 1000000"))
+
+    broken = golden_report()
+    broken["monitor"]["total"]["events_dropped"] = 3
+    cases.append(("monitor drop fails", broken, "dropped 3 events"))
+
+    broken = golden_report()
+    broken["monitor"]["total"]["triage_cleared"] = 3_000
+    broken["monitor"]["total"]["escalated"] = 1_128
+    broken["ledger_entry"]["monitor_escalated"] = 1_128
+    cases.append(("monitor escalation ceiling fails", broken, "escalation rate"))
+
+    broken = golden_report()
+    broken["monitor"]["total"]["triage_cleared"] = 4_000
+    cases.append(("monitor tier accounting fails", broken, "tier accounting broken"))
+
+    broken = golden_report()
+    del broken["monitor"]["total"]["windows_sealed"]
+    cases.append(
+        (
+            "missing windows_sealed named",
+            broken,
+            "missing key 'windows_sealed' in section 'monitor.total'",
+        )
+    )
+
+    broken = golden_report()
+    broken["monitor"]["stms"][2]["stats"]["events_dropped"] = 1
+    cases.append(("per-stm drop fails", broken, "monitor/v: dropped"))
+
+    broken = golden_report()
+    broken["ledger_entry"]["monitor_ops"] = 5
+    cases.append(("ledger monitor_ops mismatch fails", broken, "ledger monitor_ops"))
+
     failures = 0
     for name, report, want in cases:
         try:
@@ -337,6 +485,8 @@ def main() -> None:
         report = json.load(sys.stdin)
         if "--require-replay" in argv and "replay" not in report:
             fail("missing key 'replay' in section 'report' (--require-replay)")
+        if "--require-monitor" in argv and "monitor" not in report:
+            fail("missing key 'monitor' in section 'report' (--require-monitor)")
         summary = check_report(report)
         if trace_file is not None:
             summary += "; " + check_trace(trace_file)

@@ -8,6 +8,10 @@ trends across runs:
 * wall-clock per run (``wall_ms``)
 * trace dedup rate (``dedup_hits / schedules``)
 * verdict-memo hit rate (``memo_hits / memo_lookups``)
+* streaming-monitor ops ingested per run (``monitor_ops``)
+* streaming-monitor escalation rate (``monitor_escalated /
+  monitor_windows`` — how often the triage tier failed to clear a
+  window and the batch checker ran)
 
 Output is a single self-contained SVG (hand-rolled polylines — no
 plotting dependency) plus a text summary table on stdout, so CI can
@@ -29,7 +33,13 @@ import sys
 WIDTH = 720
 PANEL_H = 150
 PAD_L, PAD_R, PAD_T, PAD_B = 60, 20, 28, 20
-COLORS = {"wall_ms": "#d62728", "dedup_rate": "#1f77b4", "memo_rate": "#2ca02c"}
+COLORS = {
+    "wall_ms": "#d62728",
+    "dedup_rate": "#1f77b4",
+    "memo_rate": "#2ca02c",
+    "monitor_ops": "#9467bd",
+    "monitor_esc_rate": "#8c564b",
+}
 
 
 def load_entries(path, source):
@@ -57,13 +67,24 @@ def load_entries(path, source):
 
 def series(entries):
     """Extract the three plotted series, one point per ledger entry."""
-    out = {"wall_ms": [], "dedup_rate": [], "memo_rate": []}
+    out = {
+        "wall_ms": [],
+        "dedup_rate": [],
+        "memo_rate": [],
+        "monitor_ops": [],
+        "monitor_esc_rate": [],
+    }
     for e in entries:
         out["wall_ms"].append(float(e.get("wall_ms", 0)))
         sched = e.get("schedules", 0)
         out["dedup_rate"].append(e.get("dedup_hits", 0) / sched if sched else 0.0)
         lookups = e.get("memo_lookups", 0)
         out["memo_rate"].append(e.get("memo_hits", 0) / lookups if lookups else 0.0)
+        out["monitor_ops"].append(float(e.get("monitor_ops", 0)))
+        windows = e.get("monitor_windows", 0)
+        out["monitor_esc_rate"].append(
+            e.get("monitor_escalated", 0) / windows if windows else 0.0
+        )
     return out
 
 
@@ -82,7 +103,11 @@ def polyline(values, y_off, vmax):
 
 
 def fmt(key, v):
-    return f"{v:.0f} ms" if key == "wall_ms" else f"{v:.3f}"
+    if key == "wall_ms":
+        return f"{v:.0f} ms"
+    if key == "monitor_ops":
+        return f"{v / 1e6:.2f}M" if v >= 1e6 else f"{v:.0f}"
+    return f"{v:.3f}"
 
 
 def render_svg(entries, data):
@@ -90,14 +115,17 @@ def render_svg(entries, data):
         "wall_ms": "wall-clock per run",
         "dedup_rate": "trace dedup rate",
         "memo_rate": "memo hit rate",
+        "monitor_ops": "monitor ops ingested",
+        "monitor_esc_rate": "monitor escalation rate",
     }
+    keys = ["wall_ms", "dedup_rate", "memo_rate", "monitor_ops", "monitor_esc_rate"]
     panels = []
-    for p, key in enumerate(["wall_ms", "dedup_rate", "memo_rate"]):
+    for p, key in enumerate(keys):
         values = data[key]
         y_off = p * PANEL_H
         vmax = max(values) or 1.0
         # Rates get a fixed 0..1 axis so runs are comparable at a glance.
-        if key != "wall_ms":
+        if key not in ("wall_ms", "monitor_ops"):
             vmax = 1.0
         first, last = values[0], values[-1]
         panels.append(
@@ -127,7 +155,7 @@ def render_svg(entries, data):
                 f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{COLORS[key]}">'
                 f"<title>{rev}: {fmt(key, v)}</title></circle>"
             )
-    height = 3 * PANEL_H
+    height = len(keys) * PANEL_H
     return (
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
         f'height="{height}" font-family="sans-serif">'
@@ -160,11 +188,22 @@ def main():
     data = series(entries)
 
     print(f"ledger trends over {len(entries)} '{source}' runs from {ledger}:")
-    print(f"  {'rev':<10} {'wall_ms':>8} {'dedup':>7} {'memo':>7} {'replay':>7} {'shrink':>7}")
-    for e, w, d, m in zip(entries, data["wall_ms"], data["dedup_rate"], data["memo_rate"]):
+    print(
+        f"  {'rev':<10} {'wall_ms':>8} {'dedup':>7} {'memo':>7} {'replay':>7}"
+        f" {'shrink':>7} {'mon_ops':>9} {'mon_esc':>7}"
+    )
+    for e, w, d, m, mo, me in zip(
+        entries,
+        data["wall_ms"],
+        data["dedup_rate"],
+        data["memo_rate"],
+        data["monitor_ops"],
+        data["monitor_esc_rate"],
+    ):
         print(
             f"  {e.get('git_rev', '?'):<10} {w:>8.0f} {d:>7.3f} {m:>7.3f}"
             f" {e.get('replay_logs', 0):>7} {e.get('shrink_rounds', 0):>7}"
+            f" {fmt('monitor_ops', mo):>9} {me:>7.3f}"
         )
     with open(out, "w", encoding="utf-8") as f:
         f.write(render_svg(entries, data))
