@@ -204,6 +204,9 @@ fn report_counters(_c: &mut Criterion) {
         monitor_ops: stats.ops_ingested,
         monitor_windows: stats.windows_sealed,
         monitor_escalated: stats.escalated,
+        dpor_executed: 0,
+        dpor_classes: 0,
+        frontier_steals: 0,
         metrics: snap.to_json(),
     };
     let path = std::env::var("JUNGLE_LEDGER")

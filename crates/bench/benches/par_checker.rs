@@ -141,6 +141,9 @@ fn report_counters(_c: &mut Criterion) {
         monitor_ops: 0,
         monitor_windows: 0,
         monitor_escalated: 0,
+        dpor_executed: 0,
+        dpor_classes: 0,
+        frontier_steals: 0,
         metrics: snap.to_json(),
     };
     // Bench binaries run with the package as CWD; anchor the default

@@ -55,7 +55,10 @@ use jungle_mc::explain::{explain_experiment, explain_trace};
 use jungle_mc::theorems::{
     all_fixed_experiments, experiment_by_id, experiment_ids, matched_zoo, thm1_suite, Experiment,
 };
-use jungle_mc::{SharedVerdictMemo, SweepSeeds};
+use jungle_mc::{
+    check_all_traces_shared, class_sweep_dpor, class_sweep_enumerative, SharedVerdictMemo,
+    SweepSeeds,
+};
 use jungle_monitor::{Monitor, MonitorConfig};
 use jungle_obs::ledger::{self, LedgerEntry, Tolerances};
 use jungle_obs::trace::{self as flight, FlightRecorder};
@@ -438,6 +441,9 @@ fn main() {
     let mut metrics = MetricsSnapshot::new();
     let mut schedules = 0u64;
     let mut dedup_hits = 0u64;
+    let mut dpor_executed = 0u64;
+    let mut dpor_classes = 0u64;
+    let mut frontier_steals = 0u64;
 
     // ── Figures 1–2: litmus verdict tables ────────────────────────
     if !json {
@@ -549,6 +555,9 @@ fn main() {
         metrics.record_mc(&r.stats);
         schedules += r.stats.schedules;
         dedup_hits += r.stats.dedup_hits;
+        dpor_executed += r.stats.dpor_executed;
+        dpor_classes += r.stats.dpor_classes;
+        frontier_steals += r.stats.frontier_steals;
         if !json {
             println!(
                 "  {:<22} {:<36} {:>6} ({:.0?})",
@@ -565,6 +574,103 @@ fn main() {
             observed: r.detail,
             pass: r.passed,
         });
+    }
+
+    // ── DPOR reduction: executed runs vs history classes ──────────
+    // For every exhaustive experiment: (a) the brute-force oracle —
+    // the DPOR explorer must visit exactly the class-key set plain
+    // enumeration visits, in far fewer runs; (b) worker-count
+    // determinism — verdict and witness fingerprint at 1, 2 and 4
+    // workers must be identical.
+    let mut dpor_entries: Vec<Json> = Vec::new();
+    {
+        if !json {
+            println!("\n════ DPOR reduction: executed runs vs history classes ════\n");
+            println!(
+                "  {:<22} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8}",
+                "experiment",
+                "brute",
+                "executed",
+                "complete",
+                "classes",
+                "ratio",
+                "oracle",
+                "workers"
+            );
+        }
+        for e in all_fixed_experiments().into_iter().filter(|e| e.exhaustive) {
+            let brute = class_sweep_enumerative(&e.program, e.algo, &e.entry, 8_000);
+            let dpor = class_sweep_dpor(&e.program, e.algo, &e.entry, 8_000);
+            let oracle_ok = dpor.keys == brute.keys && dpor.truncated == brute.truncated;
+            // Verdict + witness at each worker count (serial path at 1).
+            let mut sweep_verdicts: Vec<(bool, Option<u64>)> = Vec::new();
+            let mut steals_any_width = 0u64;
+            for threads in [1usize, 2, 4] {
+                let v = check_all_traces_shared(
+                    &e.program,
+                    e.algo,
+                    &e.entry,
+                    e.kind,
+                    8_000,
+                    &ParallelConfig::with_threads(threads),
+                    &memo,
+                );
+                steals_any_width = steals_any_width.max(v.stats.frontier_steals);
+                sweep_verdicts.push((v.ok, v.violation.as_ref().map(|t| t.cache_key())));
+            }
+            let deterministic = sweep_verdicts.windows(2).all(|w| w[0] == w[1]);
+            frontier_steals += steals_any_width;
+            // Optimality metric: complete runs per distinct class. 1.00
+            // means each class was materialized by exactly one full run;
+            // executed additionally counts blocked sleep-set probes that
+            // abort partway through the prefix.
+            let ratio = dpor.completed as f64 / (dpor.keys.len().max(1) as f64);
+            let pass = oracle_ok && deterministic;
+            if !json {
+                println!(
+                    "  {:<22} {:>9} {:>9} {:>9} {:>9} {:>7.2} {:>7} {:>8}",
+                    e.id,
+                    brute.executed,
+                    dpor.executed,
+                    dpor.completed,
+                    dpor.keys.len(),
+                    ratio,
+                    if oracle_ok { "match" } else { "MISMATCH" },
+                    if deterministic { "stable" } else { "DIVERGE" },
+                );
+            }
+            let mut j = Json::obj();
+            j.push("id", e.id.as_str().into())
+                .push("brute_executed", brute.executed.into())
+                .push("dpor_executed", dpor.executed.into())
+                .push("dpor_completed", dpor.completed.into())
+                .push("classes", (dpor.keys.len() as u64).into())
+                .push("truncated", dpor.truncated.into())
+                .push("completed_per_class", Json::F64(ratio))
+                .push("oracle_match", oracle_ok.into())
+                .push("workers_deterministic", deterministic.into())
+                .push("frontier_steals", steals_any_width.into());
+            dpor_entries.push(j);
+            rows.push(Row {
+                section: "dpor",
+                id: format!("dpor/{}", e.id),
+                expected: "classes == brute; verdict stable at 1/2/4 workers",
+                observed: format!(
+                    "{} runs ({} complete) → {} classes ({}× fewer than {} brute), oracle {}, workers {}",
+                    dpor.executed,
+                    dpor.completed,
+                    dpor.keys.len(),
+                    brute.executed / dpor.executed.max(1),
+                    brute.executed,
+                    if oracle_ok { "match" } else { "mismatch" },
+                    if deterministic { "stable" } else { "diverge" },
+                ),
+                pass,
+            });
+        }
+        if !json {
+            println!("  (brute = pre-reduction enumeration, the correctness oracle)");
+        }
     }
 
     // ── Matched-model zoo: five STMs × every registry entry ───────
@@ -787,6 +893,11 @@ fn main() {
                 }
             }
         }
+        // Same for the `dpor` layer: one small reduction sweep so its
+        // events sit inside the exported tail.
+        if let Some(e) = all_fixed_experiments().into_iter().find(|e| e.exhaustive) {
+            let _ = class_sweep_dpor(&e.program, e.algo, &e.entry, 8_000);
+        }
         stm_smoke();
     }
 
@@ -819,6 +930,9 @@ fn main() {
         monitor_ops: monitor_total.as_ref().map_or(0, |s| s.ops_ingested),
         monitor_windows: monitor_total.as_ref().map_or(0, |s| s.windows_sealed),
         monitor_escalated: monitor_total.as_ref().map_or(0, |s| s.escalated),
+        dpor_executed,
+        dpor_classes,
+        frontier_steals,
         metrics: metrics.to_json(),
     };
     if let Err(e) = ledger::append(&args.ledger, &entry) {
@@ -896,6 +1010,7 @@ fn main() {
         )
         .push("metrics", metrics.to_json())
         .push("shared_memo", memo_j)
+        .push("dpor", Json::Arr(dpor_entries))
         .push("ledger_entry", entry.to_json());
         if args.explain {
             out.push("explanations", Json::Arr(explanations));

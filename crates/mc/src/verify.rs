@@ -32,19 +32,32 @@
 //! hashes; a collision between distinct structures is possible in
 //! principle but vanishingly unlikely.
 //!
+//! ### Partial-order reduction
+//!
+//! The exhaustive sweeps do not enumerate raw schedules at all: they
+//! run the sleep-set DPOR explorer ([`crate::dpor`]), which executes
+//! one machine run per Mazurkiewicz equivalence class of decisions —
+//! orders of magnitude fewer runs than enumeration on store-buffer
+//! machines, with bit-identical verdicts and witnesses (the serial
+//! explorer meets leaves in the same lexicographic order enumeration
+//! does). The pre-reduction algorithm survives as
+//! [`check_all_traces_enumerative`], the oracle the reduction is
+//! tested against: [`class_sweep_dpor`] must produce exactly the
+//! class-key set of [`class_sweep_enumerative`].
+//!
 //! ### Parallel sweeps
 //!
-//! [`check_all_traces_par`] fans the per-trace checking over a scoped
-//! worker pool: the exploration cursor stays serial (it is cheap next
-//! to the exponential checker searches) and owns the dedup set, while
-//! workers drain a channel of `(sequence, trace)` pairs sharing the
-//! verdict memo. The reported violation is the one with the lowest
-//! sequence number — the first violating trace in serial exploration
-//! order — so the verdict *and* the violating trace match the serial
-//! path for every thread count. Exploration counters (`runs`,
-//! `schedules`) can exceed the serial early-stop values, since the
-//! cursor may produce a few more schedules before a worker's violation
-//! report reaches it.
+//! [`check_all_traces_par`] runs the DPOR exploration itself on a
+//! work-stealing frontier of donated subtrees
+//! ([`crate::dpor::Frontier`]), checking each completed trace inline in
+//! the worker that executed it (all of them share the dedup set and
+//! verdict memo). The reported violation is the one with the
+//! lexicographically least decision path — the leaf the serial DFS
+//! stops at — so the verdict *and* the violating trace match the
+//! serial path for every thread count. Exploration counters (`runs`,
+//! `schedules`, `dedup_hits`) can exceed the serial early-stop values,
+//! since workers prune against the best violation found *so far* and
+//! may finish runs beyond the eventual winner.
 //!
 //! [`check_random_par`] stripes the seed range over the workers. The
 //! `ok` verdict is deterministic (dedup only ever skips a trace whose
@@ -56,6 +69,7 @@
 //! first violating seed.
 
 use crate::algos::TmAlgo;
+use crate::dpor::{explore_dpor, explore_dpor_par, DporOutcome};
 use crate::obs::tm_counts_from_trace;
 use crate::program::Program;
 use jungle_core::ids::ProcId;
@@ -71,8 +85,8 @@ use jungle_obs::{McStats, TmSnapshot};
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Which correctness property to check.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -561,88 +575,86 @@ pub fn check_all_traces_shared(
 
     let mut verdict = Verdict::passing(entry);
     let model = entry.model;
-    let (tx, rx) = mpsc::channel::<(u64, Trace)>();
-    let rx = Mutex::new(rx);
-    let violation: Mutex<Option<(u64, Trace)>> = Mutex::new(None);
-    let stop = AtomicBool::new(false);
+    // Sweep-wide state shared by the DPOR workers. Checking happens
+    // inline in the visit callback (the explorer already distributes
+    // machine runs across workers; a separate checker pool would idle).
+    let seen: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+    let tm: Mutex<TmSnapshot> = Mutex::new(TmSnapshot::default());
+    let dedup_hits = AtomicU64::new(0);
+    let histories_checked = AtomicU64::new(0);
+    let memo_hits = AtomicU64::new(0);
+    let schedule_seq = AtomicU64::new(0);
+    // Violation witness keyed by absolute decision path; the keeper is
+    // the lexicographically least, which is the leaf the serial DFS
+    // stops at — so verdict and witness match the serial sweep at every
+    // worker count.
+    let violation: Mutex<Option<(Vec<usize>, Trace)>> = Mutex::new(None);
 
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut memo_hits = 0u64;
-                    let mut checked = 0u64;
-                    loop {
-                        let msg = rx.lock().unwrap().recv();
-                        let Ok((seq, trace)) = msg else { break };
-                        // A violation earlier in exploration order has
-                        // already decided everything from `seq` on.
-                        if violation
-                            .lock()
-                            .unwrap()
-                            .as_ref()
-                            .is_some_and(|(vs, _)| *vs < seq)
-                        {
-                            continue;
-                        }
-                        checked += 1;
-                        flight::emit(EventKind::McHistoryChecked, seq, 0);
-                        let (ok, hits) =
-                            trace_satisfies_memo(&trace, model, kind, Some((memo, entry.key)));
-                        memo_hits += hits;
-                        if !ok {
-                            flight::emit(EventKind::McViolation, seq, 0);
-                            let mut v = violation.lock().unwrap();
-                            if v.as_ref().is_none_or(|(vs, _)| seq < *vs) {
-                                *v = Some((seq, trace));
-                                stop.store(true, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    (checked, memo_hits)
-                })
-            })
-            .collect();
-
-        // The producer: serial exploration cursor + dedup set.
-        let mut seen: HashSet<u64> = HashSet::new();
-        let mut seq = 0u64;
-        let out = explore(
-            || build_machine(program, algo, entry.exec),
-            max_steps,
-            |r| {
-                if stop.load(Ordering::Relaxed) {
-                    return true; // a worker found a violation
-                }
-                flight::emit(EventKind::McSchedule, seq, u64::from(r.completed));
-                if !r.completed {
-                    return false;
-                }
-                verdict.tm.absorb(&tm_counts_from_trace(&r.trace));
-                if !seen.insert(r.trace.cache_key()) {
-                    verdict.stats.dedup_hits += 1;
-                    flight::emit(EventKind::McDedupHit, r.trace.cache_key(), 0);
-                    return false;
-                }
-                tx.send((seq, r.trace.clone())).ok();
-                seq += 1;
-                false
-            },
-        );
-        drop(tx); // close the channel so idle workers exit
-
-        for h in handles {
-            let (checked, hits) = h.join().expect("checker worker panicked");
-            verdict.stats.histories_checked += checked;
-            verdict.stats.memo_hits += hits;
+    let lex_less = |a: &[usize], b: &[usize]| -> bool {
+        for (x, y) in a.iter().zip(b.iter()) {
+            if x != y {
+                return x < y;
+            }
         }
-        verdict.runs = out.runs;
-        verdict.truncated = out.truncated;
-        verdict.stats.schedules = out.runs as u64;
-        verdict.stats.truncated = out.truncated as u64;
-        verdict.stats.machine = out.stats;
-    });
+        a.len() < b.len()
+    };
 
+    let out = explore_dpor_par(
+        &|| build_machine(program, algo, entry.exec),
+        max_steps,
+        threads,
+        &|r, path| {
+            let seq = schedule_seq.fetch_add(1, Ordering::Relaxed);
+            flight::emit(EventKind::McSchedule, seq, u64::from(r.completed));
+            if !r.completed {
+                return false;
+            }
+            tm.lock().unwrap().absorb(&tm_counts_from_trace(&r.trace));
+            let key = r.trace.cache_key();
+            if !seen.lock().unwrap().insert(key) {
+                dedup_hits.fetch_add(1, Ordering::Relaxed);
+                flight::emit(EventKind::McDedupHit, key, 0);
+                // The class is already decided, but if it is the
+                // violating one and this representative's path is
+                // smaller, it is the witness the serial sweep reports.
+                let mut v = violation.lock().unwrap();
+                if let Some((vp, vt)) = v.as_mut() {
+                    if vt.cache_key() == key {
+                        if lex_less(path, vp) {
+                            *vp = path.to_vec();
+                            *vt = r.trace.clone();
+                        }
+                        return true; // still a violating leaf: tighten pruning
+                    }
+                }
+                return false;
+            }
+            let checked = histories_checked.fetch_add(1, Ordering::Relaxed) + 1;
+            flight::emit(EventKind::McHistoryChecked, checked, 0);
+            let (ok, hits) = trace_satisfies_memo(&r.trace, model, kind, Some((memo, entry.key)));
+            memo_hits.fetch_add(hits, Ordering::Relaxed);
+            if !ok {
+                flight::emit(EventKind::McViolation, checked, 0);
+                let mut v = violation.lock().unwrap();
+                if v.as_ref().is_none_or(|(vp, _)| lex_less(path, vp)) {
+                    *v = Some((path.to_vec(), r.trace.clone()));
+                }
+                return true;
+            }
+            false
+        },
+    );
+
+    verdict.runs = out.executed;
+    verdict.truncated = out.truncated;
+    verdict.stats.schedules = out.executed as u64;
+    verdict.stats.truncated = out.truncated as u64;
+    verdict.stats.dedup_hits = dedup_hits.into_inner();
+    verdict.stats.histories_checked = histories_checked.into_inner();
+    verdict.stats.memo_hits = memo_hits.into_inner();
+    verdict.stats.machine = out.stats;
+    apply_dpor_stats(&mut verdict.stats, &out);
+    verdict.tm = tm.into_inner().unwrap();
     verdict.stats.workers = threads as u64;
     if let Some((_, trace)) = violation.into_inner().unwrap() {
         verdict.ok = false;
@@ -664,17 +676,15 @@ fn check_all_traces_serial(
     let mut histories_checked = 0u64;
     let mut memo_hits = 0u64;
     let mut tm = TmSnapshot::default();
-    let out = explore(
+    let mut schedule_seq = 0u64;
+    let out = explore_dpor(
         || build_machine(program, algo, entry.exec),
         max_steps,
         |r| {
-            flight::emit(
-                EventKind::McSchedule,
-                histories_checked,
-                u64::from(r.completed),
-            );
+            flight::emit(EventKind::McSchedule, schedule_seq, u64::from(r.completed));
+            schedule_seq += 1;
             if !r.completed {
-                return false; // counted by explore; skip checking prefixes
+                return false; // counted by the explorer; skip checking prefixes
             }
             tm.absorb(&tm_counts_from_trace(&r.trace));
             if !seen.insert(r.trace.cache_key()) {
@@ -696,6 +706,70 @@ fn check_all_traces_serial(
             false
         },
     );
+    verdict.runs = out.executed;
+    verdict.truncated = out.truncated;
+    verdict.stats.schedules = out.executed as u64;
+    verdict.stats.truncated = out.truncated as u64;
+    verdict.stats.histories_checked = histories_checked;
+    verdict.stats.memo_hits = memo_hits;
+    verdict.stats.machine = out.stats;
+    apply_dpor_stats(&mut verdict.stats, &out);
+    verdict.tm = tm;
+    verdict
+}
+
+/// Copy a DPOR exploration's reduction counters into sweep stats.
+fn apply_dpor_stats(stats: &mut McStats, out: &DporOutcome) {
+    stats.dpor_executed = out.executed as u64;
+    stats.dpor_classes = out.classes as u64;
+    stats.frontier_steals = out.frontier_steals;
+    stats.sleep_skips = out.sleep_skips;
+    stats.races = out.races;
+}
+
+/// Brute-force exhaustive sweep: every schedule executed, equivalence
+/// handled only by after-the-fact trace dedup. This is the pre-DPOR
+/// algorithm, kept as the **oracle** the reduction is validated against
+/// (`dpor` history classes and verdicts must match it exactly); use
+/// [`check_all_traces`] for real sweeps — it visits the same classes in
+/// orders of magnitude fewer runs.
+pub fn check_all_traces_enumerative(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    max_steps: usize,
+) -> Verdict {
+    let memo = SharedVerdictMemo::new();
+    let mut verdict = Verdict::passing(entry);
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut histories_checked = 0u64;
+    let mut memo_hits = 0u64;
+    let mut tm = TmSnapshot::default();
+    let out = explore(
+        || build_machine(program, algo, entry.exec),
+        max_steps,
+        |r| {
+            if !r.completed {
+                return false;
+            }
+            tm.absorb(&tm_counts_from_trace(&r.trace));
+            if !seen.insert(r.trace.cache_key()) {
+                verdict.stats.dedup_hits += 1;
+                return false;
+            }
+            histories_checked += 1;
+            let (ok, hits) =
+                trace_satisfies_memo(&r.trace, entry.model, kind, Some((&memo, entry.key)));
+            memo_hits += hits;
+            if !ok {
+                verdict.ok = false;
+                verdict.violation = Some(r.trace.clone());
+                return true;
+            }
+            false
+        },
+    );
     verdict.runs = out.runs;
     verdict.truncated = out.truncated;
     verdict.stats.schedules = out.runs as u64;
@@ -705,6 +779,72 @@ fn check_all_traces_serial(
     verdict.stats.machine = out.stats;
     verdict.tm = tm;
     verdict
+}
+
+/// The set of structural history classes a sweep visits, with the run
+/// count it took to visit them — the raw material of the
+/// DPOR-vs-enumeration equivalence oracle.
+#[derive(Clone, Debug, Default)]
+pub struct ClassSweep {
+    /// `Trace::cache_key` of every completed run.
+    pub keys: HashSet<u64>,
+    /// Machine runs executed (for DPOR this includes blocked sleep-set
+    /// probes that abort partway; `completed` is the useful subset).
+    pub executed: u64,
+    /// Runs that ran to completion and yielded a class key.
+    pub completed: u64,
+    /// Runs cut off by the step bound.
+    pub truncated: u64,
+}
+
+/// Enumerate every schedule and collect the completed-trace class keys.
+pub fn class_sweep_enumerative(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    max_steps: usize,
+) -> ClassSweep {
+    let mut sweep = ClassSweep::default();
+    let out = explore(
+        || build_machine(program, algo, entry.exec),
+        max_steps,
+        |r| {
+            if r.completed {
+                sweep.completed += 1;
+                sweep.keys.insert(r.trace.cache_key());
+            }
+            false
+        },
+    );
+    sweep.executed = out.runs as u64;
+    sweep.truncated = out.truncated as u64;
+    sweep
+}
+
+/// Collect the completed-trace class keys the DPOR explorer visits.
+/// Equal key sets with [`class_sweep_enumerative`] — at a fraction of
+/// its `executed` — is the reduction's correctness property.
+pub fn class_sweep_dpor(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    max_steps: usize,
+) -> ClassSweep {
+    let mut sweep = ClassSweep::default();
+    let out = explore_dpor(
+        || build_machine(program, algo, entry.exec),
+        max_steps,
+        |r| {
+            if r.completed {
+                sweep.completed += 1;
+                sweep.keys.insert(r.trace.cache_key());
+            }
+            false
+        },
+    );
+    sweep.executed = out.executed as u64;
+    sweep.truncated = out.truncated as u64;
+    sweep
 }
 
 /// Sample random schedules of `program` over the explicit seed range,

@@ -58,5 +58,5 @@ pub use machine::{explore, ExploreOutcome, Machine, RunResult};
 pub use process::{PInstr, Process, Step};
 pub use sched::{
     Action, BurstyScheduler, ChoicePoint, DirectedScheduler, Divergence, ExhaustiveCursor,
-    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler,
+    Footprint, RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler,
 };

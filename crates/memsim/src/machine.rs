@@ -7,7 +7,7 @@
 
 use crate::cpu::{GlobalMem, HwModel, ReorderEngine};
 use crate::process::{PInstr, Process, Resume, Step};
-use crate::sched::{Action, ExhaustiveCursor, Scheduler};
+use crate::sched::{Action, ExhaustiveCursor, Footprint, Scheduler};
 use jungle_core::ids::{OpId, ProcId, Val};
 use jungle_core::registry::StoreDiscipline;
 use jungle_isa::instr::Addr;
@@ -24,8 +24,15 @@ pub struct RunResult {
     pub trace: Trace,
     /// True if every process finished and all store buffers drained.
     pub completed: bool,
+    /// True if the scheduler abandoned the run via
+    /// [`Scheduler::abort_run`] (a subset of `!completed`).
+    pub aborted: bool,
     /// Number of scheduler steps taken.
     pub steps: usize,
+    /// The [`Footprint`] of every scheduler decision, in decision order
+    /// (one entry per `choose` call, including the synthetic mid-load
+    /// version picks).
+    pub footprints: Vec<Footprint>,
     /// Final global memory (written cells only, sorted by address).
     /// Buffered stores of truncated runs are *not* included.
     pub final_mem: Vec<(jungle_isa::instr::Addr, Val)>,
@@ -52,6 +59,10 @@ pub struct Machine {
     instrs: Vec<InstrInstance>,
     next_op: u32,
     stats: MachineStats,
+    /// One footprint per scheduler decision, in `choose`-call order.
+    footprints: Vec<Footprint>,
+    /// Footprints already reported via [`Scheduler::observe`].
+    observed: usize,
 }
 
 impl Machine {
@@ -78,6 +89,8 @@ impl Machine {
                 model: hw.name,
                 ..MachineStats::default()
             },
+            footprints: Vec::new(),
+            observed: 0,
         }
     }
 
@@ -120,10 +133,44 @@ impl Machine {
 
     /// Apply a drained store to memory and record that this CPU has
     /// observed it (its own write raises the address's coherence
-    /// floor).
+    /// floor). Counts as a global-memory write on the current decision.
     fn apply_drain(&mut self, cpu: usize, addr: Addr, val: Val) {
         let seq = self.mem.store(addr, val);
         self.cpus[cpu].buffer.raise_addr_floor(addr, seq);
+        self.note_write(addr);
+    }
+
+    /// The footprint of the decision currently executing.
+    fn fp(&mut self) -> &mut Footprint {
+        self.footprints
+            .last_mut()
+            .expect("decision footprint pushed before execution")
+    }
+
+    fn note_read(&mut self, addr: Addr) {
+        let f = self.fp();
+        if !f.reads.contains(&addr) {
+            f.reads.push(addr);
+        }
+    }
+
+    fn note_write(&mut self, addr: Addr) {
+        let f = self.fp();
+        if !f.writes.contains(&addr) {
+            f.writes.push(addr);
+        }
+    }
+
+    /// Report every completed-but-unreported decision footprint to the
+    /// scheduler, in decision order. Called before each `choose` (outer
+    /// and mid-load) and once before `run` returns, so schedulers
+    /// always see the footprints of all prior decisions by the time
+    /// they pick the next one.
+    fn flush_observations(&mut self, sched: &mut dyn Scheduler) {
+        while self.observed < self.footprints.len() {
+            sched.observe(&self.footprints[self.observed]);
+            self.observed += 1;
+        }
     }
 
     /// The memory versions a load of `addr` on `cpu` may observe,
@@ -164,11 +211,26 @@ impl Machine {
         if dep_ordered {
             options.truncate(1);
         }
+        self.note_read(addr);
         let (seq, val) = if options.len() > 1 {
             let actions: Vec<Action> = (0..options.len())
                 .map(|version| Action::ReadVersion { cpu, version })
                 .collect();
-            let c = sched.choose(&actions).min(options.len() - 1);
+            // The enclosing Exec decision's accesses are all recorded by
+            // now (forced drains and the read above) — safe to report it
+            // before asking for the version pick.
+            self.flush_observations(sched);
+            let c = sched.choose(&actions);
+            assert!(
+                c < actions.len(),
+                "scheduler chose index {c} of {} admissible versions",
+                actions.len()
+            );
+            self.footprints.push(Footprint {
+                cpu,
+                reads: vec![addr],
+                ..Footprint::default()
+            });
             if c > 0 {
                 self.stats.stale_loads += 1;
                 trace::emit(EventKind::StaleLoad, addr as u64, c as u64);
@@ -220,6 +282,7 @@ impl Machine {
                     self.cpus[cpu].current_op.is_none(),
                     "nested operation invocation on cpu {cpu}"
                 );
+                self.fp().inv = true;
                 let id = OpId(self.next_op);
                 self.next_op += 1;
                 self.instrs.push(InstrInstance {
@@ -230,6 +293,7 @@ impl Machine {
                 self.cpus[cpu].current_op = Some((id, self.instrs.len() - 1));
             }
             Step::Resp(op) => {
+                self.fp().resp = true;
                 let (id, inv_idx) = self.cpus[cpu]
                     .current_op
                     .take()
@@ -265,13 +329,18 @@ impl Machine {
                 }
                 PInstr::Cas(addr, expect, new) => {
                     self.stats.cas_ops += 1;
+                    self.fp().fence = true;
                     // A CAS acts like a full fence: drain the CPU's own
                     // buffer before executing atomically…
                     for e in self.cpus[cpu].buffer.drain_all() {
                         self.stats.flushes += 1;
                         self.apply_drain(cpu, e.addr, e.val);
                     }
+                    self.note_read(addr);
                     let ok = self.mem.cas(addr, expect, new);
+                    if ok {
+                        self.note_write(addr);
+                    }
                     // …and synchronize with global memory: no later
                     // load on this CPU may observe anything older than
                     // the CAS point.
@@ -302,17 +371,46 @@ impl Machine {
                 break;
             }
             if steps >= max_steps {
+                self.flush_observations(sched);
                 let final_mem = self.mem.snapshot();
                 self.stats.steps = steps as u64;
                 return RunResult {
                     trace: Trace::new(self.instrs).expect("recorded trace is well-formed"),
                     completed: false,
+                    aborted: false,
                     steps,
+                    footprints: self.footprints,
                     final_mem,
                     stats: self.stats,
                 };
             }
+            self.flush_observations(sched);
             let choice = sched.choose(&actions);
+            assert!(
+                choice < actions.len(),
+                "scheduler chose index {choice} of {} enabled actions",
+                actions.len()
+            );
+            if sched.abort_run() {
+                let final_mem = self.mem.snapshot();
+                self.stats.steps = steps as u64;
+                return RunResult {
+                    trace: Trace::new(self.instrs).expect("recorded trace is well-formed"),
+                    completed: false,
+                    aborted: true,
+                    steps,
+                    footprints: self.footprints,
+                    final_mem,
+                    stats: self.stats,
+                };
+            }
+            let cpu = match actions[choice] {
+                Action::Exec { cpu } | Action::Drain { cpu, .. } => cpu,
+                Action::ReadVersion { .. } => {
+                    unreachable!("ReadVersion appears only in synthetic mid-load choice lists")
+                }
+            };
+            self.footprints.push(Footprint::on(cpu));
             match actions[choice] {
                 Action::Exec { cpu } => self.exec(cpu, sched),
                 Action::Drain { cpu, idx } => {
@@ -321,18 +419,19 @@ impl Machine {
                     trace::emit(EventKind::StoreDrain, e.addr as u64, e.val);
                     self.apply_drain(cpu, e.addr, e.val);
                 }
-                Action::ReadVersion { .. } => {
-                    unreachable!("ReadVersion appears only in synthetic mid-load choice lists")
-                }
+                Action::ReadVersion { .. } => unreachable!(),
             }
             steps += 1;
         }
+        self.flush_observations(sched);
         let final_mem = self.mem.snapshot();
         self.stats.steps = steps as u64;
         RunResult {
             trace: Trace::new(self.instrs).expect("recorded trace is well-formed"),
             completed: true,
+            aborted: false,
             steps,
+            footprints: self.footprints,
             final_mem,
             stats: self.stats,
         }
@@ -832,6 +931,123 @@ mod tests {
         // Every run executes both stores.
         assert_eq!(out.stats.stores, 2 * out.runs as u64);
         assert!(out.stats.steps > 0);
+    }
+
+    #[test]
+    fn footprints_follow_decisions() {
+        // writer on SC (immediate stores): Inv, Store, Resp, Done —
+        // four Exec decisions, no inner version picks.
+        let m = Machine::new(HwModel::Sc, vec![writer(X, 0, 5)]);
+        let mut s = DirectedScheduler::default();
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+        assert_eq!(r.footprints.len(), 4);
+        assert!(r.footprints.iter().all(|f| f.cpu == 0));
+        assert!(r.footprints[0].inv && r.footprints[0].writes.is_empty());
+        assert_eq!(r.footprints[1].writes, vec![0]);
+        assert!(r.footprints[2].resp);
+        assert_eq!(r.footprints[3], Footprint::on(0));
+    }
+
+    #[test]
+    fn cas_footprint_is_fenced_read_write() {
+        use crate::process::FnProcess;
+        let mut st = 0;
+        let p = Box::new(FnProcess::new(move |_| {
+            st += 1;
+            match st {
+                1 => Step::Inv(wr_op(X, 1)),
+                2 => Step::Instr(PInstr::Cas(0, 0, 1)),
+                3 => Step::Resp(wr_op(X, 1)),
+                _ => Step::Done,
+            }
+        })) as Box<dyn Process>;
+        let m = Machine::new(HwModel::Tso, vec![p]);
+        let mut s = DirectedScheduler::new(vec![0; 16]);
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+        let f = &r.footprints[1];
+        assert!(f.fence);
+        assert_eq!(f.reads, vec![0]);
+        assert_eq!(f.writes, vec![0], "successful CAS writes");
+    }
+
+    #[test]
+    fn versioned_load_adds_inner_footprint() {
+        let mut m = Machine::new(HwModel::RMO, vec![one_read(X, 0, false)]);
+        m.mem.store(0, 1);
+        m.mem.store(0, 2);
+        let mut s = DirectedScheduler::new(vec![0; 16]);
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+        // Inv, Load (outer), version pick (inner), Resp, Done.
+        assert_eq!(r.footprints.len(), 5);
+        assert_eq!(r.footprints[1].reads, vec![0]);
+        assert_eq!(r.footprints[2].reads, vec![0]);
+        assert!(!r.footprints[2].inv && !r.footprints[2].resp);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler chose index")]
+    fn out_of_range_choice_panics() {
+        struct Wild;
+        impl Scheduler for Wild {
+            fn choose(&mut self, _actions: &[Action]) -> usize {
+                usize::MAX
+            }
+        }
+        let m = Machine::new(HwModel::Sc, vec![writer(X, 0, 1)]);
+        m.run(&mut Wild, 100);
+    }
+
+    #[test]
+    fn abort_run_stops_without_completing() {
+        struct AbortAfter {
+            chooses: usize,
+            limit: usize,
+        }
+        impl Scheduler for AbortAfter {
+            fn choose(&mut self, _actions: &[Action]) -> usize {
+                self.chooses += 1;
+                0
+            }
+            fn abort_run(&self) -> bool {
+                self.chooses > self.limit
+            }
+        }
+        let m = Machine::new(HwModel::Sc, vec![writer(X, 0, 1)]);
+        let mut s = AbortAfter {
+            chooses: 0,
+            limit: 2,
+        };
+        let r = m.run(&mut s, 100);
+        assert!(!r.completed);
+        assert!(r.aborted);
+        assert_eq!(r.steps, 2);
+        assert_eq!(r.footprints.len(), 2, "aborted decision records nothing");
+    }
+
+    #[test]
+    fn observe_reports_every_footprint_in_order() {
+        #[derive(Default)]
+        struct Collect {
+            fps: Vec<Footprint>,
+        }
+        impl Scheduler for Collect {
+            fn choose(&mut self, _actions: &[Action]) -> usize {
+                0
+            }
+            fn observe(&mut self, fp: &Footprint) {
+                self.fps.push(fp.clone());
+            }
+        }
+        let mut m = Machine::new(HwModel::RMO, vec![one_read(X, 0, false)]);
+        m.mem.store(0, 1);
+        m.mem.store(0, 2);
+        let mut s = Collect::default();
+        let r = m.run(&mut s, 100);
+        assert!(r.completed);
+        assert_eq!(s.fps, r.footprints);
     }
 
     #[test]

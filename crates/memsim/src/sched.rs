@@ -4,6 +4,7 @@
 //! enabled [`Action`]s (execute a CPU's next program step, or drain one
 //! of its buffered stores) and asks the scheduler to pick one.
 
+use jungle_isa::instr::Addr;
 use jungle_obs::trace::{self, EventKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -55,10 +56,116 @@ impl Action {
     }
 }
 
+/// The memory-level footprint of one scheduler decision: which CPU it
+/// ran on, which global-memory addresses it read or wrote, and whether
+/// it acted as a fence or crossed an operation boundary. The machine
+/// records one footprint per `choose` call and reports each to the
+/// scheduler via [`Scheduler::observe`] before the *next* call, so an
+/// exploration cursor can reason about which decisions commute.
+///
+/// Two decisions are **dependent** (their order can matter) iff they
+/// run on the same CPU, conflict on an address (one writes it), one is
+/// a fence and the other writes (a CAS synchronizes with the global
+/// store order), or both cross operation boundaries with at least one
+/// an invocation (swapping a response past an invocation flips the
+/// trace's real-time precedence relation; swapping two invocations
+/// permutes the trace's operation sequence). Everything else commutes:
+/// swapping two adjacent independent decisions yields a run with the
+/// same per-CPU behavior and the same [`Trace::cache_key`]
+/// (`jungle_isa::trace::Trace::cache_key`) class.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// CPU the decision executed on.
+    pub cpu: usize,
+    /// Global-memory addresses read (loads, CAS comparisons, version
+    /// picks).
+    pub reads: Vec<Addr>,
+    /// Global-memory addresses written (immediate stores, drains,
+    /// successful CAS, forced pre-load flushes).
+    pub writes: Vec<Addr>,
+    /// True for CAS decisions: the CPU synchronized with the global
+    /// store sequence, so the decision depends on every other CPU's
+    /// writes.
+    pub fence: bool,
+    /// The decision recorded an operation invocation marker.
+    pub inv: bool,
+    /// The decision recorded an operation response marker.
+    pub resp: bool,
+}
+
+impl Footprint {
+    /// A footprint for a decision on `cpu` with no accesses yet.
+    pub fn on(cpu: usize) -> Self {
+        Footprint {
+            cpu,
+            ..Footprint::default()
+        }
+    }
+
+    /// Can the order of `self` and `other` affect the run? See the type
+    /// docs for the exact relation. Symmetric and over-approximate in
+    /// the safe direction: anything not provably commuting is
+    /// dependent.
+    pub fn dependent(&self, other: &Footprint) -> bool {
+        if self.cpu == other.cpu {
+            return true;
+        }
+        let conflict = |a: &Footprint, b: &Footprint| {
+            a.writes
+                .iter()
+                .any(|w| b.writes.contains(w) || b.reads.contains(w))
+        };
+        if conflict(self, other) || conflict(other, self) {
+            return true;
+        }
+        // A fence observes the global store sequence number, which any
+        // write advances; two fences observe each other.
+        if (self.fence && (other.fence || !other.writes.is_empty()))
+            || (other.fence && !self.writes.is_empty())
+        {
+            return true;
+        }
+        // Trace precedence is `earlier.last < later.first` over
+        // instruction indices — i.e. response-before-invocation pairs —
+        // so swapping an adjacent cross-CPU (response, invocation) pair
+        // flips a precedence bit. Invocations additionally fix the
+        // trace's operation *sequence* (op ids are allocated at the
+        // invocation), so two cross-CPU invocations do not commute
+        // either: swapping them permutes the op list and changes
+        // `Trace::cache_key`. Only response↔response swaps of
+        // already-open operations leave both the sequence and the
+        // precedence relation intact.
+        (self.inv && (other.inv || other.resp)) || (self.resp && other.inv)
+    }
+}
+
 /// Chooses among enabled actions.
 pub trait Scheduler {
-    /// Pick an index into `actions` (guaranteed non-empty).
+    /// Pick an index into `actions` (guaranteed non-empty). The machine
+    /// validates the returned index and panics if it is out of range —
+    /// schedulers that replay external scripts must clamp or surface
+    /// bad entries themselves (see [`ReplayScheduler`], which records a
+    /// [`Divergence`] instead of silently taking a different action).
     fn choose(&mut self, actions: &[Action]) -> usize;
+
+    /// Receive the [`Footprint`] of an earlier decision. The machine
+    /// calls this once per completed decision, in decision order,
+    /// always before the next `choose` (and once more before `run`
+    /// returns), so by each choice point the scheduler has seen the
+    /// footprints of every prior decision. Default: ignore.
+    fn observe(&mut self, fp: &Footprint) {
+        let _ = fp;
+    }
+
+    /// Should the machine abandon the current run? Checked after every
+    /// `choose`; a `true` stops the run before the chosen action
+    /// executes and reports it with `aborted == true`. Exploration
+    /// cursors use this to cut runs whose remaining behaviors are
+    /// provably covered elsewhere (sleep-set blocked nodes). Default:
+    /// never.
+    fn abort_run(&self) -> bool {
+        false
+    }
 }
 
 /// Plays a scripted sequence of choice indices, then always picks 0.
@@ -262,6 +369,14 @@ impl Scheduler for RecordingScheduler<'_> {
         });
         chosen
     }
+
+    fn observe(&mut self, fp: &Footprint) {
+        self.inner.observe(fp);
+    }
+
+    fn abort_run(&self) -> bool {
+        self.inner.abort_run()
+    }
 }
 
 /// The first point where a replayed run stopped matching its recording.
@@ -326,7 +441,12 @@ impl Scheduler for ReplayScheduler {
         let chosen = cp.chosen.min(actions.len() - 1);
         let actual = actions[chosen].encode();
         trace::emit(EventKind::ReplayStep, step as u64, actual);
-        if self.divergence.is_none() && (cp.options != actions.len() || cp.action != actual) {
+        // An out-of-range recorded index is a divergence in its own
+        // right (the machine would reject the raw choice), even if the
+        // clamped action happens to encode identically.
+        if self.divergence.is_none()
+            && (cp.options != actions.len() || cp.action != actual || cp.chosen >= actions.len())
+        {
             self.divergence = Some(Divergence {
                 step,
                 expected_options: cp.options,
@@ -435,6 +555,105 @@ mod tests {
         assert_eq!(d.actual_options, 2);
         assert_eq!(d.expected_action, Action::Exec { cpu: 3 }.encode());
         assert_eq!(d.actual_action, Action::Exec { cpu: 1 }.encode());
+    }
+
+    #[test]
+    fn replay_flags_out_of_range_recorded_choice() {
+        // A corrupted log whose index exceeds the offered list must
+        // surface as a Divergence even when the clamped action matches
+        // the recorded encoding (the clamp is not silent).
+        let log = vec![ChoicePoint {
+            chosen: 7,
+            options: 2,
+            action: Action::Exec { cpu: 1 }.encode(),
+        }];
+        let mut rep = ReplayScheduler::new(log);
+        assert_eq!(rep.choose(&acts(2)), 1); // clamped to the last option
+        let d = rep.divergence().expect("out-of-range index must diverge");
+        assert_eq!(d.step, 0);
+        assert_eq!(d.actual_action, Action::Exec { cpu: 1 }.encode());
+    }
+
+    #[test]
+    fn footprint_dependence_relation() {
+        let mem = |cpu: usize, reads: &[Addr], writes: &[Addr]| Footprint {
+            cpu,
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            ..Footprint::default()
+        };
+        // Same CPU: always dependent, even with empty footprints.
+        assert!(Footprint::on(0).dependent(&Footprint::on(0)));
+        // Cross-CPU reads of the same address commute.
+        assert!(!mem(0, &[5], &[]).dependent(&mem(1, &[5], &[])));
+        // Write-read and write-write conflicts do not.
+        assert!(mem(0, &[], &[5]).dependent(&mem(1, &[5], &[])));
+        assert!(mem(0, &[5], &[]).dependent(&mem(1, &[], &[5])));
+        assert!(mem(0, &[], &[5]).dependent(&mem(1, &[], &[5])));
+        // Disjoint addresses commute.
+        assert!(!mem(0, &[], &[5]).dependent(&mem(1, &[6], &[7])));
+        // A fence depends on any other-CPU write (and other fences),
+        // but not on a pure read.
+        let fence = Footprint {
+            fence: true,
+            ..Footprint::on(0)
+        };
+        assert!(fence.dependent(&mem(1, &[], &[9])));
+        assert!(mem(1, &[], &[9]).dependent(&fence));
+        assert!(!fence.dependent(&mem(1, &[9], &[])));
+        assert!(fence.dependent(&Footprint {
+            fence: true,
+            ..Footprint::on(1)
+        }));
+        // Cross-CPU response/invocation pairs flip trace precedence.
+        let inv = Footprint {
+            inv: true,
+            ..Footprint::on(0)
+        };
+        let resp = Footprint {
+            resp: true,
+            ..Footprint::on(1)
+        };
+        assert!(inv.dependent(&resp));
+        assert!(resp.dependent(&inv));
+        // Two invocations fix the trace's operation sequence (op ids
+        // are allocated at the invocation): dependent.
+        assert!(inv.dependent(&Footprint {
+            inv: true,
+            ..Footprint::on(1)
+        }));
+        // Responses of already-open operations commute.
+        assert!(!resp.dependent(&Footprint {
+            resp: true,
+            ..Footprint::on(0)
+        }));
+    }
+
+    #[test]
+    fn recording_forwards_observe_and_abort() {
+        struct Probe {
+            observed: usize,
+            abort: bool,
+        }
+        impl Scheduler for Probe {
+            fn choose(&mut self, _: &[Action]) -> usize {
+                0
+            }
+            fn observe(&mut self, _: &Footprint) {
+                self.observed += 1;
+            }
+            fn abort_run(&self) -> bool {
+                self.abort
+            }
+        }
+        let mut p = Probe {
+            observed: 0,
+            abort: true,
+        };
+        let mut rec = RecordingScheduler::new(&mut p);
+        rec.observe(&Footprint::on(0));
+        assert!(rec.abort_run(), "abort must pass through the recorder");
+        assert_eq!(p.observed, 1, "observe must pass through the recorder");
     }
 
     #[test]

@@ -41,10 +41,7 @@ fn live_stream_is_clean_under_block_policy() {
 
     let consumer = {
         let tap = tap.clone();
-        std::thread::spawn(move || {
-            
-            mon.run(&tap)
-        })
+        std::thread::spawn(move || mon.run(&tap))
     };
     drive(tm, tap.clone(), 4, 200);
     tap.close();

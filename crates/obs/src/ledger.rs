@@ -55,6 +55,13 @@ pub struct LedgerEntry {
     /// Monitor windows escalated past the triage tier to the full
     /// checker.
     pub monitor_escalated: u64,
+    /// Machine runs executed by the DPOR explorer (0 when the run did
+    /// not use DPOR).
+    pub dpor_executed: u64,
+    /// Equivalence classes the DPOR explorer visited.
+    pub dpor_classes: u64,
+    /// Frontier work items stolen across DPOR workers.
+    pub frontier_steals: u64,
     /// The run's full metrics snapshot (or `Json::Null` for sources
     /// that only report headline counters).
     pub metrics: Json,
@@ -74,6 +81,13 @@ impl LedgerEntry {
     /// Monitor escalation rate (`monitor_escalated / monitor_windows`).
     pub fn monitor_escalation_rate(&self) -> f64 {
         rate(self.monitor_escalated, self.monitor_windows)
+    }
+
+    /// DPOR redundancy (`dpor_executed / dpor_classes`): how many
+    /// machine runs each equivalence class cost. 1.0 is optimal; 0 when
+    /// the run did not use DPOR.
+    pub fn dpor_ratio(&self) -> f64 {
+        rate(self.dpor_executed, self.dpor_classes)
     }
 
     /// Rebuild an entry from a parsed ledger line. Missing fields are
@@ -113,6 +127,10 @@ impl LedgerEntry {
                 .get("monitor_escalated")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+            // Added with the DPOR explorer: same defaulting rule.
+            dpor_executed: j.get("dpor_executed").and_then(Json::as_u64).unwrap_or(0),
+            dpor_classes: j.get("dpor_classes").and_then(Json::as_u64).unwrap_or(0),
+            frontier_steals: j.get("frontier_steals").and_then(Json::as_u64).unwrap_or(0),
             metrics: j.get("metrics").cloned().unwrap_or(Json::Null),
         })
     }
@@ -136,6 +154,9 @@ impl ToJson for LedgerEntry {
             .push("monitor_ops", self.monitor_ops.into())
             .push("monitor_windows", self.monitor_windows.into())
             .push("monitor_escalated", self.monitor_escalated.into())
+            .push("dpor_executed", self.dpor_executed.into())
+            .push("dpor_classes", self.dpor_classes.into())
+            .push("frontier_steals", self.frontier_steals.into())
             .push("metrics", self.metrics.clone());
         j
     }
@@ -275,6 +296,25 @@ pub fn compare(prev: &LedgerEntry, cur: &LedgerEntry, tol: &Tolerances) -> Vec<S
             ));
         }
     }
+    // DPOR gates apply only when both runs explored with DPOR: older
+    // entries (and brute-force runs) legitimately report zeros.
+    if prev.dpor_executed > 0 && cur.dpor_executed > 0 {
+        let floor = prev.dpor_classes as f64 * (1.0 - tol.schedules_frac);
+        if (cur.dpor_classes as f64) < floor {
+            out.push(format!(
+                "dpor classes visited fell {} -> {} (floor {:.0})",
+                prev.dpor_classes, cur.dpor_classes, floor
+            ));
+        }
+        if cur.dpor_ratio() > prev.dpor_ratio() * (1.0 + tol.rate_drop) {
+            out.push(format!(
+                "dpor executed/classes ratio rose {:.3} -> {:.3} (tolerance {:.2})",
+                prev.dpor_ratio(),
+                cur.dpor_ratio(),
+                tol.rate_drop
+            ));
+        }
+    }
     out
 }
 
@@ -299,6 +339,9 @@ mod tests {
             monitor_ops: 1_000_000,
             monitor_windows: 2_000,
             monitor_escalated: 10,
+            dpor_executed: 5_000,
+            dpor_classes: 4_800,
+            frontier_steals: 32,
             metrics: Json::Null,
         }
     }
@@ -346,6 +389,44 @@ mod tests {
         assert_eq!(back.monitor_windows, 0);
         assert_eq!(back.monitor_escalated, 0);
         assert_eq!(back.monitor_escalation_rate(), 0.0);
+    }
+
+    #[test]
+    fn pre_dpor_entries_still_parse() {
+        // PR-4/5/6 ledger lines predate the DPOR fields and must load
+        // with them defaulted, not error.
+        let mut j = entry().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| {
+                k != "dpor_executed" && k != "dpor_classes" && k != "frontier_steals"
+            });
+        }
+        let back = LedgerEntry::from_json(&j).unwrap();
+        assert_eq!(back.dpor_executed, 0);
+        assert_eq!(back.dpor_classes, 0);
+        assert_eq!(back.frontier_steals, 0);
+        assert_eq!(back.dpor_ratio(), 0.0);
+        assert_eq!(back.schedules, entry().schedules);
+    }
+
+    #[test]
+    fn dpor_gates_apply_only_when_both_explored() {
+        let prev = entry();
+        // Current run fell back to brute force: no dpor regression.
+        let mut cur = entry();
+        cur.dpor_executed = 0;
+        cur.dpor_classes = 0;
+        assert!(compare(&prev, &cur, &Tolerances::default()).is_empty());
+        // Both explored, class coverage collapsed and redundancy spiked.
+        let mut cur = entry();
+        cur.dpor_classes = 1_000;
+        cur.dpor_executed = 5_000; // ratio 5.0 vs ~1.04
+        let regs = compare(&prev, &cur, &Tolerances::default());
+        assert!(
+            regs.iter().any(|r| r.contains("dpor classes visited")),
+            "{regs:?}"
+        );
+        assert!(regs.iter().any(|r| r.contains("ratio rose")), "{regs:?}");
     }
 
     #[test]

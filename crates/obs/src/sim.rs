@@ -87,6 +87,21 @@ pub struct McStats {
     pub memo_hits: u64,
     /// Checker worker threads used by the sweep (0 = serial).
     pub workers: u64,
+    /// Machine runs executed by the DPOR explorer (0 when the sweep
+    /// used brute enumeration instead).
+    pub dpor_executed: u64,
+    /// Mazurkiewicz equivalence classes the DPOR explorer visited
+    /// (complete, non-sleep-blocked runs).
+    pub dpor_classes: u64,
+    /// Frontier work items a parallel DPOR worker popped that another
+    /// worker pushed.
+    pub frontier_steals: u64,
+    /// Enabled actions skipped because their footprint was in the sleep
+    /// set.
+    pub sleep_skips: u64,
+    /// Concurrent dependent transition pairs flagged by the vector
+    /// clocks.
+    pub races: u64,
     /// Machine-level totals across all runs.
     pub machine: MachineStats,
 }
@@ -103,6 +118,11 @@ impl McStats {
         self.dedup_hits += other.dedup_hits;
         self.memo_hits += other.memo_hits;
         self.workers = self.workers.max(other.workers);
+        self.dpor_executed += other.dpor_executed;
+        self.dpor_classes += other.dpor_classes;
+        self.frontier_steals += other.frontier_steals;
+        self.sleep_skips += other.sleep_skips;
+        self.races += other.races;
         self.machine.absorb(&other.machine);
     }
 }
@@ -117,6 +137,11 @@ impl ToJson for McStats {
             .push("dedup_hits", self.dedup_hits.into())
             .push("memo_hits", self.memo_hits.into())
             .push("workers", self.workers.into())
+            .push("dpor_executed", self.dpor_executed.into())
+            .push("dpor_classes", self.dpor_classes.into())
+            .push("frontier_steals", self.frontier_steals.into())
+            .push("sleep_skips", self.sleep_skips.into())
+            .push("races", self.races.into())
             .push("machine", self.machine.to_json());
         j
     }

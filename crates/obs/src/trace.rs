@@ -131,11 +131,25 @@ pub enum EventKind {
     /// The full checker found a window in violation (`a` = window
     /// sequence number, `b` = history fingerprint).
     MonitorViolation = 31,
+    // ── DPOR exploration layer ───────────────────────────────────
+    /// Two dependent transitions were found concurrent by the vector
+    /// clocks (`a` = earlier decision index, `b` = later decision
+    /// index).
+    RaceDetected = 32,
+    /// The explorer skipped an enabled action because its footprint was
+    /// in the sleep set (`a` = tree depth, `b` = encoded action).
+    SleepSetSkip = 33,
+    /// A pending branch was enqueued on the exploration frontier (`a` =
+    /// prefix depth, `b` = remaining sibling count).
+    RevisitEnqueued = 34,
+    /// A worker popped a frontier item another worker pushed (`a` =
+    /// prefix depth, `b` = pushing worker).
+    FrontierSteal = 35,
 }
 
 impl EventKind {
     /// Layer category, one of `"checker"`, `"mc"`, `"memsim"`, `"stm"`,
-    /// `"replay"`, `"monitor"`.
+    /// `"replay"`, `"monitor"`, `"dpor"`.
     pub fn cat(self) -> &'static str {
         use EventKind::*;
         match self {
@@ -146,6 +160,7 @@ impl EventKind {
             TxnBegin | TxnCommit | TxnAbort | StmCasFail => "stm",
             ReplayBegin | ReplayStep | ReplayDivergence | ShrinkRound => "replay",
             MonitorIngest | WindowSeal | TriageClear | Escalate | MonitorViolation => "monitor",
+            RaceDetected | SleepSetSkip | RevisitEnqueued | FrontierSteal => "dpor",
         }
     }
 
@@ -182,6 +197,10 @@ impl EventKind {
             TriageClear => "triage_clear",
             Escalate => "escalate",
             MonitorViolation => "monitor_violation",
+            RaceDetected => "race_detected",
+            SleepSetSkip => "sleep_set_skip",
+            RevisitEnqueued => "revisit_enqueued",
+            FrontierSteal => "frontier_steal",
         }
     }
 
@@ -229,6 +248,10 @@ impl EventKind {
             29 => TriageClear,
             30 => Escalate,
             31 => MonitorViolation,
+            32 => RaceDetected,
+            33 => SleepSetSkip,
+            34 => RevisitEnqueued,
+            35 => FrontierSteal,
             _ => return None,
         })
     }
@@ -583,10 +606,13 @@ mod tests {
         r.record(EventKind::StmCasFail, 0, 0);
         r.record(EventKind::ReplayStep, 0, 0);
         r.record(EventKind::WindowSeal, 0, 0);
+        r.record(EventKind::SleepSetSkip, 0, 0);
         let cats: std::collections::HashSet<&'static str> =
             r.events().iter().map(|e| e.kind.cat()).collect();
-        assert_eq!(cats.len(), 6);
-        for c in ["checker", "mc", "memsim", "stm", "replay", "monitor"] {
+        assert_eq!(cats.len(), 7);
+        for c in [
+            "checker", "mc", "memsim", "stm", "replay", "monitor", "dpor",
+        ] {
             assert!(cats.contains(c), "missing {c}");
         }
     }

@@ -30,6 +30,16 @@ Extra modes:
   (use in CI after ``report --record``).
 * ``--require-monitor`` makes a missing ``monitor`` section an error
   (use in CI after ``report --monitor``).
+* ``--require-dpor`` makes a missing ``dpor`` section an error. When
+  the section is present (with or without the flag), every exhaustive
+  experiment must keep the partial-order-reduction contracts: class-key
+  set identical to brute-force enumeration, verdict/witness stable at
+  1/2/4 workers, >= ``DPOR_REDUCTION_FLOOR``x fewer executed runs than
+  enumeration, and at most ``DPOR_COMPLETED_PER_CLASS_CEILING``
+  complete runs per distinct class. A ``dpor`` section also lowers the
+  dedup-rate floor to ``DEDUP_RATE_FLOOR_DPOR``: the reduction now
+  prevents duplicate schedules from running at all rather than
+  deduplicating them afterwards.
 * ``--self-test`` runs the checker against built-in golden inputs (one
   passing, several failing with a *named* key or floor) and exits 0 iff
   every case behaves as expected. No stdin is read.
@@ -54,13 +64,19 @@ import json
 import sys
 
 DEDUP_RATE_FLOOR = 0.50
+# With the DPOR explorer in place most structurally-duplicate schedules
+# are never executed at all, so the in-sweep dedup rate drops by design;
+# the reduction itself is enforced by check_dpor instead.
+DEDUP_RATE_FLOOR_DPOR = 0.25
 MEMO_HIT_RATE_FLOOR = 0.25
+DPOR_REDUCTION_FLOOR = 10  # brute runs / dpor runs, observed ~94x
+DPOR_COMPLETED_PER_CLASS_CEILING = 2.0  # observed 1.00 (optimal)
 MIN_ZOO_MODELS = 6
 MIN_ZOO_ALGOS = 5
 MONITOR_OPS_FLOOR = 1_000_000
 MONITOR_ESCALATION_CEILING = 0.05
 THEOREM1_CLASSES = {"Mrr", "Mrw", "Mwr", "Mww"}
-TRACE_CATEGORIES = {"checker", "mc", "memsim", "stm"}
+TRACE_CATEGORIES = {"checker", "dpor", "mc", "memsim", "stm"}
 TRACE_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
 
 
@@ -187,6 +203,55 @@ def check_monitor(report: dict) -> str:
     )
 
 
+def check_dpor(report: dict) -> str:
+    """Validate the ``dpor`` section: partial-order reduction must keep
+    its two contracts — the enumeration oracle (identical class-key
+    sets) and worker-count determinism — while actually reducing work.
+    """
+    entries = need(report, "dpor", "report")
+    if not isinstance(entries, list) or not entries:
+        fail("dpor section lists no exhaustive experiments")
+    worst_reduction = None
+    for i, e in enumerate(entries):
+        section = f"dpor[{i}]"
+        exp_id = need(e, "id", section)
+        brute = need(e, "brute_executed", section)
+        executed = need(e, "dpor_executed", section)
+        completed = need(e, "dpor_completed", section)
+        classes = need(e, "classes", section)
+        if not need(e, "oracle_match", section):
+            fail(f"dpor/{exp_id}: class-key set diverges from enumeration oracle")
+        if not need(e, "workers_deterministic", section):
+            fail(f"dpor/{exp_id}: verdict or witness varies with worker count")
+        if executed == 0 or classes == 0:
+            fail(f"dpor/{exp_id}: explored nothing ({executed} runs, {classes} classes)")
+        if completed < classes:
+            fail(f"dpor/{exp_id}: {completed} complete runs < {classes} classes")
+        per_class = completed / classes
+        if per_class > DPOR_COMPLETED_PER_CLASS_CEILING:
+            fail(
+                f"dpor/{exp_id}: {per_class:.2f} complete runs per class, ceiling"
+                f" {DPOR_COMPLETED_PER_CLASS_CEILING} ({completed}/{classes})"
+            )
+        reduction = brute / executed
+        if reduction < DPOR_REDUCTION_FLOOR:
+            fail(
+                f"dpor/{exp_id}: reduction {reduction:.1f}x below floor"
+                f" {DPOR_REDUCTION_FLOOR}x ({brute} brute / {executed} dpor)"
+            )
+        if worst_reduction is None or reduction < worst_reduction:
+            worst_reduction = reduction
+    ledger = report.get("ledger_entry")
+    if isinstance(ledger, dict):
+        for key in ("dpor_executed", "dpor_classes"):
+            if key in ledger and ledger[key] == 0:
+                fail(f"ledger {key} is 0 despite a populated dpor section")
+    return (
+        f"dpor {len(entries)} experiments, worst reduction"
+        f" {worst_reduction:.0f}x >= {DPOR_REDUCTION_FLOOR}x"
+    )
+
+
 def check_report(report: dict) -> str:
     metrics = need(report, "metrics", "report")
     mc = need(metrics, "mc", "metrics")
@@ -195,9 +260,10 @@ def check_report(report: dict) -> str:
     if schedules == 0:
         fail("no schedules explored")
     dedup_rate = dedup / schedules
-    if dedup_rate < DEDUP_RATE_FLOOR:
+    dedup_floor = DEDUP_RATE_FLOOR_DPOR if "dpor" in report else DEDUP_RATE_FLOOR
+    if dedup_rate < dedup_floor:
         fail(
-            f"trace dedup rate {dedup_rate:.3f} below floor {DEDUP_RATE_FLOOR}"
+            f"trace dedup rate {dedup_rate:.3f} below floor {dedup_floor}"
             f" ({dedup}/{schedules})"
         )
 
@@ -237,6 +303,8 @@ def check_report(report: dict) -> str:
         f"memo {memo_rate:.3f} >= {MEMO_HIT_RATE_FLOOR}, "
         f"zoo {len(algos)} STMs x {len(models)} models"
     )
+    if "dpor" in report:
+        summary += "; " + check_dpor(report)
     if "replay" in report:
         summary += "; " + check_replay(report)
     if "monitor" in report:
@@ -296,6 +364,20 @@ def golden_report() -> dict:
             for m in ["SC", "TSO", "TSO+fwd", "PSO", "RMO", "Alpha", "Relaxed", "Junk-SC"]
         ],
         "metrics": {"mc": {"schedules": 1000, "dedup_hits": 980}},
+        "dpor": [
+            {
+                "id": "thm3-litmus",
+                "brute_executed": 170_544,
+                "dpor_executed": 1_820,
+                "dpor_completed": 299,
+                "classes": 299,
+                "truncated": 0,
+                "completed_per_class": 1.0,
+                "oracle_match": True,
+                "workers_deterministic": True,
+                "frontier_steals": 122,
+            }
+        ],
         "shared_memo": {
             "hits": 500,
             "lookups": 1000,
@@ -305,6 +387,8 @@ def golden_report() -> dict:
         "ledger_entry": {
             "replay_logs": 1,
             "shrink_rounds": 2,
+            "dpor_executed": 5_460,
+            "dpor_classes": 897,
             "monitor_ops": 1_056_000,
             "monitor_windows": 4_128,
             "monitor_escalated": 0,
@@ -384,6 +468,50 @@ def self_test() -> int:
     broken = golden_report()
     broken["rows"] = broken["rows"][:8]  # one algo only
     cases.append(("zoo coverage fails", broken, "zoo covers"))
+
+    broken = golden_report()
+    broken["dpor"][0]["oracle_match"] = False
+    cases.append(
+        ("dpor oracle mismatch fails", broken, "diverges from enumeration oracle")
+    )
+
+    broken = golden_report()
+    broken["dpor"][0]["workers_deterministic"] = False
+    cases.append(("dpor worker divergence fails", broken, "varies with worker count"))
+
+    broken = golden_report()
+    broken["dpor"][0]["dpor_executed"] = 100_000
+    broken["dpor"][0]["dpor_completed"] = 299
+    cases.append(("dpor weak reduction fails", broken, "below floor 10x"))
+
+    broken = golden_report()
+    broken["dpor"][0]["dpor_completed"] = 900
+    cases.append(("dpor duplicate classes fail", broken, "complete runs per class"))
+
+    broken = golden_report()
+    del broken["dpor"][0]["dpor_completed"]
+    cases.append(
+        (
+            "missing dpor_completed named",
+            broken,
+            "missing key 'dpor_completed' in section 'dpor[0]'",
+        )
+    )
+
+    broken = golden_report()
+    broken["ledger_entry"]["dpor_executed"] = 0
+    cases.append(("ledger dpor zero fails", broken, "ledger dpor_executed is 0"))
+
+    # A dedup rate legal only under the relaxed DPOR floor must fail
+    # once the dpor section is absent (pre-reduction semantics).
+    broken = golden_report()
+    broken["metrics"]["mc"]["dedup_hits"] = 300
+    del broken["dpor"]
+    cases.append(("dedup floor tightens without dpor", broken, "below floor 0.5"))
+
+    ok_relaxed = golden_report()
+    ok_relaxed["metrics"]["mc"]["dedup_hits"] = 300
+    cases.append(("dpor section relaxes dedup floor", ok_relaxed, None))
 
     broken = golden_report()
     del broken["replay"]["logs"][0]["shrunk_decisions"]
@@ -487,6 +615,8 @@ def main() -> None:
             fail("missing key 'replay' in section 'report' (--require-replay)")
         if "--require-monitor" in argv and "monitor" not in report:
             fail("missing key 'monitor' in section 'report' (--require-monitor)")
+        if "--require-dpor" in argv and "dpor" not in report:
+            fail("missing key 'dpor' in section 'report' (--require-dpor)")
         summary = check_report(report)
         if trace_file is not None:
             summary += "; " + check_trace(trace_file)

@@ -12,6 +12,9 @@ trends across runs:
 * streaming-monitor escalation rate (``monitor_escalated /
   monitor_windows`` — how often the triage tier failed to clear a
   window and the batch checker ran)
+* DPOR class yield (``dpor_classes / dpor_executed`` — what fraction of
+  partial-order-reduced runs discovered a new history class; 0 for
+  entries predating the reduction)
 
 Output is a single self-contained SVG (hand-rolled polylines — no
 plotting dependency) plus a text summary table on stdout, so CI can
@@ -39,6 +42,7 @@ COLORS = {
     "memo_rate": "#2ca02c",
     "monitor_ops": "#9467bd",
     "monitor_esc_rate": "#8c564b",
+    "dpor_yield": "#e377c2",
 }
 
 
@@ -73,6 +77,7 @@ def series(entries):
         "memo_rate": [],
         "monitor_ops": [],
         "monitor_esc_rate": [],
+        "dpor_yield": [],
     }
     for e in entries:
         out["wall_ms"].append(float(e.get("wall_ms", 0)))
@@ -84,6 +89,10 @@ def series(entries):
         windows = e.get("monitor_windows", 0)
         out["monitor_esc_rate"].append(
             e.get("monitor_escalated", 0) / windows if windows else 0.0
+        )
+        executed = e.get("dpor_executed", 0)
+        out["dpor_yield"].append(
+            e.get("dpor_classes", 0) / executed if executed else 0.0
         )
     return out
 
@@ -117,8 +126,16 @@ def render_svg(entries, data):
         "memo_rate": "memo hit rate",
         "monitor_ops": "monitor ops ingested",
         "monitor_esc_rate": "monitor escalation rate",
+        "dpor_yield": "DPOR class yield",
     }
-    keys = ["wall_ms", "dedup_rate", "memo_rate", "monitor_ops", "monitor_esc_rate"]
+    keys = [
+        "wall_ms",
+        "dedup_rate",
+        "memo_rate",
+        "monitor_ops",
+        "monitor_esc_rate",
+        "dpor_yield",
+    ]
     panels = []
     for p, key in enumerate(keys):
         values = data[key]
@@ -190,20 +207,22 @@ def main():
     print(f"ledger trends over {len(entries)} '{source}' runs from {ledger}:")
     print(
         f"  {'rev':<10} {'wall_ms':>8} {'dedup':>7} {'memo':>7} {'replay':>7}"
-        f" {'shrink':>7} {'mon_ops':>9} {'mon_esc':>7}"
+        f" {'shrink':>7} {'mon_ops':>9} {'mon_esc':>7} {'dpor':>7} {'yield':>7}"
     )
-    for e, w, d, m, mo, me in zip(
+    for e, w, d, m, mo, me, dy in zip(
         entries,
         data["wall_ms"],
         data["dedup_rate"],
         data["memo_rate"],
         data["monitor_ops"],
         data["monitor_esc_rate"],
+        data["dpor_yield"],
     ):
         print(
             f"  {e.get('git_rev', '?'):<10} {w:>8.0f} {d:>7.3f} {m:>7.3f}"
             f" {e.get('replay_logs', 0):>7} {e.get('shrink_rounds', 0):>7}"
             f" {fmt('monitor_ops', mo):>9} {me:>7.3f}"
+            f" {e.get('dpor_executed', 0):>7} {dy:>7.3f}"
         )
     with open(out, "w", encoding="utf-8") as f:
         f.write(render_svg(entries, data))

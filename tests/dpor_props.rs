@@ -1,0 +1,172 @@
+//! DPOR equivalence and determinism properties.
+//!
+//! The partial-order-reduced explorer (`jungle::mc::dpor`) must be
+//! *observationally identical* to plain schedule enumeration:
+//!
+//! * **Class-set oracle** — over a small corpus of programs and every
+//!   registry model, [`class_sweep_dpor`] visits exactly the
+//!   `Trace::cache_key` set that [`class_sweep_enumerative`] visits, in
+//!   strictly fewer machine runs.
+//! * **Verdict oracle** — [`check_all_traces`] (DPOR-backed) and
+//!   [`check_all_traces_enumerative`] (the retired brute-force sweep)
+//!   agree on the verdict and on the witness fingerprint, for both
+//!   check kinds and for passing *and* violating algorithms.
+//! * **Worker determinism** — the work-stealing frontier returns the
+//!   same verdict and the same (lexicographically least) witness at 1,
+//!   2 and 4 workers.
+
+use jungle::core::ids::{X, Y};
+use jungle::core::par::ParallelConfig;
+use jungle::core::registry::{entry, registry};
+use jungle::mc::program::{Program, Stmt, ThreadProg, TxOp};
+use jungle::mc::{
+    check_all_traces, check_all_traces_enumerative, check_all_traces_shared, class_sweep_dpor,
+    class_sweep_enumerative, CheckKind, GlobalLockTm, SharedVerdictMemo, SkipWriteTm,
+};
+
+const MAX_STEPS: usize = 4_000;
+
+/// Figure-1-flavoured litmus: a committing transactional write racing
+/// uninstrumented reads (the paper's instrumentation battleground).
+fn litmus() -> Program {
+    Program(vec![
+        ThreadProg(vec![Stmt::txn(vec![TxOp::Write(X, 1)])]),
+        ThreadProg(vec![Stmt::NtRead(X), Stmt::NtRead(X)]),
+    ])
+}
+
+/// Non-transactional stress: cross-thread store/load mix that exposes
+/// store-buffer reordering under the relaxed execution disciplines.
+fn stress() -> Program {
+    Program(vec![
+        ThreadProg(vec![Stmt::NtWrite(X, 1), Stmt::NtRead(Y)]),
+        ThreadProg(vec![Stmt::NtWrite(Y, 1)]),
+    ])
+}
+
+/// Lemma 1's violating shape: a TM that never publishes transactional
+/// writes, caught by the very next uninstrumented read.
+fn skipped_write() -> Program {
+    Program(vec![ThreadProg(vec![
+        Stmt::txn(vec![TxOp::Write(X, 5)]),
+        Stmt::NtRead(X),
+    ])])
+}
+
+#[test]
+fn dpor_visits_exactly_the_enumerated_class_set() {
+    for (name, p) in [("litmus", litmus()), ("stress", stress())] {
+        for e in registry() {
+            let brute = class_sweep_enumerative(&p, &GlobalLockTm, e, MAX_STEPS);
+            let dpor = class_sweep_dpor(&p, &GlobalLockTm, e, MAX_STEPS);
+            assert_eq!(
+                dpor.keys, brute.keys,
+                "{name}/{}: DPOR class-key set diverges from enumeration",
+                e.key
+            );
+            assert_eq!(dpor.truncated, brute.truncated, "{name}/{}", e.key);
+            assert!(
+                dpor.executed < brute.executed,
+                "{name}/{}: no reduction ({} vs {})",
+                e.key,
+                dpor.executed,
+                brute.executed
+            );
+            // Sleep sets guarantee no Mazurkiewicz class is completed
+            // twice, so completed runs can never undercut the key count.
+            assert!(
+                dpor.completed >= dpor.keys.len() as u64,
+                "{name}/{}: fewer complete runs than distinct keys",
+                e.key
+            );
+        }
+    }
+}
+
+#[test]
+fn dpor_checker_agrees_with_enumerative_checker() {
+    // (program, algo, expected-ok-under-GlobalLock-semantics)
+    let corpus: [(&str, Program, &dyn jungle::mc::algos::TmAlgo); 3] = [
+        ("litmus/global-lock", litmus(), &GlobalLockTm),
+        ("stress/global-lock", stress(), &GlobalLockTm),
+        ("lemma1/skip-write", skipped_write(), &SkipWriteTm),
+    ];
+    // SC keeps the enumerative side tractable; the class-set oracle
+    // above already covers every registry model.
+    let e = entry("SC").unwrap();
+    for (name, p, algo) in corpus {
+        for kind in [CheckKind::Opacity, CheckKind::Sgla] {
+            let fast = check_all_traces(&p, algo, e, kind, MAX_STEPS);
+            let slow = check_all_traces_enumerative(&p, algo, e, kind, MAX_STEPS);
+            assert_eq!(
+                fast.ok, slow.ok,
+                "{name}/{kind:?}: DPOR verdict diverges from enumeration"
+            );
+            assert_eq!(
+                fast.violation.as_ref().map(|t| t.cache_key()),
+                slow.violation.as_ref().map(|t| t.cache_key()),
+                "{name}/{kind:?}: witness fingerprint diverges"
+            );
+        }
+    }
+    // Polarity sanity: the corpus exercises both outcomes.
+    assert!(check_all_traces(&litmus(), &GlobalLockTm, e, CheckKind::Opacity, MAX_STEPS).ok);
+    assert!(
+        !check_all_traces(
+            &skipped_write(),
+            &SkipWriteTm,
+            e,
+            CheckKind::Opacity,
+            MAX_STEPS
+        )
+        .ok
+    );
+}
+
+#[test]
+fn worker_count_preserves_verdict_and_witness() {
+    let memo = SharedVerdictMemo::new();
+    let cases: [(&str, Program, &dyn jungle::mc::algos::TmAlgo, &str); 3] = [
+        ("pass", litmus(), &GlobalLockTm, "Relaxed"),
+        ("violate", skipped_write(), &SkipWriteTm, "SC"),
+        ("violate-relaxed", skipped_write(), &SkipWriteTm, "Relaxed"),
+    ];
+    for (name, p, algo, key) in cases {
+        let e = entry(key).unwrap();
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let v = check_all_traces_shared(
+                &p,
+                algo,
+                e,
+                CheckKind::Opacity,
+                MAX_STEPS,
+                &ParallelConfig::with_threads(threads),
+                &memo,
+            );
+            outcomes.push((
+                threads,
+                v.ok,
+                v.violation.as_ref().map(|t| t.cache_key()),
+                v.stats.dpor_classes,
+            ));
+        }
+        for w in outcomes.windows(2) {
+            assert_eq!(
+                (w[0].1, w[0].2),
+                (w[1].1, w[1].2),
+                "{name}: verdict/witness changed between {} and {} workers",
+                w[0].0,
+                w[1].0
+            );
+        }
+        // A passing sweep explores everything, so the class count must
+        // also be stable across widths.
+        if outcomes[0].1 {
+            assert!(
+                outcomes.windows(2).all(|w| w[0].3 == w[1].3),
+                "{name}: class count varies with worker count: {outcomes:?}"
+            );
+        }
+    }
+}
