@@ -207,6 +207,9 @@ fn report_counters(_c: &mut Criterion) {
         dpor_executed: 0,
         dpor_classes: 0,
         frontier_steals: 0,
+        p99_window_ns: stats.p99_window_ns(),
+        blocked_depth_mode: 0,
+        worker_busy_frac: 0.0,
         metrics: snap.to_json(),
     };
     let path = std::env::var("JUNGLE_LEDGER")

@@ -144,6 +144,9 @@ fn report_counters(_c: &mut Criterion) {
         dpor_executed: 0,
         dpor_classes: 0,
         frontier_steals: 0,
+        p99_window_ns: 0,
+        blocked_depth_mode: 0,
+        worker_busy_frac: 0.0,
         metrics: snap.to_json(),
     };
     // Bench binaries run with the package as CWD; anchor the default

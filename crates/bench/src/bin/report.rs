@@ -29,6 +29,14 @@
 //!   stream with the tiered (triage → escalate) pipeline. Prints the
 //!   per-STM ingest/triage/escalation table, adds a `monitor` section
 //!   to `--json` output, and records totals in the ledger entry.
+//! * `--profile` — install the hierarchical phase profiler for the
+//!   whole run and emit a `profile` section: the phase tree with
+//!   self/total time and per-phase latency histograms, the run-wide
+//!   DPOR waste attribution (blocked probes by depth, race-pair heat,
+//!   worker busy/steal/idle lanes), and — with `--monitor` — the
+//!   merged per-window check-latency histogram. The blocked-probe
+//!   attribution must sum exactly to the explorers' independent
+//!   blocked counters, or the run fails.
 //! * `--replay <file>` — re-execute a saved schedule log, verify the
 //!   recorded history fingerprint, and exit nonzero on divergence (a
 //!   focused mode: the full report is skipped). With `--explain`, also
@@ -62,7 +70,9 @@ use jungle_mc::{
 use jungle_monitor::{Monitor, MonitorConfig};
 use jungle_obs::ledger::{self, LedgerEntry, Tolerances};
 use jungle_obs::trace::{self as flight, FlightRecorder};
-use jungle_obs::{Backpressure, Json, MetricsSnapshot, MonitorStats, ToJson};
+use jungle_obs::{
+    profile, Backpressure, DporStats, Json, MetricsSnapshot, MonitorStats, Profiler, ToJson,
+};
 use jungle_replay::{record_experiment, replay, shrink, ScheduleLog};
 use jungle_stm::StmTap;
 use std::collections::BTreeSet;
@@ -96,6 +106,9 @@ struct Args {
     explain_id: Option<String>,
     compare: bool,
     monitor: bool,
+    /// `--profile`: install the phase profiler and emit the `profile`
+    /// section (phase tree, DPOR waste attribution, window latencies).
+    profile: bool,
     trace: Option<PathBuf>,
     /// `--record <dir>`: capture + shrink Theorem 1 schedule logs.
     record: Option<PathBuf>,
@@ -114,6 +127,7 @@ fn parse_args() -> Args {
         explain_id: None,
         compare: false,
         monitor: false,
+        profile: false,
         trace: None,
         record: None,
         record_id: None,
@@ -142,6 +156,7 @@ fn parse_args() -> Args {
             }
             "--compare" => args.compare = true,
             "--monitor" => args.monitor = true,
+            "--profile" => args.profile = true,
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
             "--record" => {
                 args.record = Some(PathBuf::from(value("--record")));
@@ -436,6 +451,11 @@ fn main() {
         flight::install(r.clone());
         r
     });
+    let profiler = args.profile.then(|| {
+        let p = Arc::new(Profiler::new());
+        profile::install(p.clone());
+        p
+    });
 
     let mut rows: Vec<Row> = Vec::new();
     let mut metrics = MetricsSnapshot::new();
@@ -444,8 +464,15 @@ fn main() {
     let mut dpor_executed = 0u64;
     let mut dpor_classes = 0u64;
     let mut frontier_steals = 0u64;
+    // Run-wide DPOR waste attribution, absorbed from every DPOR-backed
+    // verification, alongside an independently summed blocked-run total
+    // from the explorers' plain counters. The two must reconcile
+    // exactly: `waste_total.blocked == dpor_blocked_total`.
+    let mut waste_total = DporStats::default();
+    let mut dpor_blocked_total = 0u64;
 
     // ── Figures 1–2: litmus verdict tables ────────────────────────
+    let phase_figures = profile::enter("report.figures");
     if !json {
         println!("════ Figures 1–2: litmus verdicts per memory model ════\n");
     }
@@ -489,6 +516,7 @@ fn main() {
             println!();
         }
     }
+    drop(phase_figures);
 
     // ── Instrumentation taxonomy + measured instruction costs ─────
     if !json {
@@ -544,6 +572,7 @@ fn main() {
         ),
     }
     let cfg = ParallelConfig::default();
+    let phase_theorems = profile::enter("report.theorems");
     if !json {
         println!("════ Lemma 1 & Theorems (simulator experiments) ════\n");
     }
@@ -558,6 +587,8 @@ fn main() {
         dpor_executed += r.stats.dpor_executed;
         dpor_classes += r.stats.dpor_classes;
         frontier_steals += r.stats.frontier_steals;
+        waste_total.absorb(&r.waste);
+        dpor_blocked_total += r.stats.dpor_blocked;
         if !json {
             println!(
                 "  {:<22} {:<36} {:>6} ({:.0?})",
@@ -575,6 +606,7 @@ fn main() {
             pass: r.passed,
         });
     }
+    drop(phase_theorems);
 
     // ── DPOR reduction: executed runs vs history classes ──────────
     // For every exhaustive experiment: (a) the brute-force oracle —
@@ -584,6 +616,7 @@ fn main() {
     // workers must be identical.
     let mut dpor_entries: Vec<Json> = Vec::new();
     {
+        let _phase = profile::enter("report.dpor");
         if !json {
             println!("\n════ DPOR reduction: executed runs vs history classes ════\n");
             println!(
@@ -601,6 +634,8 @@ fn main() {
         for e in all_fixed_experiments().into_iter().filter(|e| e.exhaustive) {
             let brute = class_sweep_enumerative(&e.program, e.algo, &e.entry, 8_000);
             let dpor = class_sweep_dpor(&e.program, e.algo, &e.entry, 8_000);
+            waste_total.absorb(&dpor.waste);
+            dpor_blocked_total += dpor.blocked;
             let oracle_ok = dpor.keys == brute.keys && dpor.truncated == brute.truncated;
             // Verdict + witness at each worker count (serial path at 1).
             let mut sweep_verdicts: Vec<(bool, Option<u64>)> = Vec::new();
@@ -616,6 +651,8 @@ fn main() {
                     &memo,
                 );
                 steals_any_width = steals_any_width.max(v.stats.frontier_steals);
+                waste_total.absorb(&v.waste);
+                dpor_blocked_total += v.stats.dpor_blocked;
                 sweep_verdicts.push((v.ok, v.violation.as_ref().map(|t| t.cache_key())));
             }
             let deterministic = sweep_verdicts.windows(2).all(|w| w[0] == w[1]);
@@ -647,6 +684,7 @@ fn main() {
                 .push("classes", (dpor.keys.len() as u64).into())
                 .push("truncated", dpor.truncated.into())
                 .push("completed_per_class", Json::F64(ratio))
+                .push("blocked", dpor.blocked.into())
                 .push("oracle_match", oracle_ok.into())
                 .push("workers_deterministic", deterministic.into())
                 .push("frontier_steals", steals_any_width.into());
@@ -687,6 +725,7 @@ fn main() {
         }
         println!();
     }
+    let phase_zoo = profile::enter("report.zoo");
     let zoo = matched_zoo(SweepSeeds::new(0, 30), 8_000, &cfg, &memo);
     let mut zoo_models: BTreeSet<&'static str> = BTreeSet::new();
     let mut zoo_algos: BTreeSet<&'static str> = BTreeSet::new();
@@ -724,6 +763,7 @@ fn main() {
             println!("\n  (30 sampled schedules per cell; matched execution and checker model)");
         }
     }
+    drop(phase_zoo);
 
     // ── Counterexample explanations (--explain) ───────────────────
     let mut explanations: Vec<Json> = Vec::new();
@@ -875,6 +915,7 @@ fn main() {
     let mut monitor_entries: Vec<Json> = Vec::new();
     let mut monitor_total: Option<MonitorStats> = None;
     if args.monitor {
+        let _phase = profile::enter("report.monitor");
         let (entries, total) = monitor_sweep(json, &mut rows);
         metrics.record_monitor(&total);
         monitor_entries = entries;
@@ -894,9 +935,12 @@ fn main() {
             }
         }
         // Same for the `dpor` layer: one small reduction sweep so its
-        // events sit inside the exported tail.
+        // events sit inside the exported tail. Its waste feeds the
+        // run-wide attribution like every other DPOR sweep.
         if let Some(e) = all_fixed_experiments().into_iter().find(|e| e.exhaustive) {
-            let _ = class_sweep_dpor(&e.program, e.algo, &e.entry, 8_000);
+            let sweep = class_sweep_dpor(&e.program, e.algo, &e.entry, 8_000);
+            waste_total.absorb(&sweep.waste);
+            dpor_blocked_total += sweep.blocked;
         }
         stm_smoke();
     }
@@ -933,11 +977,20 @@ fn main() {
         dpor_executed,
         dpor_classes,
         frontier_steals,
+        p99_window_ns: monitor_total.as_ref().map_or(0, |s| s.p99_window_ns()),
+        blocked_depth_mode: waste_total.blocked_depth_mode(),
+        worker_busy_frac: waste_total.busy_frac(),
         metrics: metrics.to_json(),
     };
     if let Err(e) = ledger::append(&args.ledger, &entry) {
         eprintln!(
             "warning: could not append to ledger {}: {e}",
+            args.ledger.display()
+        );
+    }
+    if let Err(e) = ledger::compact(&args.ledger, ledger::COMPACT_KEEP_DEFAULT) {
+        eprintln!(
+            "warning: could not compact ledger {}: {e}",
             args.ledger.display()
         );
     }
@@ -993,6 +1046,62 @@ fn main() {
         }
     }
 
+    // ── Phase-profile snapshot (--profile) ────────────────────────
+    let profile_section = profiler.as_ref().map(|p| {
+        // Every worker and monitor thread has exited (scoped spawns and
+        // explicit joins above), flushing its thread-local aggregation;
+        // only the main thread's remains.
+        profile::flush_thread();
+        profile::uninstall();
+        let phases = p.snapshot();
+        let mut sec = Json::obj();
+        sec.push("phases", phases.to_json())
+            .push("dpor", waste_total.to_json())
+            .push("dpor_blocked", dpor_blocked_total.into());
+        if let Some(total) = &monitor_total {
+            sec.push("monitor_window_ns", total.window_hist().to_json());
+        }
+        if !json {
+            println!("\n════ Exploration profile ════\n");
+            print!("{}", phases.render());
+            println!(
+                "\n  dpor waste: {} blocked probes (mode depth {}), {} race pairs, worker busy {:.1}%",
+                waste_total.blocked,
+                waste_total.blocked_depth_mode(),
+                waste_total.race_total(),
+                100.0 * waste_total.busy_frac(),
+            );
+            println!(
+                "  blocked-attribution reconciliation: {} attributed vs {} counted ({})",
+                waste_total.blocked,
+                dpor_blocked_total,
+                if waste_total.blocked == dpor_blocked_total {
+                    "exact"
+                } else {
+                    "MISMATCH"
+                },
+            );
+            if let Some(total) = &monitor_total {
+                let h = total.window_hist();
+                println!(
+                    "  monitor window latency: p50 {}ns  p99 {}ns  max {}ns over {} windows",
+                    h.p50(),
+                    h.p99(),
+                    h.max,
+                    h.count,
+                );
+            }
+        }
+        sec
+    });
+    if profile_section.is_some() && waste_total.blocked != dpor_blocked_total {
+        eprintln!(
+            "error: DPOR blocked attribution diverged: {} attributed vs {} counted",
+            waste_total.blocked, dpor_blocked_total
+        );
+        std::process::exit(1);
+    }
+
     let failed: Vec<&Row> = rows.iter().filter(|r| !r.pass).collect();
     if json {
         let mut out = Json::obj();
@@ -1023,6 +1132,23 @@ fn main() {
             sec.push("stms", Json::Arr(monitor_entries))
                 .push("total", total.to_json());
             out.push("monitor", sec);
+        }
+        if let Some(sec) = profile_section {
+            out.push("profile", sec);
+        }
+        if let Some(rec) = &recorder {
+            let mut fj = Json::obj();
+            fj.push("recorded", rec.recorded().into())
+                .push("dropped", rec.dropped().into());
+            let mut cats = Json::obj();
+            for (name, recorded, dropped) in rec.by_category() {
+                let mut c = Json::obj();
+                c.push("recorded", recorded.into())
+                    .push("dropped", dropped.into());
+                cats.push(name, c);
+            }
+            fj.push("categories", cats);
+            out.push("flight", fj);
         }
         if args.compare {
             out.push(

@@ -39,7 +39,7 @@ use crate::par::{
 };
 use crate::spec::SpecRegistry;
 use jungle_obs::trace::{self, EventKind};
-use jungle_obs::{SearchStats, Span};
+use jungle_obs::{profile, Counter, ScopedSpan, SearchStats};
 
 /// A found serialization order plus per-viewer witness sequences, or
 /// `None` while the search is still running.
@@ -123,14 +123,18 @@ pub fn check_opacity_with_traced(
     model: &dyn MemoryModel,
     specs: &SpecRegistry,
 ) -> (OpacityVerdict, SearchStats) {
-    let span = Span::start();
+    let _phase = profile::enter("check.opacity");
+    let wall = Counter::new();
     let mut stats = SearchStats {
         searches: 1,
         ..SearchStats::default()
     };
-    let th = model.transform(h);
-    let verdict = Search::new(&th, model, specs).run(&mut stats);
-    stats.wall_ns = span.elapsed_ns();
+    let verdict = {
+        let _span = ScopedSpan::enter(&wall, 0);
+        let th = model.transform(h);
+        Search::new(&th, model, specs).run(&mut stats)
+    };
+    stats.wall_ns = wall.get();
     (verdict, stats)
 }
 
@@ -180,14 +184,18 @@ pub fn check_opacity_par_with_traced(
     specs: &SpecRegistry,
     cfg: &ParallelConfig,
 ) -> (OpacityVerdict, SearchStats) {
-    let span = Span::start();
+    let _phase = profile::enter("check.opacity_par");
+    let wall = Counter::new();
     let mut stats = SearchStats {
         searches: 1,
         ..SearchStats::default()
     };
-    let th = model.transform(h);
-    let verdict = Search::new(&th, model, specs).run_par(cfg, &mut stats);
-    stats.wall_ns = span.elapsed_ns();
+    let verdict = {
+        let _span = ScopedSpan::enter(&wall, 0);
+        let th = model.transform(h);
+        Search::new(&th, model, specs).run_par(cfg, &mut stats)
+    };
+    stats.wall_ns = wall.get();
     (verdict, stats)
 }
 

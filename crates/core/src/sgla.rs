@@ -55,7 +55,7 @@ use crate::par::{
     run_prefix_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP, PREFIXES_PER_WORKER,
 };
 use crate::spec::SpecRegistry;
-use jungle_obs::{SearchStats, Span};
+use jungle_obs::{profile, Counter, ScopedSpan, SearchStats};
 
 /// The verdict of an SGLA check.
 #[derive(Clone, Debug)]
@@ -117,19 +117,23 @@ pub fn check_sgla_with_traced(
     model: &dyn MemoryModel,
     specs: &SpecRegistry,
 ) -> (SglaVerdict, SearchStats) {
-    let span = Span::start();
+    let _phase = profile::enter("check.sgla");
+    let wall = Counter::new();
     let mut stats = SearchStats {
         searches: 1,
         ..SearchStats::default()
     };
-    let th = model.transform(h);
-    let verdict = SglaSearch {
-        h: &th,
-        model,
-        specs,
-    }
-    .run(&mut stats);
-    stats.wall_ns = span.elapsed_ns();
+    let verdict = {
+        let _span = ScopedSpan::enter(&wall, 0);
+        let th = model.transform(h);
+        SglaSearch {
+            h: &th,
+            model,
+            specs,
+        }
+        .run(&mut stats)
+    };
+    stats.wall_ns = wall.get();
     (verdict, stats)
 }
 
@@ -180,19 +184,23 @@ pub fn check_sgla_par_with_traced(
     specs: &SpecRegistry,
     cfg: &ParallelConfig,
 ) -> (SglaVerdict, SearchStats) {
-    let span = Span::start();
+    let _phase = profile::enter("check.sgla_par");
+    let wall = Counter::new();
     let mut stats = SearchStats {
         searches: 1,
         ..SearchStats::default()
     };
-    let th = model.transform(h);
-    let verdict = SglaSearch {
-        h: &th,
-        model,
-        specs,
-    }
-    .run_par(cfg, &mut stats);
-    stats.wall_ns = span.elapsed_ns();
+    let verdict = {
+        let _span = ScopedSpan::enter(&wall, 0);
+        let th = model.transform(h);
+        SglaSearch {
+            h: &th,
+            model,
+            specs,
+        }
+        .run_par(cfg, &mut stats)
+    };
+    stats.wall_ns = wall.get();
     (verdict, stats)
 }
 

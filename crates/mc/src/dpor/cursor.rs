@@ -128,6 +128,18 @@ impl DporCursor {
         self.stack.iter().map(|n| n.chosen).collect()
     }
 
+    /// Depth (from the absolute root, donated prefixes included) of the
+    /// node the current run blocked at, or `None` if the run was not
+    /// sleep-blocked. Read this after a run and before
+    /// [`advance`](Self::advance) — advancing pops the blocked node.
+    pub fn blocked_depth(&self) -> Option<usize> {
+        if self.blocked {
+            Some(self.stack.len().saturating_sub(1))
+        } else {
+            None
+        }
+    }
+
     /// Advance to the next unexplored branch in DFS order, putting each
     /// completed branch to sleep at its node. Returns `false` when the
     /// cursor's subtree is exhausted.

@@ -12,19 +12,55 @@
 //! recorder as [`EventKind::RaceDetected`].
 
 use jungle_memsim::Footprint;
+use jungle_obs::sim::{DporStats, FOOTPRINT_KINDS};
 use jungle_obs::trace::{self as flight, EventKind};
+
+/// Classify a footprint into an index of
+/// [`FOOTPRINT_KINDS`](jungle_obs::sim::FOOTPRINT_KINDS): fences first
+/// (they conflict with everything), then transaction boundaries
+/// (invocation/response markers), then the data shape (rmw = both
+/// reads and writes, else write, else read), with a catch-all for
+/// footprints touching nothing.
+pub fn footprint_kind(fp: &Footprint) -> usize {
+    debug_assert_eq!(FOOTPRINT_KINDS.len(), 6);
+    if fp.fence {
+        3 // fence
+    } else if fp.inv || fp.resp {
+        4 // boundary
+    } else if !fp.writes.is_empty() && !fp.reads.is_empty() {
+        2 // rmw
+    } else if !fp.writes.is_empty() {
+        1 // write
+    } else if !fp.reads.is_empty() {
+        0 // read
+    } else {
+        5 // other
+    }
+}
 
 /// Detect racing transition pairs in one run's decision sequence and
 /// report each on the flight recorder (`a` = earlier decision index,
 /// `b` = later). Returns the number of racing pairs.
-///
+pub fn count_races(fps: &[Footprint]) -> u64 {
+    count_races_impl(fps, |_, _| {})
+}
+
+/// [`count_races`] plus attribution: every racing pair is also charged
+/// to `stats`' footprint-kind heat table, so `stats.race_total()`
+/// grows by exactly the returned count.
+pub fn count_races_into(fps: &[Footprint], stats: &mut DporStats) -> u64 {
+    count_races_impl(fps, |i, j| {
+        stats.note_race(footprint_kind(&fps[i]), footprint_kind(&fps[j]));
+    })
+}
+
 /// Clocks: `clock[i][c]` counts the cpu-`c` decisions happens-before or
 /// equal to decision `i` (so `clock[i][cpu_i]` is `i`'s own 1-based
 /// sequence number on its CPU). A dependent cross-CPU pair `(i, j)`
 /// races iff dropping the direct edge `i → j` leaves `i` unordered
 /// before `j`: the join of the clocks of `j`'s *other* dependent
 /// predecessors does not reach `i`.
-pub fn count_races(fps: &[Footprint]) -> u64 {
+fn count_races_impl(fps: &[Footprint], mut on_race: impl FnMut(usize, usize)) -> u64 {
     let n = fps.len();
     if n < 2 {
         return 0;
@@ -49,6 +85,7 @@ pub fn count_races(fps: &[Footprint]) -> u64 {
             }
             if reach < seq_i {
                 races += 1;
+                on_race(i, j);
                 flight::emit(EventKind::RaceDetected, i as u64, j as u64);
             }
         }
@@ -96,6 +133,45 @@ mod tests {
         // writes a again — ordered after cpu0's write via its own
         // program-order predecessor, so only the first pair races.
         assert_eq!(count_races(&[w(0, 9), w(1, 9), w(1, 9)]), 1);
+    }
+
+    #[test]
+    fn attribution_total_matches_count_and_kinds() {
+        let mut stats = DporStats::default();
+        let fps = [w(0, 5), w(1, 5)];
+        let races = count_races_into(&fps, &mut stats);
+        assert_eq!(races, 1);
+        assert_eq!(stats.race_total(), races);
+        // Both members are pure writes → heat lands on (write, write).
+        assert_eq!(stats.race_heat[1][1], 1);
+    }
+
+    #[test]
+    fn footprint_kinds_classify_by_shape() {
+        let read = Footprint {
+            reads: vec![1],
+            ..Footprint::on(0)
+        };
+        let rmw = Footprint {
+            reads: vec![1],
+            writes: vec![1],
+            ..Footprint::on(0)
+        };
+        let fence = Footprint {
+            fence: true,
+            writes: vec![1],
+            ..Footprint::on(0)
+        };
+        let boundary = Footprint {
+            inv: true,
+            ..Footprint::on(0)
+        };
+        assert_eq!(footprint_kind(&read), 0);
+        assert_eq!(footprint_kind(&w(0, 1)), 1);
+        assert_eq!(footprint_kind(&rmw), 2);
+        assert_eq!(footprint_kind(&fence), 3, "fence wins over data shape");
+        assert_eq!(footprint_kind(&boundary), 4);
+        assert_eq!(footprint_kind(&Footprint::on(0)), 5);
     }
 
     #[test]

@@ -92,10 +92,18 @@ impl Frontier {
     /// empty but other workers are still active. Returns `None` once
     /// every worker is idle (global exploration finished).
     pub fn pop(&self, me: usize) -> Option<WorkItem> {
+        self.pop_stealing(me).map(|(item, _)| item)
+    }
+
+    /// Like [`pop`](Self::pop), but also reports whether the item was a
+    /// steal (pushed by a different worker) so callers can attribute
+    /// the wait time they spent acquiring it.
+    pub fn pop_stealing(&self, me: usize) -> Option<(WorkItem, bool)> {
         let mut s = self.state.lock().unwrap();
         loop {
             if let Some((from, item)) = s.items.pop_front() {
-                if from != me {
+                let stolen = from != me;
+                if stolen {
                     s.steals += 1;
                     flight::emit(
                         EventKind::FrontierSteal,
@@ -103,7 +111,7 @@ impl Frontier {
                         from as u64,
                     );
                 }
-                return Some(item);
+                return Some((item, stolen));
             }
             if s.done {
                 return None;

@@ -30,17 +30,22 @@ pub mod deps;
 pub mod frontier;
 
 pub use cursor::{DporCursor, SleepEntry};
-pub use deps::count_races;
+pub use deps::{count_races, count_races_into, footprint_kind};
 pub use frontier::{Frontier, WorkItem, SEED_WORKER};
 
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
 use jungle_memsim::{Machine, RunResult};
-use jungle_obs::sim::MachineStats;
+use jungle_obs::sim::{DporStats, MachineStats, WorkerLane};
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Totals from one DPOR exploration.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct DporOutcome {
     /// Machine runs executed (including sleep-blocked stubs).
     pub executed: usize,
@@ -63,6 +68,10 @@ pub struct DporOutcome {
     pub stopped_early: bool,
     /// Machine-level totals across every executed run.
     pub stats: MachineStats,
+    /// Waste attribution: blocked-probe depths, race-pair heat,
+    /// per-worker wall-clock and run-latency histogram.
+    /// `waste.blocked` always equals `blocked`.
+    pub waste: DporStats,
 }
 
 impl DporOutcome {
@@ -76,6 +85,7 @@ impl DporOutcome {
         self.frontier_steals += other.frontier_steals;
         self.stopped_early |= other.stopped_early;
         self.stats.absorb(&other.stats);
+        self.waste.absorb(&other.waste);
     }
 }
 
@@ -90,17 +100,23 @@ pub fn explore_dpor(
 ) -> DporOutcome {
     let mut cursor = DporCursor::new();
     let mut out = DporOutcome::default();
+    let busy = Instant::now();
     loop {
         cursor.rewind();
+        let run_start = Instant::now();
         let result = factory().run(&mut cursor, max_steps);
+        out.waste.run_ns.record(elapsed_ns(run_start));
         out.executed += 1;
         out.stats.absorb(&result.stats);
         if result.aborted {
             out.blocked += 1;
+            // Attribute before advance() pops the blocked node.
+            out.waste
+                .note_blocked(cursor.blocked_depth().unwrap_or_default());
         } else {
             if result.completed {
                 out.classes += 1;
-                out.races += count_races(&result.footprints);
+                out.races += count_races_into(&result.footprints, &mut out.waste);
             } else {
                 out.truncated += 1;
             }
@@ -114,6 +130,11 @@ pub fn explore_dpor(
         }
     }
     out.sleep_skips = cursor.sleep_skips;
+    out.waste.workers.push(WorkerLane {
+        busy_ns: elapsed_ns(busy),
+        runs: out.executed as u64,
+        ..WorkerLane::default()
+    });
     out
 }
 
@@ -169,8 +190,22 @@ where
             let merged = &merged;
             scope.spawn(move || {
                 let mut local = DporOutcome::default();
-                while let Some(item) = frontier.pop(me) {
+                let mut lane = WorkerLane::default();
+                loop {
+                    let wait = Instant::now();
+                    let Some((item, stolen)) = frontier.pop_stealing(me) else {
+                        lane.idle_ns += elapsed_ns(wait);
+                        break;
+                    };
+                    if stolen {
+                        lane.steal_ns += elapsed_ns(wait);
+                        lane.steals += 1;
+                    } else {
+                        lane.idle_ns += elapsed_ns(wait);
+                    }
+                    let busy = Instant::now();
                     if beyond(&item.prefix, &best.lock().unwrap()) {
+                        lane.busy_ns += elapsed_ns(busy);
                         continue; // a smaller violation rules this subtree out
                     }
                     let mut cursor = DporCursor::with_base(item.prefix, item.sleep, item.next);
@@ -179,15 +214,22 @@ where
                             break; // cursor runs are lex-increasing: all later ones beyond too
                         }
                         cursor.rewind();
+                        let run_start = Instant::now();
                         let result = factory().run(&mut cursor, max_steps);
+                        local.waste.run_ns.record(elapsed_ns(run_start));
                         local.executed += 1;
+                        lane.runs += 1;
                         local.stats.absorb(&result.stats);
                         if result.aborted {
                             local.blocked += 1;
+                            local
+                                .waste
+                                .note_blocked(cursor.blocked_depth().unwrap_or_default());
                         } else {
                             if result.completed {
                                 local.classes += 1;
-                                local.races += count_races(&result.footprints);
+                                local.races +=
+                                    count_races_into(&result.footprints, &mut local.waste);
                             } else {
                                 local.truncated += 1;
                             }
@@ -217,7 +259,12 @@ where
                         }
                     }
                     local.sleep_skips += cursor.sleep_skips;
+                    lane.busy_ns += elapsed_ns(busy);
                 }
+                // Publish this worker's lane at its own index so the
+                // by-index merge in `absorb` keeps lanes distinct.
+                local.waste.workers.resize(me + 1, WorkerLane::default());
+                local.waste.workers[me] = lane;
                 merged.lock().unwrap().absorb(&local);
             });
         }
@@ -288,6 +335,18 @@ mod tests {
         assert!(out.executed <= brute_runs, "reduction never inflates");
         assert!(out.sleep_skips > 0, "SB litmus has independent transitions");
         assert_eq!(out.classes, out.executed - out.blocked - out.truncated);
+        // Waste attribution is exhaustive and consistent.
+        assert_eq!(out.waste.blocked, out.blocked as u64);
+        assert_eq!(
+            out.waste.blocked_by_depth.iter().sum::<u64>(),
+            out.blocked as u64,
+            "every blocked probe is attributed to a depth"
+        );
+        assert_eq!(out.waste.race_total(), out.races);
+        assert_eq!(out.waste.run_ns.count, out.executed as u64);
+        assert_eq!(out.waste.workers.len(), 1, "serial run is one lane");
+        assert_eq!(out.waste.workers[0].runs, out.executed as u64);
+        assert_eq!(out.waste.workers[0].idle_ns, 0);
     }
 
     #[test]
@@ -314,6 +373,22 @@ mod tests {
             if threads > 1 {
                 assert!(out.frontier_steals >= 1, "seed pop counts as a steal");
             }
+            assert_eq!(out.waste.blocked, out.blocked as u64);
+            assert_eq!(
+                out.waste.blocked_by_depth.iter().sum::<u64>(),
+                out.blocked as u64
+            );
+            assert_eq!(out.waste.race_total(), out.races);
+            assert!(out.waste.workers.len() <= threads);
+            assert_eq!(
+                out.waste.workers.iter().map(|w| w.runs).sum::<u64>(),
+                out.executed as u64,
+                "every run belongs to exactly one lane"
+            );
+            assert_eq!(
+                out.waste.workers.iter().map(|w| w.steals).sum::<u64>(),
+                out.frontier_steals
+            );
         }
     }
 

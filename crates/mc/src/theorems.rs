@@ -23,7 +23,7 @@ use jungle_core::ids::{X, Y};
 use jungle_core::model::{Alpha, MemoryModel, Pso, Relaxed, Sc, Tso};
 use jungle_core::par::ParallelConfig;
 use jungle_core::registry::{registry, ModelEntry};
-use jungle_obs::{McStats, TmSnapshot};
+use jungle_obs::{DporStats, McStats, TmSnapshot};
 
 /// How an experiment establishes its claim.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,6 +71,9 @@ pub struct ExperimentResult {
     pub stats: McStats,
     /// TM runtime counters aggregated over every checked trace.
     pub tm: TmSnapshot,
+    /// DPOR waste attribution from the underlying verification (empty
+    /// for randomized sweeps; `waste.blocked == stats.dpor_blocked`).
+    pub waste: DporStats,
 }
 
 impl Experiment {
@@ -133,6 +136,7 @@ impl Experiment {
                     },
                     stats: v.stats,
                     tm: v.tm,
+                    waste: v.waste,
                 }
             }
             Expectation::AllTracesSatisfy => {
@@ -167,6 +171,7 @@ impl Experiment {
                     },
                     stats: v.stats,
                     tm: v.tm,
+                    waste: v.waste,
                 }
             }
         }

@@ -81,7 +81,7 @@ use jungle_core::sgla::check_sgla;
 use jungle_isa::trace::Trace;
 use jungle_memsim::{explore, BurstyScheduler, HwModel, Machine, RandomScheduler, Scheduler};
 use jungle_obs::trace::{self as flight, EventKind};
-use jungle_obs::{McStats, TmSnapshot};
+use jungle_obs::{DporStats, McStats, TmSnapshot};
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::Path;
@@ -166,6 +166,9 @@ pub struct Verdict {
     /// (including deduplicated ones — dedup skips the *checking*, not
     /// the accounting).
     pub tm: TmSnapshot,
+    /// DPOR waste attribution (empty for enumerative and randomized
+    /// sweeps). `waste.blocked` equals `stats.dpor_blocked`.
+    pub waste: DporStats,
 }
 
 impl Verdict {
@@ -180,6 +183,7 @@ impl Verdict {
                 ..McStats::default()
             },
             tm: TmSnapshot::default(),
+            waste: DporStats::default(),
         }
     }
 
@@ -654,6 +658,7 @@ pub fn check_all_traces_shared(
     verdict.stats.memo_hits = memo_hits.into_inner();
     verdict.stats.machine = out.stats;
     apply_dpor_stats(&mut verdict.stats, &out);
+    verdict.waste = out.waste;
     verdict.tm = tm.into_inner().unwrap();
     verdict.stats.workers = threads as u64;
     if let Some((_, trace)) = violation.into_inner().unwrap() {
@@ -714,6 +719,7 @@ fn check_all_traces_serial(
     verdict.stats.memo_hits = memo_hits;
     verdict.stats.machine = out.stats;
     apply_dpor_stats(&mut verdict.stats, &out);
+    verdict.waste = out.waste;
     verdict.tm = tm;
     verdict
 }
@@ -722,6 +728,7 @@ fn check_all_traces_serial(
 fn apply_dpor_stats(stats: &mut McStats, out: &DporOutcome) {
     stats.dpor_executed = out.executed as u64;
     stats.dpor_classes = out.classes as u64;
+    stats.dpor_blocked = out.blocked as u64;
     stats.frontier_steals = out.frontier_steals;
     stats.sleep_skips = out.sleep_skips;
     stats.races = out.races;
@@ -795,6 +802,11 @@ pub struct ClassSweep {
     pub completed: u64,
     /// Runs cut off by the step bound.
     pub truncated: u64,
+    /// Runs aborted at a sleep-blocked node (0 for enumeration, which
+    /// has no sleep sets).
+    pub blocked: u64,
+    /// DPOR waste attribution (empty for enumeration).
+    pub waste: DporStats,
 }
 
 /// Enumerate every schedule and collect the completed-trace class keys.
@@ -844,6 +856,8 @@ pub fn class_sweep_dpor(
     );
     sweep.executed = out.executed as u64;
     sweep.truncated = out.truncated as u64;
+    sweep.blocked = out.blocked as u64;
+    sweep.waste = out.waste;
     sweep
 }
 

@@ -14,7 +14,7 @@ use jungle_isa::instr::Addr;
 use jungle_isa::instr::{Instr, InstrInstance};
 use jungle_isa::trace::Trace;
 use jungle_obs::trace::{self, EventKind};
-use jungle_obs::MachineStats;
+use jungle_obs::{profile, MachineStats};
 
 /// The outcome of one simulated run.
 #[derive(Debug)]
@@ -385,7 +385,10 @@ impl Machine {
                 };
             }
             self.flush_observations(sched);
-            let choice = sched.choose(&actions);
+            let choice = {
+                let _p = profile::enter("memsim.choose");
+                sched.choose(&actions)
+            };
             assert!(
                 choice < actions.len(),
                 "scheduler chose index {choice} of {} enabled actions",
@@ -414,6 +417,7 @@ impl Machine {
             match actions[choice] {
                 Action::Exec { cpu } => self.exec(cpu, sched),
                 Action::Drain { cpu, idx } => {
+                    let _p = profile::enter("memsim.drain");
                     self.stats.flushes += 1;
                     let e = self.cpus[cpu].buffer.take(idx);
                     trace::emit(EventKind::StoreDrain, e.addr as u64, e.val);

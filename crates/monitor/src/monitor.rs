@@ -40,7 +40,7 @@ use jungle_core::sgla::check_sgla;
 use jungle_core::triage::triage_opacity;
 use jungle_mc::{CheckKind, SharedVerdictMemo};
 use jungle_obs::trace::{self, EventKind};
-use jungle_obs::MonitorStats;
+use jungle_obs::{Counter, MonitorStats, ScopedSpan};
 use jungle_stm::{StmTap, TapEvent};
 use std::sync::Arc;
 use std::time::Instant;
@@ -91,6 +91,15 @@ impl Default for MonitorConfig {
     }
 }
 
+/// Panic-safe accumulation sinks for the tier timings: the
+/// [`ScopedSpan`] guards time into these counters, so an early return
+/// or a checker panic can never lose the elapsed time.
+#[derive(Debug, Default)]
+struct TierClocks {
+    triage: Counter,
+    escalate: Counter,
+}
+
 /// The online checker. Feed it events ([`Monitor::ingest`]) or let it
 /// consume a tap ([`Monitor::run`]); read the verdicts off
 /// [`Monitor::stats`].
@@ -99,6 +108,7 @@ pub struct Monitor {
     builder: WindowBuilder,
     memo: Option<Arc<SharedVerdictMemo>>,
     stats: MonitorStats,
+    clocks: TierClocks,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -119,6 +129,7 @@ impl Monitor {
             cfg,
             memo: None,
             stats: MonitorStats::default(),
+            clocks: TierClocks::default(),
         }
     }
 
@@ -151,7 +162,7 @@ impl Monitor {
         if let Some(w) = self.builder.flush() {
             self.check_window(&w);
         }
-        self.stats
+        self.stats.clone()
     }
 
     /// Consume `tap` until it is closed **and** drained, then flush.
@@ -179,7 +190,7 @@ impl Monitor {
         self.stats.events_dropped = tap.dropped();
         self.finish();
         self.stats.wall_ns = t0.elapsed().as_nanos() as u64;
-        self.stats
+        self.stats.clone()
     }
 
     /// One-shot mode: run the tiered pipeline on a ready-made history,
@@ -190,9 +201,11 @@ impl Monitor {
     pub fn check_history(&mut self, h: &History) -> bool {
         self.stats.windows_sealed += 1;
         trace::emit(EventKind::WindowSeal, h.len() as u64, 0);
-        let t0 = Instant::now();
+        let guard = ScopedSpan::enter(&self.clocks.triage, 0);
         let cleared = triage_opacity(h, self.cfg.model.model).cleared();
-        self.stats.triage_ns += t0.elapsed().as_nanos() as u64;
+        let ns = guard.finish();
+        self.stats.triage_ns += ns;
+        self.stats.triage_window_ns.record(ns);
         if cleared {
             self.stats.triage_cleared += 1;
             trace::emit(EventKind::TriageClear, h.len() as u64, 0);
@@ -208,9 +221,11 @@ impl Monitor {
             w.history.len() as u64,
             w.completed as u64,
         );
-        let t0 = Instant::now();
+        let guard = ScopedSpan::enter(&self.clocks.triage, 0);
         let cleared = triage_opacity(&w.history, self.cfg.model.model).cleared();
-        self.stats.triage_ns += t0.elapsed().as_nanos() as u64;
+        let ns = guard.finish();
+        self.stats.triage_ns += ns;
+        self.stats.triage_window_ns.record(ns);
         if cleared {
             self.stats.triage_cleared += 1;
             trace::emit(EventKind::TriageClear, w.history.len() as u64, 0);
@@ -237,11 +252,13 @@ impl Monitor {
         self.stats.escalated += 1;
         let fp = h.cache_key();
         trace::emit(EventKind::Escalate, fp, h.len() as u64);
-        let t0 = Instant::now();
+        let guard = ScopedSpan::enter(&self.clocks.escalate, 0);
         if let Some(memo) = &self.memo {
             if let Some(v) = memo.lookup(self.cfg.model.key, self.cfg.kind, fp) {
                 self.stats.memo_hits += 1;
-                self.stats.escalate_ns += t0.elapsed().as_nanos() as u64;
+                let ns = guard.finish();
+                self.stats.escalate_ns += ns;
+                self.stats.escalate_window_ns.record(ns);
                 return v;
             }
         }
@@ -252,7 +269,9 @@ impl Monitor {
         if let Some(memo) = &self.memo {
             memo.record(self.cfg.model.key, self.cfg.kind, fp, v);
         }
-        self.stats.escalate_ns += t0.elapsed().as_nanos() as u64;
+        let ns = guard.finish();
+        self.stats.escalate_ns += ns;
+        self.stats.escalate_window_ns.record(ns);
         v
     }
 }

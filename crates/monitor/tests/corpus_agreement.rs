@@ -51,7 +51,7 @@ fn monitor_agrees_with_batch_checker_on_full_corpus() {
                     entry.key
                 );
             }
-            let s = *mon.stats();
+            let s = mon.stats().clone();
             assert_eq!(
                 s.triage_cleared + s.escalated,
                 s.windows_sealed,
@@ -69,7 +69,7 @@ fn memo_absorbs_repeat_escalations() {
     let mut mon = Monitor::new(MonitorConfig::new().model(entry)).with_memo(memo.clone());
     assert!(!mon.check_history(&h));
     assert!(!mon.check_history(&h));
-    let s = *mon.stats();
+    let s = mon.stats().clone();
     assert_eq!(s.escalated, 2);
     assert_eq!(s.memo_hits, 1, "second escalation is a fingerprint hit");
 }

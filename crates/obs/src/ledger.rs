@@ -62,6 +62,15 @@ pub struct LedgerEntry {
     pub dpor_classes: u64,
     /// Frontier work items stolen across DPOR workers.
     pub frontier_steals: u64,
+    /// 99th-percentile per-window monitor check latency in nanoseconds
+    /// (0 when the run did not monitor).
+    pub p99_window_ns: u64,
+    /// Most common depth at which DPOR runs were sleep-set blocked
+    /// (0 when the run did not use DPOR or nothing blocked).
+    pub blocked_depth_mode: u64,
+    /// Fraction of DPOR worker wall-time spent doing useful work
+    /// (busy / (busy + steal + idle); 0 when the run did not profile).
+    pub worker_busy_frac: f64,
     /// The run's full metrics snapshot (or `Json::Null` for sources
     /// that only report headline counters).
     pub metrics: Json,
@@ -131,6 +140,16 @@ impl LedgerEntry {
             dpor_executed: j.get("dpor_executed").and_then(Json::as_u64).unwrap_or(0),
             dpor_classes: j.get("dpor_classes").and_then(Json::as_u64).unwrap_or(0),
             frontier_steals: j.get("frontier_steals").and_then(Json::as_u64).unwrap_or(0),
+            // Added with the exploration profiler: same defaulting rule.
+            p99_window_ns: j.get("p99_window_ns").and_then(Json::as_u64).unwrap_or(0),
+            blocked_depth_mode: j
+                .get("blocked_depth_mode")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            worker_busy_frac: j
+                .get("worker_busy_frac")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             metrics: j.get("metrics").cloned().unwrap_or(Json::Null),
         })
     }
@@ -157,6 +176,9 @@ impl ToJson for LedgerEntry {
             .push("dpor_executed", self.dpor_executed.into())
             .push("dpor_classes", self.dpor_classes.into())
             .push("frontier_steals", self.frontier_steals.into())
+            .push("p99_window_ns", self.p99_window_ns.into())
+            .push("blocked_depth_mode", self.blocked_depth_mode.into())
+            .push("worker_busy_frac", Json::F64(self.worker_busy_frac))
             .push("metrics", self.metrics.clone());
         j
     }
@@ -181,6 +203,49 @@ pub fn append(path: &Path, entry: &LedgerEntry) -> std::io::Result<()> {
         .append(true)
         .open(path)?;
     writeln!(f, "{}", entry.to_json())
+}
+
+/// Default retention for [`compact`]: plenty of history for trend
+/// plots, bounded growth for long-lived working trees.
+pub const COMPACT_KEEP_DEFAULT: usize = 500;
+
+/// Trim the ledger at `path` to its last `keep_last_n` parseable
+/// lines, returning how many lines were removed. Torn or unparseable
+/// lines (crashed runs) are dropped in the same pass. A missing file
+/// or one already within bounds is left untouched. The rewrite goes
+/// through a temp file + rename so a crash mid-compaction cannot lose
+/// the ledger.
+pub fn compact(path: &Path, keep_last_n: usize) -> std::io::Result<usize> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let valid: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|j| LedgerEntry::from_json(&j).ok())
+                .is_some()
+        })
+        .collect();
+    let total_lines = text.lines().filter(|l| !l.trim().is_empty()).count();
+    let kept = valid.len().min(keep_last_n);
+    if kept == total_lines {
+        return Ok(0);
+    }
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        for line in &valid[valid.len() - kept..] {
+            writeln!(f, "{line}")?;
+        }
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(total_lines - kept)
 }
 
 /// The last parseable entry of the ledger at `path`, or `None` when
@@ -342,6 +407,9 @@ mod tests {
             dpor_executed: 5_000,
             dpor_classes: 4_800,
             frontier_steals: 32,
+            p99_window_ns: 250_000,
+            blocked_depth_mode: 3,
+            worker_busy_frac: 0.75,
             metrics: Json::Null,
         }
     }
@@ -407,6 +475,59 @@ mod tests {
         assert_eq!(back.frontier_steals, 0);
         assert_eq!(back.dpor_ratio(), 0.0);
         assert_eq!(back.schedules, entry().schedules);
+    }
+
+    #[test]
+    fn pre_profile_entries_still_parse() {
+        // PR-8 and earlier ledger lines predate the profiler fields and
+        // must load with them defaulted, not error.
+        let mut j = entry().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| {
+                k != "p99_window_ns" && k != "blocked_depth_mode" && k != "worker_busy_frac"
+            });
+        }
+        let back = LedgerEntry::from_json(&j).unwrap();
+        assert_eq!(back.p99_window_ns, 0);
+        assert_eq!(back.blocked_depth_mode, 0);
+        assert_eq!(back.worker_busy_frac, 0.0);
+        assert_eq!(back.schedules, entry().schedules);
+    }
+
+    #[test]
+    fn compact_keeps_last_n_and_drops_torn_lines() {
+        let dir = std::env::temp_dir().join(format!("jungle-ledger-gc-{}", std::process::id()));
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Missing file: nothing to do.
+        assert_eq!(compact(&path, 5).unwrap(), 0);
+        for i in 0..8u64 {
+            let mut e = entry();
+            e.schedules = i;
+            append(&path, &e).unwrap();
+        }
+        // Torn trailing line from a crashed run.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"ts_unix\":99").unwrap();
+        }
+        // 8 valid + 1 torn, keep 3: removes 6 lines.
+        assert_eq!(compact(&path, 3).unwrap(), 6);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let survivors: Vec<LedgerEntry> = text
+            .lines()
+            .map(|l| LedgerEntry::from_json(&Json::parse(l).unwrap()).unwrap())
+            .collect();
+        let scheds: Vec<u64> = survivors.iter().map(|e| e.schedules).collect();
+        assert_eq!(scheds, vec![5, 6, 7], "newest entries survive, in order");
+        // Already within bounds: untouched.
+        assert_eq!(compact(&path, 3).unwrap(), 0);
+        assert_eq!(last(&path).unwrap().schedules, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

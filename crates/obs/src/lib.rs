@@ -8,7 +8,12 @@
 //!
 //! * [`counter`] — sharded, cache-padded atomic counters for
 //!   multi-threaded producers (the real STMs).
-//! * [`span`] — lightweight wall-clock spans.
+//! * [`span`] — lightweight wall-clock spans, including the RAII
+//!   [`span::ScopedSpan`] guard.
+//! * [`hist`] — log-bucketed, lock-free, mergeable latency histograms
+//!   with `p50/p90/p99/p999` accessors.
+//! * [`profile`] — the hierarchical phase profiler: enter/exit guards
+//!   folded into a self/total-time tree, zero-cost when uninstalled.
 //! * [`search::SearchStats`] — per-search counters for the opacity and
 //!   SGLA checkers (nodes, backtracks, prune hits, orders, depth).
 //! * [`tm::TmMetrics`] / [`tm::TmSnapshot`] — per-algorithm commit /
@@ -39,9 +44,11 @@
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod hist;
 pub mod json;
 pub mod ledger;
 pub mod monitor;
+pub mod profile;
 pub mod ring;
 pub mod search;
 pub mod sim;
@@ -51,13 +58,15 @@ pub mod tm;
 pub mod trace;
 
 pub use counter::{CachePadded, Counter, SHARDS};
+pub use hist::{HistSnapshot, Histogram};
 pub use json::{Json, ToJson};
 pub use ledger::{LedgerEntry, Tolerances};
 pub use monitor::MonitorStats;
+pub use profile::{PhaseGuard, ProfileNode, Profiler};
 pub use ring::{Backpressure, EventRing};
 pub use search::SearchStats;
-pub use sim::{MachineStats, McStats};
+pub use sim::{DporStats, MachineStats, McStats};
 pub use snapshot::MetricsSnapshot;
-pub use span::Span;
+pub use span::{ScopedSpan, Span};
 pub use tm::{TmMetrics, TmSnapshot};
 pub use trace::{EventKind, FlightRecorder};

@@ -9,10 +9,11 @@
 //! it in; [`MetricsSnapshot`](crate::MetricsSnapshot) carries it into
 //! the report JSON and the run ledger.
 
+use crate::hist::HistSnapshot;
 use crate::json::{Json, ToJson};
 
 /// Aggregated counters of one streaming-monitor run.
-#[derive(Clone, Copy, Default, PartialEq, Debug)]
+#[derive(Clone, Default, PartialEq, Debug)]
 pub struct MonitorStats {
     /// Operation events ingested from the tap ring.
     pub ops_ingested: u64,
@@ -40,6 +41,12 @@ pub struct MonitorStats {
     pub escalate_ns: u64,
     /// Wall-clock nanoseconds of the whole monitoring run.
     pub wall_ns: u64,
+    /// Per-window triage latency distribution (one sample per sealed
+    /// window).
+    pub triage_window_ns: HistSnapshot,
+    /// Per-window escalation latency distribution (one sample per
+    /// escalated check, memo hits included).
+    pub escalate_window_ns: HistSnapshot,
 }
 
 impl MonitorStats {
@@ -62,6 +69,22 @@ impl MonitorStats {
         }
     }
 
+    /// Per-window check latency across both tiers: every window
+    /// contributes its triage time, and escalated windows additionally
+    /// contribute each full-check time.
+    pub fn window_hist(&self) -> HistSnapshot {
+        let mut h = self.triage_window_ns.clone();
+        h.absorb(&self.escalate_window_ns);
+        h
+    }
+
+    /// 99th-percentile per-window check latency (see
+    /// [`window_hist`](Self::window_hist)); the ledger field
+    /// `p99_window_ns`.
+    pub fn p99_window_ns(&self) -> u64 {
+        self.window_hist().p99()
+    }
+
     /// Fold `other` into `self` (sums, except `max_queue_depth` which
     /// takes the max).
     pub fn absorb(&mut self, other: &MonitorStats) {
@@ -76,6 +99,8 @@ impl MonitorStats {
         self.triage_ns += other.triage_ns;
         self.escalate_ns += other.escalate_ns;
         self.wall_ns += other.wall_ns;
+        self.triage_window_ns.absorb(&other.triage_window_ns);
+        self.escalate_window_ns.absorb(&other.escalate_window_ns);
     }
 }
 
@@ -93,7 +118,10 @@ impl ToJson for MonitorStats {
             .push("max_queue_depth", self.max_queue_depth.into())
             .push("triage_ns", self.triage_ns.into())
             .push("escalate_ns", self.escalate_ns.into())
-            .push("wall_ns", self.wall_ns.into());
+            .push("wall_ns", self.wall_ns.into())
+            .push("p99_window_ns", self.p99_window_ns().into())
+            .push("triage_window_ns", self.triage_window_ns.to_json())
+            .push("escalate_window_ns", self.escalate_window_ns.to_json());
         j
     }
 }
@@ -149,5 +177,27 @@ mod tests {
         assert_eq!(j.get("ops_ingested"), Some(&Json::U64(4)));
         assert_eq!(j.get("escalation_rate"), Some(&Json::F64(0.5)));
         assert_eq!(j.get("events_dropped"), Some(&Json::U64(0)));
+        assert!(j.get("p99_window_ns").is_some());
+        assert!(j.get("triage_window_ns").unwrap().get("count").is_some());
+    }
+
+    #[test]
+    fn window_hist_merges_tiers() {
+        let mut s = MonitorStats::default();
+        for _ in 0..99 {
+            s.triage_window_ns.record(1_000);
+        }
+        s.escalate_window_ns.record(1_000_000);
+        let h = s.window_hist();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.max, 1_000_000);
+        // The single slow escalation is exactly the tail percentile.
+        assert!(s.p99_window_ns() >= s.triage_window_ns.p50());
+        assert!(s.p99_window_ns() <= h.max);
+
+        let mut t = MonitorStats::default();
+        t.triage_window_ns.record(5);
+        s.absorb(&t);
+        assert_eq!(s.triage_window_ns.count, 100);
     }
 }

@@ -1,0 +1,466 @@
+//! Hierarchical phase profiler: per-thread span stacks folded into a
+//! self/total-time tree with per-phase latency histograms.
+//!
+//! The flight recorder answers *what happened*; this module answers
+//! *where the time went*. Call sites bracket a phase with
+//! [`enter`] — the returned guard closes the phase on drop — and the
+//! profiler attributes wall-clock to the full enclosing path
+//! (`report.figures > machine.run > memsim.choose`), splitting each
+//! node's total into self time (not covered by children) and
+//! aggregating an [`HistSnapshot`] of per-call latency.
+//!
+//! The discipline is the same zero-cost-when-off contract as
+//! [`trace`](crate::trace): with no [`Profiler`] [`install`]ed,
+//! [`enter`] is one relaxed atomic load returning an inert guard — no
+//! clock read, no allocation, no thread-local touch. When installed,
+//! spans record into plain thread-local state (a stack and a per-path
+//! aggregate map) with no synchronization; a thread folds its local
+//! aggregates into the shared tree only when its span stack empties
+//! and enough spans have accumulated ([`FLUSH_EVERY`]), or when the
+//! thread exits, so worker threads in the DPOR frontier pay one mutex
+//! acquisition per few hundred machine runs, not per span.
+//!
+//! Snapshots: call [`flush_thread`] on the reading thread (its own
+//! residue is otherwise still local) and then [`Profiler::snapshot`],
+//! which renders the path-keyed aggregates as a [`ProfileNode`] tree.
+
+use crate::hist::HistSnapshot;
+use crate::json::{Json, ToJson};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Completed spans a thread accumulates locally before folding into
+/// the shared tree (only at stack-empty points, so partial paths never
+/// publish).
+pub const FLUSH_EVERY: u32 = 256;
+
+/// Aggregate for one phase path.
+#[derive(Debug, Default, Clone)]
+struct NodeAgg {
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+    hist: HistSnapshot,
+}
+
+impl NodeAgg {
+    fn absorb(&mut self, other: &NodeAgg) {
+        self.calls += other.calls;
+        self.total_ns += other.total_ns;
+        self.self_ns += other.self_ns;
+        self.hist.absorb(&other.hist);
+    }
+}
+
+/// The shared profile: path-keyed aggregates behind a mutex that
+/// threads only touch at flush points.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    nodes: Mutex<BTreeMap<Vec<&'static str>, NodeAgg>>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    fn merge(&self, local: &mut BTreeMap<Vec<&'static str>, NodeAgg>) {
+        if local.is_empty() {
+            return;
+        }
+        let mut nodes = self.nodes.lock().unwrap();
+        for (path, agg) in std::mem::take(local) {
+            nodes.entry(path).or_default().absorb(&agg);
+        }
+    }
+
+    /// Fold the aggregates into a phase tree. Call [`flush_thread`]
+    /// first so the reading thread's own residue is included; other
+    /// threads contribute what they have flushed (worker threads flush
+    /// fully at exit).
+    pub fn snapshot(&self) -> ProfileNode {
+        let nodes = self.nodes.lock().unwrap();
+        let mut root = ProfileNode::named("profile");
+        for (path, agg) in nodes.iter() {
+            let mut cur = &mut root;
+            for seg in path {
+                let pos = match cur.children.iter().position(|c| c.name == *seg) {
+                    Some(p) => p,
+                    None => {
+                        cur.children.push(ProfileNode::named(seg));
+                        cur.children.len() - 1
+                    }
+                };
+                cur = &mut cur.children[pos];
+            }
+            cur.calls += agg.calls;
+            cur.total_ns += agg.total_ns;
+            cur.self_ns += agg.self_ns;
+            cur.hist.absorb(&agg.hist);
+        }
+        // The synthetic root spans its top-level phases.
+        root.total_ns = root.children.iter().map(|c| c.total_ns).sum();
+        root.calls = root.children.iter().map(|c| c.calls).sum();
+        root
+    }
+}
+
+/// One node of the rendered phase tree.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileNode {
+    /// Phase name (the string passed to [`enter`]).
+    pub name: String,
+    /// Completed spans at this exact path.
+    pub calls: u64,
+    /// Wall-clock nanoseconds covered by those spans.
+    pub total_ns: u64,
+    /// Portion of `total_ns` not covered by child phases.
+    pub self_ns: u64,
+    /// Per-call latency distribution.
+    pub hist: HistSnapshot,
+    /// Nested phases, in first-seen path order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn named(name: &str) -> ProfileNode {
+        ProfileNode {
+            name: name.to_string(),
+            ..ProfileNode::default()
+        }
+    }
+
+    /// Total nanoseconds attributed to direct children.
+    pub fn children_ns(&self) -> u64 {
+        self.children.iter().map(|c| c.total_ns).sum()
+    }
+
+    /// Render an indented human-readable table (one line per node).
+    pub fn render(&self) -> String {
+        fn fmt_ns(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}us", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        fn walk(n: &ProfileNode, depth: usize, out: &mut String) {
+            out.push_str(&format!(
+                "{:indent$}{:<width$} calls={:<8} total={:<9} self={:<9} p50={:<8} p99={}\n",
+                "",
+                n.name,
+                n.calls,
+                fmt_ns(n.total_ns),
+                fmt_ns(n.self_ns),
+                fmt_ns(n.hist.p50()),
+                fmt_ns(n.hist.p99()),
+                indent = depth * 2,
+                width = 28usize.saturating_sub(depth * 2),
+            ));
+            for c in &n.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+impl ToJson for ProfileNode {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("name", self.name.as_str().into())
+            .push("calls", self.calls.into())
+            .push("total_ns", self.total_ns.into())
+            .push("self_ns", self.self_ns.into())
+            .push("hist", self.hist.to_json())
+            .push(
+                "children",
+                Json::Arr(self.children.iter().map(|c| c.to_json()).collect()),
+            );
+        j
+    }
+}
+
+// ── thread-local recording state ─────────────────────────────────────
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    stack: Vec<Frame>,
+    local: BTreeMap<Vec<&'static str>, NodeAgg>,
+    pending: u32,
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        // Thread exit: whatever this thread accumulated must land in
+        // the shared tree, or worker-thread time would vanish.
+        merge_into_installed(&mut self.local);
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+// ── global installation (same shape as trace::install) ───────────────
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicPtr<Profiler> = AtomicPtr::new(std::ptr::null_mut());
+/// Every profiler ever installed, kept alive for the process lifetime
+/// so pointers loaded from [`INSTALLED`] can never dangle (bounded,
+/// deliberate leak — installs happen once per report run or test).
+static KEEP: Mutex<Vec<Arc<Profiler>>> = Mutex::new(Vec::new());
+
+fn merge_into_installed(local: &mut BTreeMap<Vec<&'static str>, NodeAgg>) {
+    let p = INSTALLED.load(Ordering::Acquire);
+    if p.is_null() {
+        local.clear();
+        return;
+    }
+    // SAFETY: pointers stored into INSTALLED come from Arcs pushed into
+    // KEEP, which is never drained, so the allocation outlives the
+    // process.
+    unsafe { (*p).merge(local) }
+}
+
+/// Install `profiler` as the process-global phase profiler; [`enter`]
+/// starts recording immediately. Replaces any previous profiler (which
+/// stays alive and readable but stops receiving spans).
+pub fn install(profiler: Arc<Profiler>) {
+    let raw = Arc::as_ptr(&profiler) as *mut Profiler;
+    KEEP.lock().unwrap().push(profiler);
+    INSTALLED.store(raw, Ordering::Release);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Stop profiling. Spans already open keep timing and fold into the
+/// last installed profiler when they close.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Is a profiler currently installed?
+pub fn profiling() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Fold the calling thread's local aggregates into the installed
+/// profiler now. Call before [`Profiler::snapshot`] on the thread that
+/// did the work (other threads flush at stack-empty points and at
+/// exit).
+pub fn flush_thread() {
+    let _ = TLS.try_with(|tls| {
+        let mut tls = tls.borrow_mut();
+        tls.pending = 0;
+        let mut local = std::mem::take(&mut tls.local);
+        drop(tls);
+        merge_into_installed(&mut local);
+    });
+}
+
+/// Open a phase. The returned guard closes it when dropped; phases on
+/// one thread nest by drop order. With no profiler installed this is
+/// one relaxed load returning an inert guard.
+#[inline]
+pub fn enter(name: &'static str) -> PhaseGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return PhaseGuard { armed: false };
+    }
+    enter_installed(name)
+}
+
+#[cold]
+fn enter_installed(name: &'static str) -> PhaseGuard {
+    let armed = TLS
+        .try_with(|tls| {
+            tls.borrow_mut().stack.push(Frame {
+                name,
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        })
+        .is_ok();
+    PhaseGuard { armed }
+}
+
+/// Closes its phase on drop. Hold it for the duration of the phase;
+/// binding to `_` drops immediately and times nothing.
+#[must_use = "the phase ends when this guard drops; bind it to a named local"]
+pub struct PhaseGuard {
+    armed: bool,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            exit_installed();
+        }
+    }
+}
+
+fn exit_installed() {
+    let _ = TLS.try_with(|tls| {
+        let mut tls = tls.borrow_mut();
+        let Some(frame) = tls.stack.pop() else {
+            return;
+        };
+        let ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let self_ns = ns.saturating_sub(frame.child_ns);
+        if let Some(parent) = tls.stack.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(ns);
+        }
+        let path: Vec<&'static str> = tls
+            .stack
+            .iter()
+            .map(|f| f.name)
+            .chain(std::iter::once(frame.name))
+            .collect();
+        let agg = tls.local.entry(path).or_default();
+        agg.calls += 1;
+        agg.total_ns += ns;
+        agg.self_ns += self_ns;
+        agg.hist.record(ns);
+        tls.pending += 1;
+        if tls.stack.is_empty() && tls.pending >= FLUSH_EVERY {
+            tls.pending = 0;
+            let mut local = std::mem::take(&mut tls.local);
+            drop(tls);
+            merge_into_installed(&mut local);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the process-global install state.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn spin(iters: u64) -> u64 {
+        std::hint::black_box((0..iters).sum::<u64>())
+    }
+
+    #[test]
+    fn uninstalled_enter_is_inert() {
+        let _l = lock();
+        uninstall();
+        let g = enter("never");
+        drop(g);
+        // No profiler: nothing to observe, but nothing crashed and the
+        // TLS stack stayed empty.
+        TLS.with(|tls| assert!(tls.borrow().stack.is_empty()));
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_with_self_total_split() {
+        let _l = lock();
+        let p = Arc::new(Profiler::new());
+        install(p.clone());
+        {
+            let _outer = enter("outer");
+            spin(10_000);
+            {
+                let _inner = enter("inner");
+                spin(10_000);
+            }
+            {
+                let _inner = enter("inner");
+                spin(10_000);
+            }
+        }
+        uninstall();
+        flush_thread();
+        let root = p.snapshot();
+        let outer = root
+            .children
+            .iter()
+            .find(|c| c.name == "outer")
+            .expect("outer phase recorded");
+        assert_eq!(outer.calls, 1);
+        let inner = outer
+            .children
+            .iter()
+            .find(|c| c.name == "inner")
+            .expect("inner nested under outer");
+        assert_eq!(inner.calls, 2);
+        assert!(inner.total_ns <= outer.total_ns);
+        assert!(outer.self_ns <= outer.total_ns);
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        assert!(outer.children_ns() <= outer.total_ns);
+        assert_eq!(inner.hist.count, 2);
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_at_thread_exit() {
+        let _l = lock();
+        let p = Arc::new(Profiler::new());
+        install(p.clone());
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..5 {
+                        let _g = enter("worker");
+                        spin(1_000);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        uninstall();
+        flush_thread();
+        let root = p.snapshot();
+        let worker = root
+            .children
+            .iter()
+            .find(|c| c.name == "worker")
+            .expect("worker spans flushed at thread exit");
+        assert_eq!(worker.calls, 15);
+        assert_eq!(worker.hist.count, 15);
+        assert!(worker.self_ns <= worker.total_ns);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_renders() {
+        let _l = lock();
+        let p = Arc::new(Profiler::new());
+        install(p.clone());
+        {
+            let _a = enter("alpha");
+            let _b = enter("beta");
+            spin(1_000);
+        }
+        uninstall();
+        flush_thread();
+        let root = p.snapshot();
+        let j = root.to_json();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("profile"));
+        let text = j.to_string();
+        assert!(text.contains("\"alpha\"") && text.contains("\"beta\""));
+        let rendered = root.render();
+        assert!(rendered.contains("alpha") && rendered.contains("beta"));
+        assert!(rendered.contains("p99="));
+    }
+}

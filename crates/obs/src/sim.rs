@@ -1,6 +1,7 @@
 //! Statistics for the relaxed-memory simulator and the model-checking
 //! layer built on it.
 
+use crate::hist::HistSnapshot;
 use crate::json::{Json, ToJson};
 
 /// Counters for one simulated machine run (or a sum over many runs —
@@ -93,6 +94,9 @@ pub struct McStats {
     /// Mazurkiewicz equivalence classes the DPOR explorer visited
     /// (complete, non-sleep-blocked runs).
     pub dpor_classes: u64,
+    /// DPOR runs aborted at a node whose every enabled action was
+    /// asleep (the waste the attribution in [`DporStats`] localizes).
+    pub dpor_blocked: u64,
     /// Frontier work items a parallel DPOR worker popped that another
     /// worker pushed.
     pub frontier_steals: u64,
@@ -120,6 +124,7 @@ impl McStats {
         self.workers = self.workers.max(other.workers);
         self.dpor_executed += other.dpor_executed;
         self.dpor_classes += other.dpor_classes;
+        self.dpor_blocked += other.dpor_blocked;
         self.frontier_steals += other.frontier_steals;
         self.sleep_skips += other.sleep_skips;
         self.races += other.races;
@@ -139,10 +144,206 @@ impl ToJson for McStats {
             .push("workers", self.workers.into())
             .push("dpor_executed", self.dpor_executed.into())
             .push("dpor_classes", self.dpor_classes.into())
+            .push("dpor_blocked", self.dpor_blocked.into())
             .push("frontier_steals", self.frontier_steals.into())
             .push("sleep_skips", self.sleep_skips.into())
             .push("races", self.races.into())
             .push("machine", self.machine.to_json());
+        j
+    }
+}
+
+/// Footprint-kind names indexing [`DporStats::race_heat`]. The
+/// classification itself lives beside the vector clocks in
+/// `jungle_mc::dpor::deps` (this crate cannot see footprints); the
+/// table here just fixes the vocabulary both sides share.
+pub const FOOTPRINT_KINDS: [&str; 6] = ["read", "write", "rmw", "fence", "boundary", "other"];
+
+/// Number of footprint kinds (side length of the heat table).
+pub const KINDS: usize = FOOTPRINT_KINDS.len();
+
+/// One DPOR worker's wall-clock ledger, measured around the frontier.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerLane {
+    /// Nanoseconds spent executing machine runs and cursor bookkeeping.
+    pub busy_ns: u64,
+    /// Nanoseconds blocked in `Frontier::pop` that ended without a
+    /// steal (own re-pop or final termination wait).
+    pub idle_ns: u64,
+    /// Nanoseconds blocked in `Frontier::pop` that ended by stealing
+    /// another worker's item.
+    pub steal_ns: u64,
+    /// Machine runs this lane executed.
+    pub runs: u64,
+    /// Frontier items this lane popped that another worker pushed.
+    pub steals: u64,
+}
+
+impl WorkerLane {
+    fn absorb(&mut self, other: &WorkerLane) {
+        self.busy_ns += other.busy_ns;
+        self.idle_ns += other.idle_ns;
+        self.steal_ns += other.steal_ns;
+        self.runs += other.runs;
+        self.steals += other.steals;
+    }
+}
+
+impl ToJson for WorkerLane {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("busy_ns", self.busy_ns.into())
+            .push("idle_ns", self.idle_ns.into())
+            .push("steal_ns", self.steal_ns.into())
+            .push("runs", self.runs.into())
+            .push("steals", self.steals.into());
+        j
+    }
+}
+
+/// Waste attribution for DPOR exploration: *where* the sleep-blocked
+/// probes cluster, *which* footprint-kind pairs race (and therefore
+/// enqueue revisits), and *how* frontier workers spend their
+/// wall-clock. The aggregate counters in [`McStats`] say how much work
+/// happened; this says where the avoidable part lives.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct DporStats {
+    /// Runs aborted at a sleep-blocked node (must equal the sum of
+    /// `blocked_by_depth` — the attribution is exhaustive).
+    pub blocked: u64,
+    /// Blocked probes by the tree depth of the blocked node
+    /// (`blocked_by_depth[d]` counts probes blocked at depth `d`).
+    pub blocked_by_depth: Vec<u64>,
+    /// Races by footprint-kind pair: `race_heat[a][b]` counts racing
+    /// transition pairs whose earlier member is kind `a` (see
+    /// [`FOOTPRINT_KINDS`]) and later member kind `b`.
+    pub race_heat: [[u64; KINDS]; KINDS],
+    /// Per-worker busy/idle/steal ledgers, merged by worker index
+    /// across sweeps (a serial exploration is one fully busy lane).
+    pub workers: Vec<WorkerLane>,
+    /// Per-machine-run latency distribution.
+    pub run_ns: HistSnapshot,
+}
+
+impl DporStats {
+    /// Record one blocked probe at `depth`, keeping `blocked` and its
+    /// per-depth attribution in lockstep.
+    pub fn note_blocked(&mut self, depth: usize) {
+        if self.blocked_by_depth.len() <= depth {
+            self.blocked_by_depth.resize(depth + 1, 0);
+        }
+        self.blocked_by_depth[depth] += 1;
+        self.blocked += 1;
+    }
+
+    /// Record one racing pair by kind indices (clamped into range).
+    pub fn note_race(&mut self, a: usize, b: usize) {
+        self.race_heat[a.min(KINDS - 1)][b.min(KINDS - 1)] += 1;
+    }
+
+    /// The depth with the most blocked probes (0 when none blocked).
+    pub fn blocked_depth_mode(&self) -> u64 {
+        self.blocked_by_depth
+            .iter()
+            .enumerate()
+            .max_by_key(|&(d, n)| (*n, std::cmp::Reverse(d)))
+            .filter(|&(_, n)| *n > 0)
+            .map(|(d, _)| d as u64)
+            .unwrap_or(0)
+    }
+
+    /// Total races in the heat table.
+    pub fn race_total(&self) -> u64 {
+        self.race_heat.iter().flatten().sum()
+    }
+
+    /// Busy fraction of total worker wall-clock (1.0 when no time was
+    /// measured, i.e. nothing to attribute).
+    pub fn busy_frac(&self) -> f64 {
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        let total: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.busy_ns + w.idle_ns + w.steal_ns)
+            .sum();
+        if total == 0 {
+            1.0
+        } else {
+            busy as f64 / total as f64
+        }
+    }
+
+    /// Fold another exploration's attribution in. Depth counts and the
+    /// heat table add element-wise; worker lanes merge by index.
+    pub fn absorb(&mut self, other: &DporStats) {
+        self.blocked += other.blocked;
+        if self.blocked_by_depth.len() < other.blocked_by_depth.len() {
+            self.blocked_by_depth
+                .resize(other.blocked_by_depth.len(), 0);
+        }
+        for (d, n) in other.blocked_by_depth.iter().enumerate() {
+            self.blocked_by_depth[d] += n;
+        }
+        for (a, row) in other.race_heat.iter().enumerate() {
+            for (b, n) in row.iter().enumerate() {
+                self.race_heat[a][b] += n;
+            }
+        }
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerLane::default());
+        }
+        for (i, lane) in other.workers.iter().enumerate() {
+            self.workers[i].absorb(lane);
+        }
+        self.run_ns.absorb(&other.run_ns);
+    }
+}
+
+impl ToJson for DporStats {
+    fn to_json(&self) -> Json {
+        let mut heat: Vec<(u64, usize, usize)> = Vec::new();
+        for (a, row) in self.race_heat.iter().enumerate() {
+            for (b, &n) in row.iter().enumerate() {
+                if n > 0 {
+                    heat.push((n, a, b));
+                }
+            }
+        }
+        heat.sort_by(|x, y| y.cmp(x)); // hottest pair first
+        let mut j = Json::obj();
+        j.push("blocked", self.blocked.into())
+            .push(
+                "blocked_by_depth",
+                Json::Arr(
+                    self.blocked_by_depth
+                        .iter()
+                        .map(|&n| Json::U64(n))
+                        .collect(),
+                ),
+            )
+            .push("blocked_depth_mode", self.blocked_depth_mode().into())
+            .push(
+                "race_heat",
+                Json::Arr(
+                    heat.into_iter()
+                        .map(|(n, a, b)| {
+                            let mut e = Json::obj();
+                            e.push("a", FOOTPRINT_KINDS[a].into())
+                                .push("b", FOOTPRINT_KINDS[b].into())
+                                .push("races", n.into());
+                            e
+                        })
+                        .collect(),
+                ),
+            )
+            .push("race_total", self.race_total().into())
+            .push(
+                "workers",
+                Json::Arr(self.workers.iter().map(|w| w.to_json()).collect()),
+            )
+            .push("worker_busy_frac", Json::F64(self.busy_frac()))
+            .push("run_ns", self.run_ns.to_json());
         j
     }
 }
@@ -179,5 +380,81 @@ mod tests {
         let j = s.to_json();
         assert_eq!(j.get("schedules"), Some(&Json::U64(4)));
         assert!(j.get("machine").is_some());
+    }
+
+    #[test]
+    fn dpor_stats_blocked_attribution_stays_exhaustive() {
+        let mut s = DporStats::default();
+        s.note_blocked(3);
+        s.note_blocked(3);
+        s.note_blocked(1);
+        assert_eq!(s.blocked, 3);
+        assert_eq!(s.blocked_by_depth.iter().sum::<u64>(), s.blocked);
+        assert_eq!(s.blocked_depth_mode(), 3);
+
+        let mut t = DporStats::default();
+        t.note_blocked(5);
+        s.absorb(&t);
+        assert_eq!(s.blocked, 4);
+        assert_eq!(s.blocked_by_depth.iter().sum::<u64>(), s.blocked);
+    }
+
+    #[test]
+    fn dpor_stats_heat_and_lanes_merge() {
+        let mut s = DporStats::default();
+        s.note_race(0, 1);
+        s.note_race(0, 1);
+        s.note_race(1, 1);
+        s.note_race(99, 99); // clamps into "other"
+        assert_eq!(s.race_total(), 4);
+        s.workers.push(WorkerLane {
+            busy_ns: 900,
+            idle_ns: 100,
+            runs: 4,
+            ..Default::default()
+        });
+        let mut t = DporStats::default();
+        t.workers.push(WorkerLane {
+            busy_ns: 100,
+            steal_ns: 100,
+            steals: 1,
+            ..Default::default()
+        });
+        t.workers.push(WorkerLane {
+            busy_ns: 500,
+            ..Default::default()
+        });
+        s.absorb(&t);
+        assert_eq!(s.workers.len(), 2);
+        assert_eq!(s.workers[0].busy_ns, 1000);
+        assert_eq!(s.workers[0].steals, 1);
+        let frac = s.busy_frac();
+        assert!(frac > 0.85 && frac < 1.0, "busy_frac {frac}");
+    }
+
+    #[test]
+    fn dpor_stats_json_shape() {
+        let mut s = DporStats::default();
+        s.note_blocked(2);
+        s.note_race(1, 1);
+        s.run_ns.record(1_000);
+        let j = s.to_json();
+        assert_eq!(j.get("blocked"), Some(&Json::U64(1)));
+        assert_eq!(j.get("blocked_depth_mode"), Some(&Json::U64(2)));
+        assert_eq!(j.get("race_total"), Some(&Json::U64(1)));
+        let Some(Json::Arr(heat)) = j.get("race_heat") else {
+            panic!("race_heat missing")
+        };
+        assert_eq!(heat.len(), 1);
+        assert_eq!(heat[0].get("a").unwrap().as_str(), Some("write"));
+        assert!(j.get("worker_busy_frac").unwrap().as_f64().is_some());
+        assert!(j.get("run_ns").unwrap().get("p50").is_some());
+    }
+
+    #[test]
+    fn empty_dpor_stats_report_full_busy() {
+        let s = DporStats::default();
+        assert_eq!(s.busy_frac(), 1.0);
+        assert_eq!(s.blocked_depth_mode(), 0);
     }
 }

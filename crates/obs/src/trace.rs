@@ -36,6 +36,12 @@ pub const TRACE_SHARDS: usize = 32;
 /// Default ring capacity (events) per shard. Must be a power of two.
 pub const DEFAULT_RING_CAP: usize = 1 << 12;
 
+/// The event categories, in `cat_index` order. One per instrumented
+/// layer of the workspace.
+pub const CATEGORIES: [&str; 7] = [
+    "checker", "mc", "memsim", "stm", "replay", "monitor", "dpor",
+];
+
 /// Chrome-trace phase of an event kind.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Phase {
@@ -151,16 +157,21 @@ impl EventKind {
     /// Layer category, one of `"checker"`, `"mc"`, `"memsim"`, `"stm"`,
     /// `"replay"`, `"monitor"`, `"dpor"`.
     pub fn cat(self) -> &'static str {
+        CATEGORIES[self.cat_index()]
+    }
+
+    /// Index of this kind's category into [`CATEGORIES`].
+    pub fn cat_index(self) -> usize {
         use EventKind::*;
         match self {
             SearchBegin | SearchEnd | NodeEnter | NodeLeave | Backtrack | Prune
-            | WitnessMemoHit | PrefixClaim | PrefixCancel => "checker",
-            McSchedule | McDedupHit | McMemoHit | McHistoryChecked | McViolation => "mc",
-            StoreDrain | StaleLoad | StoreForward | CasFence => "memsim",
-            TxnBegin | TxnCommit | TxnAbort | StmCasFail => "stm",
-            ReplayBegin | ReplayStep | ReplayDivergence | ShrinkRound => "replay",
-            MonitorIngest | WindowSeal | TriageClear | Escalate | MonitorViolation => "monitor",
-            RaceDetected | SleepSetSkip | RevisitEnqueued | FrontierSteal => "dpor",
+            | WitnessMemoHit | PrefixClaim | PrefixCancel => 0,
+            McSchedule | McDedupHit | McMemoHit | McHistoryChecked | McViolation => 1,
+            StoreDrain | StaleLoad | StoreForward | CasFence => 2,
+            TxnBegin | TxnCommit | TxnAbort | StmCasFail => 3,
+            ReplayBegin | ReplayStep | ReplayDivergence | ShrinkRound => 4,
+            MonitorIngest | WindowSeal | TriageClear | Escalate | MonitorViolation => 5,
+            RaceDetected | SleepSetSkip | RevisitEnqueued | FrontierSteal => 6,
         }
     }
 
@@ -298,6 +309,13 @@ pub struct FlightRecorder {
     epoch: Instant,
     cap: usize,
     shards: Box<[Shard]>,
+    /// Events recorded per [`CATEGORIES`] entry.
+    cat_recorded: [AtomicU64; 7],
+    /// Events evicted by ring wrap-around per [`CATEGORIES`] entry,
+    /// attributed to the *evicted* event's category. Two writers racing
+    /// on the same wrapped slot can double- or mis-count an eviction —
+    /// the same torn-event tolerance as the slots themselves.
+    cat_dropped: [AtomicU64; 7],
 }
 
 impl FlightRecorder {
@@ -327,6 +345,8 @@ impl FlightRecorder {
             epoch: Instant::now(),
             cap,
             shards,
+            cat_recorded: Default::default(),
+            cat_dropped: Default::default(),
         }
     }
 
@@ -336,13 +356,21 @@ impl FlightRecorder {
         let tid = thread_id();
         let ts = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let shard = &self.shards[(tid as usize) % TRACE_SHARDS];
-        let i = shard.head.fetch_add(1, Ordering::Relaxed) & (self.cap - 1);
-        let slot = &shard.slots[i];
+        let cursor = shard.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &shard.slots[cursor & (self.cap - 1)];
+        if cursor >= self.cap {
+            // Wrapping: attribute the evicted event before overwriting.
+            let old = slot.meta.load(Ordering::Acquire);
+            if let Some(evicted) = EventKind::from_u8((old & 0xff) as u8) {
+                self.cat_dropped[evicted.cat_index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
         slot.ts.store(ts, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
         slot.meta
             .store((kind as u64) | (u64::from(tid) << 8), Ordering::Release);
+        self.cat_recorded[kind.cat_index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total events recorded (including any since overwritten).
@@ -359,6 +387,25 @@ impl FlightRecorder {
             .iter()
             .map(|s| s.head.load(Ordering::Relaxed).saturating_sub(self.cap) as u64)
             .sum()
+    }
+
+    /// Per-category `(name, recorded, dropped)` rows, in
+    /// [`CATEGORIES`] order. Dropped counts attribute each ring
+    /// eviction to the overwritten event's category, so they sum to
+    /// [`dropped`](Self::dropped) (modulo torn-slot races above
+    /// [`TRACE_SHARDS`] concurrent writers).
+    pub fn by_category(&self) -> Vec<(&'static str, u64, u64)> {
+        CATEGORIES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    *name,
+                    self.cat_recorded[i].load(Ordering::Relaxed),
+                    self.cat_dropped[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Snapshot every surviving event, sorted by timestamp. Intended
@@ -449,10 +496,18 @@ impl FlightRecorder {
             arr.push(j);
         }
         let mut out = Json::obj();
+        let mut cats = Json::obj();
+        for (name, recorded, dropped) in self.by_category() {
+            let mut c = Json::obj();
+            c.push("recorded", recorded.into())
+                .push("dropped", dropped.into());
+            cats.push(name, c);
+        }
         out.push("traceEvents", Json::Arr(arr))
             .push("displayTimeUnit", "ns".into())
             .push("recorded", self.recorded().into())
-            .push("dropped", self.dropped().into());
+            .push("dropped", self.dropped().into())
+            .push("categories", cats);
         out
     }
 }
@@ -572,6 +627,34 @@ mod tests {
         assert_eq!(r.recorded(), 20);
         assert_eq!(r.dropped(), 12);
         assert_eq!(r.events().len(), 8);
+    }
+
+    #[test]
+    fn per_category_counts_reconcile_with_totals() {
+        let r = FlightRecorder::with_capacity(8);
+        // 6 checker events, then 14 dpor events: the dpor burst evicts
+        // all checker events plus its own overflow.
+        for i in 0..6 {
+            r.record(EventKind::Prune, i, 0);
+        }
+        for i in 0..14 {
+            r.record(EventKind::SleepSetSkip, i, 0);
+        }
+        let by_cat = r.by_category();
+        let recorded: u64 = by_cat.iter().map(|(_, rec, _)| rec).sum();
+        let dropped: u64 = by_cat.iter().map(|(_, _, d)| d).sum();
+        assert_eq!(recorded, r.recorded());
+        assert_eq!(dropped, r.dropped());
+        let get = |name: &str| by_cat.iter().find(|(n, _, _)| *n == name).copied().unwrap();
+        assert_eq!(get("checker"), ("checker", 6, 6));
+        assert_eq!(get("dpor"), ("dpor", 14, 6));
+        assert_eq!(get("stm"), ("stm", 0, 0));
+
+        let j = r.chrome_trace();
+        let cats = j.get("categories").expect("categories section");
+        let dpor = cats.get("dpor").expect("dpor row");
+        assert_eq!(dpor.get("recorded").and_then(Json::as_u64), Some(14));
+        assert_eq!(dpor.get("dropped").and_then(Json::as_u64), Some(6));
     }
 
     #[test]

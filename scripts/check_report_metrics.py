@@ -30,6 +30,18 @@ Extra modes:
   (use in CI after ``report --record``).
 * ``--require-monitor`` makes a missing ``monitor`` section an error
   (use in CI after ``report --monitor``).
+* ``--require-profile`` makes a missing ``profile`` section an error
+  (use in CI after ``report --profile``). When the section is present
+  (with or without the flag), the exploration profile's invariants are
+  enforced: every phase-tree node keeps ``self <= total`` and
+  ``p50 <= p90 <= p99 <= p999 <= max`` on its latency histogram, the
+  DPOR blocked-probe attribution reconciles **exactly**
+  (``sum(blocked_by_depth) == profile.dpor.blocked ==
+  profile.dpor_blocked``, where ``dpor_blocked`` is independently
+  summed from the explorers' plain counters), the race-pair heat table
+  sums to ``race_total``, worker utilization stays above
+  ``WORKER_BUSY_FRAC_FLOOR``, and the ledger's profiler fields mirror
+  the section.
 * ``--require-dpor`` makes a missing ``dpor`` section an error. When
   the section is present (with or without the flag), every exhaustive
   experiment must keep the partial-order-reduction contracts: class-key
@@ -75,6 +87,7 @@ MIN_ZOO_MODELS = 6
 MIN_ZOO_ALGOS = 5
 MONITOR_OPS_FLOOR = 1_000_000
 MONITOR_ESCALATION_CEILING = 0.05
+WORKER_BUSY_FRAC_FLOOR = 0.5  # observed ~0.93 at 4 DPOR workers
 THEOREM1_CLASSES = {"Mrr", "Mrw", "Mwr", "Mww"}
 TRACE_CATEGORIES = {"checker", "dpor", "mc", "memsim", "stm"}
 TRACE_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
@@ -252,6 +265,122 @@ def check_dpor(report: dict) -> str:
     )
 
 
+def check_hist(hist: dict, section: str) -> None:
+    """A serialized ``HistSnapshot`` must be internally consistent:
+    bucket counts sum to ``count`` and percentiles are monotone."""
+    count = need(hist, "count", section)
+    buckets = need(hist, "buckets", section)
+    if sum(n for _, n in buckets) != count:
+        fail(f"{section}: bucket counts do not sum to count {count}")
+    p50 = need(hist, "p50", section)
+    p90 = need(hist, "p90", section)
+    p99 = need(hist, "p99", section)
+    p999 = need(hist, "p999", section)
+    maxv = need(hist, "max", section)
+    if not p50 <= p90 <= p99 <= p999 <= maxv:
+        fail(
+            f"{section}: percentiles not monotone:"
+            f" p50 {p50}, p90 {p90}, p99 {p99}, p999 {p999}, max {maxv}"
+        )
+
+
+def check_phase_node(node: dict, section: str) -> int:
+    """Recursively validate one phase-tree node; returns nodes seen."""
+    total = need(node, "total_ns", section)
+    self_ns = need(node, "self_ns", section)
+    name = need(node, "name", section)
+    if self_ns > total:
+        fail(f"{section} ({name}): self_ns {self_ns} > total_ns {total}")
+    children = need(node, "children", section)
+    child_total = sum(need(c, "total_ns", f"{section}.children") for c in children)
+    if child_total > total:
+        fail(f"{section} ({name}): children total {child_total} > total_ns {total}")
+    if "hist" in node and need(node, "calls", section) > 0:
+        check_hist(node["hist"], f"{section}.hist")
+    seen = 1
+    for i, c in enumerate(children):
+        seen += check_phase_node(c, f"{section}.children[{i}]")
+    return seen
+
+
+def check_profile(report: dict) -> str:
+    """Validate the ``profile`` section written by ``report --profile``."""
+    profile = need(report, "profile", "report")
+    phases = need(profile, "phases", "profile")
+    nodes = check_phase_node(phases, "profile.phases")
+
+    dpor = need(profile, "dpor", "profile")
+    blocked = need(dpor, "blocked", "profile.dpor")
+    by_depth = need(dpor, "blocked_by_depth", "profile.dpor")
+    independent = need(profile, "dpor_blocked", "profile")
+    # The acceptance contract: attribution is exhaustive. The per-depth
+    # histogram, the attributed total, and the independently summed
+    # plain counters must agree exactly — no tolerance.
+    if sum(by_depth) != blocked:
+        fail(
+            f"profile.dpor blocked attribution leaks: sum(blocked_by_depth)"
+            f" {sum(by_depth)} != blocked {blocked}"
+        )
+    if blocked != independent:
+        fail(
+            f"profile.dpor.blocked {blocked} != independently counted"
+            f" dpor_blocked {independent}"
+        )
+    heat = need(dpor, "race_heat", "profile.dpor")
+    race_total = need(dpor, "race_total", "profile.dpor")
+    heat_sum = sum(need(h, "races", "profile.dpor.race_heat[]") for h in heat)
+    if heat_sum != race_total:
+        fail(f"profile.dpor race heat sums to {heat_sum}, race_total is {race_total}")
+    busy = need(dpor, "worker_busy_frac", "profile.dpor")
+    workers = need(dpor, "workers", "profile.dpor")
+    if workers and busy < WORKER_BUSY_FRAC_FLOOR:
+        fail(
+            f"profile.dpor worker_busy_frac {busy:.3f} below floor"
+            f" {WORKER_BUSY_FRAC_FLOOR}"
+        )
+    check_hist(need(dpor, "run_ns", "profile.dpor"), "profile.dpor.run_ns")
+
+    if "monitor" in report:
+        check_hist(
+            need(profile, "monitor_window_ns", "profile"),
+            "profile.monitor_window_ns",
+        )
+
+    ledger = report.get("ledger_entry")
+    if isinstance(ledger, dict):
+        mode = need(dpor, "blocked_depth_mode", "profile.dpor")
+        for key, want in [
+            ("blocked_depth_mode", mode),
+            ("worker_busy_frac", busy),
+        ]:
+            if key in ledger and ledger[key] != want:
+                fail(f"ledger {key} {ledger[key]} != profile section {want}")
+    return (
+        f"profile {nodes} phase nodes, {blocked} blocked probes reconciled,"
+        f" busy {busy:.2f} >= {WORKER_BUSY_FRAC_FLOOR}"
+    )
+
+
+def check_flight(report: dict) -> str:
+    """Validate the ``flight`` section: every recorded and dropped
+    event must be attributed to a category — drops are only acceptable
+    when counted, never silent."""
+    flight = need(report, "flight", "report")
+    recorded = need(flight, "recorded", "flight")
+    dropped = need(flight, "dropped", "flight")
+    cats = need(flight, "categories", "flight")
+    rec_sum = sum(need(c, "recorded", f"flight.categories.{k}") for k, c in cats.items())
+    drop_sum = sum(need(c, "dropped", f"flight.categories.{k}") for k, c in cats.items())
+    if rec_sum != recorded:
+        fail(f"flight category recorded sums to {rec_sum}, total is {recorded}")
+    if dropped > 0 and drop_sum == 0:
+        fail(
+            f"flight dropped {dropped} events with no category attribution —"
+            " silent loss is forbidden"
+        )
+    return f"flight {recorded} events recorded, {dropped} dropped (attributed)"
+
+
 def check_report(report: dict) -> str:
     metrics = need(report, "metrics", "report")
     mc = need(metrics, "mc", "metrics")
@@ -309,6 +438,10 @@ def check_report(report: dict) -> str:
         summary += "; " + check_replay(report)
     if "monitor" in report:
         summary += "; " + check_monitor(report)
+    if "profile" in report:
+        summary += "; " + check_profile(report)
+    if "flight" in report:
+        summary += "; " + check_flight(report)
     return summary
 
 
@@ -351,10 +484,50 @@ def check_trace(path: str) -> str:
     missing = TRACE_CATEGORIES - cats
     if missing:
         fail(f"trace is missing event categories: {sorted(missing)}")
-    return f"trace {len(events)} events, layers {sorted(cats)}"
+
+    # Drop accounting: the ring is allowed to wrap (it is a bounded
+    # flight recorder), but never silently — every dropped event must
+    # be attributed to a per-category counter.
+    dropped = need(trace, "dropped", "trace")
+    categories = need(trace, "categories", "trace")
+    drop_sum = sum(
+        need(c, "dropped", f"trace.categories.{k}") for k, c in categories.items()
+    )
+    if dropped > 0 and drop_sum == 0:
+        fail(
+            f"trace dropped {dropped} events with no category attribution —"
+            " silent loss is forbidden"
+        )
+    return f"trace {len(events)} events, layers {sorted(cats)}, {dropped} dropped (attributed)"
 
 
 # ── self-test golden inputs ──────────────────────────────────────────
+
+def golden_hist(count: int, value: int) -> dict:
+    """A degenerate but internally consistent serialized HistSnapshot:
+    `count` samples all landing in one bucket whose low bound is `value`."""
+    return {
+        "count": count,
+        "sum": count * value,
+        "max": value,
+        "p50": value,
+        "p90": value,
+        "p99": value,
+        "p999": value,
+        "buckets": [[17, count]] if count else [],
+    }
+
+
+def golden_phase(name: str, calls: int, total: int, self_ns: int, children=None) -> dict:
+    return {
+        "name": name,
+        "calls": calls,
+        "total_ns": total,
+        "self_ns": self_ns,
+        "hist": golden_hist(calls, total // calls if calls else 0),
+        "children": children or [],
+    }
+
 
 def golden_report() -> dict:
     return {
@@ -392,6 +565,58 @@ def golden_report() -> dict:
             "monitor_ops": 1_056_000,
             "monitor_windows": 4_128,
             "monitor_escalated": 0,
+            "p99_window_ns": 27_648,
+            "blocked_depth_mode": 21,
+            "worker_busy_frac": 0.92,
+        },
+        "profile": {
+            "phases": golden_phase(
+                "<root>",
+                0,
+                5_000_000_000,
+                0,
+                [
+                    golden_phase(
+                        "report.dpor",
+                        1,
+                        4_500_000_000,
+                        4_000_000_000,
+                        [golden_phase("memsim.choose", 11_000_000, 400_000_000, 400_000_000)],
+                    ),
+                    golden_phase("report.monitor", 1, 400_000_000, 400_000_000),
+                ],
+            ),
+            "dpor": {
+                "blocked": 22_815,
+                "blocked_by_depth": [0, 1_000, 21_815],
+                "blocked_depth_mode": 21,
+                "race_heat": [
+                    {"a": "boundary", "b": "boundary", "races": 19_350},
+                    {"a": "write", "b": "read", "races": 3_360},
+                ],
+                "race_total": 22_710,
+                "workers": [
+                    {
+                        "busy_ns": 344_800_000,
+                        "idle_ns": 522_000,
+                        "steal_ns": 933_000,
+                        "runs": 20_389,
+                        "steals": 181,
+                    }
+                ],
+                "worker_busy_frac": 0.92,
+                "run_ns": golden_hist(27_300, 15_000),
+            },
+            "dpor_blocked": 22_815,
+            "monitor_window_ns": golden_hist(4_128, 11_776),
+        },
+        "flight": {
+            "recorded": 9_000_000,
+            "dropped": 8_900_000,
+            "categories": {
+                "checker": {"recorded": 1_000_000, "dropped": 950_000},
+                "dpor": {"recorded": 8_000_000, "dropped": 7_950_000},
+            },
         },
         "monitor": {
             "stms": [
@@ -575,6 +800,66 @@ def self_test() -> int:
     broken["ledger_entry"]["monitor_ops"] = 5
     cases.append(("ledger monitor_ops mismatch fails", broken, "ledger monitor_ops"))
 
+    broken = golden_report()
+    broken["profile"]["dpor"]["blocked_by_depth"][1] = 999
+    cases.append(
+        ("profile depth attribution leak fails", broken, "blocked attribution leaks")
+    )
+
+    broken = golden_report()
+    broken["profile"]["dpor_blocked"] = 22_814
+    cases.append(
+        (
+            "profile reconciliation mismatch fails",
+            broken,
+            "independently counted dpor_blocked 22814",
+        )
+    )
+
+    broken = golden_report()
+    broken["profile"]["dpor"]["worker_busy_frac"] = 0.4
+    broken["ledger_entry"]["worker_busy_frac"] = 0.4
+    cases.append(("profile busy-frac floor fails", broken, "below floor 0.5"))
+
+    broken = golden_report()
+    broken["profile"]["dpor"]["race_heat"][0]["races"] = 1
+    cases.append(("profile heat/total mismatch fails", broken, "race heat sums to"))
+
+    broken = golden_report()
+    hist = broken["profile"]["monitor_window_ns"]
+    hist["p50"] = hist["p99"] + 1
+    cases.append(
+        ("profile hist percentile inversion fails", broken, "percentiles not monotone")
+    )
+
+    broken = golden_report()
+    node = broken["profile"]["phases"]["children"][0]
+    node["self_ns"] = node["total_ns"] + 1
+    cases.append(("profile self>total fails", broken, "self_ns"))
+
+    broken = golden_report()
+    del broken["profile"]["dpor"]["run_ns"]
+    cases.append(
+        (
+            "missing run_ns named",
+            broken,
+            "missing key 'run_ns' in section 'profile.dpor'",
+        )
+    )
+
+    broken = golden_report()
+    broken["ledger_entry"]["blocked_depth_mode"] = 3
+    cases.append(("ledger profile mirror fails", broken, "ledger blocked_depth_mode"))
+
+    broken = golden_report()
+    broken["flight"]["categories"]["checker"]["dropped"] = 0
+    broken["flight"]["categories"]["dpor"]["dropped"] = 0
+    cases.append(("flight silent drop fails", broken, "silent loss is forbidden"))
+
+    broken = golden_report()
+    broken["flight"]["categories"]["checker"]["recorded"] = 1
+    cases.append(("flight recorded accounting fails", broken, "category recorded sums"))
+
     failures = 0
     for name, report, want in cases:
         try:
@@ -617,6 +902,8 @@ def main() -> None:
             fail("missing key 'monitor' in section 'report' (--require-monitor)")
         if "--require-dpor" in argv and "dpor" not in report:
             fail("missing key 'dpor' in section 'report' (--require-dpor)")
+        if "--require-profile" in argv and "profile" not in report:
+            fail("missing key 'profile' in section 'report' (--require-profile)")
         summary = check_report(report)
         if trace_file is not None:
             summary += "; " + check_trace(trace_file)

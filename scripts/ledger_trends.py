@@ -15,6 +15,11 @@ trends across runs:
 * DPOR class yield (``dpor_classes / dpor_executed`` — what fraction of
   partial-order-reduced runs discovered a new history class; 0 for
   entries predating the reduction)
+* monitor window-check tail latency (``p99_window_ns`` — the p99 of
+  per-window triage+escalate time from the profiler histograms; 0 for
+  entries predating the profiler)
+* DPOR worker utilization (``worker_busy_frac`` — busy wall-clock over
+  total wall-clock across frontier workers; 0 for pre-profiler entries)
 
 Output is a single self-contained SVG (hand-rolled polylines — no
 plotting dependency) plus a text summary table on stdout, so CI can
@@ -43,6 +48,8 @@ COLORS = {
     "monitor_ops": "#9467bd",
     "monitor_esc_rate": "#8c564b",
     "dpor_yield": "#e377c2",
+    "p99_window_ns": "#17becf",
+    "worker_busy_frac": "#bcbd22",
 }
 
 
@@ -78,6 +85,8 @@ def series(entries):
         "monitor_ops": [],
         "monitor_esc_rate": [],
         "dpor_yield": [],
+        "p99_window_ns": [],
+        "worker_busy_frac": [],
     }
     for e in entries:
         out["wall_ms"].append(float(e.get("wall_ms", 0)))
@@ -94,6 +103,8 @@ def series(entries):
         out["dpor_yield"].append(
             e.get("dpor_classes", 0) / executed if executed else 0.0
         )
+        out["p99_window_ns"].append(float(e.get("p99_window_ns", 0)))
+        out["worker_busy_frac"].append(float(e.get("worker_busy_frac", 0)))
     return out
 
 
@@ -116,6 +127,8 @@ def fmt(key, v):
         return f"{v:.0f} ms"
     if key == "monitor_ops":
         return f"{v / 1e6:.2f}M" if v >= 1e6 else f"{v:.0f}"
+    if key == "p99_window_ns":
+        return f"{v / 1000:.1f}µs" if v >= 1000 else f"{v:.0f}ns"
     return f"{v:.3f}"
 
 
@@ -127,6 +140,8 @@ def render_svg(entries, data):
         "monitor_ops": "monitor ops ingested",
         "monitor_esc_rate": "monitor escalation rate",
         "dpor_yield": "DPOR class yield",
+        "p99_window_ns": "monitor p99 window latency",
+        "worker_busy_frac": "DPOR worker utilization",
     }
     keys = [
         "wall_ms",
@@ -135,6 +150,8 @@ def render_svg(entries, data):
         "monitor_ops",
         "monitor_esc_rate",
         "dpor_yield",
+        "p99_window_ns",
+        "worker_busy_frac",
     ]
     panels = []
     for p, key in enumerate(keys):
@@ -142,7 +159,7 @@ def render_svg(entries, data):
         y_off = p * PANEL_H
         vmax = max(values) or 1.0
         # Rates get a fixed 0..1 axis so runs are comparable at a glance.
-        if key not in ("wall_ms", "monitor_ops"):
+        if key not in ("wall_ms", "monitor_ops", "p99_window_ns"):
             vmax = 1.0
         first, last = values[0], values[-1]
         panels.append(
@@ -208,8 +225,9 @@ def main():
     print(
         f"  {'rev':<10} {'wall_ms':>8} {'dedup':>7} {'memo':>7} {'replay':>7}"
         f" {'shrink':>7} {'mon_ops':>9} {'mon_esc':>7} {'dpor':>7} {'yield':>7}"
+        f" {'p99_win':>9} {'busy':>6}"
     )
-    for e, w, d, m, mo, me, dy in zip(
+    for e, w, d, m, mo, me, dy, p99, busy in zip(
         entries,
         data["wall_ms"],
         data["dedup_rate"],
@@ -217,12 +235,15 @@ def main():
         data["monitor_ops"],
         data["monitor_esc_rate"],
         data["dpor_yield"],
+        data["p99_window_ns"],
+        data["worker_busy_frac"],
     ):
         print(
             f"  {e.get('git_rev', '?'):<10} {w:>8.0f} {d:>7.3f} {m:>7.3f}"
             f" {e.get('replay_logs', 0):>7} {e.get('shrink_rounds', 0):>7}"
             f" {fmt('monitor_ops', mo):>9} {me:>7.3f}"
             f" {e.get('dpor_executed', 0):>7} {dy:>7.3f}"
+            f" {fmt('p99_window_ns', p99):>9} {busy:>6.3f}"
         )
     with open(out, "w", encoding="utf-8") as f:
         f.write(render_svg(entries, data))
