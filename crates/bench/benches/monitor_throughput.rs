@@ -210,6 +210,9 @@ fn report_counters(_c: &mut Criterion) {
         p99_window_ns: stats.p99_window_ns(),
         blocked_depth_mode: 0,
         worker_busy_frac: 0.0,
+        sat_solved: 0,
+        sat_conflicts: 0,
+        sat_wall_ns_p99: 0,
         metrics: snap.to_json(),
     };
     let path = std::env::var("JUNGLE_LEDGER")

@@ -147,6 +147,9 @@ fn report_counters(_c: &mut Criterion) {
         p99_window_ns: 0,
         blocked_depth_mode: 0,
         worker_busy_frac: 0.0,
+        sat_solved: 0,
+        sat_conflicts: 0,
+        sat_wall_ns_p99: 0,
         metrics: snap.to_json(),
     };
     // Bench binaries run with the package as CWD; anchor the default

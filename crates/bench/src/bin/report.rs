@@ -37,6 +37,15 @@
 //!   merged per-window check-latency histogram. The blocked-probe
 //!   attribution must sum exactly to the explorers' independent
 //!   blocked counters, or the run fails.
+//! * `--sat` — cross-validate the CDCL serialization-order backend
+//!   against the DFS checkers on the full litmus corpus (every registry
+//!   entry, both check kinds; every SAT positive re-certified through
+//!   the DFS leaf), then race the two engines on the wide-UNSAT stress
+//!   family to locate the crossover size. Adds a `sat` section to
+//!   `--json` output and records solver totals in the ledger entry.
+//! * `--cnf <dir>` — export each litmus outcome's serialization-order
+//!   encoding as a DIMACS file (one per registry entry and check kind),
+//!   with a comment header naming the experiment, model key and kind.
 //! * `--replay <file>` — re-execute a saved schedule log, verify the
 //!   recorded history fingerprint, and exit nonzero on divergence (a
 //!   focused mode: the full report is skipped). With `--explain`, also
@@ -71,7 +80,8 @@ use jungle_monitor::{Monitor, MonitorConfig};
 use jungle_obs::ledger::{self, LedgerEntry, Tolerances};
 use jungle_obs::trace::{self as flight, FlightRecorder};
 use jungle_obs::{
-    profile, Backpressure, DporStats, Json, MetricsSnapshot, MonitorStats, Profiler, ToJson,
+    profile, Backpressure, DporStats, Json, MetricsSnapshot, MonitorStats, Profiler, SatStats,
+    ToJson,
 };
 use jungle_replay::{record_experiment, replay, shrink, ScheduleLog};
 use jungle_stm::StmTap;
@@ -116,6 +126,10 @@ struct Args {
     record_id: Option<String>,
     /// `--replay <file>`: focused replay mode, skipping the report.
     replay: Option<PathBuf>,
+    /// `--sat`: DFS-vs-SAT cross-validation + crossover benchmark.
+    sat: bool,
+    /// `--cnf <dir>`: DIMACS export of the corpus order encodings.
+    cnf: Option<PathBuf>,
     ledger: PathBuf,
     memo_dir: PathBuf,
 }
@@ -132,6 +146,8 @@ fn parse_args() -> Args {
         record: None,
         record_id: None,
         replay: None,
+        sat: false,
+        cnf: None,
         ledger: PathBuf::from(".jungle/ledger.jsonl"),
         memo_dir: PathBuf::from(".jungle/memo"),
     };
@@ -168,6 +184,8 @@ fn parse_args() -> Args {
                 }
             }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
+            "--sat" => args.sat = true,
+            "--cnf" => args.cnf = Some(PathBuf::from(value("--cnf"))),
             "--ledger" => args.ledger = PathBuf::from(value("--ledger")),
             "--memo-dir" => args.memo_dir = PathBuf::from(value("--memo-dir")),
             other => {
@@ -421,6 +439,233 @@ fn monitor_sweep(json: bool, rows: &mut Vec<Row>) -> (Vec<Json>, MonitorStats) {
         );
     }
     (entries, total)
+}
+
+/// `--sat`: cross-validate the CDCL serialization-order backend
+/// against the DFS checkers over the full litmus corpus (every
+/// registry entry, both check kinds), then race the two engines on the
+/// wide-UNSAT stress family — the shape whose order space is `p!` but
+/// whose infeasibility the SAT backend refutes with a single
+/// empty-core probe — to locate the first size where SAT wins
+/// wall-clock. Returns the JSON section and the aggregated solver
+/// stats.
+fn sat_sweep(json: bool, rows: &mut Vec<Row>) -> (Json, SatStats) {
+    use jungle_core::encode::{check_opacity_sat_traced, check_sgla_sat_traced};
+    use jungle_core::model::Sc;
+    use jungle_core::opacity::check_opacity;
+    use jungle_core::sgla::check_sgla;
+    use jungle_litmus::stress::wide_unsat_history;
+
+    let mut total = SatStats::default();
+    let mut checked = 0u64;
+    let mut positives = 0u64;
+    let mut certified = 0u64;
+    let mut disagreements: Vec<String> = Vec::new();
+
+    if !json {
+        println!("\n════ SAT backend: DFS vs CDCL verdicts (litmus × registry × kind) ════\n");
+        println!(
+            "  {:<26} {:>7} {:>7} {:>9} {:>10}",
+            "history", "checks", "agree", "positive", "certified"
+        );
+    }
+    for litmus in all_litmus() {
+        for o in &litmus.outcomes {
+            let label = format!("{}/{}", litmus.name, o.label);
+            let (mut n, mut agree, mut pos, mut cert) = (0u64, 0u64, 0u64, 0u64);
+            for e in registry() {
+                let dfs = check_opacity(&o.history, e.model).is_opaque();
+                let (sat, st) = check_opacity_sat_traced(&o.history, e.model);
+                total.absorb(&st);
+                n += 1;
+                if dfs == sat.is_opaque() {
+                    agree += 1;
+                } else {
+                    disagreements.push(format!("{label}/{}/opacity", e.key));
+                }
+                if sat.is_opaque() {
+                    pos += 1;
+                    cert += st.certified;
+                }
+                let dfs = check_sgla(&o.history, e.model).is_sgla();
+                let (sat, st) = check_sgla_sat_traced(&o.history, e.model);
+                total.absorb(&st);
+                n += 1;
+                if dfs == sat.is_sgla() {
+                    agree += 1;
+                } else {
+                    disagreements.push(format!("{label}/{}/sgla", e.key));
+                }
+                if sat.is_sgla() {
+                    pos += 1;
+                    cert += st.certified;
+                }
+            }
+            checked += n;
+            positives += pos;
+            certified += cert;
+            if !json {
+                println!("  {label:<26} {n:>7} {agree:>7} {pos:>9} {cert:>10}");
+            }
+        }
+    }
+    let agreement = disagreements.is_empty();
+    rows.push(Row {
+        section: "sat",
+        id: "sat/agreement".into(),
+        expected: "identical verdicts; every positive certified",
+        observed: format!(
+            "{checked} checks, {} disagreements, {certified}/{positives} positives certified",
+            disagreements.len()
+        ),
+        pass: agreement && certified == positives,
+    });
+
+    // Crossover: the DFS checker enumerates serialization orders of the
+    // wide-UNSAT family (all infeasible), while the SAT backend's first
+    // CEGAR round discovers the empty core and refutes outright.
+    let mut points: Vec<Json> = Vec::new();
+    let mut crossover_at: Option<u64> = None;
+    if !json {
+        println!("\n  wide-UNSAT crossover (SC, opacity):");
+        println!(
+            "    {:>3} {:>12} {:>12} {:>8}",
+            "p", "dfs µs", "sat µs", "winner"
+        );
+    }
+    for p in 2..=6usize {
+        let h = wide_unsat_history(p);
+        let t0 = std::time::Instant::now();
+        let dfs = check_opacity(&h, &Sc).is_opaque();
+        let dfs_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = std::time::Instant::now();
+        let (sat, st) = check_opacity_sat_traced(&h, &Sc);
+        let sat_ns = t1.elapsed().as_nanos() as u64;
+        total.absorb(&st);
+        if dfs != sat.is_opaque() {
+            disagreements.push(format!("wide_unsat({p})/SC/opacity"));
+        }
+        if sat_ns < dfs_ns && crossover_at.is_none() {
+            crossover_at = Some(p as u64);
+        }
+        if !json {
+            println!(
+                "    {:>3} {:>12.1} {:>12.1} {:>8}",
+                p,
+                dfs_ns as f64 / 1e3,
+                sat_ns as f64 / 1e3,
+                if sat_ns < dfs_ns { "sat" } else { "dfs" }
+            );
+        }
+        let mut j = Json::obj();
+        j.push("p", (p as u64).into())
+            .push("dfs_ns", dfs_ns.into())
+            .push("sat_ns", sat_ns.into());
+        points.push(j);
+    }
+    rows.push(Row {
+        section: "sat",
+        id: "sat/crossover".into(),
+        expected: "SAT beats DFS at some wide-UNSAT size",
+        observed: match crossover_at {
+            Some(p) => format!("SAT wins from p = {p}"),
+            None => "DFS won at every size".into(),
+        },
+        pass: crossover_at.is_some(),
+    });
+    if !json {
+        println!(
+            "  {} checks, {} disagreements; solver: {} conflicts, {} learned, wall p99 {}ns",
+            checked,
+            disagreements.len(),
+            total.conflicts,
+            total.learned,
+            total.wall.p99(),
+        );
+    }
+
+    let mut sec = Json::obj();
+    sec.push("checked", checked.into())
+        .push("disagreements", (disagreements.len() as u64).into())
+        .push("agreement", disagreements.is_empty().into())
+        .push("positives", positives.into())
+        .push("witness_certified", certified.into())
+        .push("crossover", crossover_at.is_some().into())
+        .push(
+            "crossover_at",
+            match crossover_at {
+                Some(p) => p.into(),
+                None => Json::Null,
+            },
+        )
+        .push("crossover_points", Json::Arr(points))
+        .push("stats", total.to_json());
+    (sec, total)
+}
+
+/// `--cnf <dir>`: write the base serialization-order encoding of every
+/// litmus outcome (per registry entry, per check kind) as a DIMACS
+/// file whose comment header names the experiment, the model key and
+/// the check kind — ready for external solvers or proof-logging tools.
+fn cnf_export(dir: &std::path::Path, json: bool, rows: &mut Vec<Row>) -> Json {
+    use jungle_core::encode::{opacity_cnf, sgla_cnf};
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("could not create CNF directory {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let sanitize = |s: &str| {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect::<String>()
+    };
+    let mut files = 0u64;
+    let mut clauses = 0u64;
+    for litmus in all_litmus() {
+        for o in &litmus.outcomes {
+            for e in registry() {
+                for kind in ["opacity", "sgla"] {
+                    let mut doc = if kind == "opacity" {
+                        opacity_cnf(&o.history, e.model)
+                    } else {
+                        sgla_cnf(&o.history, e.model)
+                    };
+                    doc.comment(format!("experiment: {}/{}", litmus.name, o.label));
+                    doc.comment(format!("model: {}", e.key));
+                    doc.comment(format!("kind: {kind}"));
+                    let path = dir.join(format!(
+                        "{}-{}-{}-{kind}.cnf",
+                        sanitize(litmus.name),
+                        sanitize(&o.label),
+                        sanitize(e.key),
+                    ));
+                    if let Err(err) = std::fs::write(&path, doc.to_dimacs()) {
+                        eprintln!("could not write {}: {err}", path.display());
+                        std::process::exit(1);
+                    }
+                    files += 1;
+                    clauses += doc.clauses() as u64;
+                }
+            }
+        }
+    }
+    if !json {
+        println!(
+            "\nCNF export: {files} DIMACS files ({clauses} clauses) -> {}",
+            dir.display()
+        );
+    }
+    rows.push(Row {
+        section: "cnf",
+        id: "cnf/export".into(),
+        expected: "one DIMACS file per outcome × model × kind",
+        observed: format!("{files} files, {clauses} clauses"),
+        pass: files > 0,
+    });
+    let mut sec = Json::obj();
+    sec.push("dir", dir.display().to_string().as_str().into())
+        .push("files", files.into())
+        .push("clauses", clauses.into());
+    sec
 }
 
 fn main() {
@@ -922,6 +1167,23 @@ fn main() {
         monitor_total = Some(total);
     }
 
+    // ── SAT backend cross-validation + crossover (--sat) ──────────
+    let mut sat_section: Option<Json> = None;
+    let mut sat_total: Option<SatStats> = None;
+    if args.sat {
+        let _phase = profile::enter("report.sat");
+        let (sec, total) = sat_sweep(json, &mut rows);
+        metrics.record_sat(&total);
+        sat_section = Some(sec);
+        sat_total = Some(total);
+    }
+
+    // ── DIMACS export of the corpus encodings (--cnf) ─────────────
+    let cnf_section: Option<Json> = args
+        .cnf
+        .as_ref()
+        .map(|dir| cnf_export(dir, json, &mut rows));
+
     // ── STM smoke under the flight recorder ───────────────────────
     if recorder.is_some() {
         // The checker events from the opening figures loop wrapped out
@@ -941,6 +1203,15 @@ fn main() {
             let sweep = class_sweep_dpor(&e.program, e.algo, &e.entry, 8_000);
             waste_total.absorb(&sweep.waste);
             dpor_blocked_total += sweep.blocked;
+        }
+        // And the `sat` layer: one SAT-backed check per model so the
+        // exported tail carries solver begin/conflict/end events.
+        if let Some(l) = all_litmus().first() {
+            for o in &l.outcomes {
+                for m in all_models() {
+                    let _ = jungle_core::encode::check_opacity_sat_traced(&o.history, m);
+                }
+            }
         }
         stm_smoke();
     }
@@ -978,6 +1249,9 @@ fn main() {
         dpor_classes,
         frontier_steals,
         p99_window_ns: monitor_total.as_ref().map_or(0, |s| s.p99_window_ns()),
+        sat_solved: sat_total.as_ref().map_or(0, |s| s.solved),
+        sat_conflicts: sat_total.as_ref().map_or(0, |s| s.conflicts),
+        sat_wall_ns_p99: sat_total.as_ref().map_or(0, |s| s.wall.p99()),
         blocked_depth_mode: waste_total.blocked_depth_mode(),
         worker_busy_frac: waste_total.busy_frac(),
         metrics: metrics.to_json(),
@@ -1132,6 +1406,12 @@ fn main() {
             sec.push("stms", Json::Arr(monitor_entries))
                 .push("total", total.to_json());
             out.push("monitor", sec);
+        }
+        if let Some(sec) = sat_section {
+            out.push("sat", sec);
+        }
+        if let Some(sec) = cnf_section {
+            out.push("cnf", sec);
         }
         if let Some(sec) = profile_section {
             out.push("profile", sec);

@@ -1,0 +1,762 @@
+//! SAT backend for the serialization-order search (CEGAR over CNF).
+//!
+//! The DFS checkers in [`opacity`](crate::opacity) and
+//! [`sgla`](crate::sgla) enumerate transaction serialization orders
+//! outer-loop and run an exact witness search per order. This module
+//! compiles the *outer* existential — "∃ total order ≺ over the
+//! transactions consistent with the real-time (and, for SGLA, program)
+//! order" — into CNF for the in-tree CDCL solver
+//! ([`jungle_sat`](jungle_sat)) and discharges the *inner* existential
+//! (the per-process witness permutations) by counterexample-guided
+//! refinement against the DFS leaf routine.
+//!
+//! ### Encoding
+//!
+//! One Boolean variable per unordered transaction pair `{i < j}`, true
+//! iff `i ≺ j` (a single variable per pair makes totality and
+//! antisymmetry structural). For each unordered triple `a < b < c`,
+//! exactly two clauses kill the two cyclic assignments of a tournament
+//! on three nodes:
+//!
+//! ```text
+//! ¬x_ab ∨ ¬x_bc ∨ x_ac      (forbids a≺b≺c≺a)
+//!  x_ab ∨  x_bc ∨ ¬x_ac     (forbids c≺b≺a, a≺c)
+//! ```
+//!
+//! A tournament with no 3-cycle is transitively closed, so every model
+//! of the base CNF decodes to a total order. Must-precede constraints
+//! (real-time order; for SGLA also per-process program order) become
+//! unit clauses. They are consistent with ordering transactions by
+//! their first operation, so the base CNF is always satisfiable —
+//! `Unsat` only ever arises from learned blocking clauses.
+//!
+//! ### CEGAR loop
+//!
+//! Each solver model is decoded to an order and **certified** by the
+//! exact DFS leaf search (`try_order` / `witness_for_pairs`). A SAT
+//! "yes" is never trusted: a positive verdict always carries a
+//! DFS-validated witness. When certification fails, the oracle shrinks
+//! the order's adjacent-pair set to a minimal infeasible core `S` by
+//! greedy deletion and blocks `⋀_{(a,b)∈S} a ≺ b` with the clause
+//! `⋁_{(a,b)∈S} ¬lit(a,b)`.
+//!
+//! **Soundness of blocking:** the witness search under constraint set
+//! `S` places a unit edge per pair (opacity: txn-unit to txn-unit;
+//! SGLA: `last(a) → first(b)`, chained through each transaction's
+//! program-order edges). For any *total* order whose precedences
+//! include `S`, the adjacent-pair edges transitively imply every edge
+//! of `S`, so its witness candidates are a subset of those under `S`
+//! alone — "no witness under `S`" refutes every such order at once.
+//! Because the empty set is tested first, a history with no witness
+//! even unconstrained short-circuits to `Unsat` in one round.
+//! **Termination:** every blocking clause falsifies the model that
+//! produced it, and the model space is finite.
+//!
+//! Defensively, every clause ever added is mirrored outside the solver
+//! and each model is re-checked against the mirror with
+//! [`jungle_sat::verify_model`] before decoding.
+
+use crate::history::History;
+use crate::ids::{OpId, ProcId};
+use crate::model::MemoryModel;
+use crate::opacity::{OpacityMemo, OpacityVerdict, Search, ViewCtx};
+use crate::par::{Cancel, MEMO_CAP};
+use crate::sgla::{SglaMemo, SglaSearch, SglaVerdict};
+use crate::spec::SpecRegistry;
+use jungle_obs::trace::{self, EventKind};
+use jungle_obs::{profile, Counter, SatStats, ScopedSpan, SearchStats};
+use jungle_sat::{Lit, Solution, Solver, Var};
+
+/// Which decision procedure answers an opacity/SGLA query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CheckBackend {
+    /// The exact DFS over serialization orders (the default).
+    #[default]
+    Dfs,
+    /// The CDCL + CEGAR backend of this module. Positive verdicts are
+    /// still certified by the DFS leaf routine.
+    Sat,
+}
+
+impl CheckBackend {
+    /// Parse a CLI spelling (`"dfs"` / `"sat"`).
+    pub fn parse(s: &str) -> Option<CheckBackend> {
+        match s {
+            "dfs" => Some(CheckBackend::Dfs),
+            "sat" => Some(CheckBackend::Sat),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckBackend::Dfs => "dfs",
+            CheckBackend::Sat => "sat",
+        }
+    }
+}
+
+/// The pair-variable order encoding plus a defensive clause mirror.
+struct OrderEnc {
+    n: usize,
+    solver: Solver,
+    /// Every clause ever handed to the solver, for [`verify_model`]
+    /// re-checks and DIMACS export.
+    mirror: Vec<Vec<Lit>>,
+}
+
+impl OrderEnc {
+    /// Allocate the `n·(n-1)/2` pair variables and add the two
+    /// anti-cycle clauses per unordered triple.
+    fn new(n: usize) -> OrderEnc {
+        let mut solver = Solver::new();
+        for _ in 0..n * n.saturating_sub(1) / 2 {
+            solver.new_var();
+        }
+        let mut enc = OrderEnc {
+            n,
+            solver,
+            mirror: Vec::new(),
+        };
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let (ab, bc, ac) = (enc.lit(a, b), enc.lit(b, c), enc.lit(a, c));
+                    enc.add(vec![ab.negate(), bc.negate(), ac]);
+                    enc.add(vec![ab, bc, ac.negate()]);
+                }
+            }
+        }
+        enc
+    }
+
+    /// The variable for the unordered pair `{i < j}`.
+    fn var(&self, i: usize, j: usize) -> Var {
+        debug_assert!(i < j && j < self.n);
+        (i * (2 * self.n - i - 1) / 2 + (j - i - 1)) as Var
+    }
+
+    /// The literal asserting `a ≺ b`.
+    fn lit(&self, a: usize, b: usize) -> Lit {
+        if a < b {
+            Lit::pos(self.var(a, b))
+        } else {
+            Lit::neg(self.var(b, a))
+        }
+    }
+
+    fn add(&mut self, lits: Vec<Lit>) {
+        self.solver.add_clause(&lits);
+        self.mirror.push(lits);
+    }
+
+    /// Assert `a ≺ b` unconditionally (a must-precede constraint).
+    fn unit(&mut self, a: usize, b: usize) {
+        let l = self.lit(a, b);
+        self.add(vec![l]);
+    }
+
+    /// Forbid every total order whose precedences include all of
+    /// `core`.
+    fn block(&mut self, core: &[(usize, usize)]) {
+        let lits = core.iter().map(|&(a, b)| self.lit(a, b).negate()).collect();
+        self.add(lits);
+    }
+
+    /// Does the model order `a` before `b`?
+    fn before(&self, model: &[bool], a: usize, b: usize) -> bool {
+        let l = self.lit(a, b);
+        model[l.var() as usize] != l.is_neg()
+    }
+
+    /// Decode a model into the total order it represents: a
+    /// transaction's position is its predecessor count (well-defined
+    /// because the anti-cycle clauses make the tournament transitive).
+    fn decode(&self, model: &[bool]) -> Vec<usize> {
+        let mut order = vec![usize::MAX; self.n];
+        for i in 0..self.n {
+            let pos = (0..self.n)
+                .filter(|&j| j != i && self.before(model, j, i))
+                .count();
+            debug_assert_eq!(order[pos], usize::MAX, "model is not a total order");
+            order[pos] = i;
+        }
+        order
+    }
+}
+
+/// A problem the CEGAR driver can refine: the order-search half is
+/// shared; certification and core extraction differ per check kind.
+trait OrderOracle {
+    /// What a certified positive verdict carries.
+    type Witness;
+
+    /// Number of transactions (order-search domain size).
+    fn n(&self) -> usize;
+
+    /// Must `a` precede `b` in every admissible order?
+    fn must(&self, a: usize, b: usize) -> bool;
+
+    /// Run the exact DFS leaf for `order`; `Some` is a validated
+    /// witness.
+    fn certify(&mut self, order: &[usize]) -> Option<Self::Witness>;
+
+    /// After a failed [`certify`](Self::certify): a minimal subset of
+    /// the order's adjacent pairs that is already infeasible. Empty
+    /// means infeasible even unconstrained — no order can ever work.
+    fn core(&mut self, order: &[usize]) -> Vec<(usize, usize)>;
+}
+
+/// Shrink `pairs` to a minimal infeasible subset by greedy deletion,
+/// given `infeasible(subset)` (true when no witness exists under it).
+fn shrink_core<F: FnMut(&[(usize, usize)]) -> bool>(
+    pairs: &[(usize, usize)],
+    mut infeasible: F,
+) -> Vec<(usize, usize)> {
+    let mut core = pairs.to_vec();
+    let mut i = 0;
+    while i < core.len() {
+        let removed = core.remove(i);
+        if infeasible(&core) {
+            continue; // redundant pair: keep it out
+        }
+        core.insert(i, removed);
+        i += 1;
+    }
+    core
+}
+
+/// The generic CEGAR driver: encode, solve, certify, block, repeat.
+fn cegar<O: OrderOracle>(oracle: &mut O, sat: &mut SatStats) -> Option<(Vec<usize>, O::Witness)> {
+    let n = oracle.n();
+    let mut enc = OrderEnc::new(n);
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && oracle.must(a, b) {
+                enc.unit(a, b);
+            }
+        }
+    }
+    trace::emit(
+        EventKind::SatSolveBegin,
+        u64::from(enc.solver.num_vars()),
+        enc.mirror.len() as u64,
+    );
+
+    let mut rounds = 0u64;
+    let result = loop {
+        let before = enc.solver.stats();
+        let solution = enc.solver.solve();
+        let after = enc.solver.stats();
+        if after.conflicts > before.conflicts {
+            trace::emit(
+                EventKind::SatConflict,
+                after.conflicts - before.conflicts,
+                after.learned - before.learned,
+            );
+        }
+        if after.restarts > before.restarts {
+            trace::emit(EventKind::SatRestart, after.restarts - before.restarts, 0);
+        }
+        let model = match solution {
+            Solution::Model(m) => m,
+            Solution::Unsat => break None,
+        };
+        // Never trust the solver: re-check the model against the
+        // clause mirror before acting on it.
+        assert!(
+            jungle_sat::verify_model(&enc.mirror, &model),
+            "CDCL model violates its own clause set"
+        );
+        let order = enc.decode(&model);
+        if let Some(w) = oracle.certify(&order) {
+            break Some((order, w));
+        }
+        rounds += 1;
+        let core = oracle.core(&order);
+        if core.is_empty() {
+            break None; // no witness even unconstrained
+        }
+        enc.block(&core);
+    };
+
+    let st = enc.solver.stats();
+    sat.vars += u64::from(enc.solver.num_vars());
+    sat.clauses += enc.mirror.len() as u64;
+    sat.decisions += st.decisions;
+    sat.conflicts += st.conflicts;
+    sat.propagations += st.propagations;
+    sat.restarts += st.restarts;
+    sat.learned += st.learned;
+    sat.cegar_rounds += rounds;
+    trace::emit(EventKind::SatSolveEnd, result.is_some() as u64, rounds);
+    result
+}
+
+/// Opacity instance: certification is `Search::try_order`; cores are
+/// minimized against the first viewer-constraint set that failed.
+struct OpacityOracle<'a> {
+    search: &'a Search<'a>,
+    ctx: &'a ViewCtx,
+    stats: SearchStats,
+    memo: OpacityMemo,
+    /// Distinct-viewer index from the latest failed certification.
+    failed: Option<usize>,
+}
+
+impl OrderOracle for OpacityOracle<'_> {
+    type Witness = Vec<(ProcId, Vec<OpId>)>;
+
+    fn n(&self) -> usize {
+        self.search.n_txns()
+    }
+
+    fn must(&self, a: usize, b: usize) -> bool {
+        self.search.must_precede(a, b)
+    }
+
+    fn certify(&mut self, order: &[usize]) -> Option<Self::Witness> {
+        match self.search.try_order(
+            order,
+            self.ctx,
+            &mut self.stats,
+            &Cancel::never(),
+            &mut self.memo,
+        ) {
+            Ok(w) => {
+                self.failed = None;
+                Some(w)
+            }
+            Err(d) => {
+                self.failed = Some(d);
+                None
+            }
+        }
+    }
+
+    fn core(&mut self, order: &[usize]) -> Vec<(usize, usize)> {
+        let d = self.failed.expect("core queried without a failed certify");
+        let (search, ctx) = (self.search, self.ctx);
+        let (stats, memo) = (&mut self.stats, &mut self.memo);
+        let mut probe = |pairs: &[(usize, usize)]| {
+            search
+                .witness_for_pairs(ctx, d, pairs, stats, &Cancel::never(), memo)
+                .is_none()
+        };
+        if probe(&[]) {
+            return Vec::new();
+        }
+        let pairs: Vec<(usize, usize)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        shrink_core(&pairs, probe)
+    }
+}
+
+/// SGLA instance: one viewer-independent witness search per order.
+struct SglaOracle<'a> {
+    search: &'a SglaSearch<'a>,
+    stats: SearchStats,
+    memo: SglaMemo,
+}
+
+impl OrderOracle for SglaOracle<'_> {
+    type Witness = Vec<OpId>;
+
+    fn n(&self) -> usize {
+        self.search.n_txns()
+    }
+
+    fn must(&self, a: usize, b: usize) -> bool {
+        self.search.txn_must_precede(a, b)
+    }
+
+    fn certify(&mut self, order: &[usize]) -> Option<Self::Witness> {
+        let pairs: Vec<(usize, usize)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        self.search
+            .witness_for_pairs(&pairs, &mut self.stats, &Cancel::never(), &mut self.memo)
+    }
+
+    fn core(&mut self, order: &[usize]) -> Vec<(usize, usize)> {
+        let mut probe = |pairs: &[(usize, usize)]| {
+            self.search
+                .witness_for_pairs(pairs, &mut self.stats, &Cancel::never(), &mut self.memo)
+                .is_none()
+        };
+        if probe(&[]) {
+            return Vec::new();
+        }
+        let pairs: Vec<(usize, usize)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        shrink_core(&pairs, probe)
+    }
+}
+
+/// [`check_opacity`](crate::opacity::check_opacity) via the SAT
+/// backend. Verdicts agree with the DFS checker by construction:
+/// positive answers carry a DFS-certified witness; negative answers
+/// are `Unsat` proofs over DFS-refuted cores.
+pub fn check_opacity_sat(h: &History, model: &dyn MemoryModel) -> OpacityVerdict {
+    check_opacity_sat_with_traced(h, model, &SpecRegistry::registers()).0
+}
+
+/// Like [`check_opacity_sat`], additionally returning the solver and
+/// refinement counters (wall time included).
+pub fn check_opacity_sat_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+) -> (OpacityVerdict, SatStats) {
+    check_opacity_sat_with_traced(h, model, &SpecRegistry::registers())
+}
+
+/// [`check_opacity_sat`] under explicit sequential specifications.
+pub fn check_opacity_sat_with(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+) -> OpacityVerdict {
+    check_opacity_sat_with_traced(h, model, specs).0
+}
+
+/// Like [`check_opacity_sat_with`], additionally returning counters.
+pub fn check_opacity_sat_with_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+) -> (OpacityVerdict, SatStats) {
+    let _phase = profile::enter("check.opacity_sat");
+    let wall = Counter::new();
+    let mut sat = SatStats::default();
+    let verdict = {
+        let _span = ScopedSpan::enter(&wall, 0);
+        let th = model.transform(h);
+        let search = Search::new(&th, model, specs);
+        let ctx = search.view_ctx();
+        let mut oracle = OpacityOracle {
+            search: &search,
+            ctx: &ctx,
+            stats: SearchStats::default(),
+            memo: OpacityMemo::new(MEMO_CAP),
+            failed: None,
+        };
+        let result = cegar(&mut oracle, &mut sat);
+        sat.solved += 1;
+        if result.is_some() {
+            sat.certified += 1;
+        }
+        Search::verdict(result)
+    };
+    sat.wall.record(wall.get());
+    (verdict, sat)
+}
+
+/// [`check_sgla`](crate::sgla::check_sgla) via the SAT backend. Same
+/// certification discipline as [`check_opacity_sat`].
+pub fn check_sgla_sat(h: &History, model: &dyn MemoryModel) -> SglaVerdict {
+    check_sgla_sat_with_traced(h, model, &SpecRegistry::registers()).0
+}
+
+/// Like [`check_sgla_sat`], additionally returning the solver and
+/// refinement counters (wall time included).
+pub fn check_sgla_sat_traced(h: &History, model: &dyn MemoryModel) -> (SglaVerdict, SatStats) {
+    check_sgla_sat_with_traced(h, model, &SpecRegistry::registers())
+}
+
+/// [`check_sgla_sat`] under explicit sequential specifications.
+pub fn check_sgla_sat_with(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+) -> SglaVerdict {
+    check_sgla_sat_with_traced(h, model, specs).0
+}
+
+/// Like [`check_sgla_sat_with`], additionally returning counters.
+pub fn check_sgla_sat_with_traced(
+    h: &History,
+    model: &dyn MemoryModel,
+    specs: &SpecRegistry,
+) -> (SglaVerdict, SatStats) {
+    let _phase = profile::enter("check.sgla_sat");
+    let wall = Counter::new();
+    let mut sat = SatStats::default();
+    let verdict = {
+        let _span = ScopedSpan::enter(&wall, 0);
+        let th = model.transform(h);
+        let search = SglaSearch::new(&th, model, specs);
+        let mut oracle = SglaOracle {
+            search: &search,
+            stats: SearchStats::default(),
+            memo: SglaMemo::new(MEMO_CAP),
+        };
+        let result = cegar(&mut oracle, &mut sat);
+        sat.solved += 1;
+        if result.is_some() {
+            sat.certified += 1;
+        }
+        search.verdict(result)
+    };
+    sat.wall.record(wall.get());
+    (verdict, sat)
+}
+
+/// A base CNF instance in exportable form (the encoding *before* any
+/// CEGAR blocking clauses — the part derivable from the history alone).
+pub struct CnfDoc {
+    comments: Vec<String>,
+    vars: u32,
+    clauses: Vec<Vec<i64>>,
+}
+
+impl CnfDoc {
+    fn from_enc(enc: &OrderEnc) -> CnfDoc {
+        CnfDoc {
+            comments: Vec::new(),
+            vars: enc.solver.num_vars(),
+            clauses: enc
+                .mirror
+                .iter()
+                .map(|c| c.iter().map(|l| l.dimacs()).collect())
+                .collect(),
+        }
+    }
+
+    /// Add a `c `-prefixed header line (experiment id, model key, …).
+    pub fn comment(&mut self, line: impl Into<String>) {
+        self.comments.push(line.into());
+    }
+
+    /// Number of variables in the instance.
+    pub fn vars(&self) -> u32 {
+        self.vars
+    }
+
+    /// Number of clauses in the instance.
+    pub fn clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Render as standard DIMACS CNF.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            out.push_str("c ");
+            out.push_str(c);
+            out.push('\n');
+        }
+        out.push_str(&format!("p cnf {} {}\n", self.vars, self.clauses.len()));
+        for clause in &self.clauses {
+            for (i, l) in clause.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&l.to_string());
+            }
+            out.push_str(" 0\n");
+        }
+        out
+    }
+}
+
+fn base_cnf(n: usize, must: impl Fn(usize, usize) -> bool) -> CnfDoc {
+    let mut enc = OrderEnc::new(n);
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && must(a, b) {
+                enc.unit(a, b);
+            }
+        }
+    }
+    CnfDoc::from_enc(&enc)
+}
+
+/// The base CNF of the opacity order search for `h` under `model`.
+pub fn opacity_cnf(h: &History, model: &dyn MemoryModel) -> CnfDoc {
+    let th = model.transform(h);
+    let specs = SpecRegistry::registers();
+    let search = Search::new(&th, model, &specs);
+    base_cnf(search.n_txns(), |a, b| search.must_precede(a, b))
+}
+
+/// The base CNF of the SGLA order search for `h` under `model`.
+pub fn sgla_cnf(h: &History, model: &dyn MemoryModel) -> CnfDoc {
+    let th = model.transform(h);
+    let specs = SpecRegistry::registers();
+    let search = SglaSearch::new(&th, model, &specs);
+    base_cnf(search.n_txns(), |a, b| search.txn_must_precede(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::ids::{ProcId, X, Y};
+    use crate::model::{all_models, Rmo, Sc, Tso};
+    use crate::opacity::check_opacity;
+    use crate::sgla::check_sgla;
+
+    fn p(n: u32) -> ProcId {
+        ProcId(n)
+    }
+
+    /// Figure 1 shape: transactional double write, racing plain reads.
+    fn fig1(r_y: u64, r_x: u64) -> History {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.write(p(1), X, 1);
+        b.write(p(1), Y, 1);
+        b.commit(p(1));
+        b.read(p(2), Y, r_y);
+        b.read(p(2), X, r_x);
+        b.build().unwrap()
+    }
+
+    /// Three committed transactions across two processes, the middle
+    /// one observing a snapshot.
+    fn fig2a(x_obs: u64, y_obs: u64) -> History {
+        let mut b = HistoryBuilder::new();
+        b.start(p(1));
+        b.write(p(1), X, 1);
+        b.write(p(1), X, 2);
+        b.commit(p(1));
+        b.start(p(2));
+        b.read(p(2), X, x_obs);
+        b.read(p(2), Y, y_obs);
+        b.commit(p(2));
+        b.start(p(1));
+        b.write(p(1), Y, 2);
+        b.commit(p(1));
+        b.build().unwrap()
+    }
+
+    fn corpus() -> Vec<History> {
+        vec![
+            fig1(1, 0),
+            fig1(1, 1),
+            fig1(0, 0),
+            fig2a(1, 0),
+            fig2a(2, 0),
+            fig2a(2, 2),
+            fig2a(0, 0),
+        ]
+    }
+
+    #[test]
+    fn sat_agrees_with_dfs_on_opacity() {
+        for h in corpus() {
+            for m in all_models() {
+                let dfs = check_opacity(&h, m);
+                let (sat, stats) = check_opacity_sat_with_traced(&h, m, &SpecRegistry::registers());
+                assert_eq!(
+                    dfs.is_opaque(),
+                    sat.is_opaque(),
+                    "backend disagreement under {}",
+                    m.name()
+                );
+                assert_eq!(stats.solved, 1);
+                assert_eq!(stats.certified, u64::from(sat.is_opaque()));
+            }
+        }
+    }
+
+    #[test]
+    fn sat_agrees_with_dfs_on_sgla() {
+        for h in corpus() {
+            for m in all_models() {
+                let dfs = check_sgla(&h, m);
+                let (sat, _) = check_sgla_sat_with_traced(&h, m, &SpecRegistry::registers());
+                assert_eq!(
+                    dfs.is_sgla(),
+                    sat.is_sgla(),
+                    "backend disagreement under {}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_sat_verdict_carries_dfs_grade_witness() {
+        let h = fig1(1, 1);
+        let v = check_opacity_sat(&h, &Sc);
+        assert!(v.is_opaque());
+        assert_eq!(v.witnesses().len(), 2);
+        for (_, w) in v.witnesses() {
+            assert_eq!(w.len(), 6); // permutation of all six operations
+        }
+        // The order respects real time: the only committed txn is first.
+        assert_eq!(v.txn_order(), &[0]);
+    }
+
+    #[test]
+    fn negative_histories_report_empty_witness() {
+        let v = check_opacity_sat(&fig1(1, 0), &Sc);
+        assert!(!v.is_opaque());
+        assert!(v.witnesses().is_empty());
+        assert!(v.txn_order().is_empty());
+    }
+
+    #[test]
+    fn model_discriminates_like_dfs() {
+        // The classic fig1 relaxation split: forbidden under SC/TSO,
+        // allowed under RMO.
+        assert!(!check_opacity_sat(&fig1(1, 0), &Sc).is_opaque());
+        assert!(!check_opacity_sat(&fig1(1, 0), &Tso).is_opaque());
+        assert!(check_opacity_sat(&fig1(1, 0), &Rmo).is_opaque());
+    }
+
+    #[test]
+    fn stats_count_encoding_and_refinement() {
+        // fig2a(2, 2) is non-opaque under SC but has witnesses for some
+        // unconstrained orders, forcing at least one CEGAR round.
+        let (v, stats) =
+            check_opacity_sat_with_traced(&fig2a(2, 2), &Sc, &SpecRegistry::registers());
+        assert!(!v.is_opaque());
+        assert!(stats.vars >= 3, "three txns need three pair variables");
+        assert!(stats.clauses > 0);
+        assert_eq!(stats.certified, 0);
+        assert_eq!(stats.wall.count, 1);
+    }
+
+    #[test]
+    fn empty_history_is_trivially_opaque() {
+        let h = HistoryBuilder::new().build().unwrap();
+        assert!(check_opacity_sat(&h, &Sc).is_opaque());
+        assert!(check_sgla_sat(&h, &Sc).is_sgla());
+    }
+
+    #[test]
+    fn dimacs_export_is_well_formed() {
+        let mut doc = opacity_cnf(&fig2a(2, 0), &Sc);
+        doc.comment("experiment=unit-test model=SC kind=Opacity");
+        let text = doc.to_dimacs();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "c experiment=unit-test model=SC kind=Opacity"
+        );
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("p cnf "));
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        let vars: i64 = parts[2].parse().unwrap();
+        let clauses: usize = parts[3].parse().unwrap();
+        assert_eq!(vars, i64::from(doc.vars()));
+        assert_eq!(clauses, doc.clauses());
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), clauses);
+        for line in body {
+            assert!(line.ends_with(" 0"));
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().unwrap();
+                assert!(v.unsigned_abs() <= vars.unsigned_abs());
+            }
+        }
+    }
+
+    #[test]
+    fn backend_parses_cli_spellings() {
+        assert_eq!(CheckBackend::parse("dfs"), Some(CheckBackend::Dfs));
+        assert_eq!(CheckBackend::parse("sat"), Some(CheckBackend::Sat));
+        assert_eq!(CheckBackend::parse("smt"), None);
+        assert_eq!(CheckBackend::default(), CheckBackend::Dfs);
+        assert_eq!(CheckBackend::Sat.name(), "sat");
+    }
+}

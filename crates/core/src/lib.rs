@@ -58,6 +58,7 @@
 
 pub mod builder;
 pub mod classes;
+pub mod encode;
 pub mod explain;
 pub mod fingerprint;
 pub mod history;
@@ -77,6 +78,10 @@ pub mod triage;
 pub mod prelude {
     pub use crate::builder::HistoryBuilder;
     pub use crate::classes::ClassSet;
+    pub use crate::encode::{
+        check_opacity_sat, check_opacity_sat_traced, check_sgla_sat, check_sgla_sat_traced,
+        opacity_cnf, sgla_cnf, CheckBackend, CnfDoc,
+    };
     pub use crate::history::{History, OpInstance, TxnStatus};
     pub use crate::ids::{OpId, ProcId, Val, Var};
     pub use crate::model::{Alpha, JunkSc, MemoryModel, Pso, Relaxed, Rmo, Sc, Tso, TsoForwarding};

@@ -34,9 +34,7 @@ use crate::history::{History, TxnStatus};
 use crate::ids::{OpId, ProcId};
 use crate::legal::PrefixChecker;
 use crate::model::MemoryModel;
-use crate::par::{
-    run_prefix_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP, PREFIXES_PER_WORKER,
-};
+use crate::par::{run_order_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP};
 use crate::spec::SpecRegistry;
 use jungle_obs::trace::{self, EventKind};
 use jungle_obs::{profile, Counter, ScopedSpan, SearchStats};
@@ -47,7 +45,7 @@ type WitnessResult = Option<(Vec<usize>, Vec<(ProcId, Vec<OpId>)>)>;
 
 /// Per-worker memo of inner witness searches, keyed by the exact
 /// deduplicated edge set (the only input that varies between calls).
-type OpacityMemo = WitnessMemo<Vec<(usize, usize)>, Option<Vec<OpId>>>;
+pub(crate) type OpacityMemo = WitnessMemo<Vec<(usize, usize)>, Option<Vec<OpId>>>;
 
 /// One schedulable unit of the witness search.
 #[derive(Clone, Debug)]
@@ -202,13 +200,15 @@ pub fn check_opacity_par_with_traced(
 /// The per-viewer ordering constraints, computed once per check: the
 /// minimal views of `R(τ(h))` lifted to unit edges, with identical
 /// viewer constraint sets deduplicated.
-struct ViewCtx {
+pub(crate) struct ViewCtx {
     viewers: Vec<ProcId>,
     view_edges: Vec<Vec<(usize, usize)>>,
-    distinct: Vec<usize>,
+    /// Indices into `viewers`/`view_edges` of the distinct constraint
+    /// sets — one witness search covers every viewer sharing a set.
+    pub(crate) distinct: Vec<usize>,
 }
 
-struct Search<'a> {
+pub(crate) struct Search<'a> {
     h: &'a History,
     model: &'a dyn MemoryModel,
     specs: &'a SpecRegistry,
@@ -223,7 +223,7 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
-    fn new(h: &'a History, model: &'a dyn MemoryModel, specs: &'a SpecRegistry) -> Self {
+    pub(crate) fn new(h: &'a History, model: &'a dyn MemoryModel, specs: &'a SpecRegistry) -> Self {
         let mut units = Vec::new();
         let mut unit_of = vec![usize::MAX; h.len()];
         let mut txn_units = vec![usize::MAX; h.txns().len()];
@@ -285,10 +285,10 @@ impl<'a> Search<'a> {
         Self::verdict(result)
     }
 
-    /// Parallel counterpart of [`Search::run`]: split the
-    /// serialization-order enumeration into DFS-ordered prefixes and
-    /// farm them out to scoped workers. Returns exactly what `run`
-    /// would (see the `par` module docs).
+    /// Parallel counterpart of [`Search::run`]: feed the
+    /// serialization-order enumeration to a work-stealing frontier of
+    /// scoped workers. Returns exactly what `run` would (see the `par`
+    /// module docs).
     fn run_par(&self, cfg: &ParallelConfig, stats: &mut SearchStats) -> OpacityVerdict {
         if cfg.serial_for(self.units.len()) {
             return self.run(stats);
@@ -303,12 +303,12 @@ impl<'a> Search<'a> {
         stats.workers = stats.workers.max(threads as u64);
         let ctx = self.view_ctx();
         let n_txn = self.h.txns().len();
-        let prefixes = self.order_prefixes(threads * PREFIXES_PER_WORKER);
-        let result = run_prefix_pool(
+        let result = run_order_pool(
             threads,
-            &prefixes,
+            n_txn,
+            |prefix| self.valid_extensions(prefix),
             || OpacityMemo::new(MEMO_CAP),
-            |_, prefix, cancel, memo, local| {
+            |prefix, cancel, memo, local| {
                 let mut order = prefix.to_vec();
                 let mut used = vec![false; n_txn];
                 for &t in prefix {
@@ -332,7 +332,7 @@ impl<'a> Search<'a> {
         Self::verdict(result)
     }
 
-    fn verdict(result: WitnessResult) -> OpacityVerdict {
+    pub(crate) fn verdict(result: WitnessResult) -> OpacityVerdict {
         match result {
             Some((txn_order, witnesses)) => OpacityVerdict {
                 opaque: true,
@@ -347,62 +347,39 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// May transaction `t` be serialized next, given the already-placed
-    /// set `used`? (The real-time constraint: every completed txn that
-    /// finished before `t` began must already be placed.)
-    fn can_place(&self, t: usize, used: &[bool]) -> bool {
+    /// Number of transactions in the (transformed) history — the size
+    /// of the serialization-order search space.
+    pub(crate) fn n_txns(&self) -> usize {
+        self.h.txns().len()
+    }
+
+    /// Must transaction `u` serialize before transaction `t`? (The
+    /// real-time constraint: `u` completed before `t` began.)
+    pub(crate) fn must_precede(&self, u: usize, t: usize) -> bool {
         let txns = self.h.txns();
-        (0..txns.len()).all(|u| {
-            u == t
-                || used[u]
-                || !(txns[u].status.is_completed() && txns[u].last() < txns[t].first())
-        })
+        txns[u].status.is_completed() && txns[u].last() < txns[t].first()
     }
 
-    /// All valid serialization-order prefixes of the smallest depth
-    /// yielding at least `target` of them (or complete orders if the
-    /// history has too few transactions), in the exact order the serial
-    /// DFS visits them — prefix index therefore equals serial visit
-    /// order, which is what makes min-index selection deterministic.
-    fn order_prefixes(&self, target: usize) -> Vec<Vec<usize>> {
+    /// May transaction `t` be serialized next, given the already-placed
+    /// set `used`? (Every transaction that must precede `t` is placed.)
+    fn can_place(&self, t: usize, used: &[bool]) -> bool {
+        (0..self.h.txns().len()).all(|u| u == t || used[u] || !self.must_precede(u, t))
+    }
+
+    /// The transactions that may validly extend `prefix`, in ascending
+    /// index order — the serial DFS candidate order.
+    pub(crate) fn valid_extensions(&self, prefix: &[usize]) -> Vec<usize> {
         let n_txn = self.h.txns().len();
-        let mut depth = 1.min(n_txn);
-        loop {
-            let mut out = Vec::new();
-            let mut order = Vec::new();
-            let mut used = vec![false; n_txn];
-            self.collect_prefixes(depth, &mut order, &mut used, &mut out);
-            if out.len() >= target || depth >= n_txn {
-                return out;
-            }
-            depth += 1;
-        }
-    }
-
-    fn collect_prefixes(
-        &self,
-        depth: usize,
-        order: &mut Vec<usize>,
-        used: &mut Vec<bool>,
-        out: &mut Vec<Vec<usize>>,
-    ) {
-        if order.len() == depth {
-            out.push(order.clone());
-            return;
-        }
-        for t in 0..self.h.txns().len() {
-            if used[t] || !self.can_place(t, used) {
-                continue;
-            }
+        let mut used = vec![false; n_txn];
+        for &t in prefix {
             used[t] = true;
-            order.push(t);
-            self.collect_prefixes(depth, order, used, out);
-            order.pop();
-            used[t] = false;
         }
+        (0..n_txn)
+            .filter(|&t| !used[t] && self.can_place(t, &used))
+            .collect()
     }
 
-    fn view_ctx(&self) -> ViewCtx {
+    pub(crate) fn view_ctx(&self) -> ViewCtx {
         let procs = self.h.procs();
         let viewers: Vec<ProcId> = if procs.is_empty() {
             vec![ProcId(0)]
@@ -474,41 +451,9 @@ impl<'a> Search<'a> {
         let txns = self.h.txns();
         if order.len() == txns.len() {
             stats.txn_orders += 1;
-            // Attempt witnesses for every distinct viewer constraint set.
-            let mut found: Vec<(usize, Vec<OpId>)> = Vec::new();
-            for &d in &ctx.distinct {
-                let mut edges = self.base_edges.clone();
-                edges.extend(ctx.view_edges[d].iter().copied());
-                for w in order.windows(2) {
-                    edges.push((self.txn_units[w[0]], self.txn_units[w[1]]));
-                }
-                edges.sort_unstable();
-                edges.dedup();
-                match self.find_witness(&edges, stats, cancel, memo) {
-                    Some(seq) => found.push((d, seq)),
-                    None => return, // this txn order fails for some viewer
-                }
+            if let Ok(witnesses) = self.try_order(order, ctx, stats, cancel, memo) {
+                *result = Some((order.clone(), witnesses));
             }
-            if cancel.hit() {
-                return; // a cancelled sub-search may have failed spuriously
-            }
-            let witnesses = ctx
-                .viewers
-                .iter()
-                .map(|&p| {
-                    let vi = ctx.viewers.iter().position(|&q| q == p).unwrap();
-                    // Find the distinct representative with identical edges.
-                    let d = ctx
-                        .distinct
-                        .iter()
-                        .copied()
-                        .find(|&d| ctx.view_edges[d] == ctx.view_edges[vi])
-                        .unwrap();
-                    let seq = found.iter().find(|(fd, _)| *fd == d).unwrap().1.clone();
-                    (p, seq)
-                })
-                .collect();
-            *result = Some((order.clone(), witnesses));
             return;
         }
         for t in 0..txns.len() {
@@ -521,6 +466,75 @@ impl<'a> Search<'a> {
             order.pop();
             used[t] = false;
         }
+    }
+
+    /// Attempt the per-viewer witness searches for one complete
+    /// serialization order. `Ok` carries the per-process witnesses;
+    /// `Err(d)` names the first distinct viewer-constraint index that
+    /// admitted no witness (`usize::MAX` when the search was cancelled
+    /// mid-way, in which case the failure may be spurious).
+    pub(crate) fn try_order(
+        &self,
+        order: &[usize],
+        ctx: &ViewCtx,
+        stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
+        memo: &mut OpacityMemo,
+    ) -> Result<Vec<(ProcId, Vec<OpId>)>, usize> {
+        let pairs: Vec<(usize, usize)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        // Attempt witnesses for every distinct viewer constraint set.
+        let mut found: Vec<(usize, Vec<OpId>)> = Vec::new();
+        for &d in &ctx.distinct {
+            match self.witness_for_pairs(ctx, d, &pairs, stats, cancel, memo) {
+                Some(seq) => found.push((d, seq)),
+                None => return Err(d), // this txn order fails for some viewer
+            }
+        }
+        if cancel.hit() {
+            return Err(usize::MAX); // a cancelled sub-search may fail spuriously
+        }
+        let witnesses = ctx
+            .viewers
+            .iter()
+            .map(|&p| {
+                let vi = ctx.viewers.iter().position(|&q| q == p).unwrap();
+                // Find the distinct representative with identical edges.
+                let d = ctx
+                    .distinct
+                    .iter()
+                    .copied()
+                    .find(|&d| ctx.view_edges[d] == ctx.view_edges[vi])
+                    .unwrap();
+                let seq = found.iter().find(|(fd, _)| *fd == d).unwrap().1.clone();
+                (p, seq)
+            })
+            .collect();
+        Ok(witnesses)
+    }
+
+    /// Witness search for viewer constraint set `d` under an arbitrary
+    /// set of transaction-precedence `pairs` — not necessarily a full
+    /// order. A full order's adjacent pairs reproduce the classic leaf
+    /// search; a *subset* of pairs yields a weaker constraint set, so
+    /// "no witness" here refutes every total order whose precedences
+    /// include the pairs (the SAT backend's blocking-core query).
+    pub(crate) fn witness_for_pairs(
+        &self,
+        ctx: &ViewCtx,
+        d: usize,
+        pairs: &[(usize, usize)],
+        stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
+        memo: &mut OpacityMemo,
+    ) -> Option<Vec<OpId>> {
+        let mut edges = self.base_edges.clone();
+        edges.extend(ctx.view_edges[d].iter().copied());
+        for &(a, b) in pairs {
+            edges.push((self.txn_units[a], self.txn_units[b]));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        self.find_witness(&edges, stats, cancel, memo)
     }
 
     /// Backtracking topological search for a prefix-legal sequence of

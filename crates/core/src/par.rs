@@ -4,29 +4,32 @@
 //! [`sgla`](crate::sgla)) have the same top-level shape: enumerate
 //! transaction serialization orders consistent with a partial order,
 //! and run an inner witness search for each complete order. The
-//! parallel entry points exploit that shape:
+//! parallel entry points exploit that shape with a **work-stealing
+//! frontier** (the same discipline as the mc layer's DPOR frontier,
+//! replicated here because core cannot depend on mc):
 //!
-//! 1. The serialization-order enumeration is split into **prefixes** of
-//!    a small fixed depth, generated serially in exactly the order the
-//!    serial DFS would visit them, and indexed `0, 1, 2, …`.
-//! 2. A scoped worker pool ([`run_prefix_pool`]) pulls prefix indices
-//!    from a shared atomic counter; each worker exhausts its prefix's
-//!    subtree (the same DFS the serial checker runs, restricted to
-//!    orders extending the prefix).
-//! 3. The first success is published by storing the prefix index in an
-//!    atomic `found_at` cell via `fetch_min`. Workers consult the cell
-//!    through a [`Cancel`] token: a worker on prefix `i` aborts as soon
-//!    as some prefix `j < i` has succeeded, because its own answer can
-//!    no longer affect the result.
+//! 1. The frontier is seeded with the empty serialization-order prefix.
+//!    A worker that pops a prefix while other workers are starving
+//!    **expands** it — pushes every valid one-transaction extension back
+//!    onto the frontier — instead of searching it, so work splits
+//!    adaptively exactly where the search is struggling. A worker that
+//!    pops a prefix while everyone is busy **claims** it and exhausts
+//!    its whole subtree (the same DFS the serial checker runs,
+//!    restricted to orders extending the prefix).
+//! 2. Claimed prefixes form an antichain (a prefix is either expanded
+//!    or claimed, never both), so comparing them lexicographically
+//!    orders their subtrees exactly as the serial DFS visits them. The
+//!    first success from the **lexicographically least** claimed prefix
+//!    is the answer; a published success flips a per-worker cancel flag
+//!    on every running subtree with a lex-greater prefix, whose result
+//!    can no longer matter.
 //!
-//! **Determinism.** The returned witness is the one from the *lowest*
-//! successful prefix index, and within a prefix each worker searches
-//! completions in serial DFS order and stops at the first success — so
-//! the parallel result (verdict *and* witness) is exactly the serial
-//! result, independent of thread count and scheduling. Cancellation
-//! cannot break this: a prefix is only ever cancelled by a strictly
-//! lower-indexed success, in which case the serial search would have
-//! stopped before reaching it anyway.
+//! **Determinism.** A subtree is only ever cancelled by a success from
+//! a lex-smaller prefix, and the published best only ever decreases
+//! lexicographically — so every prefix the serial search would have
+//! reached before its first success runs to completion, and the final
+//! best is exactly the serial result (verdict *and* witness),
+//! independent of thread count and scheduling.
 //!
 //! Workers also keep a bounded per-worker [`WitnessMemo`] mapping inner
 //! witness-search inputs (deduplicated edge sets) to their results —
@@ -40,10 +43,10 @@
 
 use jungle_obs::trace::{self, EventKind};
 use jungle_obs::SearchStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Tuning knobs for the parallel checker entry points.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,30 +96,28 @@ impl ParallelConfig {
     }
 }
 
-/// Cancellation token for one unit of pool work: signals when a
-/// strictly lower-indexed prefix has already succeeded.
+/// Cancellation token for one unit of pool work: set once the claimed
+/// subtree's result can no longer matter (a lex-smaller prefix won).
 pub(crate) struct Cancel<'a> {
-    gate: Option<(&'a AtomicUsize, usize)>,
+    flag: Option<&'a AtomicBool>,
 }
 
 impl<'a> Cancel<'a> {
     /// A token that never fires (serial search).
     pub(crate) fn never() -> Self {
-        Cancel { gate: None }
+        Cancel { flag: None }
     }
 
-    /// A token for prefix `index`, watching `found_at`.
-    pub(crate) fn below(found_at: &'a AtomicUsize, index: usize) -> Self {
-        Cancel {
-            gate: Some((found_at, index)),
-        }
+    /// A token watching `flag`.
+    pub(crate) fn flag(flag: &'a AtomicBool) -> Self {
+        Cancel { flag: Some(flag) }
     }
 
     /// Has this work item become irrelevant?
     #[inline]
     pub(crate) fn hit(&self) -> bool {
-        match self.gate {
-            Some((found_at, index)) => found_at.load(Ordering::Relaxed) < index,
+        match self.flag {
+            Some(f) => f.load(Ordering::Relaxed),
             None => false,
         }
     }
@@ -164,60 +165,189 @@ impl<K: Eq + Hash, V: Clone> WitnessMemo<K, V> {
     }
 }
 
-/// How many prefixes [`run_prefix_pool`] wants per worker: enough that
-/// an unlucky worker stuck on one hard subtree does not serialize the
-/// sweep.
-pub(crate) const PREFIXES_PER_WORKER: usize = 8;
-
 /// Per-worker memo capacity for the checker searches.
 pub(crate) const MEMO_CAP: usize = 4096;
 
-/// Run `work` over every prefix on `threads` scoped workers and return
-/// the result of the lowest-indexed prefix that produced one, exactly
-/// as a serial left-to-right scan would.
+/// Pseudo-worker id for the seed prefix.
+const SEED_WORKER: usize = usize::MAX;
+
+/// The shared frontier of unexplored serialization-order prefixes:
+/// a Mutex/Condvar deque with idle-counting termination. Items carry
+/// the pushing worker's id so pops by another worker count as steals.
+struct Frontier {
+    state: Mutex<FrontierState>,
+    available: Condvar,
+    workers: usize,
+}
+
+struct FrontierState {
+    items: VecDeque<(usize, Vec<usize>)>,
+    idle: usize,
+    done: bool,
+}
+
+impl Frontier {
+    fn new(workers: usize) -> Self {
+        Frontier {
+            state: Mutex::new(FrontierState {
+                items: VecDeque::new(),
+                idle: 0,
+                done: false,
+            }),
+            available: Condvar::new(),
+            workers,
+        }
+    }
+
+    fn push(&self, from: usize, prefix: Vec<usize>) {
+        let mut s = self.state.lock().unwrap();
+        s.items.push_back((from, prefix));
+        drop(s);
+        self.available.notify_one();
+    }
+
+    /// Pop the oldest pending prefix, blocking while the frontier is
+    /// empty but other workers may still push. Returns `None` once all
+    /// workers are idle with an empty frontier (the search is over) and
+    /// whether the item was stolen from another worker.
+    fn pop(&self, me: usize) -> Option<(Vec<usize>, bool)> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.done {
+                return None;
+            }
+            if let Some((from, prefix)) = s.items.pop_front() {
+                return Some((prefix, from != me && from != SEED_WORKER));
+            }
+            s.idle += 1;
+            if s.idle == self.workers {
+                s.done = true;
+                s.idle -= 1;
+                self.available.notify_all();
+                return None;
+            }
+            s = self.available.wait(s).unwrap();
+            s.idle -= 1;
+        }
+    }
+
+    /// Is anyone starving? Expanding (rather than claiming) a popped
+    /// prefix is only worth the queue traffic when the frontier has run
+    /// dry or a sibling is already waiting for work.
+    fn hungry(&self) -> bool {
+        let s = self.state.lock().unwrap();
+        !s.done && (s.items.is_empty() || s.idle > 0)
+    }
+}
+
+/// Best-so-far publication: the lexicographically least claimed prefix
+/// that produced a result, plus what every worker is currently running
+/// (so a new best can cancel exactly the now-irrelevant subtrees).
+struct BestState<R> {
+    best: Option<(Vec<usize>, R)>,
+    running: Vec<Option<Vec<usize>>>,
+}
+
+/// Run the serialization-order search over `threads` scoped workers
+/// feeding from a work-stealing frontier, returning the result of the
+/// lexicographically least successful prefix — exactly what a serial
+/// left-to-right scan would produce.
 ///
-/// `init` builds one mutable worker-local state (e.g. a memo) per
-/// worker; `work(i, prefix, cancel, state, stats)` must stop early and
-/// return `None` once `cancel.hit()` — its result is discarded in that
-/// case anyway. Per-worker [`SearchStats`] are merged into `stats`
-/// (including `stolen_prefixes`; the caller sets `workers`).
-pub(crate) fn run_prefix_pool<R, S, I, F>(
+/// `expand(prefix)` lists the transactions that may validly extend
+/// `prefix`, in ascending index order (the serial candidate order);
+/// `n_txn` bounds prefix growth. `init` builds one mutable worker-local
+/// state (e.g. a memo) per worker; `work(prefix, cancel, state, stats)`
+/// exhausts the prefix's subtree in serial DFS order, stopping early
+/// once `cancel.hit()` — its result is discarded in that case anyway.
+/// Per-worker [`SearchStats`] are merged into `stats` (claimed prefixes
+/// count as `stolen_prefixes`; the caller sets `workers`).
+pub(crate) fn run_order_pool<R, S, X, I, F>(
     threads: usize,
-    prefixes: &[Vec<usize>],
+    n_txn: usize,
+    expand: X,
     init: I,
     work: F,
     stats: &mut SearchStats,
 ) -> Option<R>
 where
     R: Send,
+    S: Send,
+    X: Fn(&[usize]) -> Vec<usize> + Sync,
     I: Fn() -> S + Sync,
-    F: Fn(usize, &[usize], &Cancel<'_>, &mut S, &mut SearchStats) -> Option<R> + Sync,
+    F: Fn(&[usize], &Cancel<'_>, &mut S, &mut SearchStats) -> Option<R> + Sync,
 {
-    let next = AtomicUsize::new(0);
-    let found_at = AtomicUsize::new(usize::MAX);
-    let slots: Vec<Mutex<Option<R>>> = prefixes.iter().map(|_| Mutex::new(None)).collect();
+    let frontier = Frontier::new(threads);
+    frontier.push(SEED_WORKER, Vec::new());
+    let shared: Mutex<BestState<R>> = Mutex::new(BestState {
+        best: None,
+        running: (0..threads).map(|_| None).collect(),
+    });
+    let flags: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
 
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let frontier = &frontier;
+                let shared = &shared;
+                let flags = &flags;
+                let expand = &expand;
+                let init = &init;
+                let work = &work;
+                s.spawn(move || {
                     let mut local = SearchStats::default();
                     let mut state = init();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= prefixes.len() {
-                            break;
+                    while let Some((prefix, _stolen)) = frontier.pop(w) {
+                        // Drop without searching if a lex-smaller
+                        // subtree has already won: the serial scan
+                        // would have stopped before reaching this one.
+                        {
+                            let b = shared.lock().unwrap();
+                            if matches!(&b.best, Some((bp, _)) if *bp < prefix) {
+                                trace::emit(EventKind::PrefixCancel, prefix.len() as u64, 0);
+                                continue;
+                            }
                         }
-                        if found_at.load(Ordering::Relaxed) < i {
-                            trace::emit(EventKind::PrefixCancel, i as u64, 0);
-                            continue; // a lower prefix already won
+                        if prefix.len() < n_txn && frontier.hungry() {
+                            for t in expand(&prefix) {
+                                let mut child = prefix.clone();
+                                child.push(t);
+                                frontier.push(w, child);
+                            }
+                            continue;
+                        }
+                        // Claim: register the running prefix so a later
+                        // best can cancel it, re-checking the best under
+                        // the same lock (publication is also locked, so
+                        // no cancel can be missed).
+                        {
+                            let mut b = shared.lock().unwrap();
+                            if matches!(&b.best, Some((bp, _)) if *bp < prefix) {
+                                trace::emit(EventKind::PrefixCancel, prefix.len() as u64, 0);
+                                continue;
+                            }
+                            b.running[w] = Some(prefix.clone());
+                            flags[w].store(false, Ordering::Relaxed);
                         }
                         local.stolen_prefixes += 1;
-                        trace::emit(EventKind::PrefixClaim, i as u64, prefixes[i].len() as u64);
-                        let cancel = Cancel::below(&found_at, i);
-                        if let Some(r) = work(i, &prefixes[i], &cancel, &mut state, &mut local) {
-                            *slots[i].lock().unwrap() = Some(r);
-                            found_at.fetch_min(i, Ordering::Relaxed);
+                        trace::emit(EventKind::PrefixClaim, prefix.len() as u64, w as u64);
+                        let cancel = Cancel::flag(&flags[w]);
+                        let result = work(&prefix, &cancel, &mut state, &mut local);
+                        let mut b = shared.lock().unwrap();
+                        b.running[w] = None;
+                        if let Some(r) = result {
+                            let better = match &b.best {
+                                None => true,
+                                Some((bp, _)) => prefix < *bp,
+                            };
+                            if better {
+                                b.best = Some((prefix, r));
+                                let bp = &b.best.as_ref().unwrap().0;
+                                for (i, run) in b.running.iter().enumerate() {
+                                    if matches!(run, Some(rp) if rp > bp) {
+                                        flags[i].store(true, Ordering::Relaxed);
+                                    }
+                                }
+                            }
                         }
                     }
                     local
@@ -230,12 +360,7 @@ where
         }
     });
 
-    let winner = found_at.load(Ordering::Relaxed);
-    if winner == usize::MAX {
-        None
-    } else {
-        slots[winner].lock().unwrap().take()
-    }
+    shared.into_inner().unwrap().best.map(|(_, r)| r)
 }
 
 #[cfg(test)]
@@ -270,53 +395,110 @@ mod tests {
         assert_eq!(WitnessMemo::<u32, u32>::disabled().get(&1), None);
     }
 
+    /// The candidate order space for the pool tests: permutations of
+    /// `0..n` with no placement constraints.
+    fn free_expand(n: usize) -> impl Fn(&[usize]) -> Vec<usize> {
+        move |prefix: &[usize]| (0..n).filter(|t| !prefix.contains(t)).collect()
+    }
+
+    /// Exhaust `prefix`'s subtree in serial DFS order, returning the
+    /// first completion that `hits` accepts.
+    fn subtree_first(
+        n: usize,
+        prefix: &[usize],
+        hits: &dyn Fn(&[usize]) -> bool,
+    ) -> Option<Vec<usize>> {
+        fn rec(
+            n: usize,
+            order: &mut Vec<usize>,
+            hits: &dyn Fn(&[usize]) -> bool,
+        ) -> Option<Vec<usize>> {
+            if order.len() == n {
+                return hits(order).then(|| order.clone());
+            }
+            for t in 0..n {
+                if order.contains(&t) {
+                    continue;
+                }
+                order.push(t);
+                if let Some(found) = rec(n, order, hits) {
+                    return Some(found);
+                }
+                order.pop();
+            }
+            None
+        }
+        rec(n, &mut prefix.to_vec(), hits)
+    }
+
     #[test]
-    fn pool_returns_lowest_successful_prefix() {
-        // Prefixes 2, 5 and 7 "succeed"; the pool must report 2's
-        // result regardless of completion order.
-        let prefixes: Vec<Vec<usize>> = (0..10).map(|i| vec![i]).collect();
-        let mut stats = SearchStats::default();
+    fn pool_returns_serial_first_success() {
+        // Accepted orders picked so the serial-first one ([1,0,2,3]) is
+        // neither the lex-least accepted by chance nor the easiest to
+        // find in parallel.
+        let n = 4;
+        let accepted: Vec<Vec<usize>> = vec![vec![3, 2, 1, 0], vec![1, 0, 2, 3], vec![2, 0, 1, 3]];
+        let hits = |o: &[usize]| accepted.iter().any(|a| a == o);
+        let serial = subtree_first(n, &[], &hits).unwrap();
+        assert_eq!(serial, vec![1, 0, 2, 3]);
         for threads in [1, 2, 4] {
-            let got = run_prefix_pool(
+            let mut stats = SearchStats::default();
+            let got = run_order_pool(
                 threads,
-                &prefixes,
+                n,
+                free_expand(n),
                 || (),
-                |i, _p, cancel, _s, _l| {
+                |prefix, cancel, _s, _l| {
                     if cancel.hit() {
                         return None;
                     }
-                    [2, 5, 7].contains(&i).then_some(i)
+                    subtree_first(n, prefix, &hits)
                 },
                 &mut stats,
             );
-            assert_eq!(got, Some(2), "threads={threads}");
+            assert_eq!(got.as_deref(), Some(serial.as_slice()), "threads={threads}");
         }
     }
 
     #[test]
     fn pool_reports_no_result_when_all_fail() {
-        let prefixes: Vec<Vec<usize>> = (0..6).map(|i| vec![i]).collect();
         let mut stats = SearchStats::default();
-        let got: Option<usize> = run_prefix_pool(
+        let got: Option<Vec<usize>> = run_order_pool(
             2,
-            &prefixes,
+            3,
+            free_expand(3),
             || (),
-            |_, _, _, _: &mut (), _| None,
+            |_, _, _: &mut (), _| None,
             &mut stats,
         );
         assert_eq!(got, None);
-        // Every prefix was pulled by some worker.
-        assert_eq!(stats.stolen_prefixes, 6);
+        // Every subtree was claimed and exhausted by some worker.
+        assert!(stats.stolen_prefixes > 0);
+    }
+
+    #[test]
+    fn pool_handles_empty_order_space() {
+        // Zero transactions: the seed prefix is already complete.
+        let mut stats = SearchStats::default();
+        let got = run_order_pool(
+            2,
+            0,
+            |_: &[usize]| Vec::new(),
+            || (),
+            |prefix, _, _: &mut (), _| Some(prefix.to_vec()),
+            &mut stats,
+        );
+        assert_eq!(got, Some(Vec::new()));
+        assert_eq!(stats.stolen_prefixes, 1);
     }
 
     #[test]
     fn cancel_token_semantics() {
-        let found = AtomicUsize::new(usize::MAX);
-        let c5 = Cancel::below(&found, 5);
-        assert!(!c5.hit());
-        found.store(3, Ordering::Relaxed);
-        assert!(c5.hit());
-        assert!(!Cancel::below(&found, 2).hit());
+        let flag = AtomicBool::new(false);
+        let c = Cancel::flag(&flag);
+        assert!(!c.hit());
+        flag.store(true, Ordering::Relaxed);
+        assert!(c.hit());
         assert!(!Cancel::never().hit());
     }
 }

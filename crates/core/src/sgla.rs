@@ -51,9 +51,7 @@ use crate::history::{History, TxnStatus};
 use crate::ids::{OpId, ProcId};
 use crate::legal::CsChecker;
 use crate::model::MemoryModel;
-use crate::par::{
-    run_prefix_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP, PREFIXES_PER_WORKER,
-};
+use crate::par::{run_order_pool, Cancel, ParallelConfig, WitnessMemo, MEMO_CAP};
 use crate::spec::SpecRegistry;
 use jungle_obs::{profile, Counter, ScopedSpan, SearchStats};
 
@@ -206,9 +204,9 @@ pub fn check_sgla_par_with_traced(
 
 /// Per-worker memo of inner witness searches, keyed by the exact
 /// deduplicated op-level edge set (the only varying input).
-type SglaMemo = WitnessMemo<Vec<(usize, usize)>, Option<Vec<OpId>>>;
+pub(crate) type SglaMemo = WitnessMemo<Vec<(usize, usize)>, Option<Vec<OpId>>>;
 
-struct SglaSearch<'a> {
+pub(crate) struct SglaSearch<'a> {
     h: &'a History,
     model: &'a dyn MemoryModel,
     specs: &'a SpecRegistry,
@@ -226,6 +224,15 @@ struct Node {
 }
 
 impl<'a> SglaSearch<'a> {
+    pub(crate) fn new(h: &'a History, model: &'a dyn MemoryModel, specs: &'a SpecRegistry) -> Self {
+        SglaSearch { h, model, specs }
+    }
+
+    /// Number of transactions in the (transformed) history.
+    pub(crate) fn n_txns(&self) -> usize {
+        self.h.txns().len()
+    }
+
     fn run(&self, stats: &mut SearchStats) -> SglaVerdict {
         // SGLA schedules at operation granularity: every op is a unit.
         stats.units += self.h.len() as u64;
@@ -247,9 +254,9 @@ impl<'a> SglaSearch<'a> {
         self.verdict(result)
     }
 
-    /// Parallel counterpart of [`SglaSearch::run`]: split the
-    /// transaction-order enumeration into DFS-ordered prefixes and farm
-    /// them out to scoped workers. Returns exactly what `run` would.
+    /// Parallel counterpart of [`SglaSearch::run`]: feed the
+    /// transaction-order enumeration to a work-stealing frontier of
+    /// scoped workers. Returns exactly what `run` would.
     fn run_par(&self, cfg: &ParallelConfig, stats: &mut SearchStats) -> SglaVerdict {
         if cfg.serial_for(self.h.len()) {
             return self.run(stats);
@@ -258,12 +265,12 @@ impl<'a> SglaSearch<'a> {
         stats.units += self.h.len() as u64;
         stats.workers = stats.workers.max(threads as u64);
         let n_txn = self.h.txns().len();
-        let prefixes = self.order_prefixes(threads * PREFIXES_PER_WORKER);
-        let result = run_prefix_pool(
+        let result = run_order_pool(
             threads,
-            &prefixes,
+            n_txn,
+            |prefix| self.valid_extensions(prefix),
             || SglaMemo::new(MEMO_CAP),
-            |_, prefix, cancel, memo, local| {
+            |prefix, cancel, memo, local| {
                 let mut order = prefix.to_vec();
                 let mut used = vec![false; n_txn];
                 for &t in prefix {
@@ -278,7 +285,7 @@ impl<'a> SglaSearch<'a> {
         self.verdict(result)
     }
 
-    fn verdict(&self, result: Option<(Vec<usize>, Vec<OpId>)>) -> SglaVerdict {
+    pub(crate) fn verdict(&self, result: Option<(Vec<usize>, Vec<OpId>)>) -> SglaVerdict {
         match result {
             Some((txn_order, seq)) => {
                 let witnesses = self
@@ -301,7 +308,10 @@ impl<'a> SglaSearch<'a> {
         }
     }
 
-    fn txn_must_precede(&self, a: usize, b: usize) -> bool {
+    /// Must transaction `a` come before transaction `b` in the shared
+    /// total order? (Program order on one process; real-time order
+    /// across processes.)
+    pub(crate) fn txn_must_precede(&self, a: usize, b: usize) -> bool {
         let txns = self.h.txns();
         if txns[a].proc == txns[b].proc {
             return txns[a].first() < txns[b].first();
@@ -315,45 +325,17 @@ impl<'a> SglaSearch<'a> {
         (0..n_txn).all(|u| u == t || used[u] || !self.txn_must_precede(u, t))
     }
 
-    /// All valid transaction-order prefixes of the smallest depth
-    /// yielding at least `target` of them, in serial DFS order (see
-    /// `Search::order_prefixes` in the opacity checker).
-    fn order_prefixes(&self, target: usize) -> Vec<Vec<usize>> {
+    /// The transactions that may validly extend `prefix`, in ascending
+    /// index order — the serial DFS candidate order.
+    pub(crate) fn valid_extensions(&self, prefix: &[usize]) -> Vec<usize> {
         let n_txn = self.h.txns().len();
-        let mut depth = 1.min(n_txn);
-        loop {
-            let mut out = Vec::new();
-            let mut order = Vec::new();
-            let mut used = vec![false; n_txn];
-            self.collect_prefixes(depth, &mut order, &mut used, &mut out);
-            if out.len() >= target || depth >= n_txn {
-                return out;
-            }
-            depth += 1;
-        }
-    }
-
-    fn collect_prefixes(
-        &self,
-        depth: usize,
-        order: &mut Vec<usize>,
-        used: &mut Vec<bool>,
-        out: &mut Vec<Vec<usize>>,
-    ) {
-        if order.len() == depth {
-            out.push(order.clone());
-            return;
-        }
-        for t in 0..self.h.txns().len() {
-            if used[t] || !self.can_place(t, used) {
-                continue;
-            }
+        let mut used = vec![false; n_txn];
+        for &t in prefix {
             used[t] = true;
-            order.push(t);
-            self.collect_prefixes(depth, order, used, out);
-            order.pop();
-            used[t] = false;
         }
+        (0..n_txn)
+            .filter(|&t| !used[t] && self.can_place(t, &used))
+            .collect()
     }
 
     fn enum_orders(
@@ -399,6 +381,23 @@ impl<'a> SglaSearch<'a> {
         cancel: &Cancel<'_>,
         memo: &mut SglaMemo,
     ) -> Option<Vec<OpId>> {
+        let pairs: Vec<(usize, usize)> = txn_order.windows(2).map(|w| (w[0], w[1])).collect();
+        self.witness_for_pairs(&pairs, stats, cancel, memo)
+    }
+
+    /// Like [`Self::find_witness`], but under an arbitrary set of
+    /// transaction-precedence `pairs` (block edges `last(a) → first(b)`)
+    /// rather than a full order's adjacent pairs. A subset of pairs is a
+    /// weaker constraint set, so "no witness" refutes every total order
+    /// whose precedences include the pairs (the SAT backend's
+    /// blocking-core query).
+    pub(crate) fn witness_for_pairs(
+        &self,
+        pairs: &[(usize, usize)],
+        stats: &mut SearchStats,
+        cancel: &Cancel<'_>,
+        memo: &mut SglaMemo,
+    ) -> Option<Vec<OpId>> {
         let h = self.h;
         let n = h.len();
         let txns = h.txns();
@@ -425,9 +424,9 @@ impl<'a> SglaSearch<'a> {
                 edges.push((w[0], w[1]));
             }
         }
-        // Block order between consecutive transactions.
-        for w in txn_order.windows(2) {
-            edges.push((txns[w[0]].last(), txns[w[1]].first()));
+        // Block order between transactions constrained by `pairs`.
+        for &(a, b) in pairs {
+            edges.push((txns[a].last(), txns[b].first()));
         }
         // Roach-motel edges between a process's non-transactional ops
         // and its own transactions.
@@ -486,7 +485,7 @@ impl<'a> SglaSearch<'a> {
         let mut seq = Vec::with_capacity(n);
         let checker = CsChecker::new(self.specs);
         let result = if self.dfs(
-            &nodes, &succs, &mut indeg, &mut seq, &checker, stats, cancel,
+            &nodes, &succs, &mut indeg, &mut seq, &checker, None, stats, cancel,
         ) {
             Some(seq.into_iter().map(|i| h.ops()[i].id).collect())
         } else {
@@ -500,6 +499,12 @@ impl<'a> SglaSearch<'a> {
         result
     }
 
+    /// `open` is the transaction whose critical section is currently
+    /// entered (a txn has started but not yet committed/aborted/been
+    /// suspended). With a full order's chain of block edges this guard
+    /// never fires — other transactions' ops are edge-blocked anyway —
+    /// but under a *subset* of block pairs (the SAT backend's core
+    /// probes) it is what keeps critical sections from interleaving.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &self,
@@ -508,6 +513,7 @@ impl<'a> SglaSearch<'a> {
         indeg: &mut Vec<usize>,
         seq: &mut Vec<usize>,
         checker: &CsChecker<'_>,
+        open: Option<usize>,
         stats: &mut SearchStats,
         cancel: &Cancel<'_>,
     ) -> bool {
@@ -526,9 +532,14 @@ impl<'a> SglaSearch<'a> {
             if placed[u] || indeg[u] != 0 {
                 continue;
             }
+            let node = &nodes[u];
+            if let (Some(o), Some(t)) = (open, node.txn) {
+                if o != t {
+                    continue; // one critical section at a time
+                }
+            }
             stats.nodes += 1;
             let mut c = checker.clone();
-            let node = &nodes[u];
             if !c.step(&self.h.ops()[node.idx].op, node.txn.is_some()) {
                 stats.prune_hits += 1;
                 continue;
@@ -536,12 +547,13 @@ impl<'a> SglaSearch<'a> {
             if node.last_of_live {
                 c.suspend_live();
             }
+            let next_open = if c.in_txn() { node.txn.or(open) } else { None };
             for &s in &succs[u] {
                 indeg[s] -= 1;
             }
             seq.push(u);
             stats.note_depth(seq.len());
-            if self.dfs(nodes, succs, indeg, seq, &c, stats, cancel) {
+            if self.dfs(nodes, succs, indeg, seq, &c, next_open, stats, cancel) {
                 return true;
             }
             seq.pop();

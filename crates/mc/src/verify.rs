@@ -72,6 +72,7 @@ use crate::algos::TmAlgo;
 use crate::dpor::{explore_dpor, explore_dpor_par, DporOutcome};
 use crate::obs::tm_counts_from_trace;
 use crate::program::Program;
+use jungle_core::encode::{check_opacity_sat, check_sgla_sat, CheckBackend};
 use jungle_core::ids::ProcId;
 use jungle_core::model::MemoryModel;
 use jungle_core::opacity::check_opacity;
@@ -429,10 +430,39 @@ impl Default for SharedVerdictMemo {
     }
 }
 
+/// One history's verdict under the selected decision procedure. Both
+/// backends are exact and certified (the SAT backend validates every
+/// positive model against the DFS leaf), so the verdict is
+/// backend-independent — which is what lets the memo stay unkeyed by
+/// backend.
+fn history_passes(
+    h: &jungle_core::history::History,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    backend: CheckBackend,
+) -> bool {
+    match (kind, backend) {
+        (CheckKind::Opacity, CheckBackend::Dfs) => check_opacity(h, model).is_opaque(),
+        (CheckKind::Opacity, CheckBackend::Sat) => check_opacity_sat(h, model).is_opaque(),
+        (CheckKind::Sgla, CheckBackend::Dfs) => check_sgla(h, model).is_sgla(),
+        (CheckKind::Sgla, CheckBackend::Sat) => check_sgla_sat(h, model).is_sgla(),
+    }
+}
+
 /// Does some history corresponding to `trace` satisfy the property
 /// under `model`?
 pub fn trace_satisfies(trace: &Trace, model: &dyn MemoryModel, kind: CheckKind) -> bool {
-    trace_satisfies_memo(trace, model, kind, None).0
+    trace_satisfies_memo(trace, model, kind, CheckBackend::Dfs, None).0
+}
+
+/// [`trace_satisfies`] deciding each history with `backend`.
+pub fn trace_satisfies_backend(
+    trace: &Trace,
+    model: &dyn MemoryModel,
+    kind: CheckKind,
+    backend: CheckBackend,
+) -> bool {
+    trace_satisfies_memo(trace, model, kind, backend, None).0
 }
 
 /// [`trace_satisfies`] with an optional verdict memo binding (the memo
@@ -442,6 +472,7 @@ fn trace_satisfies_memo(
     trace: &Trace,
     model: &dyn MemoryModel,
     kind: CheckKind,
+    backend: CheckBackend,
     memo: Option<(&SharedVerdictMemo, &'static str)>,
 ) -> (bool, u64) {
     let mut memo_hits = 0u64;
@@ -453,10 +484,7 @@ fn trace_satisfies_memo(
                 return v;
             }
         }
-        let v = match kind {
-            CheckKind::Opacity => check_opacity(h, model).is_opaque(),
-            CheckKind::Sgla => check_sgla(h, model).is_sgla(),
-        };
+        let v = history_passes(h, model, kind, backend);
         if let (Some((m, _)), Some(k)) = (memo, key) {
             m.put(k, v);
         }
@@ -526,11 +554,27 @@ pub fn check_all_traces(
     kind: CheckKind,
     max_steps: usize,
 ) -> Verdict {
+    check_all_traces_backend(program, algo, entry, kind, CheckBackend::Dfs, max_steps)
+}
+
+/// [`check_all_traces`] deciding each history with `backend`. Verdicts
+/// are backend-independent (both procedures are exact); this selects
+/// *how* they are computed, e.g. to route the sweep through the SAT
+/// backend for benchmarking or cross-validation.
+pub fn check_all_traces_backend(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    backend: CheckBackend,
+    max_steps: usize,
+) -> Verdict {
     check_all_traces_serial(
         program,
         algo,
         entry,
         kind,
+        backend,
         max_steps,
         &SharedVerdictMemo::new(),
     )
@@ -572,9 +616,33 @@ pub fn check_all_traces_shared(
     cfg: &ParallelConfig,
     memo: &SharedVerdictMemo,
 ) -> Verdict {
+    check_all_traces_shared_backend(
+        program,
+        algo,
+        entry,
+        kind,
+        CheckBackend::Dfs,
+        max_steps,
+        cfg,
+        memo,
+    )
+}
+
+/// [`check_all_traces_shared`] deciding each history with `backend`.
+#[allow(clippy::too_many_arguments)]
+pub fn check_all_traces_shared_backend(
+    program: &Program,
+    algo: &dyn TmAlgo,
+    entry: &ModelEntry,
+    kind: CheckKind,
+    backend: CheckBackend,
+    max_steps: usize,
+    cfg: &ParallelConfig,
+    memo: &SharedVerdictMemo,
+) -> Verdict {
     let threads = cfg.effective_threads();
     if threads <= 1 {
-        return check_all_traces_serial(program, algo, entry, kind, max_steps, memo);
+        return check_all_traces_serial(program, algo, entry, kind, backend, max_steps, memo);
     }
 
     let mut verdict = Verdict::passing(entry);
@@ -635,7 +703,8 @@ pub fn check_all_traces_shared(
             }
             let checked = histories_checked.fetch_add(1, Ordering::Relaxed) + 1;
             flight::emit(EventKind::McHistoryChecked, checked, 0);
-            let (ok, hits) = trace_satisfies_memo(&r.trace, model, kind, Some((memo, entry.key)));
+            let (ok, hits) =
+                trace_satisfies_memo(&r.trace, model, kind, backend, Some((memo, entry.key)));
             memo_hits.fetch_add(hits, Ordering::Relaxed);
             if !ok {
                 flight::emit(EventKind::McViolation, checked, 0);
@@ -673,6 +742,7 @@ fn check_all_traces_serial(
     algo: &dyn TmAlgo,
     entry: &ModelEntry,
     kind: CheckKind,
+    backend: CheckBackend,
     max_steps: usize,
     memo: &SharedVerdictMemo,
 ) -> Verdict {
@@ -699,8 +769,13 @@ fn check_all_traces_serial(
             }
             histories_checked += 1;
             flight::emit(EventKind::McHistoryChecked, histories_checked, 0);
-            let (ok, hits) =
-                trace_satisfies_memo(&r.trace, entry.model, kind, Some((memo, entry.key)));
+            let (ok, hits) = trace_satisfies_memo(
+                &r.trace,
+                entry.model,
+                kind,
+                backend,
+                Some((memo, entry.key)),
+            );
             memo_hits += hits;
             if !ok {
                 verdict.ok = false;
@@ -766,8 +841,13 @@ pub fn check_all_traces_enumerative(
                 return false;
             }
             histories_checked += 1;
-            let (ok, hits) =
-                trace_satisfies_memo(&r.trace, entry.model, kind, Some((&memo, entry.key)));
+            let (ok, hits) = trace_satisfies_memo(
+                &r.trace,
+                entry.model,
+                kind,
+                CheckBackend::Dfs,
+                Some((&memo, entry.key)),
+            );
             memo_hits += hits;
             if !ok {
                 verdict.ok = false;
@@ -967,8 +1047,13 @@ pub fn check_random_shared(
                         }
                         local.stats.histories_checked += 1;
                         flight::emit(EventKind::McHistoryChecked, seed, 0);
-                        let (ok, hits) =
-                            trace_satisfies_memo(&r.trace, model, kind, Some((memo, entry.key)));
+                        let (ok, hits) = trace_satisfies_memo(
+                            &r.trace,
+                            model,
+                            kind,
+                            CheckBackend::Dfs,
+                            Some((memo, entry.key)),
+                        );
                         local.stats.memo_hits += hits;
                         if !ok {
                             flight::emit(EventKind::McViolation, seed, 0);
@@ -1036,7 +1121,13 @@ fn check_random_serial(
         }
         verdict.stats.histories_checked += 1;
         flight::emit(EventKind::McHistoryChecked, seed, 0);
-        let (ok, hits) = trace_satisfies_memo(&r.trace, entry.model, kind, Some((memo, entry.key)));
+        let (ok, hits) = trace_satisfies_memo(
+            &r.trace,
+            entry.model,
+            kind,
+            CheckBackend::Dfs,
+            Some((memo, entry.key)),
+        );
         verdict.stats.memo_hits += hits;
         if !ok {
             verdict.ok = false;

@@ -33,6 +33,7 @@
 //! inline with the STM events that caused them.
 
 use crate::window::{SealedWindow, WindowBuilder};
+use jungle_core::encode::{check_opacity_sat, check_sgla_sat, CheckBackend};
 use jungle_core::history::History;
 use jungle_core::opacity::check_opacity;
 use jungle_core::registry::{entry, ModelEntry};
@@ -54,6 +55,11 @@ pub struct MonitorConfig {
     pub kind: CheckKind,
     /// The memory model parametrizing the property.
     pub model: &'static ModelEntry,
+    /// Which engine runs the escalation tier: the order-enumerating DFS
+    /// checker or the CDCL SAT backend. Verdicts are identical either
+    /// way (the SAT backend certifies every positive through the same
+    /// DFS leaf), so the shared memo stays backend-agnostic.
+    pub backend: CheckBackend,
 }
 
 impl MonitorConfig {
@@ -63,6 +69,7 @@ impl MonitorConfig {
             window_txns: 64,
             kind: CheckKind::Opacity,
             model: entry("SC").expect("SC is always registered"),
+            backend: CheckBackend::Dfs,
         }
     }
 
@@ -81,6 +88,12 @@ impl MonitorConfig {
     /// Set the memory model (builder style).
     pub fn model(mut self, model: &'static ModelEntry) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Set the escalation-tier engine (builder style).
+    pub fn backend(mut self, backend: CheckBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -262,9 +275,17 @@ impl Monitor {
                 return v;
             }
         }
-        let v = match self.cfg.kind {
-            CheckKind::Opacity => check_opacity(h, self.cfg.model.model).is_opaque(),
-            CheckKind::Sgla => check_sgla(h, self.cfg.model.model).is_sgla(),
+        let v = match (self.cfg.kind, self.cfg.backend) {
+            (CheckKind::Opacity, CheckBackend::Dfs) => {
+                check_opacity(h, self.cfg.model.model).is_opaque()
+            }
+            (CheckKind::Opacity, CheckBackend::Sat) => {
+                check_opacity_sat(h, self.cfg.model.model).is_opaque()
+            }
+            (CheckKind::Sgla, CheckBackend::Dfs) => check_sgla(h, self.cfg.model.model).is_sgla(),
+            (CheckKind::Sgla, CheckBackend::Sat) => {
+                check_sgla_sat(h, self.cfg.model.model).is_sgla()
+            }
         };
         if let Some(memo) = &self.memo {
             memo.record(self.cfg.model.key, self.cfg.kind, fp, v);

@@ -71,6 +71,14 @@ pub struct LedgerEntry {
     /// Fraction of DPOR worker wall-time spent doing useful work
     /// (busy / (busy + steal + idle); 0 when the run did not profile).
     pub worker_busy_frac: f64,
+    /// SAT-backed checks completed (0 when the run did not use the SAT
+    /// backend).
+    pub sat_solved: u64,
+    /// CDCL conflicts across all SAT-backed checks.
+    pub sat_conflicts: u64,
+    /// 99th-percentile SAT check wall time in nanoseconds (0 when the
+    /// run did not use the SAT backend).
+    pub sat_wall_ns_p99: u64,
     /// The run's full metrics snapshot (or `Json::Null` for sources
     /// that only report headline counters).
     pub metrics: Json,
@@ -150,6 +158,10 @@ impl LedgerEntry {
                 .get("worker_busy_frac")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            // Added with the SAT backend: same defaulting rule.
+            sat_solved: j.get("sat_solved").and_then(Json::as_u64).unwrap_or(0),
+            sat_conflicts: j.get("sat_conflicts").and_then(Json::as_u64).unwrap_or(0),
+            sat_wall_ns_p99: j.get("sat_wall_ns_p99").and_then(Json::as_u64).unwrap_or(0),
             metrics: j.get("metrics").cloned().unwrap_or(Json::Null),
         })
     }
@@ -179,6 +191,9 @@ impl ToJson for LedgerEntry {
             .push("p99_window_ns", self.p99_window_ns.into())
             .push("blocked_depth_mode", self.blocked_depth_mode.into())
             .push("worker_busy_frac", Json::F64(self.worker_busy_frac))
+            .push("sat_solved", self.sat_solved.into())
+            .push("sat_conflicts", self.sat_conflicts.into())
+            .push("sat_wall_ns_p99", self.sat_wall_ns_p99.into())
             .push("metrics", self.metrics.clone());
         j
     }
@@ -410,6 +425,9 @@ mod tests {
             p99_window_ns: 250_000,
             blocked_depth_mode: 3,
             worker_busy_frac: 0.75,
+            sat_solved: 40,
+            sat_conflicts: 120,
+            sat_wall_ns_p99: 80_000,
             metrics: Json::Null,
         }
     }
@@ -491,6 +509,21 @@ mod tests {
         assert_eq!(back.p99_window_ns, 0);
         assert_eq!(back.blocked_depth_mode, 0);
         assert_eq!(back.worker_busy_frac, 0.0);
+        assert_eq!(back.schedules, entry().schedules);
+    }
+
+    #[test]
+    fn pre_sat_entries_still_parse() {
+        // PR-9 and earlier ledger lines predate the SAT-backend fields
+        // and must load with them defaulted, not error.
+        let mut j = entry().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| !k.starts_with("sat_"));
+        }
+        let back = LedgerEntry::from_json(&j).unwrap();
+        assert_eq!(back.sat_solved, 0);
+        assert_eq!(back.sat_conflicts, 0);
+        assert_eq!(back.sat_wall_ns_p99, 0);
         assert_eq!(back.schedules, entry().schedules);
     }
 

@@ -32,6 +32,8 @@
 //!   channel between live STM taps and the streaming monitor.
 //! * [`monitor::MonitorStats`] — per-run counters of the streaming
 //!   opacity monitor (ingest, windows, triage/escalation, violations).
+//! * [`sat::SatStats`] — counters of the SAT serialization-order
+//!   backend (encoding sizes, CDCL effort, CEGAR rounds, wall hist).
 //!
 //! Collection is **off by default** in the hot paths: the STMs take an
 //! `Option<Arc<TmMetrics>>` and skip all counting when it is `None`,
@@ -50,6 +52,7 @@ pub mod ledger;
 pub mod monitor;
 pub mod profile;
 pub mod ring;
+pub mod sat;
 pub mod search;
 pub mod sim;
 pub mod snapshot;
@@ -64,6 +67,7 @@ pub use ledger::{LedgerEntry, Tolerances};
 pub use monitor::MonitorStats;
 pub use profile::{PhaseGuard, ProfileNode, Profiler};
 pub use ring::{Backpressure, EventRing};
+pub use sat::SatStats;
 pub use search::SearchStats;
 pub use sim::{DporStats, MachineStats, McStats};
 pub use snapshot::MetricsSnapshot;

@@ -2,6 +2,7 @@
 
 use crate::json::{Json, ToJson};
 use crate::monitor::MonitorStats;
+use crate::sat::SatStats;
 use crate::search::SearchStats;
 use crate::sim::McStats;
 use crate::tm::TmSnapshot;
@@ -24,6 +25,8 @@ pub struct MetricsSnapshot {
     pub mc: Option<McStats>,
     /// Streaming-monitor totals, if a monitoring run happened.
     pub monitor: Option<MonitorStats>,
+    /// SAT-backend totals, if any SAT-backed checks ran.
+    pub sat: Option<SatStats>,
 }
 
 impl MetricsSnapshot {
@@ -61,6 +64,11 @@ impl MetricsSnapshot {
             .get_or_insert_with(MonitorStats::default)
             .absorb(stats);
     }
+
+    /// Fold SAT-backend totals into the `sat` section.
+    pub fn record_sat(&mut self, stats: &SatStats) {
+        self.sat.get_or_insert_with(SatStats::default).absorb(stats);
+    }
 }
 
 impl ToJson for MetricsSnapshot {
@@ -87,6 +95,13 @@ impl ToJson for MetricsSnapshot {
                 "monitor",
                 match &self.monitor {
                     Some(m) => m.to_json(),
+                    None => Json::Null,
+                },
+            )
+            .push(
+                "sat",
+                match &self.sat {
+                    Some(s) => s.to_json(),
                     None => Json::Null,
                 },
             );
@@ -155,7 +170,30 @@ mod tests {
         );
         // Empty sections serialize as {} / null, still valid JSON.
         let text = MetricsSnapshot::new().to_json().to_string();
-        assert_eq!(text, r#"{"checker":{},"stms":{},"mc":null,"monitor":null}"#);
+        assert_eq!(
+            text,
+            r#"{"checker":{},"stms":{},"mc":null,"monitor":null,"sat":null}"#
+        );
+    }
+
+    #[test]
+    fn sat_section_folds_and_serializes() {
+        let mut m = MetricsSnapshot::new();
+        m.record_sat(&SatStats {
+            solved: 2,
+            conflicts: 5,
+            ..Default::default()
+        });
+        m.record_sat(&SatStats {
+            solved: 1,
+            certified: 1,
+            ..Default::default()
+        });
+        let j = m.to_json();
+        let sat = j.get("sat").expect("sat section");
+        assert_eq!(sat.get("solved"), Some(&Json::U64(3)));
+        assert_eq!(sat.get("certified"), Some(&Json::U64(1)));
+        assert_eq!(sat.get("conflicts"), Some(&Json::U64(5)));
     }
 
     #[test]

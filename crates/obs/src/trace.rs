@@ -38,8 +38,8 @@ pub const DEFAULT_RING_CAP: usize = 1 << 12;
 
 /// The event categories, in `cat_index` order. One per instrumented
 /// layer of the workspace.
-pub const CATEGORIES: [&str; 7] = [
-    "checker", "mc", "memsim", "stm", "replay", "monitor", "dpor",
+pub const CATEGORIES: [&str; 8] = [
+    "checker", "mc", "memsim", "stm", "replay", "monitor", "dpor", "sat",
 ];
 
 /// Chrome-trace phase of an event kind.
@@ -151,11 +151,24 @@ pub enum EventKind {
     /// A worker popped a frontier item another worker pushed (`a` =
     /// prefix depth, `b` = pushing worker).
     FrontierSteal = 35,
+    // ── SAT backend layer ────────────────────────────────────────
+    /// A CDCL solve of an order encoding started (`a` = variables,
+    /// `b` = clauses).
+    SatSolveBegin = 36,
+    /// Conflicts hit during the solve just finished (`a` = conflict
+    /// count, `b` = learned clause count).
+    SatConflict = 37,
+    /// Restarts taken during the solve just finished (`a` = restart
+    /// count).
+    SatRestart = 38,
+    /// The CDCL solve finished (`a` = 1 if a model was found, `b` =
+    /// CEGAR round number).
+    SatSolveEnd = 39,
 }
 
 impl EventKind {
     /// Layer category, one of `"checker"`, `"mc"`, `"memsim"`, `"stm"`,
-    /// `"replay"`, `"monitor"`, `"dpor"`.
+    /// `"replay"`, `"monitor"`, `"dpor"`, `"sat"`.
     pub fn cat(self) -> &'static str {
         CATEGORIES[self.cat_index()]
     }
@@ -172,6 +185,7 @@ impl EventKind {
             ReplayBegin | ReplayStep | ReplayDivergence | ShrinkRound => 4,
             MonitorIngest | WindowSeal | TriageClear | Escalate | MonitorViolation => 5,
             RaceDetected | SleepSetSkip | RevisitEnqueued | FrontierSteal => 6,
+            SatSolveBegin | SatConflict | SatRestart | SatSolveEnd => 7,
         }
     }
 
@@ -212,6 +226,9 @@ impl EventKind {
             SleepSetSkip => "sleep_set_skip",
             RevisitEnqueued => "revisit_enqueued",
             FrontierSteal => "frontier_steal",
+            SatSolveBegin | SatSolveEnd => "sat_solve",
+            SatConflict => "sat_conflict",
+            SatRestart => "sat_restart",
         }
     }
 
@@ -219,8 +236,8 @@ impl EventKind {
     pub fn phase(self) -> Phase {
         use EventKind::*;
         match self {
-            SearchBegin | TxnBegin => Phase::Begin,
-            SearchEnd | TxnCommit | TxnAbort => Phase::End,
+            SearchBegin | TxnBegin | SatSolveBegin => Phase::Begin,
+            SearchEnd | TxnCommit | TxnAbort | SatSolveEnd => Phase::End,
             _ => Phase::Instant,
         }
     }
@@ -263,6 +280,10 @@ impl EventKind {
             33 => SleepSetSkip,
             34 => RevisitEnqueued,
             35 => FrontierSteal,
+            36 => SatSolveBegin,
+            37 => SatConflict,
+            38 => SatRestart,
+            39 => SatSolveEnd,
             _ => return None,
         })
     }
@@ -310,12 +331,12 @@ pub struct FlightRecorder {
     cap: usize,
     shards: Box<[Shard]>,
     /// Events recorded per [`CATEGORIES`] entry.
-    cat_recorded: [AtomicU64; 7],
+    cat_recorded: [AtomicU64; 8],
     /// Events evicted by ring wrap-around per [`CATEGORIES`] entry,
     /// attributed to the *evicted* event's category. Two writers racing
     /// on the same wrapped slot can double- or mis-count an eviction —
     /// the same torn-event tolerance as the slots themselves.
-    cat_dropped: [AtomicU64; 7],
+    cat_dropped: [AtomicU64; 8],
 }
 
 impl FlightRecorder {
@@ -690,14 +711,38 @@ mod tests {
         r.record(EventKind::ReplayStep, 0, 0);
         r.record(EventKind::WindowSeal, 0, 0);
         r.record(EventKind::SleepSetSkip, 0, 0);
+        r.record(EventKind::SatConflict, 0, 0);
         let cats: std::collections::HashSet<&'static str> =
             r.events().iter().map(|e| e.kind.cat()).collect();
-        assert_eq!(cats.len(), 7);
+        assert_eq!(cats.len(), 8);
         for c in [
-            "checker", "mc", "memsim", "stm", "replay", "monitor", "dpor",
+            "checker", "mc", "memsim", "stm", "replay", "monitor", "dpor", "sat",
         ] {
             assert!(cats.contains(c), "missing {c}");
         }
+    }
+
+    #[test]
+    fn sat_solve_span_nests() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(EventKind::SatSolveBegin, 10, 42);
+        r.record(EventKind::SatConflict, 3, 2);
+        r.record(EventKind::SatSolveEnd, 1, 0);
+        let j = r.chrome_trace();
+        let Some(Json::Arr(evs)) = j.get("traceEvents") else {
+            panic!("no traceEvents")
+        };
+        let phases: Vec<String> = evs
+            .iter()
+            .map(|e| match e.get("ph") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => panic!("missing ph"),
+            })
+            .collect();
+        assert_eq!(phases, vec!["B", "i", "E"]);
+        assert!(evs
+            .iter()
+            .all(|e| e.get("cat") == Some(&Json::Str("sat".into()))));
     }
 
     #[test]

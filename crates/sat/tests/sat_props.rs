@@ -1,0 +1,201 @@
+//! Property tests for the CDCL solver on random CNF.
+//!
+//! Two obligations, per the solver's role as a *backend whose answers
+//! are checked*: every `Model` must satisfy the exact clause list it
+//! was given (soundness), and every `Unsat` on a small instance must be
+//! confirmed by brute-force enumeration of all assignments
+//! (completeness cross-check, ≤ 20 variables).
+
+use jungle_sat::{verify_model, Lit, Solution, Solver};
+use rand::{Rng, SeedableRng};
+
+type StdRng = rand::rngs::StdRng;
+
+/// A random CNF instance: `1..=max_vars` variables, clause/variable
+/// ratio drawn wide enough to cover trivially-SAT through
+/// overconstrained-UNSAT regimes, widths 1–3.
+fn random_cnf(rng: &mut StdRng, max_vars: u32) -> (u32, Vec<Vec<Lit>>) {
+    let n = rng.gen_range(1..=max_vars);
+    let m = rng.gen_range(1..=n * 5 + 5);
+    let clauses = (0..m)
+        .map(|_| {
+            let w = rng.gen_range(1..=3usize);
+            (0..w)
+                .map(|_| {
+                    let v = rng.gen_range(0..n);
+                    if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (n, clauses)
+}
+
+fn solve(n: u32, clauses: &[Vec<Lit>]) -> Solution {
+    let mut s = Solver::new();
+    for _ in 0..n {
+        s.new_var();
+    }
+    for c in clauses {
+        if !s.add_clause(c) {
+            break; // formula already unsatisfiable
+        }
+    }
+    s.solve()
+}
+
+/// Ground truth by exhaustive enumeration (caller bounds `n`).
+fn brute_force_satisfiable(n: u32, clauses: &[Vec<Lit>]) -> bool {
+    assert!(n <= 20, "brute force bounded to 20 vars");
+    (0u64..1 << n).any(|bits| {
+        let assign: Vec<bool> = (0..n).map(|v| (bits >> v) & 1 == 1).collect();
+        verify_model(clauses, &assign)
+    })
+}
+
+#[test]
+fn models_satisfy_their_exact_clause_list() {
+    let mut models = 0;
+    for seed in 0..400 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, clauses) = random_cnf(&mut rng, 30);
+        if let Solution::Model(m) = solve(n, &clauses) {
+            assert_eq!(m.len(), n as usize, "model must assign every var");
+            assert!(
+                verify_model(&clauses, &m),
+                "seed {seed}: model violates its clauses"
+            );
+            models += 1;
+        }
+    }
+    assert!(models > 50, "the generator should produce many SAT cases");
+}
+
+#[test]
+fn verdicts_match_brute_force_on_small_instances() {
+    let (mut sat_seen, mut unsat_seen) = (0, 0);
+    for seed in 0..250 {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let (n, clauses) = random_cnf(&mut rng, 12);
+        let truth = brute_force_satisfiable(n, &clauses);
+        match solve(n, &clauses) {
+            Solution::Model(m) => {
+                assert!(truth, "seed {seed}: solver SAT but formula is UNSAT");
+                assert!(verify_model(&clauses, &m));
+                sat_seen += 1;
+            }
+            Solution::Unsat => {
+                assert!(!truth, "seed {seed}: solver UNSAT but formula is SAT");
+                unsat_seen += 1;
+            }
+        }
+    }
+    assert!(sat_seen > 20 && unsat_seen > 20, "both regimes must occur");
+}
+
+#[test]
+fn unsat_cross_checked_at_twenty_vars() {
+    // Overconstrained random 3-SAT at the full brute-force bound: draw
+    // until a few UNSAT instances have been confirmed exhaustively.
+    let mut confirmed = 0;
+    for seed in 0..40 {
+        if confirmed == 3 {
+            break;
+        }
+        let mut rng = StdRng::seed_from_u64(9_000 + seed);
+        let n = 20u32;
+        let clauses: Vec<Vec<Lit>> = (0..120)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let v = rng.gen_range(0..n);
+                        if rng.gen_bool(0.5) {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        if let Solution::Unsat = solve(n, &clauses) {
+            assert!(
+                !brute_force_satisfiable(n, &clauses),
+                "seed {seed}: 20-var UNSAT verdict refuted by brute force"
+            );
+            confirmed += 1;
+        }
+    }
+    assert!(confirmed > 0, "ratio 6.0 should yield UNSAT instances");
+}
+
+/// Pigeonhole PHP(5, 4): 5 pigeons into 4 holes, a classic instance
+/// with no short resolution proof — exercises learning and restarts.
+#[test]
+fn pigeonhole_is_unsat_with_real_conflict_work() {
+    const P: u32 = 5;
+    const H: u32 = 4;
+    let var = |p: u32, h: u32| p * H + h;
+    let mut s = Solver::new();
+    for _ in 0..P * H {
+        s.new_var();
+    }
+    // Every pigeon sits somewhere.
+    for p in 0..P {
+        let c: Vec<Lit> = (0..H).map(|h| Lit::pos(var(p, h))).collect();
+        s.add_clause(&c);
+    }
+    // No two pigeons share a hole.
+    for h in 0..H {
+        for p1 in 0..P {
+            for p2 in (p1 + 1)..P {
+                s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    assert!(matches!(s.solve(), Solution::Unsat));
+    assert!(s.is_unsat());
+    let st = s.stats();
+    assert!(st.conflicts > 0, "PHP must conflict");
+    assert!(st.learned > 0, "PHP must learn clauses");
+    assert!(st.propagations > 0);
+}
+
+#[test]
+fn solver_state_survives_incremental_clause_addition() {
+    // The CEGAR loop adds blocking clauses between solve calls; the
+    // solver must stay correct across the add/solve interleaving.
+    let mut s = Solver::new();
+    let (a, b, c) = (s.new_var(), s.new_var(), s.new_var());
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    s.add_clause(&[Lit::pos(c)]);
+    let mut blocked: Vec<Vec<Lit>> = vec![vec![Lit::pos(a), Lit::pos(b)], vec![Lit::pos(c)]];
+    // Block each successive model; 3 free-ish vars admit at most 8.
+    let mut rounds = 0;
+    while let Solution::Model(m) = s.solve() {
+        assert!(verify_model(&blocked, &m));
+        let block: Vec<Lit> = m
+            .iter()
+            .enumerate()
+            .map(|(v, &t)| {
+                let v = v as u32;
+                if t {
+                    Lit::neg(v)
+                } else {
+                    Lit::pos(v)
+                }
+            })
+            .collect();
+        s.add_clause(&block);
+        blocked.push(block);
+        rounds += 1;
+        assert!(rounds <= 8, "more models than assignments");
+    }
+    // (a ∨ b) ∧ c has exactly 3 models over 3 vars... over the full
+    // space: a,b free except ¬a∧¬b, c fixed → 3 models.
+    assert_eq!(rounds, 3);
+}

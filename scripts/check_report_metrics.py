@@ -42,6 +42,14 @@ Extra modes:
   sums to ``race_total``, worker utilization stays above
   ``WORKER_BUSY_FRAC_FLOOR``, and the ledger's profiler fields mirror
   the section.
+* ``--require-sat`` makes a missing ``sat`` section an error (use in
+  CI after ``report --sat``). When the section is present (with or
+  without the flag), the SAT backend's contracts are enforced: zero
+  DFS-vs-SAT disagreements, every positive verdict certified through
+  the DFS leaf (``witness_certified == positives``), a recorded
+  wide-UNSAT crossover size where SAT beats DFS wall-clock, solver
+  totals consistent with the check count, and the ledger's ``sat_*``
+  fields mirroring the section.
 * ``--require-dpor`` makes a missing ``dpor`` section an error. When
   the section is present (with or without the flag), every exhaustive
   experiment must keep the partial-order-reduction contracts: class-key
@@ -89,7 +97,7 @@ MONITOR_OPS_FLOOR = 1_000_000
 MONITOR_ESCALATION_CEILING = 0.05
 WORKER_BUSY_FRAC_FLOOR = 0.5  # observed ~0.93 at 4 DPOR workers
 THEOREM1_CLASSES = {"Mrr", "Mrw", "Mwr", "Mww"}
-TRACE_CATEGORIES = {"checker", "dpor", "mc", "memsim", "stm"}
+TRACE_CATEGORIES = {"checker", "dpor", "mc", "memsim", "sat", "stm"}
 TRACE_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
 
 
@@ -262,6 +270,60 @@ def check_dpor(report: dict) -> str:
     return (
         f"dpor {len(entries)} experiments, worst reduction"
         f" {worst_reduction:.0f}x >= {DPOR_REDUCTION_FLOOR}x"
+    )
+
+
+def check_sat(report: dict) -> str:
+    """Validate the ``sat`` section written by ``report --sat``: the
+    CDCL backend must agree with DFS everywhere, certify every positive
+    verdict, and win the wide-UNSAT crossover at some size."""
+    sat = need(report, "sat", "report")
+    checked = need(sat, "checked", "sat")
+    disagreements = need(sat, "disagreements", "sat")
+    positives = need(sat, "positives", "sat")
+    certified = need(sat, "witness_certified", "sat")
+    if checked == 0:
+        fail("sat section checked nothing")
+    if disagreements != 0 or not need(sat, "agreement", "sat"):
+        fail(f"sat backend disagreed with DFS on {disagreements} checks")
+    if certified != positives:
+        fail(
+            f"sat certified {certified} of {positives} positive verdicts —"
+            " every SAT 'yes' must re-validate through the DFS leaf"
+        )
+    if not need(sat, "crossover", "sat"):
+        fail("sat backend never beat DFS on the wide-UNSAT family")
+    crossover_at = need(sat, "crossover_at", "sat")
+    points = need(sat, "crossover_points", "sat")
+    if not isinstance(points, list) or not points:
+        fail("sat section lists no crossover points")
+    for i, p in enumerate(points):
+        section = f"sat.crossover_points[{i}]"
+        for key in ("p", "dfs_ns", "sat_ns"):
+            need(p, key, section)
+    stats = need(sat, "stats", "sat")
+    solved = need(stats, "solved", "sat.stats")
+    # The crossover benchmark solves on top of the agreement sweep.
+    if solved < checked:
+        fail(f"sat.stats solved {solved} < checked {checked}")
+    if need(stats, "certified", "sat.stats") < certified:
+        fail(
+            f"sat.stats certified {stats['certified']} <"
+            f" section witness_certified {certified}"
+        )
+    check_hist(need(stats, "wall", "sat.stats"), "sat.stats.wall")
+    ledger = report.get("ledger_entry")
+    if isinstance(ledger, dict):
+        for key, want in [
+            ("sat_solved", solved),
+            ("sat_conflicts", need(stats, "conflicts", "sat.stats")),
+            ("sat_wall_ns_p99", need(stats["wall"], "p99", "sat.stats.wall")),
+        ]:
+            if key in ledger and ledger[key] != want:
+                fail(f"ledger {key} {ledger[key]} != sat section {want}")
+    return (
+        f"sat {checked} checks agree, {certified}/{positives} certified,"
+        f" crossover at p={crossover_at}"
     )
 
 
@@ -438,6 +500,8 @@ def check_report(report: dict) -> str:
         summary += "; " + check_replay(report)
     if "monitor" in report:
         summary += "; " + check_monitor(report)
+    if "sat" in report:
+        summary += "; " + check_sat(report)
     if "profile" in report:
         summary += "; " + check_profile(report)
     if "flight" in report:
@@ -566,6 +630,9 @@ def golden_report() -> dict:
             "monitor_windows": 4_128,
             "monitor_escalated": 0,
             "p99_window_ns": 27_648,
+            "sat_solved": 549,
+            "sat_conflicts": 0,
+            "sat_wall_ns_p99": 2_048,
             "blocked_depth_mode": 21,
             "worker_busy_frac": 0.92,
         },
@@ -640,6 +707,32 @@ def golden_report() -> dict:
                 "triage_cleared": 4_128,
                 "escalated": 0,
                 "violations": 0,
+            },
+        },
+        "sat": {
+            "checked": 544,
+            "disagreements": 0,
+            "agreement": True,
+            "positives": 369,
+            "witness_certified": 369,
+            "crossover": True,
+            "crossover_at": 2,
+            "crossover_points": [
+                {"p": 2, "dfs_ns": 6_163, "sat_ns": 4_332},
+                {"p": 6, "dfs_ns": 1_530_688, "sat_ns": 595_591},
+            ],
+            "stats": {
+                "solved": 549,
+                "certified": 369,
+                "cegar_rounds": 180,
+                "vars": 371,
+                "clauses": 622,
+                "decisions": 35,
+                "conflicts": 0,
+                "propagations": 0,
+                "restarts": 0,
+                "learned": 0,
+                "wall": golden_hist(549, 2_048),
             },
         },
         "replay": {
@@ -737,6 +830,37 @@ def self_test() -> int:
     ok_relaxed = golden_report()
     ok_relaxed["metrics"]["mc"]["dedup_hits"] = 300
     cases.append(("dpor section relaxes dedup floor", ok_relaxed, None))
+
+    broken = golden_report()
+    broken["sat"]["disagreements"] = 2
+    cases.append(("sat disagreement fails", broken, "disagreed with DFS on 2"))
+
+    broken = golden_report()
+    broken["sat"]["witness_certified"] = 368
+    cases.append(("sat uncertified positive fails", broken, "must re-validate through the DFS leaf"))
+
+    broken = golden_report()
+    broken["sat"]["crossover"] = False
+    cases.append(("sat missing crossover fails", broken, "never beat DFS"))
+
+    broken = golden_report()
+    del broken["sat"]["witness_certified"]
+    cases.append(
+        (
+            "missing witness_certified named",
+            broken,
+            "missing key 'witness_certified' in section 'sat'",
+        )
+    )
+
+    broken = golden_report()
+    broken["sat"]["stats"]["solved"] = 100
+    broken["ledger_entry"]["sat_solved"] = 100
+    cases.append(("sat solved undercount fails", broken, "solved 100 < checked 544"))
+
+    broken = golden_report()
+    broken["ledger_entry"]["sat_solved"] = 1
+    cases.append(("ledger sat mirror fails", broken, "ledger sat_solved"))
 
     broken = golden_report()
     del broken["replay"]["logs"][0]["shrunk_decisions"]
@@ -902,6 +1026,8 @@ def main() -> None:
             fail("missing key 'monitor' in section 'report' (--require-monitor)")
         if "--require-dpor" in argv and "dpor" not in report:
             fail("missing key 'dpor' in section 'report' (--require-dpor)")
+        if "--require-sat" in argv and "sat" not in report:
+            fail("missing key 'sat' in section 'report' (--require-sat)")
         if "--require-profile" in argv and "profile" not in report:
             fail("missing key 'profile' in section 'report' (--require-profile)")
         summary = check_report(report)

@@ -20,6 +20,11 @@ trends across runs:
   entries predating the profiler)
 * DPOR worker utilization (``worker_busy_frac`` — busy wall-clock over
   total wall-clock across frontier workers; 0 for pre-profiler entries)
+* SAT-backend conflicts (``sat_conflicts`` — CDCL conflict count from
+  the ``--sat`` cross-validation sweep; 0 for entries predating the
+  backend or runs without ``--sat``)
+* SAT-backend check tail latency (``sat_wall_ns_p99`` — p99 of
+  per-check solver+certify wall time; 0 as above)
 
 Output is a single self-contained SVG (hand-rolled polylines — no
 plotting dependency) plus a text summary table on stdout, so CI can
@@ -50,6 +55,8 @@ COLORS = {
     "dpor_yield": "#e377c2",
     "p99_window_ns": "#17becf",
     "worker_busy_frac": "#bcbd22",
+    "sat_conflicts": "#ff7f0e",
+    "sat_wall_p99": "#7f7f7f",
 }
 
 
@@ -87,6 +94,8 @@ def series(entries):
         "dpor_yield": [],
         "p99_window_ns": [],
         "worker_busy_frac": [],
+        "sat_conflicts": [],
+        "sat_wall_p99": [],
     }
     for e in entries:
         out["wall_ms"].append(float(e.get("wall_ms", 0)))
@@ -105,6 +114,8 @@ def series(entries):
         )
         out["p99_window_ns"].append(float(e.get("p99_window_ns", 0)))
         out["worker_busy_frac"].append(float(e.get("worker_busy_frac", 0)))
+        out["sat_conflicts"].append(float(e.get("sat_conflicts", 0)))
+        out["sat_wall_p99"].append(float(e.get("sat_wall_ns_p99", 0)))
     return out
 
 
@@ -127,8 +138,10 @@ def fmt(key, v):
         return f"{v:.0f} ms"
     if key == "monitor_ops":
         return f"{v / 1e6:.2f}M" if v >= 1e6 else f"{v:.0f}"
-    if key == "p99_window_ns":
+    if key in ("p99_window_ns", "sat_wall_p99"):
         return f"{v / 1000:.1f}µs" if v >= 1000 else f"{v:.0f}ns"
+    if key == "sat_conflicts":
+        return f"{v:.0f}"
     return f"{v:.3f}"
 
 
@@ -142,6 +155,8 @@ def render_svg(entries, data):
         "dpor_yield": "DPOR class yield",
         "p99_window_ns": "monitor p99 window latency",
         "worker_busy_frac": "DPOR worker utilization",
+        "sat_conflicts": "SAT backend conflicts",
+        "sat_wall_p99": "SAT p99 check latency",
     }
     keys = [
         "wall_ms",
@@ -152,6 +167,8 @@ def render_svg(entries, data):
         "dpor_yield",
         "p99_window_ns",
         "worker_busy_frac",
+        "sat_conflicts",
+        "sat_wall_p99",
     ]
     panels = []
     for p, key in enumerate(keys):
@@ -159,7 +176,13 @@ def render_svg(entries, data):
         y_off = p * PANEL_H
         vmax = max(values) or 1.0
         # Rates get a fixed 0..1 axis so runs are comparable at a glance.
-        if key not in ("wall_ms", "monitor_ops", "p99_window_ns"):
+        if key not in (
+            "wall_ms",
+            "monitor_ops",
+            "p99_window_ns",
+            "sat_conflicts",
+            "sat_wall_p99",
+        ):
             vmax = 1.0
         first, last = values[0], values[-1]
         panels.append(
@@ -225,9 +248,9 @@ def main():
     print(
         f"  {'rev':<10} {'wall_ms':>8} {'dedup':>7} {'memo':>7} {'replay':>7}"
         f" {'shrink':>7} {'mon_ops':>9} {'mon_esc':>7} {'dpor':>7} {'yield':>7}"
-        f" {'p99_win':>9} {'busy':>6}"
+        f" {'p99_win':>9} {'busy':>6} {'sat_cf':>7} {'sat_p99':>9}"
     )
-    for e, w, d, m, mo, me, dy, p99, busy in zip(
+    for e, w, d, m, mo, me, dy, p99, busy, scf, sp99 in zip(
         entries,
         data["wall_ms"],
         data["dedup_rate"],
@@ -237,6 +260,8 @@ def main():
         data["dpor_yield"],
         data["p99_window_ns"],
         data["worker_busy_frac"],
+        data["sat_conflicts"],
+        data["sat_wall_p99"],
     ):
         print(
             f"  {e.get('git_rev', '?'):<10} {w:>8.0f} {d:>7.3f} {m:>7.3f}"
@@ -244,6 +269,7 @@ def main():
             f" {fmt('monitor_ops', mo):>9} {me:>7.3f}"
             f" {e.get('dpor_executed', 0):>7} {dy:>7.3f}"
             f" {fmt('p99_window_ns', p99):>9} {busy:>6.3f}"
+            f" {fmt('sat_conflicts', scf):>7} {fmt('sat_wall_p99', sp99):>9}"
         )
     with open(out, "w", encoding="utf-8") as f:
         f.write(render_svg(entries, data))
